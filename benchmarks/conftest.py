@@ -1,0 +1,52 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+Every module regenerates one paper artifact at a reduced geometry and
+asserts the paper's qualitative claims (who wins, where crossovers sit).
+Simulations are deterministic, so benchmarks run a single round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import shaheen2, stampede2
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+@pytest.fixture(scope="session")
+def shaheen_small():
+    """Reduced Shaheen II: 6 nodes x 6 ppn (paper: 128 x 32)."""
+    return shaheen2(num_nodes=6, ppn=6)
+
+
+@pytest.fixture(scope="session")
+def stampede_small():
+    """Reduced Stampede2: 6 nodes x 6 ppn (paper: 32 x 48)."""
+    return stampede2(num_nodes=6, ppn=6)
+
+
+@pytest.fixture(scope="session")
+def han_shaheen(shaheen_small):
+    """HAN autotuned (task method) for the reduced Shaheen II."""
+    from repro.comparators import OpenMPIHan
+    from repro.experiments.common import tuned_decision
+
+    decide = tuned_decision(shaheen_small, colls=("bcast", "allreduce"))
+    return OpenMPIHan(decision_fn=decide)
+
+
+@pytest.fixture(scope="session")
+def han_stampede(stampede_small):
+    """HAN autotuned (task method) for the reduced Stampede2."""
+    from repro.comparators import OpenMPIHan
+    from repro.experiments.common import tuned_decision
+
+    decide = tuned_decision(stampede_small, colls=("bcast", "allreduce"))
+    return OpenMPIHan(decision_fn=decide)
+
+
+def once(benchmark, fn):
+    """Run a deterministic simulation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,27 @@
+"""Fig 2 bench: task costs (ib, sb, concurrent, delayed sbib)."""
+
+from conftest import KiB, once
+
+from repro.core.config import HanConfig
+from repro.tuning import TaskBench
+
+
+def test_fig02_task_costs(benchmark, shaheen_small):
+    cfg = HanConfig(fs=512 * KiB, imod="adapt", smod="sm",
+                    ibalg="binary", iralg="binary")
+
+    def regen():
+        bench = TaskBench(shaheen_small, warm_iters=6)
+        return bench.bench_bcast_tasks(cfg, 512 * KiB)
+
+    costs = once(benchmark, regen)
+    ib, sb = costs.ib0.max(), costs.sb0.max()
+    conc = costs.concurrent.max()
+
+    # paper claim 1: leaders finish ib(0) at different times
+    assert costs.ib0.max() > costs.ib0.min()
+    # paper claim 2: overlap significant but not perfect
+    assert max(ib, sb) * 0.999 <= conc <= (ib + sb) * 1.001
+    assert conc > max(ib, sb) * 1.01  # measurably imperfect at 512KB
+    # paper claim 3: delayed sbib is a real task cost, >= sb
+    assert costs.sbib_stable.max() >= sb * 0.9

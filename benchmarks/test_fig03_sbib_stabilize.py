@@ -1,0 +1,33 @@
+"""Fig 3 bench: sbib(i) stabilizes after pipeline warm-up."""
+
+from conftest import KiB, once
+
+from repro.core.config import HanConfig
+from repro.tuning import TaskBench
+
+CONFIGS = [
+    HanConfig(fs=64 * KiB, imod="libnbc", smod="sm"),
+    HanConfig(fs=64 * KiB, imod="adapt", smod="sm", ibalg="chain",
+              iralg="chain"),
+    HanConfig(fs=64 * KiB, imod="adapt", smod="sm", ibalg="binary",
+              iralg="binary"),
+    HanConfig(fs=64 * KiB, imod="adapt", smod="sm", ibalg="binomial",
+              iralg="binomial"),
+]
+
+
+def test_fig03_sbib_series_stabilize(benchmark, shaheen_small):
+    def regen():
+        bench = TaskBench(shaheen_small, warm_iters=8)
+        return [bench.bench_bcast_tasks(c, c.fs) for c in CONFIGS]
+
+    all_costs = once(benchmark, regen)
+    for costs in all_costs:
+        series = costs.sbib_series
+        # the last iterations vary by < 25% of their mean, per leader
+        tail = series[:, -3:]
+        spread = tail.max(axis=1) - tail.min(axis=1)
+        assert (spread <= 0.25 * tail.mean(axis=1) + 1e-12).all()
+        # the stabilized estimate sits inside the observed tail band
+        assert (costs.sbib_stable <= tail.max(axis=1) + 1e-12).all()
+        assert (costs.sbib_stable >= tail.min(axis=1) - 1e-12).all()

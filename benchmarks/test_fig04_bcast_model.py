@@ -1,0 +1,26 @@
+"""Fig 4 bench: bcast cost model estimates vs measurements."""
+
+from conftest import KiB, MiB, once
+
+from repro.tuning import Autotuner, SearchSpace, measure_collective
+
+
+def test_fig04_bcast_model_validation(benchmark, shaheen_small):
+    space = SearchSpace(
+        seg_sizes=(256 * KiB, 512 * KiB, 1 * MiB),
+        messages=(4 * MiB,),
+        adapt_algorithms=("chain", "binary", "binomial"),
+        inner_segs=(None,),
+    )
+    tuner = Autotuner(shaheen_small, space=space, warm_iters=6)
+
+    rows = once(benchmark, lambda: tuner.validate_model("bcast", 4 * MiB))
+    assert len(rows) >= 8
+    # estimates track measurements (paper: "accurate in most cases")
+    ok = sum(1 for _c, est, meas in rows if abs(est - meas) / meas < 0.25)
+    assert ok >= 0.8 * len(rows)
+    # the predicted optimum is within 10% of the measured optimum
+    best_est_cfg = min(rows, key=lambda r: r[1])[0]
+    best_meas = min(r[2] for r in rows)
+    picked = next(m for c, _e, m in rows if c == best_est_cfg)
+    assert picked <= best_meas * 1.10

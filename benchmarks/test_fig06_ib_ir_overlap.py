@@ -1,0 +1,23 @@
+"""Fig 6 bench: ib and ir overlap on opposite network directions."""
+
+from conftest import KiB, once
+
+from repro.core.config import HanConfig
+from repro.tuning import TaskBench
+
+
+def test_fig06_ib_ir_overlap(benchmark, shaheen_small):
+    cfg = HanConfig(fs=512 * KiB, imod="adapt", smod="sm",
+                    ibalg="binary", iralg="binary")
+
+    def regen():
+        bench = TaskBench(shaheen_small, warm_iters=4)
+        return bench.bench_ib_ir_overlap(cfg, 512 * KiB)
+
+    out = once(benchmark, regen)
+    ib, ir, both = out["ib"].max(), out["ir"].max(), out["both"].max()
+    # "strongly indicates a high degree of overlap": concurrent cost is
+    # far below the serial sum, and close to the slower of the two
+    assert both < (ib + ir) * 0.85
+    assert both <= max(ib, ir) * 1.5
+    assert both >= max(ib, ir) * 0.99

@@ -1,0 +1,25 @@
+"""Fig 7 bench: allreduce cost model estimates vs measurements."""
+
+from conftest import KiB, MiB, once
+
+from repro.tuning import Autotuner, SearchSpace
+
+
+def test_fig07_allreduce_model_validation(benchmark, shaheen_small):
+    space = SearchSpace(
+        seg_sizes=(512 * KiB, 1 * MiB),
+        messages=(4 * MiB,),
+        adapt_algorithms=("binary", "binomial"),
+        inner_segs=(None,),
+    )
+    tuner = Autotuner(shaheen_small, space=space, warm_iters=6)
+
+    rows = once(benchmark, lambda: tuner.validate_model("allreduce", 4 * MiB))
+    assert len(rows) >= 6
+    ok = sum(1 for _c, est, meas in rows if abs(est - meas) / meas < 0.30)
+    assert ok >= 0.7 * len(rows)
+    # prediction picks a configuration within 15% of the measured best
+    best_est_cfg = min(rows, key=lambda r: r[1])[0]
+    best_meas = min(r[2] for r in rows)
+    picked = next(m for c, _e, m in rows if c == best_est_cfg)
+    assert picked <= best_meas * 1.15

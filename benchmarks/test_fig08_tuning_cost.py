@@ -1,0 +1,33 @@
+"""Fig 8 bench: tuning-time reduction of the task-based method."""
+
+from conftest import KiB, MiB, once
+
+from repro.tuning import Autotuner, SearchSpace
+
+
+def test_fig08_tuning_cost_ordering(benchmark, shaheen_small):
+    space = SearchSpace(
+        seg_sizes=(256 * KiB, 512 * KiB, 1 * MiB),
+        messages=[2.0 ** k for k in range(14, 24)],  # 16KB..8MB
+        adapt_algorithms=("chain", "binary"),
+        inner_segs=(None,),
+    )
+    tuner = Autotuner(shaheen_small, space=space, warm_iters=6)
+
+    def regen():
+        return {
+            m: tuner.tune(colls=("bcast",), method=m)
+            for m in ("exhaustive", "exhaustive+h", "task", "task+h")
+        }
+
+    reports = once(benchmark, regen)
+    exh = reports["exhaustive"].tuning_cost
+    # paper: heuristics 26.8%, task-based 23%, combined 4.3%
+    assert reports["task"].tuning_cost < exh * 0.6
+    assert reports["exhaustive+h"].tuning_cost < exh
+    assert reports["task+h"].tuning_cost < reports["task"].tuning_cost
+    assert reports["task+h"].tuning_cost == min(
+        r.tuning_cost for r in reports.values()
+    )
+    # the M axis collapse: task searches don't scale with |messages|
+    assert reports["task"].searches < reports["exhaustive"].searches

@@ -1,0 +1,36 @@
+"""Fig 9 bench: quality of configurations picked by each tuning method."""
+
+import numpy as np
+from conftest import KiB, MiB, once
+
+from repro.tuning import Autotuner, SearchSpace, measure_collective
+
+
+def test_fig09_autotuned_quality(benchmark, shaheen_small):
+    space = SearchSpace(
+        seg_sizes=(256 * KiB, 512 * KiB, 1 * MiB),
+        messages=(1 * MiB, 4 * MiB),
+        adapt_algorithms=("chain", "binary"),
+        inner_segs=(None,),
+    )
+    tuner = Autotuner(shaheen_small, space=space, warm_iters=6)
+
+    def regen():
+        return (
+            tuner.tune(colls=("bcast",), method="exhaustive"),
+            tuner.tune(colls=("bcast",), method="task"),
+        )
+
+    exh, task = once(benchmark, regen)
+    n, p = shaheen_small.num_nodes, shaheen_small.ppn
+    for m in space.messages:
+        times = np.array([t for _c, t in exh.candidates[("bcast", m)]])
+        best = times.min()
+        # configuration choice matters: median well above best
+        assert np.median(times) > best * 1.05
+        # the task-based pick performs within 25% of the true optimum
+        picked = task.table.get("bcast", n, p, m)
+        picked_time = measure_collective(
+            shaheen_small, "bcast", m, picked
+        ).time
+        assert picked_time <= best * 1.25

@@ -1,0 +1,34 @@
+"""Fig 10 bench: MPI_Bcast on Shaheen II -- HAN vs Open MPI vs Cray MPI."""
+
+from conftest import KiB, MiB, once
+
+from repro.bench import imb_run
+from repro.comparators import CrayMPI, OpenMPIDefault
+
+SMALL = [512, 8 * KiB, 64 * KiB, 128 * KiB]
+LARGE = [1 * MiB, 8 * MiB, 32 * MiB]
+
+
+def test_fig10_bcast_shaheen(benchmark, shaheen_small, han_shaheen):
+    libs = [han_shaheen, OpenMPIDefault(), CrayMPI()]
+
+    def regen():
+        return {
+            lib.name: imb_run(shaheen_small, lib, "bcast", SMALL + LARGE)
+            for lib in libs
+        }
+
+    res = once(benchmark, regen)
+    han, omp, cray = res["han"], res["openmpi"], res["craympi"]
+
+    # HAN decisively beats default Open MPI on large messages
+    sp_omp = han.speedup_over(omp)
+    assert max(sp_omp[s] for s in LARGE) > 1.5
+    # ... and is at least competitive on small ones
+    assert max(sp_omp[s] for s in SMALL) > 1.0
+
+    # Cray MPI wins on small messages (better P2P, Fig 11) ...
+    sp_cray = han.speedup_over(cray)
+    assert min(sp_cray[s] for s in SMALL[:2]) < 1.0
+    # ... but HAN overtakes it on large ones (level overlap)
+    assert max(sp_cray[s] for s in LARGE) > 1.0

@@ -1,0 +1,27 @@
+"""Fig 11 bench: Netpipe P2P curves, Open MPI vs Cray MPI."""
+
+from conftest import KiB, MiB, once
+
+from repro.bench import netpipe_run
+from repro.netsim.profiles import craympi_profile, openmpi_profile
+
+SIZES = [512, 4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB, 16 * MiB]
+
+
+def test_fig11_netpipe_curves(benchmark, shaheen_small):
+    def regen():
+        return (
+            netpipe_run(shaheen_small, openmpi_profile(), SIZES),
+            netpipe_run(shaheen_small, craympi_profile(), SIZES),
+        )
+
+    omp, cray = once(benchmark, regen)
+    # Cray leads between 512B and 2MB, most in 16KB..512KB (the smaller
+    # sizes are latency-diluted, so the bandwidth gap shows less there)
+    for s, margin in ((16 * KiB, 1.25), (64 * KiB, 1.5), (256 * KiB, 1.5)):
+        assert cray.bandwidth_at(s) > omp.bandwidth_at(s) * margin
+    # both converge to the same peak for huge messages
+    ratio = cray.bandwidth_at(16 * MiB) / omp.bandwidth_at(16 * MiB)
+    assert 0.9 < ratio < 1.15
+    # bandwidth rises monotonically-ish toward the peak
+    assert omp.bandwidth[-1] == max(omp.bandwidth)

@@ -1,0 +1,37 @@
+"""Fig 12 bench: MPI_Bcast on Stampede2 -- HAN vs Intel, MVAPICH2, OMPI."""
+
+from conftest import KiB, MiB, once
+
+from repro.bench import imb_run
+from repro.comparators import IntelMPI, MVAPICH2, OpenMPIDefault
+
+SIZES = [512, 8 * KiB, 64 * KiB, 1 * MiB, 8 * MiB, 32 * MiB]
+
+
+def test_fig12_bcast_stampede(benchmark, stampede_small, han_stampede):
+    libs = [han_stampede, IntelMPI(), MVAPICH2(), OpenMPIDefault()]
+
+    def regen():
+        return {
+            lib.name: imb_run(stampede_small, lib, "bcast", SIZES)
+            for lib in libs
+        }
+
+    res = once(benchmark, regen)
+    han = res["han"]
+    large = SIZES[3:]
+    # paper: HAN outperforms every other library on large messages
+    for rival in ("intelmpi", "mvapich2", "openmpi"):
+        sp = han.speedup_over(res[rival])
+        assert max(sp[s] for s in large) > 1.0, rival
+    # MVAPICH2's flat trees are its weak spot: at the largest size its
+    # gap vs HAN is the widest (paper: 3.83x vs 1.39x for Intel; the
+    # default-OMPI chain suffers less at this reduced rank count than at
+    # the paper's 1536 ranks, where pipeline fill dominates)
+    biggest = SIZES[-1]
+    gaps = {
+        r: han.speedup_over(res[r])[biggest]
+        for r in ("intelmpi", "mvapich2", "openmpi")
+    }
+    assert gaps["mvapich2"] == max(gaps.values())
+    assert all(g > 1.0 for g in gaps.values())

@@ -1,0 +1,31 @@
+"""Fig 13 bench: MPI_Allreduce on Shaheen II -- HAN vs Open MPI vs Cray."""
+
+from conftest import KiB, MiB, once
+
+from repro.bench import imb_run
+from repro.comparators import CrayMPI, OpenMPIDefault
+
+SMALL = [512, 8 * KiB, 64 * KiB]
+LARGE = [4 * MiB, 16 * MiB, 32 * MiB]
+
+
+def test_fig13_allreduce_shaheen(benchmark, shaheen_small, han_shaheen):
+    libs = [han_shaheen, OpenMPIDefault(), CrayMPI()]
+
+    def regen():
+        return {
+            lib.name: imb_run(shaheen_small, lib, "allreduce", SMALL + LARGE)
+            for lib in libs
+        }
+
+    res = once(benchmark, regen)
+    han = res["han"]
+    # improvement over default Open MPI at large sizes (the margin grows
+    # with rank count; the paper's 4096-rank runs show more)
+    sp_omp = han.speedup_over(res["openmpi"])
+    assert max(sp_omp[s] for s in LARGE) > 1.05
+    # vs Cray: behind on small messages (no AVX in SM/Libnbc, IV-A2) ...
+    sp_cray = han.speedup_over(res["craympi"])
+    assert min(sp_cray[s] for s in SMALL) < 1.0
+    # ... with a crossover in the multi-MB range (paper: ~2MB, 1.12x)
+    assert max(sp_cray[s] for s in LARGE) > 1.0

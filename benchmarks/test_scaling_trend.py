@@ -1,0 +1,49 @@
+"""Scale study: why autotuning must be per-geometry (paper section III-C).
+
+Sweeps the node count at fixed ppn and shows (a) per-scale-tuned HAN
+beats the default Open MPI everywhere, and (b) the *winning inter-node
+algorithm changes with scale* -- the chain's pipeline wants many segments
+per hop, so it loses to trees as the leader count grows.  This is the
+mechanism behind Table I having `n` (number of nodes) as a tuning input.
+"""
+
+from conftest import MiB, once
+
+from repro.bench import imb_run
+from repro.comparators import OpenMPIDefault, OpenMPIHan
+from repro.core import HanConfig
+from repro.hardware import shaheen2
+
+NODE_COUNTS = (4, 16, 32)
+ALGS = ("chain", "binary")
+
+
+def test_best_algorithm_shifts_with_scale(benchmark):
+    def regen():
+        rows = {}
+        for nodes in NODE_COUNTS:
+            machine = shaheen2(num_nodes=nodes, ppn=4)
+            per_alg = {}
+            for alg in ALGS:
+                cfg = HanConfig(
+                    fs=2 * MiB, imod="adapt", smod="solo",
+                    ibalg=alg, iralg=alg, ibs=512 * 1024, irs=512 * 1024,
+                )
+                per_alg[alg] = imb_run(
+                    machine, OpenMPIHan(config=cfg), "bcast", [16 * MiB]
+                ).times[0]
+            omp = imb_run(
+                machine, OpenMPIDefault(), "bcast", [16 * MiB]
+            ).times[0]
+            rows[nodes] = (per_alg, omp)
+        return rows
+
+    rows = once(benchmark, regen)
+    # (a) the per-scale best HAN config beats default Open MPI everywhere
+    for nodes, (per_alg, omp) in rows.items():
+        assert min(per_alg.values()) < omp, nodes
+    # (b) chain wins at small node counts, the tree takes over at scale
+    small_best = min(rows[NODE_COUNTS[0]][0], key=rows[NODE_COUNTS[0]][0].get)
+    large_best = min(rows[NODE_COUNTS[-1]][0], key=rows[NODE_COUNTS[-1]][0].get)
+    assert small_best == "chain"
+    assert large_best == "binary"

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""ASP: all-pairs shortest paths with a broadcast-heavy MPI application.
+
+Reproduces the paper's first application study (Table III) at laptop
+scale: a parallel Floyd-Warshall where every iteration broadcasts one
+matrix row.  Shows both modes of the app:
+
+- correctness: a small real matrix solved distributedly and checked
+  against a sequential reference,
+- performance: a big synthetic instance timed under HAN vs the default
+  Open MPI and Intel MPI models.
+
+Run:  python examples/asp_shortest_paths.py
+"""
+
+import numpy as np
+
+from repro.apps import asp_reference, asp_run, asp_verify, calibrated_flops
+from repro.comparators import OpenMPIDefault, OpenMPIHan, library_by_name
+from repro.hardware import small_cluster
+
+
+def main():
+    machine = small_cluster(num_nodes=4, ppn=4)
+    print(f"machine: {machine.num_nodes} nodes x {machine.ppn} ppn")
+
+    # --- correctness on a real matrix ------------------------------------
+    rng = np.random.default_rng(7)
+    n = 24
+    weights = rng.uniform(1, 50, size=(n, n))
+    np.fill_diagonal(weights, 0.0)
+    got = asp_verify(machine, OpenMPIHan(), weights)
+    ref = asp_reference(weights)
+    assert np.allclose(got, ref)
+    print(f"distributed ASP on a {n}x{n} matrix matches the sequential "
+          "reference on every entry")
+
+    # --- Table III-style comparison --------------------------------------
+    n_big = 200_000  # 800 KB rows -> large-message broadcasts
+    han = OpenMPIHan()
+    libs = [han, library_by_name("intelmpi"), library_by_name("openmpi")]
+    # calibrate the compute/comm balance to the paper's (HAN at ~46% comm)
+    flops = calibrated_flops(machine, han, n_big)
+    print(f"\nASP timing, {n_big:,}-row matrix, first {machine.num_ranks} "
+          "iterations (every rank roots once):")
+    results = {lib.name: asp_run(machine, lib, n_vertices=n_big, flops=flops)
+               for lib in libs}
+    han_total = results["han"].total_time
+    for name, res in results.items():
+        print(f"  {name:10s} total {res.total_time * 1e3:8.1f} ms  "
+              f"comm {res.comm_time * 1e3:8.1f} ms  "
+              f"ratio {res.comm_ratio * 100:5.1f}%  "
+              f"HAN speedup {res.total_time / han_total:.2f}x")
+    print("\npaper reference (1536 ranks): comm ratio 46.41% (HAN) vs "
+          "50.24% (Intel) vs 81.77% (Open MPI); speedups 1.08x / 2.43x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Autotune HAN for a cluster, save the lookup table, use it at runtime.
+
+Demonstrates the paper's full tuning pipeline (section III-C):
+
+1. define the search space (segment sizes x algorithms x submodules),
+2. run the *task-based* tuning (benchmark tasks once, estimate every
+   message size with the cost model of eqs. 3/4),
+3. compare its cost and picks against the exhaustive search,
+4. persist the lookup table and plug it into HanModule.
+
+Run:  python examples/autotune_cluster.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import HanModule
+from repro.hardware import small_cluster
+from repro.mpi import MPIRuntime
+from repro.tuning import Autotuner, LookupTable, SearchSpace, measure_collective
+
+KiB, MiB = 1024, 1024 * 1024
+
+
+def main():
+    machine = small_cluster(num_nodes=4, ppn=8)
+    space = SearchSpace(
+        seg_sizes=(128 * KiB, 512 * KiB, 1 * MiB),
+        messages=(64 * KiB, 1 * MiB, 8 * MiB),
+        adapt_algorithms=("chain", "binary"),
+        inner_segs=(None,),
+    )
+    print(f"search space: {space.size()} configurations, "
+          f"{len(space.messages)} message sizes")
+
+    tuner = Autotuner(machine, space=space, warm_iters=6)
+
+    # --- task-based vs exhaustive ----------------------------------------
+    task = tuner.tune(colls=("bcast",), method="task")
+    exh = tuner.tune(colls=("bcast",), method="exhaustive")
+    print(f"\ntask-based : {task.searches:3d} benchmark runs, "
+          f"{task.tuning_cost:.3f} s simulated tuning time")
+    print(f"exhaustive : {exh.searches:3d} benchmark runs, "
+          f"{exh.tuning_cost:.3f} s simulated tuning time")
+    print(f"-> task-based needs {100 * task.tuning_cost / exh.tuning_cost:.1f}%"
+          " of the exhaustive cost (paper Fig 8: ~23%)")
+
+    print("\nper-message picks (task-based vs exhaustive ground truth):")
+    for m in space.messages:
+        t_cfg = task.table.get("bcast", machine.num_nodes, machine.ppn, m)
+        e_cfg, e_time = exh.best("bcast", m)
+        t_time = measure_collective(machine, "bcast", m, t_cfg).time
+        print(f"  {int(m) >> 10:6d} KiB: task picked [{t_cfg.describe()}] "
+              f"{t_time * 1e3:.3f} ms vs optimum [{e_cfg.describe()}] "
+              f"{e_time * 1e3:.3f} ms ({t_time / e_time:.2f}x)")
+
+    # --- persist and reuse -----------------------------------------------
+    with tempfile.TemporaryDirectory() as d:
+        path = Path(d) / "han_table.json"
+        task.table.save(path)
+        table = LookupTable.load(path)
+        print(f"\nlookup table saved/restored: {len(table)} entries")
+
+        han = HanModule(decision_fn=table.as_decision_fn())
+
+        def prog(comm):
+            # 3MB was never sampled; the table interpolates
+            yield from han.bcast(comm, nbytes=3 * MiB)
+
+        runtime = MPIRuntime(machine)
+        runtime.run(prog)
+        picked = table.decide(machine.num_nodes, machine.ppn, 3 * MiB, "bcast")
+        print(f"runtime decision for unsampled 3MiB: {picked.describe()}")
+        print(f"tuned 3MiB bcast: {runtime.engine.now * 1e3:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Distributed deep-learning training: the Horovod/AlexNet study (Fig 15).
+
+Synchronous data-parallel SGD spends its communication budget in
+MPI_Allreduce over fused gradient buffers.  This example sweeps the
+process count and shows HAN's advantage growing with scale, as in the
+paper's Fig 15.
+
+Run:  python examples/distributed_training.py
+"""
+
+from repro.apps import ALEXNET_LAYER_BYTES, horovod_run
+from repro.apps.horovod import fuse_buckets
+from repro.comparators import OpenMPIDefault, OpenMPIHan, library_by_name
+from repro.hardware import small_cluster
+
+
+def main():
+    total = sum(ALEXNET_LAYER_BYTES)
+    buckets = fuse_buckets(ALEXNET_LAYER_BYTES)
+    print(f"AlexNet gradients: {total / 1e6:.0f} MB across "
+          f"{len(ALEXNET_LAYER_BYTES)} layers, fused into "
+          f"{len(buckets)} allreduce buckets "
+          f"({', '.join(f'{b / 1e6:.0f}MB' for b in buckets)})")
+
+    print(f"\n{'ranks':>6} {'HAN':>10} {'Intel MPI':>10} {'Open MPI':>10} "
+          f"{'vs Intel':>9} {'vs OMPI':>9}   (images/s)")
+    for nodes in (2, 4, 8):
+        machine = small_cluster(num_nodes=nodes, ppn=8)
+        res = {}
+        for lib in (OpenMPIHan(), library_by_name("intelmpi"),
+                    OpenMPIDefault()):
+            res[lib.name] = horovod_run(machine, lib, steps=1)
+        han = res["han"].images_per_sec
+        print(f"{machine.num_ranks:>6} {han:>10.0f} "
+              f"{res['intelmpi'].images_per_sec:>10.0f} "
+              f"{res['openmpi'].images_per_sec:>10.0f} "
+              f"{100 * (han / res['intelmpi'].images_per_sec - 1):>+8.1f}% "
+              f"{100 * (han / res['openmpi'].images_per_sec - 1):>+8.1f}%")
+
+    print("\npaper reference at 1536 ranks: HAN +9.05% vs Intel MPI, "
+          "+24.30% vs default Open MPI")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Reproduction of "HAN: a Hierarchical AutotuNed Collective Communication
+Framework" (IEEE CLUSTER 2020) on a simulated MPI substrate.
+
+Package map (details in README.md / DESIGN.md):
+
+- ``repro.sim``         discrete-event engine + fluid bandwidth solver
+- ``repro.topology``    interconnect topologies and routing
+- ``repro.hardware``    machine descriptions (Shaheen II, Stampede2, ...)
+- ``repro.netsim``      transport: P2P profiles, progress servers, fabric
+- ``repro.mpi``         the simulated MPI runtime
+- ``repro.colls``       classic collective algorithms
+- ``repro.modules``     Open MPI-style modules (tuned/libnbc/adapt/sm/solo)
+- ``repro.core``        HAN itself (the paper's contribution)
+- ``repro.tuning``      the task-based autotuner (the paper's second
+  contribution)
+- ``repro.comparators`` Cray MPI / Intel MPI / MVAPICH2 / default Open MPI
+- ``repro.bench``       IMB- and Netpipe-style measurement harnesses
+- ``repro.apps``        ASP and Horovod-style applications
+- ``repro.experiments`` drivers regenerating every paper table/figure
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,29 @@
+"""Applications from the paper's evaluation (section IV-B).
+
+- :mod:`repro.apps.asp` -- ASP [40]: parallel Floyd-Warshall all-pairs
+  shortest paths, dominated by a per-iteration MPI_Bcast of one matrix
+  row (Table III).
+- :mod:`repro.apps.horovod` -- a Horovod-style synthetic data-parallel
+  trainer [41]: AlexNet gradients averaged with MPI_Allreduce through a
+  fusion buffer (Fig 15).
+"""
+
+from repro.apps.asp import (
+    ASPResult,
+    asp_reference,
+    asp_run,
+    asp_verify,
+    calibrated_flops,
+)
+from repro.apps.horovod import HorovodResult, horovod_run, ALEXNET_LAYER_BYTES
+
+__all__ = [
+    "ALEXNET_LAYER_BYTES",
+    "ASPResult",
+    "HorovodResult",
+    "asp_reference",
+    "asp_run",
+    "asp_verify",
+    "calibrated_flops",
+    "horovod_run",
+]

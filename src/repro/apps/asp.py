@@ -1,0 +1,182 @@
+"""ASP: parallel all-pairs shortest paths (Floyd-Warshall), paper IV-B1.
+
+"Processes take turns to act as the root, and broadcast a row of the
+weight matrix to others, followed by computations, which causes
+MPI_Bcast to be the most time-consuming part of ASP."
+
+Rows are distributed cyclically (row k lives on rank k % P) so the first
+P iterations exercise every process as the broadcast root, matching the
+paper's methodology ("the first 1536 iterations ... making sure each
+process acts as the root process once").
+
+Two modes:
+
+- :func:`asp_run` -- timing mode at arbitrary matrix sizes: the update
+  compute is charged analytically (2*n flops per local row per
+  iteration), the broadcast goes through the library under test.
+- :func:`asp_verify` -- data mode on small matrices: real numpy
+  Floyd-Warshall through the simulated MPI, checked against
+  :func:`asp_reference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comparators.base import MPILibrary
+from repro.hardware.spec import MachineSpec
+from repro.mpi.runtime import MPIRuntime
+
+__all__ = ["ASPResult", "asp_run", "asp_verify", "asp_reference"]
+
+
+@dataclass(frozen=True)
+class ASPResult:
+    library: str
+    n_vertices: int
+    iterations: int
+    ranks: int
+    total_time: float
+    comm_time: float  # max across ranks of time inside MPI_Bcast
+
+    @property
+    def comm_ratio(self) -> float:
+        """Fraction of runtime spent communicating (Table III)."""
+        return self.comm_time / self.total_time if self.total_time else 0.0
+
+
+def asp_run(
+    machine: MachineSpec,
+    library: MPILibrary,
+    n_vertices: int,
+    iterations: int | None = None,
+    flops: float = 2e9,
+    elem_bytes: int = 4,
+    jitter: float = 0.05,
+    seed: int = 20,
+) -> ASPResult:
+    """Timing-mode ASP: ``iterations`` Floyd-Warshall steps (default P).
+
+    ``jitter`` is the per-iteration, per-rank relative variation of the
+    update time (deterministic, seeded).  Real FW updates vary with cache
+    behaviour and OS noise; without it the zero-noise simulator lets deep
+    flat pipelines hide their fill across iterations in a way no real
+    system reproduces (process arrival imbalance is a well-known effect
+    the paper's related work [25] is built on).
+    """
+    runtime = MPIRuntime(machine, profile=library.profile)
+    P = machine.num_ranks
+    iters = iterations if iterations is not None else P
+    row_bytes = n_vertices * elem_bytes
+    comm: dict[int, float] = {}
+    total: dict[int, float] = {}
+    rng = np.random.default_rng(seed)
+    noise = 1.0 + jitter * rng.standard_normal((iters, P)) if jitter else None
+
+    def prog(comm_):
+        rank, size = comm_.rank, comm_.size
+        local_rows = len(range(rank, n_vertices, size))
+        update_time = 2.0 * local_rows * n_vertices / flops
+        yield from comm_.barrier()
+        start = comm_.now
+        spent_comm = 0.0
+        for k in range(iters):
+            root = k % size
+            t0 = comm_.now
+            yield from library.bcast(comm_, row_bytes, root=root)
+            spent_comm += comm_.now - t0
+            dt = update_time
+            if noise is not None:
+                dt = max(0.0, update_time * noise[k, rank])
+            yield from comm_.compute(dt)
+        comm[rank] = spent_comm
+        total[rank] = comm_.now - start
+
+    runtime.run(prog)
+    return ASPResult(
+        library=library.name,
+        n_vertices=n_vertices,
+        iterations=iters,
+        ranks=P,
+        total_time=max(total.values()),
+        comm_time=max(comm.values()),
+    )
+
+
+def calibrated_flops(
+    machine: MachineSpec,
+    library: MPILibrary,
+    n_vertices: int,
+    target_comm_ratio: float = 0.4641,
+    probe_iterations: int = 4,
+) -> float:
+    """Choose the FW-update rate so ``library`` hits a target comm ratio.
+
+    The paper's Table III is a *balance* between the FW row update and the
+    row broadcast at 1536 ranks (HAN spends 46.41% of the time
+    communicating).  A scaled-down geometry shrinks the broadcast but not
+    the per-rank update, so reduced-scale runs calibrate the compute rate
+    to the paper's balance point for the reference library and measure
+    every other library against it -- the cross-library ratios and
+    speedups (the actual claims) are then scale-comparable.
+    """
+    if not (0 < target_comm_ratio < 1):
+        raise ValueError("target_comm_ratio must be in (0, 1)")
+    probe = asp_run(
+        machine,
+        library,
+        n_vertices,
+        iterations=probe_iterations,
+        flops=float("inf"),
+    )
+    comm_per_iter = probe.comm_time / probe_iterations
+    compute_per_iter = comm_per_iter * (1 - target_comm_ratio) / target_comm_ratio
+    # mirror asp_run's cost model: t = 2 * local_rows * n / flops
+    local_rows = (n_vertices + machine.num_ranks - 1) // machine.num_ranks
+    return 2.0 * local_rows * n_vertices / compute_per_iter
+
+
+def asp_reference(weights: np.ndarray) -> np.ndarray:
+    """Sequential Floyd-Warshall (vectorized numpy reference)."""
+    d = weights.astype(np.float64, copy=True)
+    n = d.shape[0]
+    for k in range(n):
+        np.minimum(d, d[:, k : k + 1] + d[k : k + 1, :], out=d)
+    return d
+
+
+def asp_verify(
+    machine: MachineSpec, library: MPILibrary, weights: np.ndarray
+) -> np.ndarray:
+    """Run the distributed ASP with real data; returns the full result.
+
+    Rows are cyclic over ranks; each iteration broadcasts the pivot row
+    (owned by ``k % P``) and relaxes the local rows.
+    """
+    n = weights.shape[0]
+    runtime = MPIRuntime(machine, profile=library.profile)
+    collected: dict[int, np.ndarray] = {}
+
+    def prog(comm):
+        rank, size = comm.rank, comm.size
+        my_rows = list(range(rank, n, size))
+        local = weights[my_rows].astype(np.float64)  # local row block
+        for k in range(n):
+            root = k % size
+            if rank == root:
+                row_k = np.ascontiguousarray(local[my_rows.index(k)])
+            else:
+                row_k = None
+            row_k = yield from library.bcast(
+                comm, n * 8, root=root, payload=row_k
+            )
+            np.minimum(local, local[:, k : k + 1] + row_k[None, :], out=local)
+        collected[rank] = local
+
+    runtime.run(prog)
+    result = np.empty((n, n))
+    for rank, local in collected.items():
+        result[list(range(rank, n, machine.num_ranks))] = local
+    return result

@@ -1,0 +1,113 @@
+"""Horovod-style synthetic data-parallel training (paper IV-B2).
+
+The paper trains AlexNet with ``tf_cnn_benchmarks`` on synthetic data;
+the MPI-visible behaviour is: every step, gradients (AlexNet: ~61 M
+parameters, ~244 MB in fp32) are averaged with MPI_Allreduce after being
+coalesced into fusion buffers (Horovod default 64 MB).  Throughput in
+images/s is therefore ``P * batch / (T_compute + T_allreduce)`` -- the
+library's large-message allreduce is the whole story, which is exactly
+what Fig 15 plots.
+
+The compute time per step is a calibrated constant (CPU AlexNet
+training); its absolute value shifts all libraries identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comparators.base import MPILibrary
+from repro.hardware.spec import MachineSpec
+from repro.mpi.runtime import MPIRuntime
+
+__all__ = ["ALEXNET_LAYER_BYTES", "HorovodResult", "horovod_run"]
+
+#: AlexNet parameter gradients per layer, bytes of fp32, backward order
+#: (fc8 produces its gradient first).
+ALEXNET_LAYER_BYTES = tuple(
+    int(n * 4)
+    for n in (
+        4_097_000,  # fc8
+        16_781_312,  # fc7
+        37_752_832,  # fc6
+        442_624,  # conv5
+        663_936,  # conv4
+        884_992,  # conv3
+        307_456,  # conv2
+        34_944,  # conv1
+    )
+)
+
+FUSION_BUFFER = 64 * 1024 * 1024  # Horovod's default fusion threshold
+
+
+def fuse_buckets(layer_bytes, fusion=FUSION_BUFFER) -> list[float]:
+    """Coalesce consecutive gradients into fusion-buffer buckets."""
+    buckets: list[float] = []
+    cur = 0.0
+    for b in layer_bytes:
+        if cur and cur + b > fusion:
+            buckets.append(cur)
+            cur = 0.0
+        cur += b
+    if cur:
+        buckets.append(cur)
+    return buckets
+
+
+@dataclass(frozen=True)
+class HorovodResult:
+    library: str
+    ranks: int
+    batch_per_rank: int
+    step_time: float
+    comm_time: float
+
+    @property
+    def images_per_sec(self) -> float:
+        return self.ranks * self.batch_per_rank / self.step_time
+
+    @property
+    def comm_ratio(self) -> float:
+        return self.comm_time / self.step_time if self.step_time else 0.0
+
+
+def horovod_run(
+    machine: MachineSpec,
+    library: MPILibrary,
+    steps: int = 2,
+    batch_per_rank: int = 64,
+    compute_per_step: float = 0.30,
+    layer_bytes=ALEXNET_LAYER_BYTES,
+    fusion: float = FUSION_BUFFER,
+) -> HorovodResult:
+    """Simulate ``steps`` synchronous SGD steps; returns per-step timing."""
+    runtime = MPIRuntime(machine, profile=library.profile)
+    buckets = fuse_buckets(layer_bytes, fusion)
+    per_rank_step: dict[int, float] = {}
+    per_rank_comm: dict[int, float] = {}
+
+    def prog(comm):
+        yield from comm.barrier()
+        start = comm.now
+        spent = 0.0
+        for _ in range(steps):
+            # backward pass: compute interleaves with gradient readiness;
+            # slices let the single-threaded MPI progress between layers
+            slice_time = compute_per_step / max(1, len(buckets))
+            for bucket in buckets:
+                yield from comm.compute(slice_time)
+                t0 = comm.now
+                yield from library.allreduce(comm, bucket)
+                spent += comm.now - t0
+        per_rank_step[comm.rank] = (comm.now - start) / steps
+        per_rank_comm[comm.rank] = spent / steps
+
+    runtime.run(prog)
+    return HorovodResult(
+        library=library.name,
+        ranks=machine.num_ranks,
+        batch_per_rank=batch_per_rank,
+        step_time=max(per_rank_step.values()),
+        comm_time=max(per_rank_comm.values()),
+    )

@@ -1,0 +1,13 @@
+"""Measurement harnesses mirroring the paper's tools.
+
+- :mod:`repro.bench.imb` -- IMB-style collective timing [33]: loop over
+  message sizes, report the max-across-ranks time per size (the paper's
+  cost definition, section III-A2).
+- :mod:`repro.bench.netpipe` -- Netpipe-style point-to-point sweep [38]
+  used for Fig 11.
+"""
+
+from repro.bench.imb import imb_run, IMBResult
+from repro.bench.netpipe import netpipe_run, NetpipeResult
+
+__all__ = ["IMBResult", "NetpipeResult", "imb_run", "netpipe_run"]

@@ -1,0 +1,85 @@
+"""IMB-style collective benchmark.
+
+One simulated job per (library, machine): every message size is timed
+inside the same run, separated by barriers, exactly like IMB's
+``-msglog`` sweeps.  The reported number per size is the maximum time
+across ranks -- "the maximum value reported by Intel MPI Benchmark (IMB)
+and OSU Benchmark" (paper III-A2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comparators.base import MPILibrary
+from repro.hardware.spec import MachineSpec
+from repro.mpi.runtime import MPIRuntime
+
+__all__ = ["IMBResult", "imb_run"]
+
+
+@dataclass(frozen=True)
+class IMBResult:
+    library: str
+    machine: str
+    coll: str
+    sizes: tuple[float, ...]
+    times: tuple[float, ...]  # max across ranks, per size
+
+    def time_at(self, size: float) -> float:
+        return self.times[self.sizes.index(size)]
+
+    def speedup_over(self, other: "IMBResult") -> dict[float, float]:
+        """other.time / my.time per size (>1 means this library wins)."""
+        return {
+            s: other.time_at(s) / t for s, t in zip(self.sizes, self.times)
+        }
+
+
+def imb_run(
+    machine: MachineSpec,
+    library: MPILibrary,
+    coll: str,
+    sizes,
+    root: int = 0,
+    iterations: int = 1,
+) -> IMBResult:
+    """Time ``library``'s ``coll`` at every size in ``sizes``."""
+    runtime = MPIRuntime(machine, profile=library.profile)
+    per_size: dict[float, dict[int, float]] = {s: {} for s in sizes}
+
+    def prog(comm):
+        for s in sizes:
+            yield from comm.barrier()
+            t0 = comm.now
+            for _ in range(iterations):
+                if coll == "bcast":
+                    yield from library.bcast(comm, s, root=root)
+                elif coll == "allreduce":
+                    yield from library.allreduce(comm, s)
+                elif coll == "barrier":
+                    yield from library.barrier(comm)
+                elif coll in ("reduce", "gather", "allgather", "alltoall",
+                              "scatter"):
+                    op = getattr(library, coll, None)
+                    if op is None:
+                        raise ValueError(
+                            f"{library.name} does not implement {coll!r}"
+                        )
+                    if coll in ("reduce", "gather", "scatter"):
+                        yield from op(comm, s, root=root)
+                    else:
+                        yield from op(comm, s)
+                else:
+                    raise ValueError(f"imb_run does not know {coll!r}")
+            per_size[s][comm.rank] = (comm.now - t0) / iterations
+
+    runtime.run(prog)
+    times = tuple(max(per_size[s].values()) for s in sizes)
+    return IMBResult(
+        library=library.name,
+        machine=machine.name,
+        coll=coll,
+        sizes=tuple(float(s) for s in sizes),
+        times=times,
+    )

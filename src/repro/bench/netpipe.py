@@ -1,0 +1,75 @@
+"""Netpipe-style point-to-point sweep (paper Fig 11).
+
+Ping-pong between two ranks on *different* nodes; reports one-way time
+and achieved bandwidth per message size.  Run once per library profile
+on the same machine to reproduce the Open MPI vs Cray MPI comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import MachineSpec
+from repro.mpi.runtime import MPIRuntime
+from repro.netsim.profiles import P2PProfile
+
+__all__ = ["NetpipeResult", "netpipe_run"]
+
+
+@dataclass(frozen=True)
+class NetpipeResult:
+    profile: str
+    machine: str
+    sizes: tuple[float, ...]
+    oneway: tuple[float, ...]  # seconds
+    bandwidth: tuple[float, ...]  # bytes/s
+
+    def bandwidth_at(self, size: float) -> float:
+        return self.bandwidth[self.sizes.index(float(size))]
+
+
+def netpipe_run(
+    machine: MachineSpec,
+    profile: P2PProfile,
+    sizes,
+    pingpongs: int = 4,
+) -> NetpipeResult:
+    """Ping-pong rank 0 <-> first rank of node 1."""
+    if machine.num_nodes < 2:
+        raise ValueError("netpipe needs at least two nodes")
+    runtime = MPIRuntime(machine, profile=profile)
+    peer = machine.ppn  # first rank of node 1
+    oneway: dict[float, float] = {}
+
+    def prog(comm):
+        if comm.rank not in (0, peer):
+            return
+        for s in sizes:
+            # one warm-up exchange, then timed ping-pongs
+            for _ in range(1):
+                yield from _pingpong(comm, peer, s)
+            t0 = comm.now
+            for _ in range(pingpongs):
+                yield from _pingpong(comm, peer, s)
+            if comm.rank == 0:
+                oneway[s] = (comm.now - t0) / (2 * pingpongs)
+
+    def _pingpong(comm, peer_rank, s):
+        if comm.rank == 0:
+            yield from comm.send(peer_rank, nbytes=s, tag=1)
+            yield from comm.recv(source=peer_rank, tag=2)
+        else:
+            yield from comm.recv(source=0, tag=1)
+            yield from comm.send(0, nbytes=s, tag=2)
+
+    runtime.run(prog)
+    sizes_t = tuple(float(s) for s in sizes)
+    one = tuple(oneway[s] for s in sizes)
+    bw = tuple(float(s) / t for s, t in zip(sizes_t, one))
+    return NetpipeResult(
+        profile=profile.name,
+        machine=machine.name,
+        sizes=sizes_t,
+        oneway=one,
+        bandwidth=bw,
+    )

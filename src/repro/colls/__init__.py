@@ -1,0 +1,157 @@
+"""Classic collective communication algorithms.
+
+These are the fine-grained algorithms HAN composes (paper section III):
+the Tuned/Libnbc/ADAPT/SM/SOLO submodules all pick from this library.
+Every algorithm is a generator taking a communicator and is *data-capable*:
+pass numpy payloads and the collective computes real results (used by the
+correctness test-suite); pass ``payload=None`` and only the communication
+timing is simulated (used by benchmarks at large message sizes).
+
+Registries (``BCAST_ALGORITHMS`` etc.) map algorithm names to callables so
+the autotuner can enumerate the search space (Table II's ``ibalg``/
+``iralg`` entries).
+"""
+
+from repro.colls.barrier import (
+    barrier_dissemination,
+    barrier_linear,
+    barrier_recursive_doubling,
+    barrier_tree,
+)
+from repro.colls.bcast import (
+    bcast_binary,
+    bcast_binomial,
+    bcast_chain,
+    bcast_linear,
+    bcast_scatter_allgather,
+    bcast_split_binary,
+)
+from repro.colls.reduce import (
+    reduce_binary,
+    reduce_binomial,
+    reduce_chain,
+    reduce_linear,
+)
+from repro.colls.allreduce import (
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    allreduce_reduce_bcast,
+    allreduce_ring,
+)
+from repro.colls.allgather import (
+    allgather_bruck,
+    allgather_linear,
+    allgather_recursive_doubling,
+    allgather_ring,
+)
+from repro.colls.gather import gather_binomial, gather_linear
+from repro.colls.scatter import scatter_binomial, scatter_linear
+from repro.colls.reduce_scatter import (
+    reduce_scatter_recursive_halving,
+    reduce_scatter_ring,
+)
+from repro.colls.alltoall import alltoall_bruck, alltoall_pairwise
+from repro.colls.scan import exscan_linear, scan_linear, scan_recursive_doubling
+
+BCAST_ALGORITHMS = {
+    "linear": bcast_linear,
+    "chain": bcast_chain,
+    "binary": bcast_binary,
+    "binomial": bcast_binomial,
+    "split_binary": bcast_split_binary,
+    "scatter_allgather": bcast_scatter_allgather,
+}
+
+REDUCE_ALGORITHMS = {
+    "linear": reduce_linear,
+    "chain": reduce_chain,
+    "binary": reduce_binary,
+    "binomial": reduce_binomial,
+}
+
+ALLREDUCE_ALGORITHMS = {
+    "recursive_doubling": allreduce_recursive_doubling,
+    "ring": allreduce_ring,
+    "rabenseifner": allreduce_rabenseifner,
+    "reduce_bcast": allreduce_reduce_bcast,
+}
+
+ALLGATHER_ALGORITHMS = {
+    "ring": allgather_ring,
+    "bruck": allgather_bruck,
+    "recursive_doubling": allgather_recursive_doubling,
+    "linear": allgather_linear,
+}
+
+GATHER_ALGORITHMS = {"linear": gather_linear, "binomial": gather_binomial}
+SCATTER_ALGORITHMS = {"linear": scatter_linear, "binomial": scatter_binomial}
+REDUCE_SCATTER_ALGORITHMS = {
+    "ring": reduce_scatter_ring,
+    "recursive_halving": reduce_scatter_recursive_halving,
+}
+BARRIER_ALGORITHMS = {
+    "dissemination": barrier_dissemination,
+    "recursive_doubling": barrier_recursive_doubling,
+    "tree": barrier_tree,
+    "linear": barrier_linear,
+}
+ALLTOALL_ALGORITHMS = {"pairwise": alltoall_pairwise, "bruck": alltoall_bruck}
+SCAN_ALGORITHMS = {
+    "linear": scan_linear,
+    "recursive_doubling": scan_recursive_doubling,
+}
+
+__all__ = [
+    "BCAST_ALGORITHMS",
+    "REDUCE_ALGORITHMS",
+    "ALLREDUCE_ALGORITHMS",
+    "ALLGATHER_ALGORITHMS",
+    "GATHER_ALGORITHMS",
+    "SCATTER_ALGORITHMS",
+    "REDUCE_SCATTER_ALGORITHMS",
+    "BARRIER_ALGORITHMS",
+    "ALLTOALL_ALGORITHMS",
+    "SCAN_ALGORITHMS",
+    # bcast
+    "bcast_linear",
+    "bcast_chain",
+    "bcast_binary",
+    "bcast_binomial",
+    "bcast_split_binary",
+    "bcast_scatter_allgather",
+    # reduce
+    "reduce_linear",
+    "reduce_chain",
+    "reduce_binary",
+    "reduce_binomial",
+    # allreduce
+    "allreduce_recursive_doubling",
+    "allreduce_ring",
+    "allreduce_rabenseifner",
+    "allreduce_reduce_bcast",
+    # allgather
+    "allgather_ring",
+    "allgather_bruck",
+    "allgather_recursive_doubling",
+    "allgather_linear",
+    # gather / scatter
+    "gather_linear",
+    "gather_binomial",
+    "scatter_linear",
+    "scatter_binomial",
+    # reduce_scatter
+    "reduce_scatter_ring",
+    "reduce_scatter_recursive_halving",
+    # barrier
+    "barrier_dissemination",
+    "barrier_recursive_doubling",
+    "barrier_tree",
+    "barrier_linear",
+    # alltoall
+    "alltoall_pairwise",
+    "alltoall_bruck",
+    # scan
+    "scan_linear",
+    "scan_recursive_doubling",
+    "exscan_linear",
+]

@@ -1,0 +1,135 @@
+"""Allgather algorithms: ring, Bruck, recursive doubling, gather+bcast.
+
+Contract: every rank contributes one block (``payload`` or ``nbytes``
+*per rank*); everyone returns the concatenation in rank order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.colls.bcast import bcast_binomial
+from repro.colls.gather import gather_binomial
+from repro.colls.util import coll_tag_block
+from repro.mpi.communicator import Communicator
+
+__all__ = [
+    "allgather_ring",
+    "allgather_bruck",
+    "allgather_recursive_doubling",
+    "allgather_linear",
+]
+
+
+def allgather_ring(comm: Communicator, nbytes, payload=None):
+    """P-1 neighbour exchanges; bandwidth-optimal for large blocks."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    blocks: dict[int, object] = {rank: payload}
+    right, left = (rank + 1) % size, (rank - 1) % size
+    send_idx = rank
+    for _ in range(size - 1):
+        recv_idx = (send_idx - 1) % size
+        msg = yield from comm.sendrecv(
+            right,
+            left,
+            payload=blocks[send_idx],
+            nbytes=nbytes,
+            send_tag=tag,
+            recv_tag=tag,
+        )
+        blocks[recv_idx] = msg.payload
+        send_idx = recv_idx
+    return _concat(blocks, size, payload)
+
+
+def allgather_bruck(comm: Communicator, nbytes, payload=None):
+    """Bruck's algorithm: ceil(log2 P) rounds of doubling shifted runs."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    # Work in a rotated space: slot j holds the block of rank (rank+j)%size.
+    slots: dict[int, object] = {0: payload}
+    have = 1
+    step = 1
+    while have < size:
+        cnt = min(have, size - have)
+        dst = (rank - step) % size
+        src = (rank + step) % size
+        buf = _maybe_concat([slots[j] for j in range(cnt)])
+        msg = yield from comm.sendrecv(
+            dst, src, payload=buf, nbytes=nbytes * cnt, send_tag=tag, recv_tag=tag
+        )
+        incoming = msg.payload
+        for j in range(cnt):
+            slots[have + j] = _nth_block(incoming, cnt, j)
+        have += cnt
+        step <<= 1
+    # Un-rotate: block of rank r sits in slot (r - rank) % size.
+    blocks = {((rank + j) % size): slots[j] for j in range(size)}
+    return _concat(blocks, size, payload)
+
+
+def allgather_recursive_doubling(comm: Communicator, nbytes, payload=None):
+    """Power-of-two recursive doubling; falls back to ring otherwise."""
+    size, rank = comm.size, comm.rank
+    if size & (size - 1):
+        result = yield from allgather_ring(comm, nbytes, payload)
+        return result
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    blocks: dict[int, object] = {rank: payload}
+    mask = 1
+    while mask < size:
+        partner = rank ^ mask
+        mine = sorted(blocks)
+        buf = _maybe_concat([blocks[i] for i in mine])
+        msg = yield from comm.sendrecv(
+            partner,
+            partner,
+            payload=buf,
+            nbytes=nbytes * len(mine),
+            send_tag=tag,
+            recv_tag=tag,
+        )
+        # Partner's owned indices are mine with the `mask` bit flipped.
+        theirs = sorted(i ^ mask for i in mine)
+        for j, i in enumerate(theirs):
+            blocks[i] = _nth_block(msg.payload, len(theirs), j)
+        mask <<= 1
+    return _concat(blocks, size, payload)
+
+
+def allgather_linear(comm: Communicator, nbytes, payload=None):
+    """Gather to rank 0 then broadcast (small-message baseline)."""
+    gathered = yield from gather_binomial(comm, nbytes, root=0, payload=payload)
+    result = yield from bcast_binomial(
+        comm, nbytes * comm.size, root=0, payload=gathered
+    )
+    return result
+
+
+def _maybe_concat(parts):
+    if any(p is None for p in parts):
+        return None
+    return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+
+def _nth_block(buf, count, j):
+    if buf is None:
+        return None
+    per = buf.size // count
+    return buf[j * per : (j + 1) * per]
+
+
+def _concat(blocks, size, payload):
+    if payload is None:
+        return None
+    parts = [blocks[i] for i in range(size)]
+    if any(p is None for p in parts):
+        return None
+    return np.concatenate(parts)

@@ -1,0 +1,274 @@
+"""Allreduce algorithms: recursive doubling, ring, Rabenseifner,
+reduce+bcast.
+
+The ring and Rabenseifner algorithms are the bandwidth-optimal choices
+for large messages; recursive doubling is latency-optimal for small ones.
+These are the flat (single-level) algorithms the default Open MPI and the
+comparator libraries use, and which HAN's hierarchical design is compared
+against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.colls.bcast import bcast_binomial
+from repro.colls.reduce import reduce_binomial
+from repro.colls.util import charge_reduce, coll_tag_block, combine
+from repro.mpi.communicator import Communicator
+from repro.mpi.op import SUM
+
+__all__ = [
+    "allreduce_recursive_doubling",
+    "allreduce_ring",
+    "allreduce_rabenseifner",
+    "allreduce_reduce_bcast",
+]
+
+
+def _chunk_bounds(payload, nbytes, parts):
+    """Element bounds (payload mode) or byte sizes (timing mode)."""
+    if payload is not None:
+        bounds = np.linspace(0, payload.size, parts + 1).astype(int)
+        sizes = [
+            float((bounds[i + 1] - bounds[i]) * payload.itemsize)
+            for i in range(parts)
+        ]
+        return bounds, sizes
+    return None, [nbytes / parts] * parts
+
+
+def allreduce_recursive_doubling(
+    comm: Communicator, nbytes, payload=None, op=SUM, segsize=None, avx=False
+):
+    """Latency-optimal: log2(P) full-buffer exchanges.
+
+    Non-power-of-two sizes use the standard fold: the first ``2*rem``
+    ranks pair up, odd members join the power-of-two core, even members
+    receive the result at the end.
+    """
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    pof2 = 1 << (size.bit_length() - 1)  # largest power of two <= size
+    rem = size - pof2
+
+    acc = payload
+    newrank = -1
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield from comm.send(rank + 1, payload=acc, nbytes=nbytes, tag=tag)
+        else:
+            msg = yield from comm.recv(source=rank - 1, tag=tag)
+            yield from charge_reduce(comm, nbytes, avx)
+            acc = combine(op, acc, msg.payload)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+
+    if newrank >= 0:
+        mask = 1
+        while mask < pof2:
+            partner_new = newrank ^ mask
+            partner = (
+                partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+            )
+            msg = yield from comm.sendrecv(
+                partner,
+                partner,
+                payload=acc,
+                nbytes=nbytes,
+                send_tag=tag + 1,
+                recv_tag=tag + 1,
+            )
+            yield from charge_reduce(comm, nbytes, avx)
+            acc = combine(op, acc, msg.payload)
+            mask <<= 1
+
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            msg = yield from comm.recv(source=rank + 1, tag=tag + 2)
+            acc = msg.payload if msg.payload is not None else acc
+        else:
+            yield from comm.send(rank - 1, payload=acc, nbytes=nbytes, tag=tag + 2)
+    return acc
+
+
+def allreduce_ring(
+    comm: Communicator, nbytes, payload=None, op=SUM, segsize=None, avx=False
+):
+    """Bandwidth-optimal ring: reduce-scatter pass + allgather pass.
+
+    2*(P-1) steps, each moving ~1/P of the buffer -- total bytes per NIC
+    approach 2*nbytes regardless of P.
+    """
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    bounds, sizes = _chunk_bounds(payload, nbytes, size)
+
+    def view(i):
+        if payload is None:
+            return None
+        return payload[bounds[i] : bounds[i + 1]]
+
+    chunks = {i: view(i) for i in range(size)}
+    right, left = (rank + 1) % size, (rank - 1) % size
+
+    # reduce-scatter: after P-1 steps, rank owns the fully reduced chunk
+    # (rank+1) % size.
+    send_idx = rank
+    for _ in range(size - 1):
+        recv_idx = (send_idx - 1) % size
+        msg = yield from comm.sendrecv(
+            right,
+            left,
+            payload=chunks[send_idx],
+            nbytes=sizes[send_idx],
+            send_tag=tag,
+            recv_tag=tag,
+        )
+        yield from charge_reduce(comm, sizes[recv_idx], avx)
+        chunks[recv_idx] = combine(op, chunks[recv_idx], msg.payload)
+        send_idx = recv_idx
+
+    # allgather: circulate the reduced chunks.
+    send_idx = (rank + 1) % size
+    for _ in range(size - 1):
+        recv_idx = (send_idx - 1) % size
+        msg = yield from comm.sendrecv(
+            right,
+            left,
+            payload=chunks[send_idx],
+            nbytes=sizes[send_idx],
+            send_tag=tag + 1,
+            recv_tag=tag + 1,
+        )
+        chunks[recv_idx] = msg.payload if payload is not None else None
+        send_idx = recv_idx
+
+    if payload is None:
+        return None
+    return np.concatenate([chunks[i] for i in range(size)])
+
+
+def allreduce_rabenseifner(
+    comm: Communicator, nbytes, payload=None, op=SUM, segsize=None, avx=False
+):
+    """Recursive-halving reduce-scatter + recursive-doubling allgather.
+
+    Bandwidth-optimal like the ring but with log2(P) steps, so better at
+    mid-range message sizes.  Non-power-of-two uses the same fold as
+    recursive doubling.
+    """
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    pof2 = 1 << (size.bit_length() - 1)
+    rem = size - pof2
+    acc = payload
+
+    newrank = -1
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield from comm.send(rank + 1, payload=acc, nbytes=nbytes, tag=tag)
+        else:
+            msg = yield from comm.recv(source=rank - 1, tag=tag)
+            yield from charge_reduce(comm, nbytes, avx)
+            acc = combine(op, acc, msg.payload)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+
+    if newrank >= 0:
+        bounds, _sizes = _chunk_bounds(acc, nbytes, pof2)
+
+        def span_bytes(lo, hi):
+            if acc is not None:
+                return float((bounds[hi] - bounds[lo]) * acc.itemsize)
+            return nbytes * (hi - lo) / pof2
+
+        def span_view(buf, lo, hi):
+            if buf is None:
+                return None
+            return buf[bounds[lo] : bounds[hi]]
+
+        def to_rank(nr):
+            return nr * 2 + 1 if nr < rem else nr + rem
+
+        work = acc
+        lo, hi = 0, pof2  # owned chunk range, in pof2 units
+        mask = pof2 >> 1
+        # reduce-scatter by recursive halving
+        while mask >= 1:
+            partner_new = newrank ^ mask
+            mid = (lo + hi) // 2
+            if newrank & mask:
+                send_lo, send_hi, keep_lo, keep_hi = lo, mid, mid, hi
+            else:
+                send_lo, send_hi, keep_lo, keep_hi = mid, hi, lo, mid
+            msg = yield from comm.sendrecv(
+                to_rank(partner_new),
+                to_rank(partner_new),
+                payload=span_view(work, send_lo, send_hi),
+                nbytes=span_bytes(send_lo, send_hi),
+                send_tag=tag + 1,
+                recv_tag=tag + 1,
+            )
+            yield from charge_reduce(comm, span_bytes(keep_lo, keep_hi), avx)
+            kept = span_view(work, keep_lo, keep_hi)
+            reduced = combine(op, kept, msg.payload)
+            if work is not None:
+                work = work.copy()
+                work[bounds[keep_lo] : bounds[keep_hi]] = reduced
+            lo, hi = keep_lo, keep_hi
+            mask >>= 1
+
+        # allgather by recursive doubling (reverse the halving order)
+        mask = 1
+        while mask < pof2:
+            partner_new = newrank ^ mask
+            # partner owns the mirror range at this level
+            width = hi - lo
+            if newrank & mask:
+                recv_lo, recv_hi = lo - width, lo
+            else:
+                recv_lo, recv_hi = hi, hi + width
+            msg = yield from comm.sendrecv(
+                to_rank(partner_new),
+                to_rank(partner_new),
+                payload=span_view(work, lo, hi),
+                nbytes=span_bytes(lo, hi),
+                send_tag=tag + 2,
+                recv_tag=tag + 2,
+            )
+            if work is not None and msg.payload is not None:
+                work = work.copy()
+                work[bounds[recv_lo] : bounds[recv_hi]] = msg.payload
+            lo, hi = min(lo, recv_lo), max(hi, recv_hi)
+            mask <<= 1
+        acc = work
+
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            msg = yield from comm.recv(source=rank + 1, tag=tag + 3)
+            acc = msg.payload if msg.payload is not None else acc
+        else:
+            yield from comm.send(rank - 1, payload=acc, nbytes=nbytes, tag=tag + 3)
+    return acc
+
+
+def allreduce_reduce_bcast(
+    comm: Communicator, nbytes, payload=None, op=SUM, segsize=None, avx=False
+):
+    """Compose a binomial reduce with a binomial broadcast to rank 0."""
+    reduced = yield from reduce_binomial(
+        comm, nbytes, root=0, payload=payload, op=op, segsize=segsize, avx=avx
+    )
+    result = yield from bcast_binomial(
+        comm, nbytes, root=0, payload=reduced, segsize=segsize
+    )
+    return result

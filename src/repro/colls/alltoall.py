@@ -1,0 +1,99 @@
+"""All-to-all algorithms: pairwise exchange and Bruck.
+
+Contract: every rank contributes ``size`` equal blocks (block ``j`` is
+destined for rank ``j``); every rank returns the ``size`` blocks it
+received, concatenated in source-rank order.  ``nbytes`` is the size of
+*one* block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.colls.util import coll_tag_block
+from repro.mpi.communicator import Communicator
+
+__all__ = ["alltoall_pairwise", "alltoall_bruck"]
+
+
+def _blocks(payload, size):
+    bounds = np.linspace(0, payload.size, size + 1).astype(int)
+    return [payload[bounds[i] : bounds[i + 1]] for i in range(size)]
+
+
+def alltoall_pairwise(comm: Communicator, nbytes, payload=None):
+    """size-1 rounds; in round k exchange with rank^(xor)/shifted peer."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    send_blocks = None if payload is None else _blocks(payload, size)
+    recv_blocks: list = [None] * size
+    recv_blocks[rank] = None if send_blocks is None else send_blocks[rank]
+    for k in range(1, size):
+        dst = (rank + k) % size
+        src = (rank - k) % size
+        msg = yield from comm.sendrecv(
+            dst,
+            src,
+            payload=None if send_blocks is None else send_blocks[dst],
+            nbytes=nbytes,
+            send_tag=tag,
+            recv_tag=tag,
+        )
+        recv_blocks[src] = msg.payload
+    if payload is None:
+        return None
+    if any(b is None for b in recv_blocks):
+        return None
+    return np.concatenate(recv_blocks)
+
+
+def alltoall_bruck(comm: Communicator, nbytes, payload=None):
+    """Bruck: log2(P) rounds moving half the buffer each time.
+
+    Latency-optimal for small blocks at the cost of extra data volume
+    (each block travels up to log2(P) hops).
+    """
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    # Phase 0: local rotation so slot j holds the block for (rank+j)%size.
+    if payload is not None:
+        blocks = _blocks(payload, size)
+        slots = [blocks[(rank + j) % size] for j in range(size)]
+    else:
+        slots = [None] * size
+
+    step = 1
+    while step < size:
+        idxs = [j for j in range(size) if j & step]
+        buf = (
+            None
+            if payload is None
+            else np.concatenate([slots[j] for j in idxs])
+        )
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        msg = yield from comm.sendrecv(
+            dst,
+            src,
+            payload=buf,
+            nbytes=nbytes * len(idxs),
+            send_tag=tag,
+            recv_tag=tag,
+        )
+        if payload is not None and msg.payload is not None:
+            per = msg.payload.size // len(idxs)
+            for pos, j in enumerate(idxs):
+                slots[j] = msg.payload[pos * per : (pos + 1) * per]
+        step <<= 1
+
+    if payload is None:
+        return None
+    # Final inverse rotation: received slot j came from (rank-j)%size.
+    out: list = [None] * size
+    for j in range(size):
+        out[(rank - j) % size] = slots[j]
+    return np.concatenate(out)

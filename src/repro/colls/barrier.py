@@ -1,0 +1,90 @@
+"""Barrier algorithms: dissemination, recursive doubling, tree, linear."""
+
+from __future__ import annotations
+
+from repro.colls.trees import binomial_tree
+from repro.colls.util import coll_tag_block, unvrank, vrank
+from repro.mpi.communicator import Communicator
+
+__all__ = [
+    "barrier_dissemination",
+    "barrier_recursive_doubling",
+    "barrier_tree",
+    "barrier_linear",
+]
+
+
+def barrier_dissemination(comm: Communicator):
+    """ceil(log2 P) rounds of shifted zero-byte exchanges."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return
+    dist = 1
+    while dist < size:
+        yield from comm.sendrecv(
+            (rank + dist) % size,
+            (rank - dist) % size,
+            nbytes=0,
+            send_tag=tag,
+            recv_tag=tag,
+        )
+        dist <<= 1
+
+
+def barrier_recursive_doubling(comm: Communicator):
+    """Pairwise XOR exchanges; extra ranks fold in at the edges."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return
+    pof2 = 1 << (size.bit_length() - 1)
+    rem = size - pof2
+    if rank >= pof2:
+        yield from comm.send(rank - pof2, nbytes=0, tag=tag)
+        yield from comm.recv(source=rank - pof2, tag=tag + 2)
+        return
+    if rank < rem:
+        yield from comm.recv(source=rank + pof2, tag=tag)
+    mask = 1
+    while mask < pof2:
+        partner = rank ^ mask
+        yield from comm.sendrecv(
+            partner, partner, nbytes=0, send_tag=tag + 1, recv_tag=tag + 1
+        )
+        mask <<= 1
+    if rank < rem:
+        yield from comm.send(rank + pof2, nbytes=0, tag=tag + 2)
+
+
+def barrier_tree(comm: Communicator):
+    """Binomial fan-in to rank 0 followed by binomial fan-out."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return
+    v = vrank(rank, 0, size)
+    tree = binomial_tree(v, size)
+    for c in tree.children:
+        yield from comm.recv(source=unvrank(c, 0, size), tag=tag)
+    if tree.parent >= 0:
+        yield from comm.send(unvrank(tree.parent, 0, size), nbytes=0, tag=tag)
+        yield from comm.recv(source=unvrank(tree.parent, 0, size), tag=tag + 1)
+    for c in tree.children:
+        yield from comm.send(unvrank(c, 0, size), nbytes=0, tag=tag + 1)
+
+
+def barrier_linear(comm: Communicator):
+    """Everyone reports to rank 0, rank 0 releases everyone."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return
+    if rank == 0:
+        for _ in range(size - 1):
+            yield from comm.recv(tag=tag)
+        reqs = [comm.isend(d, nbytes=0, tag=tag + 1) for d in range(1, size)]
+        yield from comm.waitall(reqs)
+    else:
+        yield from comm.send(0, nbytes=0, tag=tag)
+        yield from comm.recv(source=0, tag=tag + 1)

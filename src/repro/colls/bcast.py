@@ -1,0 +1,286 @@
+"""Broadcast algorithms: linear, chain, binary, binomial, split-binary,
+scatter-allgather (van de Geijn).
+
+These mirror the algorithm set of Open MPI's ``coll_tuned`` component and
+of the ADAPT module's ``MPI_Ibcast`` (the paper names chain, binary and
+binomial for ADAPT, section III).  Tree algorithms accept a ``segsize``
+for pipelining: segments flow down the tree back-to-back, which is the
+"pipelining technique to overlap communications" at the heart of HAN.
+
+Every algorithm returns the broadcast payload on every rank (``None`` in
+timing-only mode).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.colls.trees import binary_tree, binomial_tree, chain_tree
+from repro.colls.util import Segmenter, coll_tag_block, unvrank, vrank
+from repro.mpi.communicator import Communicator
+
+__all__ = [
+    "bcast_linear",
+    "bcast_chain",
+    "bcast_binary",
+    "bcast_binomial",
+    "bcast_split_binary",
+    "bcast_scatter_allgather",
+]
+
+
+def _bcast_tree(comm, nbytes, root, payload, segsize, tree_fn, tag):
+    """Generic pipelined tree broadcast."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return payload
+    v = vrank(rank, root, size)
+    tree = tree_fn(v, size)
+    seg = Segmenter(nbytes, segsize, payload)
+    pieces: list = []
+
+    recv_reqs = []
+    if tree.parent >= 0:
+        parent = unvrank(tree.parent, root, size)
+        # Pre-post all segment receives (they match in order).
+        recv_reqs = [comm.irecv(source=parent, tag=tag + 1) for _ in range(seg.nseg)]
+
+    for i in range(seg.nseg):
+        if tree.parent >= 0:
+            msg = yield recv_reqs[i].event
+            piece = msg.payload
+            pieces.append(piece)
+        else:
+            piece = seg.seg_view(i)
+        send_reqs = [
+            comm.isend(
+                unvrank(c, root, size),
+                payload=piece,
+                nbytes=seg.seg_nbytes(i),
+                tag=tag + 1,
+            )
+            for c in tree.children
+        ]
+        # Forward the segment fully before touching the next one; the
+        # next segment's receive is already posted, so the pipeline stays
+        # full (this is what "constructing the pipeline" means in Fig 3).
+        yield from comm.waitall(send_reqs)
+
+    if tree.parent >= 0:
+        if payload is not None:
+            raise ValueError("payload may only be supplied at the root")
+        return seg.assemble(pieces)
+    return payload
+
+
+def bcast_linear(comm: Communicator, nbytes, root=0, payload=None, segsize=None):
+    """Root sends the whole message directly to every other rank."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    if rank == root:
+        reqs = [
+            comm.isend(dst, payload=payload, nbytes=nbytes, tag=tag)
+            for dst in range(size)
+            if dst != root
+        ]
+        yield from comm.waitall(reqs)
+        return payload
+    msg = yield from comm.recv(source=root, tag=tag)
+    return msg.payload
+
+
+def bcast_chain(comm: Communicator, nbytes, root=0, payload=None, segsize=None):
+    """Pipelined chain: rank i forwards each segment to rank i+1."""
+    tag = coll_tag_block(comm)
+    result = yield from _bcast_tree(
+        comm, nbytes, root, payload, segsize, chain_tree, tag
+    )
+    return result
+
+
+def bcast_binary(comm: Communicator, nbytes, root=0, payload=None, segsize=None):
+    """Pipelined balanced binary tree."""
+    tag = coll_tag_block(comm)
+    result = yield from _bcast_tree(
+        comm, nbytes, root, payload, segsize, binary_tree, tag
+    )
+    return result
+
+
+def bcast_binomial(comm: Communicator, nbytes, root=0, payload=None, segsize=None):
+    """(Optionally pipelined) binomial tree."""
+    tag = coll_tag_block(comm)
+    result = yield from _bcast_tree(
+        comm, nbytes, root, payload, segsize, binomial_tree, tag
+    )
+    return result
+
+
+def bcast_split_binary(comm: Communicator, nbytes, root=0, payload=None, segsize=None):
+    """Split-binary: halves flow down two binary trees, then pairs swap.
+
+    Open MPI's tuned component uses this shape for large messages: each
+    rank ends up with one half from the tree and the other half from a
+    neighbour exchange, doubling effective tree bandwidth.
+    """
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    if size == 2 or nbytes < 2:
+        result = yield from _bcast_tree(
+            comm, nbytes, root, payload, segsize, binary_tree, tag
+        )
+        return result
+
+    if payload is not None:
+        half_elems = payload.size // 2
+        halves = [payload[:half_elems], payload[half_elems:]]
+        half_bytes = [h.nbytes for h in halves]
+    else:
+        halves = [None, None]
+        half_bytes = [nbytes / 2, nbytes - nbytes / 2]
+
+    # Both halves stream down the same binary tree *concurrently* (they
+    # interleave on the links, doubling effective pipeline utilisation),
+    # on disjoint tag sub-blocks.
+    from repro.sim.engine import Join, Spawn
+
+    p0 = yield Spawn(
+        _bcast_tree(
+            comm,
+            half_bytes[0],
+            root,
+            halves[0] if rank == root else None,
+            segsize,
+            binary_tree,
+            tag,
+        )
+    )
+    p1 = yield Spawn(
+        _bcast_tree(
+            comm,
+            half_bytes[1],
+            root,
+            halves[1] if rank == root else None,
+            segsize,
+            binary_tree,
+            tag + 2,
+        )
+    )
+    res0 = yield Join(p0)
+    res1 = yield Join(p1)
+    if payload is not None and rank == root:
+        return payload
+    if res0 is None or res1 is None:
+        return None
+    return np.concatenate([res0, res1])
+
+
+def bcast_scatter_allgather(
+    comm: Communicator, nbytes, root=0, payload=None, segsize=None
+):
+    """Van de Geijn: binomial scatter of 1/P chunks + ring allgather.
+
+    The bandwidth-optimal large-message broadcast (2x the bytes of the
+    message cross each NIC, independent of P).
+    """
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    v = vrank(rank, root, size)
+
+    # ---- chunk layout: chunk i belongs to virtual rank i
+    if payload is not None:
+        elem_bounds = np.linspace(0, payload.size, size + 1).astype(int)
+        chunk_bytes = [
+            float((elem_bounds[i + 1] - elem_bounds[i]) * payload.itemsize)
+            for i in range(size)
+        ]
+    else:
+        base = nbytes / size
+        chunk_bytes = [base] * size
+        elem_bounds = None
+
+    def chunk_view(i, buf):
+        if buf is None:
+            return None
+        return buf[elem_bounds[i] : elem_bounds[i + 1]]
+
+    # ---- binomial scatter: each internal vertex forwards the chunks of
+    # its subtree.  Walk the binomial tree from the root down.  A subtree
+    # run travels as *one* message whose payload is the list of chunk
+    # views (chunk sizes are uneven when size does not divide the
+    # element count, and only the root knows the exact boundaries).
+    tree = binomial_tree(v, size)
+    my_chunks: dict[int, Optional[np.ndarray]] = {}
+    if v == 0:
+        for i in range(size):
+            my_chunks[i] = chunk_view(i, payload)
+        # the receiver also needs per-chunk byte sizes for the ring phase
+        true_chunk_bytes = chunk_bytes
+    else:
+        parent = unvrank(tree.parent, root, size)
+        msg = yield from comm.recv(source=parent, tag=tag)
+        span = _subtree_span(v, size)
+        if msg.payload is not None:
+            run_chunks, run_bytes = msg.payload
+            for j in range(span):
+                my_chunks[v + j] = run_chunks[j]
+            true_chunk_bytes = list(chunk_bytes)
+            for j in range(span):
+                true_chunk_bytes[v + j] = run_bytes[j]
+        else:
+            for j in range(span):
+                my_chunks[v + j] = None
+            true_chunk_bytes = chunk_bytes
+    for c in tree.children:
+        span = _subtree_span(c, size)
+        nb = float(sum(true_chunk_bytes[c : c + span]))
+        if my_chunks.get(c) is not None:
+            buf = (
+                [my_chunks[c + j] for j in range(span)],
+                [true_chunk_bytes[c + j] for j in range(span)],
+            )
+        else:
+            buf = None
+        yield from comm.send(unvrank(c, root, size), payload=buf, nbytes=nb, tag=tag)
+    chunk_bytes = true_chunk_bytes
+
+    # ---- ring allgather of the chunks (in virtual-rank space)
+    have = {v: my_chunks[v]}
+    right = unvrank((v + 1) % size, root, size)
+    left = unvrank((v - 1) % size, root, size)
+    send_idx = v
+    for _ in range(size - 1):
+        recv_idx = (send_idx - 1) % size
+        msg = yield from comm.sendrecv(
+            right,
+            left,
+            payload=have.get(send_idx),
+            nbytes=chunk_bytes[send_idx],
+            send_tag=tag + 1,
+            recv_tag=tag + 1,
+        )
+        have[recv_idx] = msg.payload
+        send_idx = recv_idx
+
+    if payload is not None and rank == root:
+        return payload
+    if payload is None and all(have.get(i) is None for i in range(size)):
+        return None
+    pieces = [have[i] for i in range(size)]
+    if any(p is None for p in pieces):
+        return None
+    return np.concatenate(pieces)
+
+
+def _subtree_span(v: int, size: int) -> int:
+    """Number of consecutive virtual ranks in v's binomial subtree."""
+    lowbit = v & -v if v else size
+    return min(lowbit, size - v)

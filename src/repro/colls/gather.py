@@ -1,0 +1,82 @@
+"""Gather algorithms: linear and binomial.
+
+Contract: every rank contributes an equal-size block (``payload`` or
+``nbytes`` *per rank*); the root returns the concatenation in rank order,
+other ranks return ``None``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.colls.trees import binomial_tree
+from repro.colls.util import coll_tag_block, unvrank, vrank
+from repro.mpi.communicator import Communicator
+
+__all__ = ["gather_linear", "gather_binomial"]
+
+
+def gather_linear(comm: Communicator, nbytes, root=0, payload=None):
+    """Everyone sends straight to the root."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    if rank != root:
+        yield from comm.send(root, payload=payload, nbytes=nbytes, tag=tag)
+        return None
+    parts: list = [None] * size
+    parts[root] = payload
+    for _ in range(size - 1):
+        msg = yield from comm.recv(tag=tag)
+        parts[msg.source] = msg.payload
+    if any(p is None for p in parts):
+        return None
+    return np.concatenate(parts)
+
+
+def gather_binomial(comm: Communicator, nbytes, root=0, payload=None):
+    """Binomial-tree gather: interior vertices forward growing runs.
+
+    Subtree data is contiguous in virtual-rank order (the mirror of the
+    binomial scatter used by the van de Geijn broadcast).
+    """
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    v = vrank(rank, root, size)
+    tree = binomial_tree(v, size)
+
+    # Collect: my block plus each child's (contiguous) subtree run.
+    # Children arrive smallest-vrank-last; store by vrank offset.
+    runs: dict[int, object] = {v: payload}
+    run_bytes: dict[int, float] = {v: float(nbytes)}
+    for c in tree.children:
+        msg = yield from comm.recv(source=unvrank(c, root, size), tag=tag)
+        runs[c] = msg.payload
+        run_bytes[c] = msg.nbytes
+
+    ordered = sorted(runs)
+    bufs = [runs[k] for k in ordered]
+    total_bytes = float(sum(run_bytes[k] for k in ordered))
+    if any(b is None for b in bufs):
+        merged = None
+    else:
+        merged = np.concatenate(bufs)
+
+    if tree.parent >= 0:
+        yield from comm.send(
+            unvrank(tree.parent, root, size),
+            payload=merged,
+            nbytes=total_bytes,
+            tag=tag,
+        )
+        return None
+    if merged is None:
+        return None
+    # merged holds virtual ranks 0..size-1; rotate back to true rank order.
+    if root == 0:
+        return merged
+    per = merged.size // size
+    return np.concatenate([merged[-root * per :], merged[: -root * per]])

@@ -1,0 +1,124 @@
+"""Reduce algorithms: linear, chain, binary, binomial.
+
+Pipelined tree reductions stream segments *up* the tree: a rank receives
+a segment from each child, folds it into its own contribution (charging
+reduction CPU time), and forwards the partial result to its parent.
+``avx=True`` charges the vectorized kernel rate (only SOLO/ADAPT have it,
+paper IV-A2).
+
+Every rank must pass its contribution (``payload`` or ``nbytes``); the
+reduced array is returned at the root, ``None`` elsewhere.
+"""
+
+from __future__ import annotations
+
+from repro.colls.trees import binary_tree, binomial_tree, chain_tree
+from repro.colls.util import (
+    Segmenter,
+    charge_reduce,
+    coll_tag_block,
+    combine,
+    unvrank,
+    vrank,
+)
+from repro.mpi.communicator import Communicator
+from repro.mpi.op import SUM
+
+__all__ = ["reduce_linear", "reduce_chain", "reduce_binary", "reduce_binomial"]
+
+
+def _reduce_tree(comm, nbytes, root, payload, op, segsize, tree_fn, tag, avx):
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return payload
+    v = vrank(rank, root, size)
+    if not op.commutative and tree_fn is not chain_tree:
+        raise ValueError(
+            f"non-commutative op {op.name} needs an order-preserving "
+            "algorithm (chain/linear)"
+        )
+    tree = tree_fn(v, size)
+    seg = Segmenter(nbytes, segsize, payload)
+    out_pieces = []
+
+    for i in range(seg.nseg):
+        acc = seg.seg_view(i)
+        nb = seg.seg_nbytes(i)
+        for c in tree.children:
+            msg = yield from comm.recv(source=unvrank(c, root, size), tag=tag + 1)
+            yield from charge_reduce(comm, nb, avx)
+            acc = combine(op, acc, msg.payload)
+        if tree.parent >= 0:
+            yield from comm.send(
+                unvrank(tree.parent, root, size), payload=acc, nbytes=nb, tag=tag + 1
+            )
+        else:
+            out_pieces.append(acc)
+
+    if tree.parent >= 0:
+        return None
+    return seg.assemble(out_pieces) if payload is None else _reassemble(out_pieces)
+
+
+def _reassemble(pieces):
+    import numpy as np
+
+    if len(pieces) == 1:
+        return pieces[0]
+    return np.concatenate(pieces)
+
+
+def reduce_linear(
+    comm: Communicator, nbytes, root=0, payload=None, op=SUM, segsize=None, avx=False
+):
+    """Every rank sends its buffer straight to the root."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    if rank != root:
+        yield from comm.send(root, payload=payload, nbytes=nbytes, tag=tag)
+        return None
+    acc = payload
+    # Receive in rank order for non-commutative safety; commutative ops
+    # could use ANY_SOURCE but the cost is identical in the simulator.
+    for src in range(size):
+        if src == root:
+            continue
+        msg = yield from comm.recv(source=src, tag=tag)
+        yield from charge_reduce(comm, nbytes, avx)
+        acc = combine(op, acc, msg.payload)
+    return acc
+
+
+def reduce_chain(
+    comm: Communicator, nbytes, root=0, payload=None, op=SUM, segsize=None, avx=False
+):
+    """Pipelined chain reduction (order-preserving)."""
+    tag = coll_tag_block(comm)
+    result = yield from _reduce_tree(
+        comm, nbytes, root, payload, op, segsize, chain_tree, tag, avx
+    )
+    return result
+
+
+def reduce_binary(
+    comm: Communicator, nbytes, root=0, payload=None, op=SUM, segsize=None, avx=False
+):
+    """Pipelined binary-tree reduction (commutative ops)."""
+    tag = coll_tag_block(comm)
+    result = yield from _reduce_tree(
+        comm, nbytes, root, payload, op, segsize, binary_tree, tag, avx
+    )
+    return result
+
+
+def reduce_binomial(
+    comm: Communicator, nbytes, root=0, payload=None, op=SUM, segsize=None, avx=False
+):
+    """Binomial-tree reduction (commutative ops)."""
+    tag = coll_tag_block(comm)
+    result = yield from _reduce_tree(
+        comm, nbytes, root, payload, op, segsize, binomial_tree, tag, avx
+    )
+    return result

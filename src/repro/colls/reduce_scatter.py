@@ -1,0 +1,119 @@
+"""Reduce-scatter algorithms: ring and recursive halving.
+
+Contract: every rank contributes a full-size buffer (``size`` equal
+blocks); rank ``i`` returns the fully reduced block ``i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.colls.util import charge_reduce, coll_tag_block, combine
+from repro.mpi.communicator import Communicator
+from repro.mpi.op import SUM
+
+__all__ = ["reduce_scatter_ring", "reduce_scatter_recursive_halving"]
+
+
+def reduce_scatter_ring(
+    comm: Communicator, nbytes, payload=None, op=SUM, avx=False
+):
+    """Ring pass identical to the first phase of the ring allreduce."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    if payload is not None:
+        bounds = np.linspace(0, payload.size, size + 1).astype(int)
+        sizes = [
+            float((bounds[i + 1] - bounds[i]) * payload.itemsize)
+            for i in range(size)
+        ]
+
+        def view(i):
+            return payload[bounds[i] : bounds[i + 1]]
+
+    else:
+        sizes = [nbytes / size] * size
+
+        def view(_i):
+            return None
+
+    chunks = {i: view(i) for i in range(size)}
+    right, left = (rank + 1) % size, (rank - 1) % size
+    # The circulation starting at s0 leaves the fully reduced chunk
+    # (s0+1) % size behind; start at rank-1 so it lands on our own chunk.
+    send_idx = (rank - 1) % size
+    for _ in range(size - 1):
+        recv_idx = (send_idx - 1) % size
+        msg = yield from comm.sendrecv(
+            right,
+            left,
+            payload=chunks[send_idx],
+            nbytes=sizes[send_idx],
+            send_tag=tag,
+            recv_tag=tag,
+        )
+        yield from charge_reduce(comm, sizes[recv_idx], avx)
+        chunks[recv_idx] = combine(op, chunks[recv_idx], msg.payload)
+        send_idx = recv_idx
+    return chunks[rank]
+
+
+def reduce_scatter_recursive_halving(
+    comm: Communicator, nbytes, payload=None, op=SUM, avx=False
+):
+    """Power-of-two recursive halving; falls back to ring otherwise."""
+    size, rank = comm.size, comm.rank
+    if size & (size - 1):
+        result = yield from reduce_scatter_ring(comm, nbytes, payload, op, avx)
+        return result
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    if payload is not None:
+        bounds = np.linspace(0, payload.size, size + 1).astype(int)
+    work = payload
+    lo, hi = 0, size
+
+    def span_bytes(a, b):
+        if payload is not None:
+            return float((bounds[b] - bounds[a]) * payload.itemsize)
+        return nbytes * (b - a) / size
+
+    def span_view(buf, a, b):
+        if buf is None:
+            return None
+        return buf[bounds[a] : bounds[b]]
+
+    mask = size >> 1
+    while mask >= 1:
+        partner = rank ^ mask
+        mid = (lo + hi) // 2
+        if rank & mask:
+            send_lo, send_hi, keep_lo, keep_hi = lo, mid, mid, hi
+        else:
+            send_lo, send_hi, keep_lo, keep_hi = mid, hi, lo, mid
+        msg = yield from comm.sendrecv(
+            partner,
+            partner,
+            payload=span_view(work, send_lo, send_hi),
+            nbytes=span_bytes(send_lo, send_hi),
+            send_tag=tag,
+            recv_tag=tag,
+        )
+        yield from charge_reduce(comm, span_bytes(keep_lo, keep_hi), avx)
+        reduced = combine(op, span_view(work, keep_lo, keep_hi), msg.payload)
+        if work is not None:
+            work = work.copy()
+            work[bounds[keep_lo] : bounds[keep_hi]] = reduced
+        lo, hi = keep_lo, keep_hi
+        mask >>= 1
+    # The surviving range is exactly this rank's block.
+    assert hi - lo == 1 and lo == _owned_block(rank, size)
+    return span_view(work, lo, hi)
+
+
+def _owned_block(rank: int, size: int) -> int:
+    """Block index recursive halving leaves at `rank` (== rank itself)."""
+    return rank

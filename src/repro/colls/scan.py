@@ -1,0 +1,78 @@
+"""Scan (inclusive) and exscan (exclusive) prefix reductions.
+
+Completes the collective algorithm library: linear chains for
+non-commutative safety and Hillis-Steele recursive doubling for
+logarithmic depth (commutative or not -- prefix order is preserved by
+construction).
+"""
+
+from __future__ import annotations
+
+from repro.colls.util import charge_reduce, coll_tag_block, combine
+from repro.mpi.communicator import Communicator
+from repro.mpi.op import SUM
+
+__all__ = ["scan_linear", "scan_recursive_doubling", "exscan_linear"]
+
+
+def scan_linear(comm: Communicator, nbytes, payload=None, op=SUM, avx=False):
+    """Chain scan: rank r receives prefix of 0..r-1, adds its own."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    acc = payload
+    if rank > 0:
+        msg = yield from comm.recv(source=rank - 1, tag=tag)
+        yield from charge_reduce(comm, nbytes, avx)
+        acc = combine(op, msg.payload, acc)
+    if rank + 1 < size:
+        yield from comm.send(rank + 1, payload=acc, nbytes=nbytes, tag=tag)
+    return acc
+
+
+def scan_recursive_doubling(
+    comm: Communicator, nbytes, payload=None, op=SUM, avx=False
+):
+    """Hillis-Steele: log2(P) rounds; round k adds the partial from
+    rank - 2^k (prefix order preserved: incoming is always the lower
+    range)."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    acc = payload
+    dist = 1
+    while dist < size:
+        reqs = []
+        if rank + dist < size:
+            reqs.append(comm.isend(rank + dist, payload=acc, nbytes=nbytes,
+                                   tag=tag))
+        incoming = None
+        if rank - dist >= 0:
+            rreq = comm.irecv(source=rank - dist, tag=tag)
+            msg = yield from comm.wait(rreq)
+            incoming = msg.payload
+            yield from charge_reduce(comm, nbytes, avx)
+        if reqs:
+            yield from comm.waitall(reqs)
+        if rank - dist >= 0:
+            acc = combine(op, incoming, acc)
+        dist <<= 1
+        tag += 1
+    return acc
+
+
+def exscan_linear(comm: Communicator, nbytes, payload=None, op=SUM, avx=False):
+    """Exclusive chain scan: rank r gets the prefix of 0..r-1 (rank 0
+    returns ``None``)."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    prefix = None
+    if rank > 0:
+        msg = yield from comm.recv(source=rank - 1, tag=tag)
+        prefix = msg.payload
+    if rank + 1 < size:
+        if rank == 0:
+            outgoing = payload
+        else:
+            yield from charge_reduce(comm, nbytes, avx)
+            outgoing = combine(op, prefix, payload)
+        yield from comm.send(rank + 1, payload=outgoing, nbytes=nbytes, tag=tag)
+    return prefix

@@ -1,0 +1,90 @@
+"""Scatter algorithms: linear and binomial.
+
+Contract: the root supplies ``payload`` holding ``size`` equal blocks in
+rank order (or ``nbytes`` = *total* bytes in timing mode); every rank
+returns its own block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.colls.trees import binomial_tree
+from repro.colls.util import coll_tag_block, unvrank, vrank
+from repro.mpi.communicator import Communicator
+
+__all__ = ["scatter_linear", "scatter_binomial"]
+
+
+def _block_bounds(payload, size):
+    return np.linspace(0, payload.size, size + 1).astype(int)
+
+
+def scatter_linear(comm: Communicator, nbytes, root=0, payload=None):
+    """Root sends each rank its block directly."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    per = nbytes / size
+    if rank == root:
+        bounds = None if payload is None else _block_bounds(payload, size)
+        reqs = []
+        for dst in range(size):
+            if dst == root:
+                continue
+            view = (
+                None if payload is None else payload[bounds[dst] : bounds[dst + 1]]
+            )
+            reqs.append(comm.isend(dst, payload=view, nbytes=per, tag=tag))
+        yield from comm.waitall(reqs)
+        if payload is None:
+            return None
+        return payload[bounds[root] : bounds[root + 1]]
+    msg = yield from comm.recv(source=root, tag=tag)
+    return msg.payload
+
+
+def scatter_binomial(comm: Communicator, nbytes, root=0, payload=None):
+    """Binomial-tree scatter: interior vertices forward subtree runs."""
+    size, rank = comm.size, comm.rank
+    tag = coll_tag_block(comm)
+    if size == 1:
+        return payload
+    v = vrank(rank, root, size)
+    tree = binomial_tree(v, size)
+    per = nbytes / size
+
+    def span(u):
+        lowbit = u & -u if u else size
+        return min(lowbit, size - u)
+
+    if v == 0:
+        if payload is None:
+            run = None
+        else:
+            # Rotate into virtual order so subtree runs are contiguous.
+            bounds = _block_bounds(payload, size)
+            blocks = [payload[bounds[i] : bounds[i + 1]] for i in range(size)]
+            run = np.concatenate([blocks[unvrank(i, root, size)] for i in range(size)])
+    else:
+        msg = yield from comm.recv(source=unvrank(tree.parent, root, size), tag=tag)
+        run = msg.payload
+
+    my_span = span(v)
+    for c in tree.children:
+        c_span = span(c)
+        if run is None:
+            buf = None
+        else:
+            per_elems = run.size // my_span
+            lo = (c - v) * per_elems
+            buf = run[lo : lo + c_span * per_elems]
+        yield from comm.send(
+            unvrank(c, root, size), payload=buf, nbytes=per * c_span, tag=tag
+        )
+
+    if run is None:
+        return None
+    per_elems = run.size // my_span
+    return run[:per_elems]

@@ -1,0 +1,83 @@
+"""Communication tree shapes shared by tree-based algorithms.
+
+All trees are expressed in *virtual* ranks (root = 0); callers translate
+with :func:`repro.colls.util.vrank`/``unvrank``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["Tree", "binomial_tree", "binary_tree", "chain_tree", "knomial_tree"]
+
+
+@dataclass(frozen=True)
+class Tree:
+    """Parent/children of one virtual rank within a tree of ``size``."""
+
+    parent: int  # -1 for the root
+    children: tuple[int, ...]
+
+
+def binomial_tree(v: int, size: int) -> Tree:
+    """Binomial tree: child k of v is v + 2^k (standard MST broadcast tree)."""
+    if size < 1 or not (0 <= v < size):
+        raise ValueError(f"bad tree query v={v} size={size}")
+    parent = -1 if v == 0 else v & (v - 1)  # clear lowest set bit
+    # Children sit at v + 2^k for 2^k below v's lowest set bit (all powers
+    # of two for the root).  Listed largest-first: broadcasts serve the
+    # biggest subtree first, the classic binomial send order.
+    children: List[int] = []
+    lowbit = v & -v if v else size
+    mask = 1
+    while mask < lowbit and v + mask < size:
+        children.append(v + mask)
+        mask <<= 1
+    children.reverse()
+    return Tree(parent=parent, children=tuple(children))
+
+
+def binary_tree(v: int, size: int) -> Tree:
+    """Complete binary tree laid out in breadth-first order."""
+    if size < 1 or not (0 <= v < size):
+        raise ValueError(f"bad tree query v={v} size={size}")
+    parent = -1 if v == 0 else (v - 1) // 2
+    children = tuple(c for c in (2 * v + 1, 2 * v + 2) if c < size)
+    return Tree(parent=parent, children=children)
+
+
+def chain_tree(v: int, size: int) -> Tree:
+    """Chain (pipeline): 0 -> 1 -> 2 -> ..."""
+    if size < 1 or not (0 <= v < size):
+        raise ValueError(f"bad tree query v={v} size={size}")
+    parent = -1 if v == 0 else v - 1
+    children = (v + 1,) if v + 1 < size else ()
+    return Tree(parent=parent, children=children)
+
+
+def knomial_tree(v: int, size: int, radix: int = 4) -> Tree:
+    """k-nomial tree generalizing the binomial tree (radix >= 2)."""
+    if radix < 2:
+        raise ValueError("radix must be >= 2")
+    if size < 1 or not (0 <= v < size):
+        raise ValueError(f"bad tree query v={v} size={size}")
+    # Decompose v in base `radix`; the parent clears the least significant
+    # non-zero digit; children add digits below it.
+    parent = -1
+    if v != 0:
+        place = 1
+        while (v // place) % radix == 0:
+            place *= radix
+        parent = v - ((v // place) % radix) * place
+    children = []
+    place = 1
+    while place < size:
+        if (v // place) % radix != 0:
+            break
+        for d in range(1, radix):
+            c = v + d * place
+            if c < size:
+                children.append(c)
+        place *= radix
+    return Tree(parent=parent, children=tuple(children))

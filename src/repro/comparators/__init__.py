@@ -1,0 +1,36 @@
+"""Models of the MPI libraries the paper compares against.
+
+Each comparator couples a point-to-point profile (Fig 11's mechanism --
+the libraries share the machine, not the software stack) with that
+library's collective strategy:
+
+- ``OpenMPIDefault``  -- the flat `tuned` decision rules [29],
+- ``OpenMPIHan``      -- Open MPI + HAN (this paper), autotunable,
+- ``CrayMPI``         -- Aries-integrated P2P + hierarchical (leader-
+  based, non-overlapped) collectives [23, 24 style],
+- ``IntelMPI``        -- strong mid-range P2P + hierarchical
+  non-overlapped collectives,
+- ``MVAPICH2``        -- weaker mid-range bcast, but the multi-leader
+  partitioned allreduce of [20] that catches HAN at huge messages
+  (paper Fig 14).
+"""
+
+from repro.comparators.base import MPILibrary
+from repro.comparators.libraries import (
+    CrayMPI,
+    IntelMPI,
+    MVAPICH2,
+    OpenMPIDefault,
+    OpenMPIHan,
+    library_by_name,
+)
+
+__all__ = [
+    "CrayMPI",
+    "IntelMPI",
+    "MPILibrary",
+    "MVAPICH2",
+    "OpenMPIDefault",
+    "OpenMPIHan",
+    "library_by_name",
+]

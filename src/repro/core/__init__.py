@@ -1,0 +1,34 @@
+"""HAN: the Hierarchical AutotuNed collective communication framework.
+
+This is the paper's primary contribution (section III): hierarchical
+collective operations expressed as sequences of *tasks*, where each task
+combines fine-grained collective operations from interchangeable
+submodules --
+
+- inter-node level: non-blocking collectives from `libnbc` or `adapt`,
+- intra-node level: shared-memory collectives from `sm` or `solo`,
+
+with a pipelining technique (segments of size `fs`) that overlaps the
+levels.  The per-collective configuration (Table II) lives in
+:class:`~repro.core.config.HanConfig`; the autotuner that fills it is
+:mod:`repro.tuning`.
+"""
+
+from repro.core.config import HanConfig
+from repro.core.subcomms import Hierarchy, build_hierarchy
+from repro.core.han import HanModule
+from repro.core.multilevel import (
+    Hierarchy3,
+    MultiLevelHanModule,
+    build_hierarchy3,
+)
+
+__all__ = [
+    "HanConfig",
+    "HanModule",
+    "Hierarchy",
+    "Hierarchy3",
+    "MultiLevelHanModule",
+    "build_hierarchy",
+    "build_hierarchy3",
+]

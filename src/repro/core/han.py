@@ -1,0 +1,541 @@
+"""The HAN collective module: task-based hierarchical collectives.
+
+Implements the paper's designs:
+
+- **MPI_Bcast** (Fig 1): node leaders run ``ib(0), sbib(1) ... sbib(u-1),
+  sb(u-1)`` -- each ``sbib`` starts the non-blocking inter-node broadcast
+  of segment *i* and overlaps it with the intra-node broadcast of segment
+  *i-1*; other processes run ``sb(0) ... sb(u-1)``.
+- **MPI_Allreduce** (Fig 5): a four-stage pipeline per segment --
+  intra-node reduce ``sr``, inter-node reduce ``ir``, inter-node
+  broadcast ``ib``, intra-node broadcast ``sb`` -- with the inter-node
+  allreduce deliberately split into explicit ``ir`` + ``ib`` "to further
+  increase the pipeline and improve the performance for large messages"
+  (paper III-B1).  ``ir``/``ib`` use the same algorithm and root to
+  maximize their overlap on opposite network directions (Fig 6).
+- extensions the paper mentions (section III): Reduce, Gather, Allgather,
+  Scatter, Barrier, built from the same task vocabulary.
+
+Configurations come from an explicit :class:`HanConfig`, a decision
+function (usually an autotuned lookup table, :mod:`repro.tuning`), or the
+built-in static default.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.colls.allgather import allgather_ring
+from repro.colls.gather import gather_binomial
+from repro.colls.scatter import scatter_binomial
+from repro.core.config import HanConfig
+from repro.core.subcomms import build_hierarchy
+from repro.modules import make_module
+from repro.modules.base import CollModule
+from repro.mpi.op import SUM
+
+__all__ = ["HanModule", "han_segments"]
+
+
+def han_segments(nbytes: float, fs: Optional[float], payload=None):
+    """Split a message into HAN pipeline segments.
+
+    Returns ``(u, seg_bytes, views)``: the segment count (identical on
+    every rank because it depends only on ``nbytes`` and ``fs``), the
+    nominal byte size of each segment, and element-aligned views of
+    ``payload`` (``None`` entries when no payload).
+    """
+    if fs is None or fs <= 0 or nbytes <= fs:
+        u = 1
+    else:
+        u = int(math.ceil(nbytes / fs))
+    seg_bytes = [min(fs, nbytes - i * fs) if u > 1 else nbytes for i in range(u)]
+    if payload is None:
+        views = [None] * u
+    else:
+        bounds = np.linspace(0, payload.size, u + 1).astype(int)
+        views = [payload[bounds[i] : bounds[i + 1]] for i in range(u)]
+    return u, seg_bytes, views
+
+
+class HanModule(CollModule):
+    """HAN, usable anywhere a collective module is expected."""
+
+    name = "han"
+    nonblocking = False
+
+    def __init__(
+        self,
+        config: Optional[HanConfig] = None,
+        decision_fn: Optional[Callable[[int, int, float, str], HanConfig]] = None,
+    ):
+        #: fixed configuration (overrides the decision function)
+        self.config = config
+        #: callable ``(n_nodes, ppn, nbytes, coll_type) -> HanConfig``
+        self.decision_fn = decision_fn
+        self._mods: dict[str, CollModule] = {}
+
+    # -- configuration ------------------------------------------------------------
+
+    def module(self, name: str) -> CollModule:
+        mod = self._mods.get(name)
+        if mod is None:
+            mod = self._mods[name] = make_module(name)
+        return mod
+
+    def resolve_config(
+        self, hier, nbytes: float, coll: str, config: Optional[HanConfig]
+    ) -> HanConfig:
+        if config is not None:
+            return config
+        if self.config is not None:
+            return self.config
+        if self.decision_fn is not None:
+            return self.decision_fn(
+                hier.num_nodes, hier.local_size, nbytes, coll
+            )
+        return self.default_config(nbytes)
+
+    @staticmethod
+    def default_config(nbytes: float) -> HanConfig:
+        """Untuned static fallback (what HAN ships before autotuning).
+
+        Mirrors the shipped coll/han defaults: latency-friendly binomial
+        trees for small and mid-range messages, a pipelined chain once
+        there are enough segments to fill it, SOLO above the 512KB
+        SM/SOLO crossover (paper III-C).
+        """
+        if nbytes <= 64 * 1024:
+            return HanConfig(fs=None, imod="libnbc", smod="sm")
+        if nbytes <= 4 * 1024 * 1024:
+            return HanConfig(
+                fs=512 * 1024,
+                imod="adapt",
+                smod="sm" if nbytes <= 512 * 1024 else "solo",
+                ibalg="binary",
+                iralg="binary",
+                ibs=256 * 1024,
+                irs=256 * 1024,
+            )
+        return HanConfig(
+            fs=2 * 1024 * 1024,
+            imod="adapt",
+            smod="solo",
+            ibalg="chain",
+            iralg="chain",
+            ibs=512 * 1024,
+            irs=512 * 1024,
+        )
+
+    # -- MPI_Bcast (paper Fig 1) -----------------------------------------------------
+
+    def bcast(
+        self, comm, nbytes, root=0, payload=None, config=None,
+        algorithm=None, segsize=None,
+    ):
+        if comm.size == 1:
+            return payload
+        hier = yield from build_hierarchy(comm)
+        cfg = self.resolve_config(hier, nbytes, "bcast", config)
+        if segsize is not None:
+            cfg = cfg.with_(fs=segsize)
+        imod, smod = self.module(cfg.imod), self.module(cfg.smod)
+        root_local = hier.local_rank_of(root)
+        root_up = hier.up_rank_of(root)
+        on_ib_layer = hier.local_rank == root_local
+        u, seg_bytes, views = han_segments(
+            nbytes, cfg.fs, payload if comm.rank == root else None
+        )
+        low, up = hier.low, hier.up
+        pieces: list = [None] * u
+
+        if low.size == 1:
+            # Degenerate: one rank per node -> pure inter-node bcast.
+            out = yield from imod.bcast(
+                up, nbytes, root=root_up, payload=payload,
+                algorithm=cfg.ibalg, segsize=cfg.ibs,
+            )
+            return out if payload is None or comm.rank == root else out
+
+        if on_ib_layer and up.size > 1:
+            # leaders: ib(0), sbib(1..u-1), sb(u-1)
+            req = imod.ibcast(
+                up, seg_bytes[0], root=root_up, payload=views[0],
+                algorithm=cfg.ibalg, segsize=cfg.ibs,
+            )
+            prev = yield from up.wait(req)  # task ib(0)
+            for i in range(1, u):
+                req = imod.ibcast(
+                    up, seg_bytes[i], root=root_up, payload=views[i],
+                    algorithm=cfg.ibalg, segsize=cfg.ibs,
+                )  # start ib(i) ...
+                pieces[i - 1] = yield from smod.bcast(
+                    low, seg_bytes[i - 1], root=root_local, payload=prev
+                )  # ... overlap with sb(i-1): the sbib(i) task
+                prev = yield from up.wait(req)
+            pieces[u - 1] = yield from smod.bcast(
+                low, seg_bytes[u - 1], root=root_local, payload=prev
+            )  # final sb(u-1)
+        elif on_ib_layer:
+            # single node: the "leader" just feeds the intra level
+            for i in range(u):
+                pieces[i] = yield from smod.bcast(
+                    low, seg_bytes[i], root=root_local, payload=views[i]
+                )
+        else:
+            # other processes: sb(0) ... sb(u-1)
+            for i in range(u):
+                pieces[i] = yield from smod.bcast(
+                    low, seg_bytes[i], root=root_local, payload=None
+                )
+
+        if comm.rank == root:
+            return payload
+        if any(p is None for p in pieces):
+            return None
+        return pieces[0] if u == 1 else np.concatenate(pieces)
+
+    # -- MPI_Allreduce (paper Fig 5) -----------------------------------------------------
+
+    def allreduce(
+        self, comm, nbytes, payload=None, op=SUM, config=None,
+        algorithm=None, segsize=None,
+    ):
+        if comm.size == 1:
+            return payload
+        if not op.commutative:
+            raise ValueError(
+                "HAN's MPI_Allreduce assumes a commutative operation "
+                "(paper section III-B1)"
+            )
+        hier = yield from build_hierarchy(comm)
+        cfg = self.resolve_config(hier, nbytes, "allreduce", config)
+        if segsize is not None:
+            cfg = cfg.with_(fs=segsize)
+        imod, smod = self.module(cfg.imod), self.module(cfg.smod)
+        low, up = hier.low, hier.up
+        u, seg_bytes, views = han_segments(nbytes, cfg.fs, payload)
+        pieces: list = [None] * u
+        layer0 = hier.local_rank == 0
+
+        if low.size == 1:
+            # one rank per node: explicit ir + ib on the wire
+            result = yield from self._inter_allreduce(
+                imod, up, nbytes, payload, op, cfg, u, seg_bytes, views
+            )
+            return result
+        if up.size == 1:
+            # single node: pure shared-memory allreduce
+            result = yield from smod.allreduce(low, nbytes, payload=payload, op=op)
+            return result
+
+        if layer0:
+            srres: dict[int, object] = {}
+            irreq: dict[int, object] = {}
+            ibreq: dict[int, object] = {}
+            for i in range(u + 3):
+                if 0 <= i - 1 < u:
+                    # start ir(i-1): inter-node reduce of the intra result
+                    irreq[i - 1] = imod.ireduce(
+                        up, seg_bytes[i - 1], root=0,
+                        payload=srres.pop(i - 1), op=op,
+                        algorithm=cfg.iralg, segsize=cfg.irs,
+                    )
+                if 0 <= i - 2 < u:
+                    # start ib(i-2): broadcast the reduced segment back
+                    red = yield from up.wait(irreq.pop(i - 2))
+                    ibreq[i - 2] = imod.ibcast(
+                        up, seg_bytes[i - 2], root=0, payload=red,
+                        algorithm=cfg.ibalg, segsize=cfg.ibs,
+                    )
+                if 0 <= i - 3 < u:
+                    # sb(i-3): distribute on the node
+                    res = yield from up.wait(ibreq.pop(i - 3))
+                    pieces[i - 3] = yield from smod.bcast(
+                        low, seg_bytes[i - 3], root=0, payload=res
+                    )
+                if i < u:
+                    # sr(i): intra-node reduction of the next segment
+                    srres[i] = yield from smod.reduce(
+                        low, seg_bytes[i], root=0, payload=views[i], op=op
+                    )
+        else:
+            # other processes: the sbsr task stream
+            for i in range(u + 3):
+                if 0 <= i - 3 < u:
+                    pieces[i - 3] = yield from smod.bcast(
+                        low, seg_bytes[i - 3], root=0, payload=None
+                    )
+                if i < u:
+                    yield from smod.reduce(
+                        low, seg_bytes[i], root=0, payload=views[i], op=op
+                    )
+
+        if any(p is None for p in pieces):
+            return None
+        return pieces[0] if u == 1 else np.concatenate(pieces)
+
+    def _inter_allreduce(self, imod, up, nbytes, payload, op, cfg, u, seg_bytes, views):
+        """Pipelined explicit ir+ib allreduce on a pure inter-node comm."""
+        irreq: dict[int, object] = {}
+        ibreq: dict[int, object] = {}
+        pieces: list = [None] * u
+        for i in range(u + 2):
+            if 0 <= i < u:
+                irreq[i] = imod.ireduce(
+                    up, seg_bytes[i], root=0, payload=views[i], op=op,
+                    algorithm=cfg.iralg, segsize=cfg.irs,
+                )
+            if 0 <= i - 1 < u:
+                red = yield from up.wait(irreq.pop(i - 1))
+                ibreq[i - 1] = imod.ibcast(
+                    up, seg_bytes[i - 1], root=0, payload=red,
+                    algorithm=cfg.ibalg, segsize=cfg.ibs,
+                )
+            if 0 <= i - 2 < u:
+                pieces[i - 2] = yield from up.wait(ibreq.pop(i - 2))
+        if any(p is None for p in pieces):
+            return None
+        return pieces[0] if u == 1 else np.concatenate(pieces)
+
+    # -- extensions (paper section III: "similar designs can be extended") ------------
+
+    def reduce(
+        self, comm, nbytes, root=0, payload=None, op=SUM, config=None,
+        algorithm=None, segsize=None,
+    ):
+        """Hierarchical reduce: pipelined sr + ir (the irsr task stream)."""
+        if comm.size == 1:
+            return payload
+        if not op.commutative:
+            raise ValueError("HAN reduce assumes a commutative operation")
+        hier = yield from build_hierarchy(comm)
+        cfg = self.resolve_config(hier, nbytes, "reduce", config)
+        if segsize is not None:
+            cfg = cfg.with_(fs=segsize)
+        imod, smod = self.module(cfg.imod), self.module(cfg.smod)
+        low, up = hier.low, hier.up
+        root_local = hier.local_rank_of(root)
+        root_up = hier.up_rank_of(root)
+        u, seg_bytes, views = han_segments(nbytes, cfg.fs, payload)
+        on_layer = hier.local_rank == root_local
+        pieces: list = [None] * u
+
+        if up.size == 1:
+            result = yield from smod.reduce(
+                low, nbytes, root=root_local, payload=payload, op=op
+            )
+            return result if comm.rank == root else None
+
+        if on_layer:
+            # the irsr task stream: irsr(i) starts the inter-node reduce
+            # of segment i-1, overlaps it with the intra reduce of
+            # segment i, and completes it at task end
+            srres: dict[int, object] = {}
+            irreq = None
+            for i in range(u + 1):
+                if 0 <= i - 1 < u:
+                    irreq = imod.ireduce(
+                        up, seg_bytes[i - 1], root=root_up,
+                        payload=srres.pop(i - 1), op=op,
+                        algorithm=cfg.iralg, segsize=cfg.irs,
+                    )
+                if i < u:
+                    if low.size > 1:
+                        srres[i] = yield from smod.reduce(
+                            low, seg_bytes[i], root=root_local,
+                            payload=views[i], op=op,
+                        )
+                    else:
+                        srres[i] = views[i]
+                if 0 <= i - 1 < u:
+                    pieces[i - 1] = yield from up.wait(irreq)
+        else:
+            for i in range(u):
+                yield from smod.reduce(
+                    low, seg_bytes[i], root=root_local, payload=views[i], op=op
+                )
+            return None
+
+        if comm.rank != root:
+            return None
+        if any(p is None for p in pieces):
+            return None
+        return pieces[0] if u == 1 else np.concatenate(pieces)
+
+    def gather(self, comm, nbytes, root=0, payload=None, config=None):
+        """Intra-node gather (sg) then inter-node gather (ig) of node blocks."""
+        if comm.size == 1:
+            return payload
+        hier = yield from build_hierarchy(comm)
+        cfg = self.resolve_config(hier, nbytes, "gather", config)
+        smod = self.module(cfg.smod)
+        low, up = hier.low, hier.up
+        root_local = hier.local_rank_of(root)
+        root_up = hier.up_rank_of(root)
+
+        node_block = payload
+        if low.size > 1:
+            node_block = yield from smod.gather(
+                low, nbytes, root=root_local, payload=payload
+            )
+        if hier.local_rank != root_local:
+            return None
+        if up.size > 1:
+            gathered = yield from gather_binomial(
+                up, nbytes * low.size, root=root_up, payload=node_block
+            )
+        else:
+            gathered = node_block
+        return gathered if comm.rank == root else None
+
+    def allgather(self, comm, nbytes, payload=None, config=None):
+        """sg + inter-node allgather + sb, as sketched in the paper."""
+        if comm.size == 1:
+            return payload
+        hier = yield from build_hierarchy(comm)
+        cfg = self.resolve_config(hier, nbytes, "allgather", config)
+        smod = self.module(cfg.smod)
+        low, up = hier.low, hier.up
+
+        node_block = payload
+        if low.size > 1:
+            node_block = yield from smod.gather(
+                low, nbytes, root=0, payload=payload
+            )
+        full = None
+        if hier.local_rank == 0:
+            if up.size > 1:
+                full = yield from allgather_ring(
+                    up, nbytes * low.size, payload=node_block
+                )
+            else:
+                full = node_block
+        if low.size > 1:
+            full = yield from smod.bcast(
+                low, nbytes * comm.size, root=0, payload=full
+            )
+        return full
+
+    def scatter(self, comm, nbytes, root=0, payload=None, config=None):
+        """Inter-node scatter of node blocks, then intra-node scatter."""
+        if comm.size == 1:
+            return payload
+        hier = yield from build_hierarchy(comm)
+        cfg = self.resolve_config(hier, nbytes, "scatter", config)
+        low, up = hier.low, hier.up
+        root_local = hier.local_rank_of(root)
+        root_up = hier.up_rank_of(root)
+
+        node_block = None
+        if hier.local_rank == root_local:
+            if up.size > 1:
+                node_block = yield from scatter_binomial(
+                    up, nbytes, root=root_up, payload=payload
+                )
+            else:
+                node_block = payload
+        if low.size == 1:
+            return node_block
+        # intra-node scatter from the layer member (simple linear over shm)
+        result = yield from self._intra_scatter(
+            comm, hier, nbytes / up.size, root_local, node_block
+        )
+        return result
+
+    def _intra_scatter(self, comm, hier, node_bytes, root_local, node_block):
+        from repro.colls.scatter import scatter_linear
+
+        result = yield from scatter_linear(
+            hier.low, node_bytes, root=root_local, payload=node_block
+        )
+        return result
+
+    def alltoall(self, comm, nbytes, payload=None, config=None):
+        """Hierarchical all-to-all (the structure of [Traff & Rougier]):
+
+        1. intra-node gather of the blocks destined to each remote node,
+        2. inter-node all-to-all of node-sized super-blocks (leaders),
+        3. intra-node redistribution.
+
+        ``nbytes`` is one rank-to-rank block; every rank contributes
+        ``size`` blocks and receives ``size`` blocks in source order.
+        """
+        import numpy as np
+        from repro.colls.alltoall import alltoall_pairwise
+
+        if comm.size == 1:
+            return payload
+        hier = yield from build_hierarchy(comm)
+        cfg = self.resolve_config(hier, nbytes, "alltoall", config)
+        smod = self.module(cfg.smod)
+        low, up = hier.low, hier.up
+        P, p, n_nodes = comm.size, low.size, up.size
+
+        if p == 1:
+            out = yield from alltoall_pairwise(comm, nbytes, payload=payload)
+            return out
+
+        # 1) gather everyone's full send buffer on the node leader
+        #    (p * P * nbytes of data at the leader)
+        node_buf = yield from smod.gather(
+            low, nbytes * P, root=0, payload=payload
+        )
+        result = None
+        if hier.local_rank == 0:
+            if node_buf is not None:
+                # reorder into per-destination-node super-blocks:
+                # sender-major -> destination-node-major
+                per = node_buf.size // (p * P)
+                blocks = node_buf.reshape(p, P, per)
+                send = np.concatenate(
+                    [
+                        blocks[:, d * p : (d + 1) * p, :].reshape(-1)
+                        for d in range(n_nodes)
+                    ]
+                )
+            else:
+                send = None
+            # 2) inter-node exchange of super-blocks (p*p blocks each)
+            recv = yield from alltoall_pairwise(
+                up, nbytes * p * p, payload=send
+            )
+            # 3) redistribute on the node: every local rank gets its
+            #    P blocks (sources in rank order)
+            if recv is not None:
+                per = recv.size // (n_nodes * p * p)
+                # recv is [src_node][src_local][dst_local][per]
+                r4 = recv.reshape(n_nodes, p, p, per)
+                # dst_local major, then global source order
+                redist = np.concatenate(
+                    [r4[:, :, d, :].reshape(-1) for d in range(p)]
+                )
+            else:
+                redist = None
+            result = yield from self._intra_scatter(
+                comm, hier, nbytes * P * p, 0, redist
+            )
+        else:
+            result = yield from self._intra_scatter(
+                comm, hier, nbytes * P * p, 0, None
+            )
+        return result
+
+    def barrier(self, comm, config=None):
+        """sb-style barrier: low, then up (layer 0), then low again."""
+        if comm.size == 1:
+            return
+        hier = yield from build_hierarchy(comm)
+        cfg = self.resolve_config(hier, 0, "barrier", config)
+        smod = self.module(cfg.smod)
+        low, up = hier.low, hier.up
+        if low.size > 1:
+            yield from smod.barrier(low)
+        if hier.local_rank == 0 and up.size > 1:
+            imod = self.module(cfg.imod)
+            yield from imod.barrier(up)
+        if low.size > 1:
+            yield from smod.barrier(low)

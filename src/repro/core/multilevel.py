@@ -1,0 +1,258 @@
+"""Three-level HAN: the paper's future work, implemented.
+
+The conclusion announces: "we plan to ... explore approaches based on an
+increased number of hardware levels".  This module adds a third level
+between node and machine using the interconnect's own structure -- the
+dragonfly *group* (Cray Aries) or the fat-tree *edge switch*: messages
+cross expensive global links once per group instead of once per node,
+and the per-group distribution runs on cheap local links, in parallel
+across groups.
+
+Task pipeline per segment (broadcast):
+
+    tb(i)   top-level bcast across group leaders   (global links)
+    mb(i)   mid-level bcast within each group      (local links)
+    sb(i)   intra-node bcast                        (memory bus)
+
+organized exactly like HAN's 2-level `sbib` stream, one level deeper:
+the leader loop runs ``sbmbtb`` compound tasks that keep all three
+levels busy on consecutive segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import HanConfig
+from repro.core.han import HanModule, han_segments
+from repro.core.subcomms import build_hierarchy
+from repro.mpi.communicator import Communicator
+from repro.mpi.constants import UNDEFINED
+
+__all__ = ["Hierarchy3", "MultiLevelHanModule", "build_hierarchy3"]
+
+_CACHE_ATTR = "_han_hierarchy3"
+
+
+@dataclass
+class Hierarchy3:
+    """One rank's view of the node / group / machine decomposition."""
+
+    parent: Communicator
+    low: Communicator  # intra-node
+    layer: Communicator  # my local-rank layer (one member per node)
+    mid: Optional[Communicator]  # my layer, nodes of my group
+    top: Optional[Communicator]  # group leaders of my layer
+
+    @property
+    def local_rank(self) -> int:
+        return self.low.rank
+
+    @property
+    def is_group_leader(self) -> bool:
+        return self.mid is not None and self.mid.rank == 0
+
+    @property
+    def num_groups(self) -> int:
+        # every rank knows its top size only if it is a leader; others
+        # can infer from group ids -- kept on the hierarchy at build time
+        return self._num_groups
+
+    def group_of_node(self, node: int) -> int:
+        return self._group_fn(node)
+
+
+def _group_fn_for(comm: Communicator):
+    """Node -> topology group (dragonfly group / fat-tree edge switch)."""
+    topo = comm.runtime.fabric.topo
+    if hasattr(topo, "group_of"):
+        return topo.group_of  # dragonfly takes node ids
+    if hasattr(topo, "edge_of"):
+        return topo.edge_of
+    # structureless fabrics: synthesize groups of ~sqrt(N) nodes
+    n = comm.runtime.machine.num_nodes
+    per = max(1, int(np.ceil(np.sqrt(n))))
+    return lambda node: node // per
+
+
+def build_hierarchy3(comm: Communicator):
+    """Collectively build (and cache) the three-level decomposition."""
+    cached = getattr(comm, _CACHE_ATTR, None)
+    if cached is not None:
+        return cached
+    two = yield from build_hierarchy(comm)
+    group_fn = _group_fn_for(comm)
+
+    my_node = comm.node_of()
+    mid = yield from two.up.split(color=group_fn(my_node), key=two.up.rank)
+    is_leader = mid.rank == 0
+    top = yield from two.up.split(
+        color=0 if is_leader else UNDEFINED, key=two.up.rank
+    )
+    hier = Hierarchy3(
+        parent=comm, low=two.low, layer=two.up, mid=mid, top=top
+    )
+    groups = {group_fn(comm.runtime.fabric.node_of(w)) for w in comm.group}
+    hier._num_groups = len(groups)
+    hier._group_fn = group_fn
+    setattr(comm, _CACHE_ATTR, hier)
+    return hier
+
+
+class MultiLevelHanModule(HanModule):
+    """HAN with a third (topology-group) level for rooted collectives.
+
+    Falls back to the 2-level pipeline when the machine has fewer than
+    ``min_groups`` groups (the extra stage only pays off when the top
+    level is substantially smaller than the leader layer).
+    """
+
+    name = "han3"
+
+    def __init__(self, config: Optional[HanConfig] = None,
+                 decision_fn=None, min_groups: int = 2):
+        super().__init__(config=config, decision_fn=decision_fn)
+        self.min_groups = min_groups
+
+    def bcast(self, comm, nbytes, root=0, payload=None, config=None,
+              algorithm=None, segsize=None):
+        if comm.size == 1:
+            return payload
+        hier2 = yield from build_hierarchy(comm)
+        if hier2.local_rank_of(root) != 0:
+            # three-level relocation is only wired for layer-0 roots;
+            # other roots use the 2-level path (still hierarchical)
+            out = yield from super().bcast(
+                comm, nbytes, root=root, payload=payload, config=config,
+                algorithm=algorithm, segsize=segsize,
+            )
+            return out
+        hier = yield from build_hierarchy3(comm)
+        if (
+            hier.num_groups < self.min_groups
+            or hier.num_groups == hier.layer.size
+        ):
+            out = yield from super().bcast(
+                comm, nbytes, root=root, payload=payload, config=config,
+                algorithm=algorithm, segsize=segsize,
+            )
+            return out
+        cfg = self.resolve_config(hier2, nbytes, "bcast", config)
+        if segsize is not None:
+            cfg = cfg.with_(fs=segsize)
+        imod, smod = self.module(cfg.imod), self.module(cfg.smod)
+        low, mid, top = hier.low, hier.mid, hier.top
+        on_layer = hier.local_rank == 0
+        u, seg_bytes, views = han_segments(
+            nbytes, cfg.fs, payload if comm.rank == root else None
+        )
+        pieces: list = [None] * u
+
+        if not on_layer:
+            for i in range(u):
+                pieces[i] = yield from smod.bcast(
+                    low, seg_bytes[i], root=0, payload=None
+                )
+            return self._assemble(comm, root, payload, pieces, u)
+
+        # ---- layer members: the sb/mb/tb pipeline ----
+        root_mid_rank = None
+        reloc_peer = None
+        root_top = 0
+        root_w = comm.group[root]
+        root_node = comm.runtime.fabric.node_of(root_w)
+        root_group = hier.group_of_node(root_node)
+        my_group = hier.group_of_node(comm.node_of())
+        i_am_root_leader = comm.rank == root
+
+        # Relocation: if the root's node is not its group's fixed leader,
+        # the root hands each segment to that leader over the local fabric.
+        in_root_group = my_group == root_group
+        needs_reloc = False
+        if in_root_group:
+            # mid rank 0 is the fixed leader of this group
+            needs_reloc = i_am_root_leader and mid.rank != 0
+        recv_reloc = (
+            in_root_group and mid.rank == 0 and not i_am_root_leader
+            and root_group == my_group
+        )
+        if hier.top is not None:
+            # top root = position of the root's group among group leaders
+            # (top members are ordered by layer rank == node order)
+            groups_sorted = sorted(
+                {
+                    hier.group_of_node(
+                        comm.runtime.fabric.node_of(w)
+                    )
+                    for w in comm.group
+                }
+            )
+            root_top = groups_sorted.index(root_group)
+
+        tb_req: dict[int, object] = {}
+        mb_req: dict[int, object] = {}
+        tb_res: dict[int, object] = {}
+        for i in range(u + 2):
+            if 0 <= i < u:
+                # tb(i): top-level bcast across group leaders
+                buf = views[i] if i_am_root_leader else None
+                if needs_reloc:
+                    yield from mid.send(
+                        0, payload=views[i], nbytes=seg_bytes[i], tag=77
+                    )
+                if recv_reloc:
+                    msg = yield from mid.recv(
+                        source=None if False else mid.size and
+                        _root_mid(mid, comm, root_w), tag=77
+                    )
+                    buf = msg.payload
+                if top is not None:
+                    tb_req[i] = imod.ibcast(
+                        top, seg_bytes[i], root=root_top, payload=buf,
+                        algorithm=cfg.ibalg, segsize=cfg.ibs,
+                    )
+                else:
+                    tb_res[i] = buf
+            if 0 <= i - 1 < u:
+                # mb(i-1): distribute within the group
+                if top is not None and (i - 1) in tb_req:
+                    tb_res[i - 1] = yield from hier.layer.wait(
+                        tb_req.pop(i - 1)
+                    )
+                    if i_am_root_leader and tb_res[i - 1] is None:
+                        tb_res[i - 1] = views[i - 1]
+                if mid.size > 1:
+                    mb_req[i - 1] = imod.ibcast(
+                        mid, seg_bytes[i - 1], root=0,
+                        payload=tb_res.pop(i - 1) if mid.rank == 0 else None,
+                        algorithm=cfg.ibalg, segsize=cfg.ibs,
+                    )
+                else:
+                    mb_req[i - 1] = None
+            if 0 <= i - 2 < u:
+                # sb(i-2): intra-node distribution
+                req = mb_req.pop(i - 2)
+                if req is not None:
+                    seg_payload = yield from hier.layer.wait(req)
+                else:
+                    seg_payload = tb_res.pop(i - 2, None)
+                pieces[i - 2] = yield from smod.bcast(
+                    low, seg_bytes[i - 2], root=0, payload=seg_payload
+                )
+        return self._assemble(comm, root, payload, pieces, u)
+
+    @staticmethod
+    def _assemble(comm, root, payload, pieces, u):
+        if comm.rank == root:
+            return payload
+        if any(p is None for p in pieces):
+            return None
+        return pieces[0] if u == 1 else np.concatenate(pieces)
+
+
+def _root_mid(mid, comm, root_w):
+    """Mid-comm rank of the broadcast root (it is in this mid comm)."""
+    return mid.group.index(root_w)

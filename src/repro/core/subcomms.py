@@ -1,0 +1,97 @@
+"""HAN's two-level communicator decomposition.
+
+HAN uses the only portable MPI-3.1 hierarchy probe,
+``MPI_Comm_split_type(COMM_TYPE_SHARED)``, to group processes by node
+(paper section III), then builds one *up* (inter-node) communicator per
+local rank layer -- the j-th process of every node belongs to up-comm
+layer j.  This is how Open MPI's coll/han supports arbitrary broadcast
+roots without relocation: the inter-node stage of a collective rooted at
+a process with local rank j simply runs on layer j.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpi.communicator import Communicator
+
+__all__ = ["Hierarchy", "build_hierarchy"]
+
+_CACHE_ATTR = "_han_hierarchy"
+
+
+@dataclass
+class Hierarchy:
+    """One rank's view of the two-level decomposition."""
+
+    parent: Communicator
+    low: Communicator  # intra-node communicator (all ranks of my node)
+    up: Communicator  # inter-node communicator of my local-rank layer
+
+    def __post_init__(self) -> None:
+        # parent rank -> (node position, local rank); built lazily once.
+        self._pos_cache: dict[int, tuple[int, int]] = {}
+
+    @property
+    def local_rank(self) -> int:
+        return self.low.rank
+
+    @property
+    def local_size(self) -> int:
+        return self.low.size
+
+    @property
+    def num_nodes(self) -> int:
+        return self.up.size
+
+    def _positions(self, parent_rank: int) -> tuple[int, int]:
+        hit = self._pos_cache.get(parent_rank)
+        if hit is not None:
+            return hit
+        fabric = self.parent.runtime.fabric
+        world = self.parent.group[parent_rank]
+        node = fabric.node_of(world)
+        nodes = sorted({fabric.node_of(w) for w in self.parent.group})
+        peers = sorted(
+            w for w in self.parent.group if fabric.node_of(w) == node
+        )
+        pos = (nodes.index(node), peers.index(world))
+        self._pos_cache[parent_rank] = pos
+        return pos
+
+    def up_rank_of(self, parent_rank: int) -> int:
+        """Position of ``parent_rank``'s node within the up communicators.
+
+        Valid because every layer orders its members by node identically.
+        """
+        return self._positions(parent_rank)[0]
+
+    def local_rank_of(self, parent_rank: int) -> int:
+        """Local (intra-node) rank of any rank of the parent communicator."""
+        return self._positions(parent_rank)[1]
+
+
+def build_hierarchy(comm: Communicator):
+    """Collectively build (and cache) the HAN hierarchy for ``comm``.
+
+    Raises ``ValueError`` (on every rank) if nodes carry unequal process
+    counts -- HAN requires a homogeneous layout for its layer scheme,
+    matching the paper's evaluation setup.
+    """
+    cached = getattr(comm, _CACHE_ATTR, None)
+    if cached is not None:
+        return cached
+    low = yield from comm.split_type_shared()
+    # layer = my local rank; order layers by node via the parent rank
+    up = yield from comm.split(color=low.rank, key=comm.rank)
+    hier = Hierarchy(parent=comm, low=low, up=up)
+    # homogeneity check: every layer must have one member per node
+    nodes = {comm.runtime.fabric.node_of(w) for w in comm.group}
+    if up.size != len(nodes) or low.size * up.size != comm.size:
+        raise ValueError(
+            "HAN requires the same number of processes on every node "
+            f"(got {comm.size} ranks over {len(nodes)} nodes, layer "
+            f"{low.rank} has {up.size} members)"
+        )
+    setattr(comm, _CACHE_ATTR, hier)
+    return hier

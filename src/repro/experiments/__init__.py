@@ -1,0 +1,35 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every module exposes ``run(scale=..., save=...) -> dict`` and a CLI::
+
+    python -m repro.experiments.fig10 --scale small
+
+Scales (see DESIGN.md on scale substitution):
+
+- ``small``  -- minutes on a laptop; default for benches and CI,
+- ``medium`` -- a denser geometry, still tractable,
+- ``paper``  -- the published process counts (4096 / 1536 ranks); slow.
+
+Results are printed as tables and saved as JSON under ``results/``.
+``python -m repro.experiments.run_all`` regenerates everything;
+EXPERIMENTS.md records paper-vs-measured for each artifact.
+"""
+
+EXPERIMENTS = [
+    "fig02",
+    "fig03",
+    "fig04",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table3",
+    "fig15",
+]
+
+__all__ = ["EXPERIMENTS"]

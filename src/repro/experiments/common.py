@@ -1,0 +1,146 @@
+"""Shared infrastructure for the experiment drivers."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.hardware import shaheen2, stampede2
+from repro.hardware.spec import MachineSpec
+from repro.tuning import Autotuner, LookupTable, SearchSpace
+
+__all__ = [
+    "RESULTS_DIR",
+    "bcast_sweep_sizes",
+    "fmt_bytes",
+    "geometry",
+    "main_wrapper",
+    "print_table",
+    "save_result",
+    "tuned_decision",
+]
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+KiB, MiB = 1024, 1024 * 1024
+
+#: machine geometries (nodes, ppn) per scale
+GEOMETRY = {
+    "shaheen2": {"small": (8, 8), "medium": (16, 16), "paper": (128, 32)},
+    "stampede2": {"small": (8, 8), "medium": (16, 24), "paper": (32, 48)},
+}
+
+
+def geometry(machine_name: str, scale: str) -> MachineSpec:
+    """The machine preset scaled for the requested experiment size."""
+    try:
+        nodes, ppn = GEOMETRY[machine_name][scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine/scale {machine_name!r}/{scale!r}"
+        ) from None
+    base = shaheen2 if machine_name == "shaheen2" else stampede2
+    return base(num_nodes=nodes, ppn=ppn)
+
+
+def bcast_sweep_sizes(scale: str) -> tuple[list[float], list[float]]:
+    """(small-message, large-message) size sweeps, as in Figs 10-14.
+
+    The paper splits the IMB range at 128 KB: "small messages up to 128K
+    ... and large messages up to 128MB".
+    """
+    small = [2.0 ** k for k in range(6, 18)]  # 64 B .. 128 KB
+    hi = 27 if scale == "paper" else 25  # 128 MB or 32 MB
+    large = [2.0 ** k for k in range(18, hi + 1)]
+    return small, large
+
+
+def tuned_decision(
+    machine: MachineSpec,
+    colls: Sequence[str] = ("bcast", "allreduce"),
+    cache_key: Optional[str] = None,
+    space: Optional[SearchSpace] = None,
+):
+    """Autotune HAN (task method) for this machine, with result caching.
+
+    Returns a decision function for :class:`HanModule` /
+    :class:`OpenMPIHan`.  The lookup table is cached under ``results/``
+    so repeated experiment runs skip the tuning step.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    key = cache_key or (
+        f"tuning_{machine.name}_{machine.num_nodes}x{machine.ppn}_"
+        + "_".join(sorted(colls))
+    )
+    path = RESULTS_DIR / f"{key}.json"
+    if path.exists():
+        return LookupTable.load(path).as_decision_fn()
+    if space is None:
+        space = SearchSpace(
+            seg_sizes=(128 * KiB, 512 * KiB, 1 * MiB, 2 * MiB),
+            messages=[2.0 ** k for k in range(10, 26, 2)],
+            adapt_algorithms=("chain", "binary", "binomial"),
+            inner_segs=(None, 512 * KiB),
+        )
+    tuner = Autotuner(machine, space=space, warm_iters=6)
+    report = tuner.tune(colls=colls, method="task+h")
+    report.table.save(path)
+    return report.table.as_decision_fn()
+
+
+def fmt_bytes(n: float) -> str:
+    n = float(n)
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024:
+            return f"{n:g}{unit}"
+        n /= 1024
+    return f"{n:g}TB"
+
+
+def fmt_time(t: float) -> str:
+    if t < 1e-3:
+        return f"{t * 1e6:8.2f}us"
+    if t < 1:
+        return f"{t * 1e3:8.3f}ms"
+    return f"{t:8.3f}s "
+
+
+def print_table(title: str, headers: Sequence[str], rows) -> None:
+    print(f"\n== {title} ==")
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+def save_result(name: str, payload: dict) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = dict(payload)
+    payload["_generated"] = time.strftime("%Y-%m-%d %H:%M:%S")
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=1, default=str))
+    return path
+
+
+def main_wrapper(run_fn, default_scale: str = "small"):
+    """Standard CLI for an experiment module."""
+    parser = argparse.ArgumentParser(description=run_fn.__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=("small", "medium", "paper"),
+        default=default_scale,
+        help="experiment geometry (see DESIGN.md on scale substitution)",
+    )
+    parser.add_argument("--no-save", action="store_true")
+    args = parser.parse_args()
+    t0 = time.time()
+    run_fn(scale=args.scale, save=not args.no_save)
+    print(f"\n[done in {time.time() - t0:.1f}s wall]")

@@ -1,0 +1,77 @@
+"""Fig 3: the cost of sbib(i) stabilizes once the pipeline is full.
+
+The paper benchmarks sbib(1)..sbib(8) per algorithm on one node leader
+and observes that "after the first few tasks, the cost of sbib is
+stabilized", justifying the single stabilized value sbib(s) in eq. (3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import HanConfig
+from repro.experiments.common import (
+    geometry,
+    main_wrapper,
+    print_table,
+    save_result,
+)
+from repro.tuning import TaskBench
+
+KiB = 1024
+
+CONFIGS = [
+    ("libnbc", HanConfig(fs=64 * KiB, imod="libnbc", smod="sm")),
+    ("adapt/chain", HanConfig(fs=64 * KiB, imod="adapt", smod="sm",
+                              ibalg="chain", iralg="chain")),
+    ("adapt/binary", HanConfig(fs=64 * KiB, imod="adapt", smod="sm",
+                               ibalg="binary", iralg="binary")),
+    ("adapt/binomial", HanConfig(fs=64 * KiB, imod="adapt", smod="sm",
+                                 ibalg="binomial", iralg="binomial")),
+]
+
+LEADER = 2  # the paper shows node leader 2
+
+
+def run(scale: str = "small", save: bool = True) -> dict:
+    """Regenerate Fig 3 (sbib(i) series on one node leader)."""
+    machine = geometry("shaheen2", "small").scaled(num_nodes=6)
+    bench = TaskBench(machine, warm_iters=8)
+    out = {"machine": f"{machine.name} 6x{machine.ppn}", "leader": LEADER,
+           "series_us": {}, "stabilized_us": {}}
+    rows = []
+    for label, cfg in CONFIGS:
+        costs = bench.bench_bcast_tasks(cfg, cfg.fs)
+        series = costs.sbib_series[LEADER]
+        out["series_us"][label] = [t * 1e6 for t in series]
+        out["stabilized_us"][label] = float(costs.sbib_stable[LEADER] * 1e6)
+        rows.append(
+            (label, *(f"{t * 1e6:.2f}" for t in series),
+             f"{costs.sbib_stable[LEADER] * 1e6:.2f}")
+        )
+        # quantify stabilization: tail spread vs head value
+        tail = series[-3:]
+        out.setdefault("tail_spread_pct", {})[label] = float(
+            100 * (tail.max() - tail.min()) / tail.mean()
+        )
+    print_table(
+        f"Fig 3: cost of sbib(i) on node leader {LEADER} (us)",
+        ["config"] + [f"sbib({i})" for i in range(1, 9)] + ["stable"],
+        rows,
+    )
+    print("\ntail spread (last 3 iterations):")
+    for label, pct in out["tail_spread_pct"].items():
+        print(f"  {label:16s} {pct:5.1f}%  (stabilized)")
+    if save:
+        save_result("fig03_sbib_stabilization", out)
+    return out
+
+
+if __name__ == "__main__":
+    main_wrapper(run)
+
+
+def series_is_stabilized(series: np.ndarray, tol: float = 0.25) -> bool:
+    """Helper used by the test-suite: tail variation within tolerance."""
+    tail = np.asarray(series[-3:], dtype=float)
+    return bool((tail.max() - tail.min()) <= tol * tail.mean() + 1e-12)

@@ -1,0 +1,93 @@
+"""Fig 4: MPI_Bcast cost-model validation (estimated vs measured).
+
+Paper setup: a 4MB broadcast on 64 nodes x 12 ppn, across combinations
+of submodule, algorithm and segment size.  The success criteria are (a)
+estimates track measurements, and (b) the *argmin* of the estimates is
+the (or near the) argmin of the measurements -- "the optimal
+configurations of either estimated or actual cost are the same".
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    fmt_bytes,
+    geometry,
+    main_wrapper,
+    print_table,
+    save_result,
+)
+from repro.tuning import Autotuner, SearchSpace
+
+KiB, MiB = 1024, 1024 * 1024
+
+GEOM = {"small": (8, 8), "medium": (16, 12), "paper": (64, 12)}
+
+
+def run(scale: str = "small", save: bool = True, coll: str = "bcast",
+        message: float = 4 * MiB) -> dict:
+    """Regenerate Fig 4 (bcast model validation at 4MB)."""
+    nodes, ppn = GEOM[scale]
+    machine = geometry("shaheen2", "small").scaled(num_nodes=nodes, ppn=ppn)
+    space = SearchSpace(
+        seg_sizes=(128 * KiB, 256 * KiB, 512 * KiB, 1 * MiB),
+        messages=(message,),
+        adapt_algorithms=("chain", "binary", "binomial"),
+        inner_segs=(None,),
+    )
+    tuner = Autotuner(machine, space=space, warm_iters=6)
+    rows_raw = tuner.validate_model(coll, message)
+
+    rows, payload = [], []
+    for cfg, est, meas in rows_raw:
+        err = 100 * (est - meas) / meas
+        rows.append(
+            (
+                cfg.imod + (f"/{cfg.ibalg}" if cfg.ibalg else ""),
+                cfg.smod,
+                fmt_bytes(cfg.fs),
+                f"{est * 1e3:.3f}",
+                f"{meas * 1e3:.3f}",
+                f"{err:+.1f}%",
+            )
+        )
+        payload.append(
+            {
+                "config": cfg.describe(),
+                "estimated_ms": est * 1e3,
+                "measured_ms": meas * 1e3,
+                "error_pct": err,
+            }
+        )
+    print_table(
+        f"Fig 4: {coll} model validation, {fmt_bytes(message)} on "
+        f"{nodes} nodes x {ppn} ppn",
+        ["inter", "intra", "fs", "estimated(ms)", "measured(ms)", "error"],
+        rows,
+    )
+
+    best_est = min(rows_raw, key=lambda r: r[1])
+    best_meas = min(rows_raw, key=lambda r: r[2])
+    agree = best_est[0] == best_meas[0]
+    # near-agreement: the estimated pick costs within 10% of true best
+    picked_time = next(m for c, _e, m in rows_raw if c == best_est[0])
+    near = picked_time <= best_meas[2] * 1.10
+    print(f"\npredicted optimum: {best_est[0].describe()}")
+    print(f"measured  optimum: {best_meas[0].describe()}")
+    print(f"argmin agreement: {agree} (within 10% of optimum: {near})")
+
+    out = {
+        "machine": f"{machine.name} {nodes}x{ppn}",
+        "message": message,
+        "rows": payload,
+        "predicted_optimum": best_est[0].describe(),
+        "measured_optimum": best_meas[0].describe(),
+        "argmin_agree": agree,
+        "argmin_within_10pct": near,
+    }
+    if save:
+        save_result(f"fig04_{coll}_model_validation", out)
+    return out
+
+
+if __name__ == "__main__":
+    main_wrapper(run)

@@ -1,0 +1,65 @@
+"""Fig 6: the overlap between inter-node broadcast (ib) and reduce (ir).
+
+"ir and ib could overlap if their communications occupy opposite
+directions of the same inter-node network ... [Fig 6] strongly indicates
+a high degree of overlap."  HAN uses the same algorithm and root for
+both to maximize it (paper III-B1).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import HanConfig
+from repro.experiments.common import (
+    geometry,
+    main_wrapper,
+    print_table,
+    save_result,
+)
+from repro.tuning import TaskBench
+
+KiB = 1024
+
+CONFIGS = [
+    ("libnbc", HanConfig(fs=64 * KiB, imod="libnbc", smod="sm")),
+    ("adapt/chain", HanConfig(fs=64 * KiB, imod="adapt", smod="sm",
+                              ibalg="chain", iralg="chain")),
+    ("adapt/binary", HanConfig(fs=64 * KiB, imod="adapt", smod="sm",
+                               ibalg="binary", iralg="binary")),
+    ("adapt/binomial", HanConfig(fs=64 * KiB, imod="adapt", smod="sm",
+                                 ibalg="binomial", iralg="binomial")),
+]
+
+
+def run(scale: str = "small", save: bool = True) -> dict:
+    """Regenerate Fig 6 (ib/ir overlap per config)."""
+    machine = geometry("shaheen2", "small").scaled(num_nodes=6)
+    seg = 64 * KiB
+    bench = TaskBench(machine, warm_iters=4)
+    out = {"machine": f"{machine.name} 6x{machine.ppn}", "seg_bytes": seg,
+           "rows": []}
+    rows = []
+    for label, cfg in CONFIGS:
+        r = bench.bench_ib_ir_overlap(cfg, seg)
+        ib, ir, both = r["ib"].max(), r["ir"].max(), r["both"].max()
+        overlap = 100 * (ib + ir - both) / min(ib, ir) if min(ib, ir) else 0
+        rows.append(
+            (label, f"{ib * 1e6:.2f}", f"{ir * 1e6:.2f}",
+             f"{both * 1e6:.2f}", f"{ib + ir:.2e}", f"{overlap:.0f}%")
+        )
+        out["rows"].append(
+            {"config": label, "ib_us": ib * 1e6, "ir_us": ir * 1e6,
+             "concurrent_us": both * 1e6,
+             "overlap_pct_of_smaller": overlap}
+        )
+    print_table(
+        "Fig 6: ib vs ir vs concurrent ib+ir (us, max over leaders)",
+        ["config", "ib", "ir", "ib+ir concurrent", "serial sum", "overlap"],
+        rows,
+    )
+    if save:
+        save_result("fig06_ib_ir_overlap", out)
+    return out
+
+
+if __name__ == "__main__":
+    main_wrapper(run)

@@ -1,0 +1,30 @@
+"""Fig 7: MPI_Allreduce cost-model validation (estimated vs measured).
+
+Same methodology as Fig 4 but for the four-stage allreduce pipeline and
+equation (4).  The paper's example outcome: "the cost model predicts
+that the optimal configuration for an MPI_Allreduce with a 4MB message
+is to use a 1MB segment with a binary algorithm from the ADAPT submodule
+and the SOLO submodule ... This prediction matches the best measured."
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig04
+from repro.experiments.common import main_wrapper
+
+MiB = 1024 * 1024
+
+
+def run(scale: str = "small", save: bool = True) -> dict:
+    """Regenerate Fig 7 (allreduce model validation at 4MB)."""
+    out = fig04.run(scale=scale, save=False, coll="allreduce",
+                    message=4 * MiB)
+    if save:
+        from repro.experiments.common import save_result
+
+        save_result("fig07_allreduce_model_validation", out)
+    return out
+
+
+if __name__ == "__main__":
+    main_wrapper(run)

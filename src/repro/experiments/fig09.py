@@ -1,0 +1,92 @@
+"""Fig 9: quality of the tuned configurations per search method.
+
+For each message size the paper shows the exhaustive search's best /
+median / average time-to-completion next to what each autotuning method
+actually picked.  Expected shape: median and average are far above the
+best (tuning matters); the task-based pick matches the best "in most
+cases"; heuristics trade a little accuracy for speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import (
+    fmt_bytes,
+    geometry,
+    main_wrapper,
+    print_table,
+    save_result,
+)
+from repro.tuning import Autotuner, SearchSpace, measure_collective
+
+KiB, MiB = 1024, 1024 * 1024
+
+GEOM = {"small": (8, 8), "medium": (16, 12), "paper": (64, 12)}
+
+
+def run(scale: str = "small", save: bool = True) -> dict:
+    """Regenerate Fig 9 (tuning quality per method)."""
+    nodes, ppn = GEOM[scale]
+    machine = geometry("shaheen2", "small").scaled(num_nodes=nodes, ppn=ppn)
+    space = SearchSpace(
+        seg_sizes=(128 * KiB, 256 * KiB, 512 * KiB, 1 * MiB),
+        messages=(256 * KiB, 1 * MiB, 4 * MiB, 16 * MiB),
+        adapt_algorithms=("chain", "binary", "binomial"),
+        inner_segs=(None,),
+    )
+    tuner = Autotuner(machine, space=space, warm_iters=6)
+    out = {"machine": f"{machine.name} {nodes}x{ppn}", "colls": {}}
+    for coll in ("bcast", "allreduce"):
+        exh = tuner.tune(colls=(coll,), method="exhaustive")
+        exh_h = tuner.tune(colls=(coll,), method="exhaustive+h")
+        task = tuner.tune(colls=(coll,), method="task")
+        task_h = tuner.tune(colls=(coll,), method="task+h")
+        rows = []
+        coll_out = {}
+        for m in space.messages:
+            times = np.array([t for _c, t in exh.candidates[(coll, m)]])
+            best = times.min()
+
+            def picked_time(report):
+                cfg = report.table.get(coll, nodes, ppn, m)
+                # exhaustive candidates already contain the measurement
+                for c, t in exh.candidates[(coll, m)]:
+                    if c == cfg:
+                        return t
+                return measure_collective(machine, coll, m, cfg).time
+
+            vals = {
+                "best": best,
+                "median": float(np.median(times)),
+                "average": float(times.mean()),
+                "exhaustive+h": picked_time(exh_h),
+                "task": picked_time(task),
+                "task+h": picked_time(task_h),
+            }
+            coll_out[fmt_bytes(m)] = {k: v * 1e3 for k, v in vals.items()}
+            rows.append(
+                (
+                    fmt_bytes(m),
+                    f"{vals['best'] * 1e3:.3f}",
+                    f"{vals['median'] * 1e3:.3f}",
+                    f"{vals['average'] * 1e3:.3f}",
+                    f"{vals['exhaustive+h'] * 1e3:.3f}",
+                    f"{vals['task'] * 1e3:.3f}",
+                    f"{vals['task+h'] * 1e3:.3f}",
+                )
+            )
+        print_table(
+            f"Fig 9: {coll} time-to-completion by tuning method (ms)",
+            ["message", "best", "median", "average", "exh+h", "task",
+             "task+h"],
+            rows,
+        )
+        out["colls"][coll] = coll_out
+    if save:
+        save_result("fig09_tuning_quality", out)
+    return out
+
+
+if __name__ == "__main__":
+    main_wrapper(run)

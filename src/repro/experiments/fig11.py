@@ -1,0 +1,68 @@
+"""Fig 11: Netpipe point-to-point comparison, Open MPI vs Cray MPI.
+
+On the same Shaheen II hardware, "when the message size is between 512B
+and 2MB, Open MPI achieves less bandwidth comparing to Cray MPI
+especially ... 16KB to 512KB.  As message sizes increase, both ... reach
+the same peak P2P performance."
+"""
+
+from __future__ import annotations
+
+from repro.bench import netpipe_run
+from repro.experiments.common import (
+    fmt_bytes,
+    geometry,
+    main_wrapper,
+    print_table,
+    save_result,
+)
+from repro.netsim.profiles import craympi_profile, openmpi_profile
+
+KiB, MiB = 1024, 1024 * 1024
+
+
+def run(scale: str = "small", save: bool = True) -> dict:
+    """Regenerate Fig 11 (P2P bandwidth curves)."""
+    machine = geometry("shaheen2", "small").scaled(num_nodes=2)
+    sizes = [2.0 ** k for k in range(6, 25)]  # 64B .. 16MB
+    omp = netpipe_run(machine, openmpi_profile(), sizes)
+    cray = netpipe_run(machine, craympi_profile(), sizes)
+    rows = []
+    out = {"machine": machine.name, "rows": []}
+    for i, s in enumerate(sizes):
+        ratio = cray.bandwidth[i] / omp.bandwidth[i]
+        rows.append(
+            (
+                fmt_bytes(s),
+                f"{omp.bandwidth[i] / 1e9:.3f}",
+                f"{cray.bandwidth[i] / 1e9:.3f}",
+                f"{ratio:.2f}x",
+            )
+        )
+        out["rows"].append(
+            {
+                "size": s,
+                "openmpi_GBps": omp.bandwidth[i] / 1e9,
+                "craympi_GBps": cray.bandwidth[i] / 1e9,
+                "cray_over_openmpi": ratio,
+            }
+        )
+    print_table(
+        "Fig 11: Netpipe P2P bandwidth on Shaheen II (GB/s)",
+        ["message", "Open MPI", "Cray MPI", "Cray/OMPI"],
+        rows,
+    )
+    mid = [r for r in out["rows"] if 16 * KiB <= r["size"] <= 512 * KiB]
+    peak = out["rows"][-1]
+    print(
+        f"\nmid-range (16KB-512KB) Cray advantage: "
+        f"{max(r['cray_over_openmpi'] for r in mid):.2f}x max; "
+        f"peak ratio {peak['cray_over_openmpi']:.2f}x (paper: converges to ~1)"
+    )
+    if save:
+        save_result("fig11_netpipe", out)
+    return out
+
+
+if __name__ == "__main__":
+    main_wrapper(run)

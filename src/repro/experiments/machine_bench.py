@@ -1,0 +1,93 @@
+"""Shared driver for the machine benchmark figures (Figs 10, 12, 13, 14)."""
+
+from __future__ import annotations
+
+from repro.bench import imb_run
+from repro.comparators import OpenMPIHan, library_by_name
+from repro.experiments.common import (
+    bcast_sweep_sizes,
+    fmt_bytes,
+    geometry,
+    print_table,
+    save_result,
+    tuned_decision,
+)
+
+__all__ = ["bench_against_libraries"]
+
+
+def bench_against_libraries(
+    fig: str,
+    machine_name: str,
+    coll: str,
+    rivals: list[str],
+    scale: str,
+    save: bool,
+    paper_note: str,
+) -> dict:
+    machine = geometry(machine_name, scale)
+    small, large = bcast_sweep_sizes(scale)
+    sizes = small + large
+
+    decide = tuned_decision(machine, colls=(coll,))
+    libs = [OpenMPIHan(decision_fn=decide)] + [
+        library_by_name(r) for r in rivals
+    ]
+    results = {lib.name: imb_run(machine, lib, coll, sizes) for lib in libs}
+
+    han = results["han"]
+    rows = []
+    out_rows = {}
+    for i, s in enumerate(sizes):
+        row = [fmt_bytes(s)]
+        entry = {}
+        for lib in libs:
+            t = results[lib.name].times[i]
+            row.append(f"{t * 1e6:.1f}")
+            entry[lib.name] = t
+        for r in rivals:
+            row.append(f"{results[r].times[i] / han.times[i]:.2f}x")
+        rows.append(tuple(row))
+        out_rows[fmt_bytes(s)] = entry
+    headers = (
+        ["message"]
+        + [f"{lib.name}(us)" for lib in libs]
+        + [f"HAN vs {r}" for r in rivals]
+    )
+    title = (
+        f"{fig}: {coll} on {machine_name} "
+        f"({machine.num_nodes} nodes x {machine.ppn} ppn = "
+        f"{machine.num_ranks} ranks)"
+    )
+    print_table(title, headers, rows)
+
+    # headline speedups over the small/large ranges, as the paper quotes
+    summary = {}
+    for r in rivals:
+        sp = [results[r].times[i] / han.times[i] for i in range(len(sizes))]
+        small_best = max(sp[: len(small)])
+        large_best = max(sp[len(small):])
+        summary[r] = {
+            "max_speedup_small": small_best,
+            "max_speedup_large": large_best,
+        }
+        print(
+            f"HAN vs {r:10s}: up to {small_best:.2f}x (small msgs), "
+            f"up to {large_best:.2f}x (large msgs)"
+        )
+    print(f"paper reference: {paper_note}")
+
+    out = {
+        "figure": fig,
+        "machine": f"{machine_name} {machine.num_nodes}x{machine.ppn}",
+        "scale": scale,
+        "coll": coll,
+        "times_s": out_rows,
+        "speedups": summary,
+        "paper_note": paper_note,
+    }
+    if save:
+        save_result(
+            f"{fig.lower().replace(' ', '')}_{coll}_{machine_name}_{scale}", out
+        )
+    return out

@@ -1,0 +1,43 @@
+"""Regenerate every table and figure: ``python -m repro.experiments.run_all``."""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import time
+import traceback
+
+from repro.experiments import EXPERIMENTS
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=("small", "medium", "paper"), default="small"
+    )
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help="subset of experiments, e.g. --only fig10 table3",
+    )
+    args = parser.parse_args()
+    todo = args.only or EXPERIMENTS
+    failures = []
+    for name in todo:
+        mod = importlib.import_module(f"repro.experiments.{name}")
+        print(f"\n{'=' * 70}\nRunning {name} (scale={args.scale})\n{'=' * 70}")
+        t0 = time.time()
+        try:
+            mod.run(scale=args.scale, save=True)
+        except Exception:
+            traceback.print_exc()
+            failures.append(name)
+        print(f"[{name}: {time.time() - t0:.1f}s wall]")
+    if failures:
+        print(f"\nFAILED: {failures}")
+        return 1
+    print(f"\nAll {len(todo)} experiments regenerated under results/.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

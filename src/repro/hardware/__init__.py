@@ -1,0 +1,26 @@
+"""Hardware descriptions: nodes, NICs and whole-machine presets.
+
+The presets in :mod:`repro.hardware.machines` parameterise the simulated
+substrate to match the two systems the paper evaluates on (Shaheen II and
+Stampede2) plus small clusters for tests and examples.
+"""
+
+from repro.hardware.spec import MachineSpec, NicSpec, NodeSpec
+from repro.hardware.machines import (
+    gpu_cluster,
+    shaheen2,
+    stampede2,
+    small_cluster,
+    tiny_cluster,
+)
+
+__all__ = [
+    "MachineSpec",
+    "NicSpec",
+    "NodeSpec",
+    "gpu_cluster",
+    "shaheen2",
+    "stampede2",
+    "small_cluster",
+    "tiny_cluster",
+]

@@ -1,0 +1,143 @@
+"""Machine presets mirroring the paper's evaluation platforms.
+
+Numbers come from public hardware documentation:
+
+- **Shaheen II** (paper IV): Cray XC40, dual-socket 16-core Haswell
+  (32 cores), 128 GB DDR4, Cray Aries dragonfly.  Aries injection
+  bandwidth ~10 GB/s per direction, ~1.3 us latency.
+- **Stampede2** (paper IV): Intel Skylake nodes, 48 cores, 192 GB DDR4,
+  100 Gbit/s Omni-Path in a (tapered) fat-tree, ~1 us latency.
+
+Defaults reproduce the paper's job geometry (128 x 32 = 4096 ranks on
+Shaheen II, 32 x 48 = 1536 on Stampede2); experiment drivers usually run a
+scaled-down geometry via :meth:`MachineSpec.scaled` (see DESIGN.md on
+scale substitution).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.spec import MachineSpec, NicSpec, NodeSpec
+
+__all__ = ["shaheen2", "stampede2", "small_cluster", "tiny_cluster"]
+
+
+def shaheen2(num_nodes: int = 128, ppn: int = 32) -> MachineSpec:
+    """Cray XC40 / Aries dragonfly (paper's primary machine)."""
+    node = NodeSpec(
+        cores=32,
+        mem_bw=90e9,  # dual-socket Haswell DDR4-2133 stream-class
+        copy_bw=7e9,
+        reduce_bw=3e9,
+        reduce_bw_avx=12e9,
+        shm_latency=3e-7,
+    )
+    nic = NicSpec(bw=10e9, latency=1.3e-6)
+    return MachineSpec(
+        name="shaheen2",
+        num_nodes=num_nodes,
+        ppn=ppn,
+        node=node,
+        nic=nic,
+        topology="dragonfly",
+        link_bw=15e9,
+        hop_latency=1.0e-7,
+        topo_params=dict(
+            nodes_per_router=4,
+            routers_per_group=8,
+            global_links_per_router=4,
+            global_bw_factor=1.0,
+        ),
+    )
+
+
+def stampede2(num_nodes: int = 32, ppn: int = 48) -> MachineSpec:
+    """Intel Skylake + Omni-Path fat-tree (paper's second machine)."""
+    node = NodeSpec(
+        cores=48,
+        mem_bw=150e9,  # dual-socket SKX DDR4-2666
+        copy_bw=10e9,
+        reduce_bw=3.5e9,
+        reduce_bw_avx=14e9,
+        shm_latency=2.5e-7,
+    )
+    nic = NicSpec(bw=12.5e9, latency=1.0e-6)  # 100 Gbit/s Omni-Path
+    return MachineSpec(
+        name="stampede2",
+        num_nodes=num_nodes,
+        ppn=ppn,
+        node=node,
+        nic=nic,
+        topology="fattree",
+        link_bw=25e9,
+        hop_latency=1.0e-7,
+        topo_params=dict(nodes_per_edge=16, num_core=4, taper=1.75),
+    )
+
+
+def small_cluster(num_nodes: int = 8, ppn: int = 8) -> MachineSpec:
+    """Generic commodity cluster for examples and mid-size experiments."""
+    node = NodeSpec(
+        cores=max(ppn, 16),
+        mem_bw=60e9,
+        copy_bw=6e9,
+        reduce_bw=2.5e9,
+        reduce_bw_avx=10e9,
+    )
+    nic = NicSpec(bw=12.5e9, latency=1.5e-6)
+    return MachineSpec(
+        name="small_cluster",
+        num_nodes=num_nodes,
+        ppn=ppn,
+        node=node,
+        nic=nic,
+        topology="crossbar",
+    )
+
+
+def gpu_cluster(num_nodes: int = 4, ppn: int = 4) -> MachineSpec:
+    """DGX-style GPU nodes (for the paper's GPU-submodule future work).
+
+    One rank drives one GPU; gradients live in device memory.  NVLink
+    carries intra-node GPU traffic at an aggregate far above the host
+    memory bus; host<->device staging crosses PCIe.
+    """
+    node = NodeSpec(
+        cores=max(ppn, 8),
+        mem_bw=100e9,
+        copy_bw=8e9,
+        reduce_bw=3e9,
+        reduce_bw_avx=12e9,
+        gpus=max(ppn, 4),
+        nvlink_bw=300e9,  # aggregate NVLink fabric
+        pcie_bw=12e9,  # per-direction host<->device
+        gpu_reduce_bw=150e9,  # on-GPU reduction kernels
+    )
+    nic = NicSpec(bw=12.5e9, latency=1.2e-6)
+    return MachineSpec(
+        name="gpu_cluster",
+        num_nodes=num_nodes,
+        ppn=ppn,
+        node=node,
+        nic=nic,
+        topology="crossbar",
+    )
+
+
+def tiny_cluster(num_nodes: int = 2, ppn: int = 2) -> MachineSpec:
+    """Smallest useful machine; keeps unit tests fast."""
+    node = NodeSpec(
+        cores=max(ppn, 4),
+        mem_bw=50e9,
+        copy_bw=5e9,
+        reduce_bw=2e9,
+        reduce_bw_avx=8e9,
+    )
+    nic = NicSpec(bw=10e9, latency=1e-6)
+    return MachineSpec(
+        name="tiny_cluster",
+        num_nodes=num_nodes,
+        ppn=ppn,
+        node=node,
+        nic=nic,
+        topology="crossbar",
+    )

@@ -1,0 +1,127 @@
+"""Dataclasses describing nodes, NICs and machines.
+
+All bandwidths are bytes/second, all latencies seconds.  The values drive
+the fluid resources and overhead servers built by :mod:`repro.netsim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.topology import Topology, make_topology
+
+__all__ = ["NodeSpec", "NicSpec", "MachineSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node.
+
+    Attributes
+    ----------
+    cores:
+        Cores (== max processes per node).
+    mem_bw:
+        Aggregate memory-bus bandwidth shared by every transfer touching
+        the node's memory (intra-node copies *and* NIC DMA).  This shared
+        resource is what makes `ib`/`sb` overlap imperfect (paper III-A2).
+    copy_bw:
+        Peak single-stream memcpy bandwidth; caps one shared-memory
+        pipe even when the bus is otherwise idle.
+    reduce_bw:
+        Reduction-kernel throughput without AVX (bytes of input/s).
+        Used by the SM and Libnbc submodules.
+    reduce_bw_avx:
+        Reduction throughput with AVX; used by SOLO and ADAPT
+        (paper IV-A2: only SOLO and ADAPT exploit AVX).
+    shm_latency:
+        Base latency of an intra-node shared-memory hand-off.
+    """
+
+    cores: int
+    mem_bw: float
+    copy_bw: float
+    reduce_bw: float
+    reduce_bw_avx: float
+    shm_latency: float = 3e-7
+    #: GPUs per node (0 = CPU-only node); enables the `gpu` submodule
+    gpus: int = 0
+    #: aggregate intra-node GPU interconnect bandwidth (NVLink fabric)
+    nvlink_bw: float = 0.0
+    #: host<->device staging bandwidth per direction (PCIe/per node)
+    pcie_bw: float = 0.0
+    #: on-GPU reduction throughput (bytes of input/s)
+    gpu_reduce_bw: float = 0.0
+    #: GPU kernel/copy launch latency
+    gpu_latency: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        for name in ("mem_bw", "copy_bw", "reduce_bw", "reduce_bw_avx"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.gpus < 0:
+            raise ValueError("gpus must be >= 0")
+        if self.gpus > 0:
+            for name in ("nvlink_bw", "pcie_bw", "gpu_reduce_bw"):
+                if getattr(self, name) <= 0:
+                    raise ValueError(
+                        f"{name} must be positive on GPU nodes"
+                    )
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """One network interface: per-direction injection bandwidth + latency."""
+
+    bw: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.bw <= 0:
+            raise ValueError("nic bw must be positive")
+        if self.latency < 0:
+            raise ValueError("nic latency must be >= 0")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A whole machine: homogeneous nodes + NICs + an interconnect."""
+
+    name: str
+    num_nodes: int
+    ppn: int
+    node: NodeSpec
+    nic: NicSpec
+    topology: str = "crossbar"
+    link_bw: float = 0.0  # 0 -> defaults to nic.bw
+    hop_latency: float = 1e-7
+    topo_params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if not (1 <= self.ppn <= self.node.cores):
+            raise ValueError(
+                f"ppn={self.ppn} must be within [1, cores={self.node.cores}]"
+            )
+
+    @property
+    def num_ranks(self) -> int:
+        return self.num_nodes * self.ppn
+
+    def build_topology(self) -> Topology:
+        bw = self.link_bw if self.link_bw > 0 else self.nic.bw
+        return make_topology(
+            self.topology, self.num_nodes, bw, **self.topo_params
+        )
+
+    def scaled(self, num_nodes: int | None = None, ppn: int | None = None) -> "MachineSpec":
+        """Same hardware, different job size (used by experiment drivers)."""
+        return replace(
+            self,
+            num_nodes=self.num_nodes if num_nodes is None else num_nodes,
+            ppn=self.ppn if ppn is None else ppn,
+        )

@@ -1,0 +1,125 @@
+"""The `adapt` module: event-driven non-blocking collectives [28].
+
+ADAPT is the paper authors' earlier framework: each point-to-point
+completion immediately triggers the next action (no schedule rounds), so
+pipelined trees keep flowing without waiting for the caller to re-enter
+the progress engine.  In HAN's Table II, ADAPT is the submodule that
+exposes algorithm choice (`ibalg`/`iralg` in {chain, binary, binomial})
+and internal segment size (`ibs`/`irs`), and its reductions use AVX.
+"""
+
+from __future__ import annotations
+
+from repro.colls.bcast import _bcast_tree
+from repro.colls.trees import binary_tree, binomial_tree, chain_tree
+from repro.colls.util import (
+    Segmenter,
+    charge_reduce,
+    coll_tag_block,
+    combine,
+    unvrank,
+    vrank,
+)
+from repro.modules.base import CollModule
+from repro.mpi.op import SUM
+
+__all__ = ["AdaptModule"]
+
+_TREES = {"chain": chain_tree, "binary": binary_tree, "binomial": binomial_tree}
+_DEFAULT_SEG = 128 * 1024
+
+
+class AdaptModule(CollModule):
+    name = "adapt"
+    avx = True  # vectorized reduction kernels (paper IV-A2)
+    nonblocking = True
+    bcast_algorithms = ("chain", "binary", "binomial")
+    reduce_algorithms = ("chain", "binary", "binomial")
+
+    # -- blocking wrappers -----------------------------------------------------------
+
+    def bcast(self, comm, nbytes, root=0, payload=None, algorithm=None, segsize=None):
+        req = self.ibcast(comm, nbytes, root, payload, algorithm, segsize)
+        result = yield req.event
+        return result
+
+    def reduce(
+        self, comm, nbytes, root=0, payload=None, op=SUM, algorithm=None, segsize=None
+    ):
+        req = self.ireduce(comm, nbytes, root, payload, op, algorithm, segsize)
+        result = yield req.event
+        return result
+
+    # -- non-blocking collectives -----------------------------------------------------------
+
+    def ibcast(self, comm, nbytes, root=0, payload=None, algorithm=None, segsize=None):
+        algorithm = algorithm or "binomial"
+        self._check_alg(algorithm, self.bcast_algorithms, "ibcast")
+        segsize = _DEFAULT_SEG if segsize is None else segsize
+        tag = coll_tag_block(comm)
+        gen = _bcast_tree(
+            comm, nbytes, root, payload, segsize, _TREES[algorithm], tag
+        )
+        return self._spawn(comm, gen, "adapt.ibcast")
+
+    def ireduce(
+        self, comm, nbytes, root=0, payload=None, op=SUM, algorithm=None, segsize=None
+    ):
+        algorithm = algorithm or "binomial"
+        self._check_alg(algorithm, self.reduce_algorithms, "ireduce")
+        segsize = _DEFAULT_SEG if segsize is None else segsize
+        tag = coll_tag_block(comm)
+        gen = self._reduce_tree(
+            comm, nbytes, root, payload, op, segsize, _TREES[algorithm], tag
+        )
+        return self._spawn(comm, gen, "adapt.ireduce")
+
+    # -- event-driven pipelined tree reduce -------------------------------------------
+
+    def _reduce_tree(self, comm, nbytes, root, payload, op, segsize, tree_fn, tag):
+        """Segment-pipelined reduction with pre-posted child receives.
+
+        Unlike the blocking reference in :mod:`repro.colls.reduce`, all
+        child receives for all segments are pre-posted (the event-driven
+        design reacts to whichever arrives), and AVX kernels are used.
+        """
+        size, rank = comm.size, comm.rank
+        if size == 1:
+            return payload
+        v = vrank(rank, root, size)
+        tree = tree_fn(v, size)
+        seg = Segmenter(nbytes, segsize, payload)
+        children = [unvrank(c, root, size) for c in tree.children]
+        # Pre-post every (segment, child) receive up front.
+        reqs = {
+            (i, c): comm.irecv(source=c, tag=tag + 1 + i)
+            for i in range(seg.nseg)
+            for c in children
+        }
+        out_pieces = []
+        for i in range(seg.nseg):
+            acc = seg.seg_view(i)
+            nb = seg.seg_nbytes(i)
+            if children:
+                msgs = yield from comm.waitall([reqs[(i, c)] for c in children])
+                for msg in msgs:
+                    yield from charge_reduce(comm, nb, self.avx)
+                    acc = combine(op, acc, msg.payload)
+            if tree.parent >= 0:
+                yield from comm.send(
+                    unvrank(tree.parent, root, size),
+                    payload=acc,
+                    nbytes=nb,
+                    tag=tag + 1 + i,
+                )
+            else:
+                out_pieces.append(acc)
+        if tree.parent >= 0:
+            return None
+        if payload is not None:
+            import numpy as np
+
+            return (
+                out_pieces[0] if len(out_pieces) == 1 else np.concatenate(out_pieces)
+            )
+        return None

@@ -1,0 +1,206 @@
+"""The `gpu` module: intra-node GPU collectives (paper future work).
+
+The conclusion announces: "We also plan to add a new submodule to support
+intra-node GPU collective operations and combine it with the existing
+inter-node submodules to adapt HAN to GPU-based machines."  This module
+is that submodule: one rank drives one GPU, device buffers move over the
+node's NVLink fabric, and host staging (for the inter-node level, which
+still runs over the NICs from host memory) crosses PCIe.
+
+Semantics mirror SM/SOLO so HAN can plug it in as `smod="gpu"`:
+
+- ``bcast``: the leader holds the segment in *host* memory (it arrived
+  via `ib`); one H2D staging transfer, then an NVLink fan-out to the
+  other ranks' devices.  The returned payload is device-resident.
+- ``reduce``: chunk-parallel NVLink reduction (NCCL-style) at the GPU
+  kernel rate, then one D2H staging so the leader can feed `ir`.
+- ``allreduce``: NVLink ring reduction without any host staging.
+
+Kernel/copy launch latency (`gpu_latency`) is the small-message handicap
+-- GPUs want big transfers, exactly like SOLO but more so.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.modules.shm_common import ShmModule
+from repro.mpi.op import SUM
+
+__all__ = ["GpuModule"]
+
+
+class GpuModule(ShmModule):
+    name = "gpu"
+    avx = True  # reductions run on-device, far above CPU AVX rates
+    nonblocking = False
+
+    def __init__(self, setup_overhead: float = 1.0e-6):
+        self.setup_overhead = setup_overhead
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _gpu(self, comm, state, nbytes, path):
+        if nbytes <= 0:
+            return
+        ev = comm.runtime.engine.event(f"gpu-{path}")
+        comm.runtime.fabric.gpu_flow(
+            state["node"], nbytes, lambda: ev.succeed(None), path=path
+        )
+        yield ev
+
+    def _launch(self, comm):
+        """Kernel/copy launch latency on the driving rank's CPU."""
+        yield from comm.compute(comm.runtime.machine.node.gpu_latency)
+
+    def _check_gpus(self, comm):
+        node = comm.runtime.machine.node
+        if node.gpus == 0:
+            raise ValueError("gpu module needs GPU nodes (NodeSpec.gpus > 0)")
+        if comm.size > node.gpus:
+            raise ValueError(
+                f"gpu module drives one GPU per rank: {comm.size} ranks > "
+                f"{node.gpus} GPUs"
+            )
+
+    def _gpu_reduce(self, comm, nbytes):
+        node = comm.runtime.machine.node
+        yield from comm.compute(nbytes / node.gpu_reduce_bw)
+
+    # -- collectives ---------------------------------------------------------------
+
+    def bcast(self, comm, nbytes, root=0, payload=None, algorithm=None,
+              segsize=None):
+        if comm.size == 1:
+            return payload
+        self._check_gpus(comm)
+        state = self._begin(comm)
+        staged = self._event(comm, state, "bcast-staged")
+        drained = self._event(comm, state, "bcast-drained")
+        yield from self._setup(comm)
+        if comm.rank == root:
+            state["payload"] = payload
+            yield from self._launch(comm)
+            # host segment (delivered by ib) -> device
+            yield from self._gpu(comm, state, nbytes, "h2d")
+            staged.succeed(None)
+            result = payload
+            yield drained
+        else:
+            if payload is not None:
+                raise ValueError("payload may only be supplied at the root")
+            yield staged
+            yield from self._launch(comm)
+            # fan-out over the NVLink fabric (aggregate resource: all
+            # reader flows share it, like a broadcast ring)
+            yield from self._gpu(comm, state, nbytes, "nvlink")
+            result = state.get("payload")
+            state["readers_done"] = state.get("readers_done", 0) + 1
+            if state["readers_done"] == comm.size - 1:
+                drained.succeed(None)
+        self._finish(comm, state)
+        return result
+
+    def reduce(self, comm, nbytes, root=0, payload=None, op=SUM,
+               algorithm=None, segsize=None):
+        if comm.size == 1:
+            return payload
+        self._check_gpus(comm)
+        state = self._begin(comm)
+        contrib = state.setdefault("contrib", {})
+        all_ready = self._event(comm, state, "reduce-ready")
+        result_ready = self._event(comm, state, "reduce-result")
+        yield from self._setup(comm)
+        contrib[comm.rank] = payload
+        yield from self._latency(comm)
+        state["ready"] = state.get("ready", 0) + 1
+        if state["ready"] == comm.size:
+            all_ready.succeed(None)
+        yield all_ready
+        # chunk-parallel: every GPU pulls the other P-1 chunks of its
+        # 1/P slice over NVLink and reduces at kernel rate
+        size = comm.size
+        chunk = nbytes / size
+        yield from self._launch(comm)
+        yield from self._gpu(comm, state, (size - 1) * chunk, "nvlink")
+        yield from self._gpu_reduce(comm, (size - 1) * chunk)
+        state["chunks_done"] = state.get("chunks_done", 0) + 1
+        if state["chunks_done"] == size:
+            vals = [contrib[r] for r in range(size)]
+            if all(v is not None for v in vals):
+                acc = vals[0]
+                for v in vals[1:]:
+                    acc = op(acc, v)
+            else:
+                acc = None
+            state["result"] = acc
+            result_ready.succeed(None)
+        if comm.rank == root:
+            yield result_ready
+            # gather the reduced slices to the root GPU, then stage the
+            # full vector to host memory so `ir` can take over
+            yield from self._gpu(
+                comm, state, (size - 1) * chunk, "nvlink"
+            )
+            yield from self._gpu(comm, state, nbytes, "d2h")
+            result = state.get("result")
+        else:
+            result = None
+        self._finish(comm, state)
+        return result
+
+    def allreduce(self, comm, nbytes, payload=None, op=SUM, algorithm=None,
+                  segsize=None):
+        """Pure-NVLink ring allreduce (no host staging): ~2x the bytes of
+        the vector cross the fabric per GPU."""
+        if comm.size == 1:
+            return payload
+        self._check_gpus(comm)
+        state = self._begin(comm)
+        contrib = state.setdefault("contrib", {})
+        all_ready = self._event(comm, state, "ar-ready")
+        done = self._event(comm, state, "ar-done")
+        yield from self._setup(comm)
+        contrib[comm.rank] = payload
+        yield from self._latency(comm)
+        state["ready"] = state.get("ready", 0) + 1
+        if state["ready"] == comm.size:
+            all_ready.succeed(None)
+        yield all_ready
+        size = comm.size
+        ring_bytes = 2.0 * nbytes * (size - 1) / size
+        yield from self._launch(comm)
+        yield from self._gpu(comm, state, ring_bytes, "nvlink")
+        yield from self._gpu_reduce(comm, nbytes * (size - 1) / size)
+        state["done"] = state.get("done", 0) + 1
+        if state["done"] == size:
+            vals = [contrib[r] for r in range(size)]
+            if all(v is not None for v in vals):
+                acc = vals[0]
+                for v in vals[1:]:
+                    acc = op(acc, v)
+            else:
+                acc = None
+            state["result"] = acc
+            done.succeed(None)
+        yield done
+        result = state.get("result")
+        self._finish(comm, state)
+        return result
+
+    def barrier(self, comm):
+        if comm.size == 1:
+            return
+        self._check_gpus(comm)
+        state = self._begin(comm)
+        release = self._event(comm, state, "barrier-release")
+        yield from self._setup(comm)
+        yield from self._latency(comm)
+        state["arrived"] = state.get("arrived", 0) + 1
+        if state["arrived"] == comm.size:
+            release.succeed(None)
+        yield release
+        self._finish(comm, state)
+
+    def frag_count(self, nbytes: float) -> int:
+        return max(1, math.ceil(nbytes / (1 << 20)))

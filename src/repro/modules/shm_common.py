@@ -1,0 +1,102 @@
+"""Shared machinery for the intra-node (shared-memory) modules SM and SOLO.
+
+These modules bypass the MPI point-to-point stack entirely: ranks
+synchronize through node-local flags (simulated as engine events in a
+per-call shared-state dict) and move data as memory-bus fluid flows.
+``copies`` counts how many times each byte crosses the node's memory bus
+-- the lever that separates SM's bounce-buffer pipe (write 2x + read 2x)
+from SOLO's one-sided direct copy (read 2x only).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.colls.util import coll_tag_block
+from repro.modules.base import CollModule
+from repro.mpi.communicator import Communicator
+
+__all__ = ["ShmModule"]
+
+
+class ShmModule(CollModule):
+    """Base for intra-node modules; provides state, sync and flow helpers."""
+
+    #: per-call, per-rank setup cost (seconds)
+    setup_overhead: float = 0.0
+
+    def _begin(self, comm: Communicator) -> dict:
+        """Validate intra-node scope and open the per-call shared state."""
+        node = comm.node_of(0)
+        if any(comm.node_of(r) != node for r in range(1, comm.size)):
+            raise ValueError(
+                f"{self.name} is an intra-node module; communicator spans "
+                "multiple nodes"
+            )
+        key = (self.name, comm.cid, coll_tag_block(comm))
+        state = comm.runtime.coll_state(key)
+        state.setdefault("key", key)
+        state.setdefault("node", node)
+        state.setdefault("done_count", 0)
+        return state
+
+    @staticmethod
+    def _event(comm: Communicator, state: dict, name: str):
+        """Get-or-create a named sync flag in the shared state."""
+        ev = state.get(name)
+        if ev is None:
+            ev = state[name] = comm.runtime.engine.event(name)
+        return ev
+
+    @staticmethod
+    def _flow(comm: Communicator, state: dict, nbytes: float, copies: int,
+              rate_cap: Optional[float] = None):
+        """Memory-bus transfer on this call's node; yields until drained.
+
+        Shared-memory copies are CPU-driven memcpys: the bytes occupy the
+        node's memory bus (fluid flow) *and* the copying rank's CPU
+        (progress server) for the minimum copy duration.  The CPU share
+        is what makes `sb` contend with a concurrent `ib`'s progression
+        on the same single-threaded rank -- the paper's imperfect-overlap
+        factor (2) in section III-A2.
+        """
+        if nbytes <= 0:
+            return
+        from repro.sim.engine import AllOf
+
+        engine = comm.runtime.engine
+        node = comm.runtime.machine.node
+        ev = engine.event("shm-flow")
+        comm.runtime.fabric.membus_flow(
+            state["node"],
+            nbytes,
+            lambda: ev.succeed(None),
+            copies=copies,
+            rate_cap=rate_cap,
+        )
+        cpu = comm.runtime.fabric.progress[comm.world_rank].request(
+            nbytes / node.copy_bw
+        )
+        yield AllOf([ev, cpu])
+
+    def _finish(self, comm: Communicator, state: dict) -> None:
+        """Reference-count call completion; last rank drops the state."""
+        state["done_count"] += 1
+        if state["done_count"] == comm.size:
+            comm.runtime.drop_coll_state(state["key"])
+
+    def _setup(self, comm: Communicator):
+        """Charge the per-rank setup cost on the progress server."""
+        if self.setup_overhead > 0:
+            yield from comm.compute(self.setup_overhead)
+
+    @property
+    def shm_latency(self) -> float:
+        raise NotImplementedError
+
+    @staticmethod
+    def _latency(comm: Communicator):
+        """One shared-memory flag-propagation delay."""
+        from repro.sim.engine import Sleep
+
+        yield Sleep(comm.runtime.machine.node.shm_latency)

@@ -1,0 +1,189 @@
+"""The `sm` module: bounce-buffer shared-memory collectives.
+
+Open MPI's ``coll/sm``: ranks exchange data through a pre-mapped shared
+segment of small fragments.  Setup is nearly free (the segment and its
+flags are persistent), but every byte crosses the memory bus four times
+on its way root -> shared buffer -> receiver (write: read-src+write-shm;
+read: read-shm+write-dst) and the per-fragment flag dance adds a small
+cost proportional to ceil(m / fragment).
+
+Net effect, as the paper states (section III): "SM has better performance
+for small messages while SOLO performs significantly better as the
+communication size increases".  Reductions are scalar (no AVX, IV-A2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.modules.shm_common import ShmModule
+from repro.mpi.op import SUM
+
+__all__ = ["SMModule"]
+
+
+class SMModule(ShmModule):
+    name = "sm"
+    avx = False
+    nonblocking = False
+
+    def __init__(
+        self,
+        fragment: float = 8 * 1024,
+        frag_overhead: float = 0.05e-6,
+        setup_overhead: float = 0.2e-6,
+        pipe_efficiency: float = 0.6,
+    ):
+        self.fragment = fragment
+        self.frag_overhead = frag_overhead
+        self.setup_overhead = setup_overhead
+        #: fraction of peak copy bandwidth a reader achieves through the
+        #: fragment pipeline (flag polling between 8KB fragments); this
+        #: is SM's large-message handicap vs SOLO's single big copy.
+        self.pipe_efficiency = pipe_efficiency
+
+    def _reader_cap(self, comm) -> float:
+        return comm.runtime.machine.node.copy_bw * self.pipe_efficiency
+
+    def _frag_cost(self, comm, nbytes: float):
+        """Per-fragment flag handling, charged as one CPU lump."""
+        nfrag = max(1, math.ceil(nbytes / self.fragment))
+        yield from comm.compute(nfrag * self.frag_overhead)
+
+    def _pipe_head_delay(self, comm, nbytes: float) -> float:
+        """Time until the first fragment is available to readers."""
+        node = comm.runtime.machine.node
+        first = min(self.fragment, nbytes)
+        return node.shm_latency + first / node.copy_bw
+
+    # -- bcast ----------------------------------------------------------------
+
+    def bcast(self, comm, nbytes, root=0, payload=None, algorithm=None, segsize=None):
+        if comm.size == 1:
+            return payload
+        state = self._begin(comm)
+        ready = self._event(comm, state, "bcast-ready")
+        yield from self._setup(comm)
+        if comm.rank == root:
+            state["payload"] = payload
+            # Readers may start as soon as the first fragment landed.
+            comm.runtime.engine.schedule(
+                self._pipe_head_delay(comm, nbytes), lambda: ready.succeed(None)
+            )
+            yield from self._frag_cost(comm, nbytes)
+            yield from self._flow(comm, state, nbytes, copies=2,
+                                  rate_cap=comm.runtime.machine.node.copy_bw)
+            result = payload
+            # Bounce-buffer backpressure: the fragment pool is finite, so
+            # the root cannot retire the call until readers drained it.
+            drained = self._event(comm, state, "bcast-drained")
+            yield drained
+        else:
+            if payload is not None:
+                raise ValueError("payload may only be supplied at the root")
+            yield ready
+            yield from self._frag_cost(comm, nbytes)
+            # the bounce fragment is cache-resident when read: one bus
+            # crossing (the write to the destination buffer)
+            yield from self._flow(comm, state, nbytes, copies=1,
+                                  rate_cap=self._reader_cap(comm))
+            result = state.get("payload")
+            state["readers_done"] = state.get("readers_done", 0) + 1
+            if state["readers_done"] == comm.size - 1:
+                self._event(comm, state, "bcast-drained").succeed(None)
+        self._finish(comm, state)
+        return result
+
+    # -- reduce ----------------------------------------------------------------
+
+    def reduce(
+        self, comm, nbytes, root=0, payload=None, op=SUM, algorithm=None, segsize=None
+    ):
+        if comm.size == 1:
+            return payload
+        state = self._begin(comm)
+        contrib = state.setdefault("contrib", {})
+        written = [
+            self._event(comm, state, f"reduce-w{r}") for r in range(comm.size)
+        ]
+        yield from self._setup(comm)
+        node = comm.runtime.machine.node
+        if comm.rank != root:
+            contrib[comm.rank] = payload
+            yield from self._frag_cost(comm, nbytes)
+            yield from self._flow(comm, state, nbytes, copies=2,
+                                  rate_cap=node.copy_bw)
+            written[comm.rank].succeed(None)
+            self._finish(comm, state)
+            return None
+        # Root drains contributions in rank order: read + scalar combine.
+        acc = payload
+        yield from self._frag_cost(comm, nbytes)
+        for r in range(comm.size):
+            if r == root:
+                continue
+            yield written[r]
+            yield from self._flow(comm, state, nbytes, copies=2,
+                                  rate_cap=node.copy_bw)
+            yield from comm.reduce_compute(nbytes, avx=self.avx)
+            incoming = contrib.get(r)
+            if acc is not None and incoming is not None:
+                acc = op(acc, incoming)
+        self._finish(comm, state)
+        return acc
+
+    # -- composed collectives ----------------------------------------------------------------
+
+    def allreduce(self, comm, nbytes, payload=None, op=SUM, algorithm=None, segsize=None):
+        reduced = yield from self.reduce(comm, nbytes, root=0, payload=payload, op=op)
+        result = yield from self.bcast(
+            comm, nbytes, root=0, payload=reduced if comm.rank == 0 else None
+        )
+        return result
+
+    def gather(self, comm, nbytes, root=0, payload=None):
+        """Children write blocks to the shared segment; root reads them all."""
+        import numpy as np
+
+        if comm.size == 1:
+            return payload
+        state = self._begin(comm)
+        contrib = state.setdefault("contrib", {})
+        written = [self._event(comm, state, f"gather-w{r}") for r in range(comm.size)]
+        yield from self._setup(comm)
+        node = comm.runtime.machine.node
+        if comm.rank != root:
+            contrib[comm.rank] = payload
+            yield from self._frag_cost(comm, nbytes)
+            yield from self._flow(comm, state, nbytes, copies=2, rate_cap=node.copy_bw)
+            written[comm.rank].succeed(None)
+            self._finish(comm, state)
+            return None
+        contrib[root] = payload
+        parts = []
+        for r in range(comm.size):
+            if r != root:
+                yield written[r]
+                yield from self._flow(
+                    comm, state, nbytes, copies=2, rate_cap=node.copy_bw
+                )
+            parts.append(contrib.get(r))
+        self._finish(comm, state)
+        if any(p is None for p in parts):
+            return None
+        return np.concatenate(parts)
+
+    def barrier(self, comm):
+        """Flag counter in the shared segment."""
+        if comm.size == 1:
+            return
+        state = self._begin(comm)
+        release = self._event(comm, state, "barrier-release")
+        yield from self._setup(comm)
+        yield from self._latency(comm)
+        state["arrived"] = state.get("arrived", 0) + 1
+        if state["arrived"] == comm.size:
+            release.succeed(None)
+        yield release
+        yield from self._latency(comm)
+        self._finish(comm, state)

@@ -1,0 +1,141 @@
+"""The `tuned` module: Open MPI's default collective decision rules.
+
+This reproduces the role of ``coll_tuned`` with its *fixed* decision
+functions [29] -- rules derived long ago "on hardware with completely
+different parameters than most today's HPC machines" (paper section
+II-B).  It is the flat, hierarchy-unaware baseline labelled "default
+Open MPI" throughout the paper's evaluation.
+
+The decision thresholds below follow the shape of
+``coll_tuned_decision_fixed.c``: binomial for small broadcasts,
+split-binary in the mid-range, a pipelined chain with 128 KB segments
+for large ones; recursive doubling vs ring for allreduce; and so on.
+An explicit ``algorithm=``/``segsize=`` overrides the decision.
+"""
+
+from __future__ import annotations
+
+from repro.colls import (
+    ALLGATHER_ALGORITHMS,
+    ALLREDUCE_ALGORITHMS,
+    BARRIER_ALGORITHMS,
+    BCAST_ALGORITHMS,
+    GATHER_ALGORITHMS,
+    REDUCE_ALGORITHMS,
+    SCATTER_ALGORITHMS,
+)
+from repro.modules.base import CollModule
+from repro.mpi.op import SUM
+
+__all__ = ["TunedModule"]
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+class TunedModule(CollModule):
+    name = "tuned"
+    avx = False  # paper IV-A2: default reductions are not vectorized
+    nonblocking = False
+    bcast_algorithms = tuple(sorted(BCAST_ALGORITHMS))
+    reduce_algorithms = tuple(sorted(REDUCE_ALGORITHMS))
+
+    # -- decision functions (fixed rules) ------------------------------------------
+
+    @staticmethod
+    def decide_bcast(size: int, nbytes: float) -> tuple[str, float | None]:
+        if nbytes < 2 * KiB or size < 4:
+            return "binomial", None
+        if nbytes < 32 * KiB:
+            return "split_binary", 8 * KiB
+        if nbytes < 512 * KiB:
+            return "binary", 32 * KiB
+        return "chain", 128 * KiB  # the classic "pipeline, 128KB" rule
+
+    @staticmethod
+    def decide_allreduce(size: int, nbytes: float) -> tuple[str, float | None]:
+        if nbytes <= 10 * KiB or size < 4:
+            return "recursive_doubling", None
+        return "ring", None
+
+    @staticmethod
+    def decide_reduce(size: int, nbytes: float) -> tuple[str, float | None]:
+        if nbytes <= 8 * KiB or size < 4:
+            return "binomial", None
+        if nbytes <= 512 * KiB:
+            return "binary", 32 * KiB
+        return "chain", 64 * KiB
+
+    @staticmethod
+    def decide_allgather(size: int, nbytes: float) -> tuple[str, float | None]:
+        if nbytes * size <= 64 * KiB:
+            return "bruck", None
+        if size & (size - 1) == 0:
+            return "recursive_doubling", None
+        return "ring", None
+
+    @staticmethod
+    def decide_gather(size: int, nbytes: float) -> str:
+        return "binomial" if nbytes <= 32 * KiB else "linear"
+
+    # -- collectives --------------------------------------------------------------
+
+    def bcast(self, comm, nbytes, root=0, payload=None, algorithm=None, segsize=None):
+        if algorithm is None:
+            algorithm, auto_seg = self.decide_bcast(comm.size, nbytes)
+            segsize = auto_seg if segsize is None else segsize
+        self._check_alg(algorithm, BCAST_ALGORITHMS, "bcast")
+        result = yield from BCAST_ALGORITHMS[algorithm](
+            comm, nbytes, root=root, payload=payload, segsize=segsize
+        )
+        return result
+
+    def reduce(
+        self, comm, nbytes, root=0, payload=None, op=SUM, algorithm=None, segsize=None
+    ):
+        if algorithm is None:
+            algorithm, auto_seg = self.decide_reduce(comm.size, nbytes)
+            segsize = auto_seg if segsize is None else segsize
+        self._check_alg(algorithm, REDUCE_ALGORITHMS, "reduce")
+        result = yield from REDUCE_ALGORITHMS[algorithm](
+            comm,
+            nbytes,
+            root=root,
+            payload=payload,
+            op=op,
+            segsize=segsize,
+            avx=self.avx,
+        )
+        return result
+
+    def allreduce(self, comm, nbytes, payload=None, op=SUM, algorithm=None, segsize=None):
+        if algorithm is None:
+            algorithm, auto_seg = self.decide_allreduce(comm.size, nbytes)
+            segsize = auto_seg if segsize is None else segsize
+        self._check_alg(algorithm, ALLREDUCE_ALGORITHMS, "allreduce")
+        result = yield from ALLREDUCE_ALGORITHMS[algorithm](
+            comm, nbytes, payload=payload, op=op, segsize=segsize, avx=self.avx
+        )
+        return result
+
+    def gather(self, comm, nbytes, root=0, payload=None):
+        alg = self.decide_gather(comm.size, nbytes)
+        result = yield from GATHER_ALGORITHMS[alg](
+            comm, nbytes, root=root, payload=payload
+        )
+        return result
+
+    def scatter(self, comm, nbytes, root=0, payload=None):
+        alg = "binomial" if nbytes / max(comm.size, 1) <= 32 * KiB else "linear"
+        result = yield from SCATTER_ALGORITHMS[alg](
+            comm, nbytes, root=root, payload=payload
+        )
+        return result
+
+    def allgather(self, comm, nbytes, payload=None):
+        alg, _seg = self.decide_allgather(comm.size, nbytes)
+        result = yield from ALLGATHER_ALGORITHMS[alg](comm, nbytes, payload=payload)
+        return result
+
+    def barrier(self, comm):
+        yield from BARRIER_ALGORITHMS["dissemination"](comm)

@@ -1,0 +1,44 @@
+"""Simulated MPI runtime.
+
+A faithful-enough MPI subset for collective communication research:
+
+- ranks are simulated processes (Python generators) placed on the nodes of
+  a :class:`~repro.hardware.MachineSpec`;
+- point-to-point follows the eager/rendezvous protocols with per-channel
+  FIFO matching, wildcards, and non-blocking requests;
+- communicators support ``split`` and ``split_type`` (the portable MPI-3.1
+  mechanism HAN uses to discover the node hierarchy, paper section III);
+- reduction operators are numpy-backed so collective results can be
+  checked for *correctness*, not just timed.
+
+The API mirrors mpi4py conventions where that makes sense, adapted to the
+generator-based simulation style: blocking calls are used as
+``msg = yield from comm.recv(src)``, non-blocking calls return a
+:class:`Request` waited on with ``yield from comm.wait(req)``.
+"""
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, UNDEFINED
+from repro.mpi.op import BAND, BOR, BXOR, LAND, LOR, MAX, MIN, PROD, SUM, Op
+from repro.mpi.request import Request
+from repro.mpi.communicator import Communicator, Message
+from repro.mpi.runtime import MPIRuntime
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "BAND",
+    "BOR",
+    "BXOR",
+    "Communicator",
+    "LAND",
+    "LOR",
+    "MAX",
+    "MIN",
+    "Message",
+    "MPIRuntime",
+    "Op",
+    "PROD",
+    "Request",
+    "SUM",
+    "UNDEFINED",
+]

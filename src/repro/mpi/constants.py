@@ -1,0 +1,9 @@
+"""MPI-style constants."""
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+UNDEFINED = -32766  # color for ranks excluded from a split (MPI_UNDEFINED)
+
+# Tags >= INTERNAL_TAG_BASE are reserved for runtime-internal traffic
+# (e.g. the built-in barrier); user code should stay below it.
+INTERNAL_TAG_BASE = 1 << 30

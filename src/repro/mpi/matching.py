@@ -1,0 +1,120 @@
+"""Message envelopes and MPI matching semantics.
+
+Matching follows the MPI rules: a receive names ``(source, tag)`` with
+wildcards; envelopes from one sender are matched in the order they were
+sent (non-overtaking), which the runtime enforces with per-channel
+sequence numbers and a hold-back buffer -- flows of different sizes may
+physically finish out of order, the *matching* never does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.request import Request
+
+__all__ = ["Envelope", "PostedRecv", "Matcher", "Channel"]
+
+EAGER = "eager"
+RNDV = "rndv"
+
+
+@dataclass
+class Envelope:
+    """The matchable part of a message plus its transfer state."""
+
+    cid: int
+    src: int  # communicator rank of the sender
+    dst: int
+    tag: int
+    nbytes: float
+    payload: object
+    protocol: str
+    seq: int
+    src_world: int
+    dst_world: int
+    send_req: Optional[Request] = None
+    arrived: bool = False  # data physically at the receiver
+    matched: bool = False
+    # fired by the runtime when the match happens (rendezvous CTS trigger)
+    on_matched: Optional[Callable[["Envelope", "PostedRecv"], None]] = None
+    recv: Optional["PostedRecv"] = None
+
+
+@dataclass
+class PostedRecv:
+    """A posted receive waiting for a matching envelope."""
+
+    source: int
+    tag: int
+    req: Request
+
+    def matches(self, env: Envelope) -> bool:
+        return (self.source in (ANY_SOURCE, env.src)) and (
+            self.tag in (ANY_TAG, env.tag)
+        )
+
+
+class Matcher:
+    """Posted-receive and unexpected-message queues for one (comm, rank)."""
+
+    __slots__ = ("posted", "unexpected")
+
+    def __init__(self) -> None:
+        self.posted: list[PostedRecv] = []
+        self.unexpected: list[Envelope] = []
+
+    def deliver(self, env: Envelope) -> Optional[PostedRecv]:
+        """An envelope reached the receiver; match or queue it."""
+        for i, recv in enumerate(self.posted):
+            if recv.matches(env):
+                del self.posted[i]
+                self._bind(env, recv)
+                return recv
+        self.unexpected.append(env)
+        return None
+
+    def post(self, recv: PostedRecv) -> Optional[Envelope]:
+        """A receive was posted; match a queued envelope or wait."""
+        for i, env in enumerate(self.unexpected):
+            if recv.matches(env):
+                del self.unexpected[i]
+                self._bind(env, recv)
+                return env
+        self.posted.append(recv)
+        return None
+
+    @staticmethod
+    def _bind(env: Envelope, recv: PostedRecv) -> None:
+        env.matched = True
+        env.recv = recv
+        if env.on_matched is not None:
+            env.on_matched(env, recv)
+
+
+class Channel:
+    """Per (comm, src, dst) FIFO enforcing in-order envelope delivery."""
+
+    __slots__ = ("next_send_seq", "next_deliver_seq", "holdback")
+
+    def __init__(self) -> None:
+        self.next_send_seq = 0
+        self.next_deliver_seq = 0
+        self.holdback: dict[int, Envelope] = {}
+
+    def alloc_seq(self) -> int:
+        s = self.next_send_seq
+        self.next_send_seq += 1
+        return s
+
+    def deliver_in_order(
+        self, env: Envelope, sink: Callable[[Envelope], None]
+    ) -> None:
+        """Pass envelopes to ``sink`` strictly in send order."""
+        self.holdback[env.seq] = env
+        while self.next_deliver_seq in self.holdback:
+            nxt = self.holdback.pop(self.next_deliver_seq)
+            self.next_deliver_seq += 1
+            sink(nxt)

@@ -1,0 +1,57 @@
+"""Reduction operators, numpy-backed.
+
+Collective algorithms call ``op(a, b)`` on real arrays when the simulation
+carries payloads (correctness tests) and consult ``op.commutative`` to
+pick legal algorithms -- the paper's MPI_Allreduce design assumes a
+commutative operation (section III-B1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "Op",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "BXOR",
+]
+
+
+@dataclass(frozen=True)
+class Op:
+    """A binary reduction operator.
+
+    ``fn(a, b)`` must be elementwise over equal-shape numpy arrays and
+    must not mutate its inputs (algorithms may reduce into views).
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    commutative: bool = True
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:
+        return f"Op({self.name})"
+
+
+SUM = Op("sum", np.add)
+PROD = Op("prod", np.multiply)
+MAX = Op("max", np.maximum)
+MIN = Op("min", np.minimum)
+LAND = Op("land", np.logical_and)
+LOR = Op("lor", np.logical_or)
+BAND = Op("band", np.bitwise_and)
+BOR = Op("bor", np.bitwise_or)
+BXOR = Op("bxor", np.bitwise_xor)

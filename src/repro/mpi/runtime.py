@@ -1,0 +1,254 @@
+"""The simulated MPI runtime: process launch, P2P protocol, comm split.
+
+One :class:`MPIRuntime` owns the simulation engine, the fabric (fluid
+resources + progress servers) and all communicator state.  ``run()``
+plays the role of ``mpirun``: it instantiates one simulated process per
+rank and drives the event loop to completion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.hardware.spec import MachineSpec
+from repro.mpi.communicator import Communicator, Message
+from repro.mpi.constants import UNDEFINED
+from repro.mpi.matching import EAGER, RNDV, Channel, Envelope, Matcher, PostedRecv
+from repro.mpi.request import Request
+from repro.netsim.fabric import Fabric
+from repro.netsim.profiles import P2PProfile, openmpi_profile
+from repro.sim.engine import Engine
+
+__all__ = ["MPIRuntime"]
+
+
+class MPIRuntime:
+    """A machine + an MPI library profile + live communicator state."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        profile: Optional[P2PProfile] = None,
+    ):
+        self.machine = machine
+        self.profile = profile if profile is not None else openmpi_profile()
+        self.engine = Engine()
+        self.fabric = Fabric(self.engine, machine, self.profile)
+        self._matchers: dict[tuple[int, int], Matcher] = {}
+        self._channels: dict[tuple[int, int, int], Channel] = {}
+        self._next_cid = 0
+        # cid -> group (world ranks); split coordination state
+        self._groups: dict[int, tuple[int, ...]] = {}
+        self._splits: dict[tuple[int, int], dict] = {}
+        self.world_group = tuple(range(machine.num_ranks))
+        self._world_cid = self._register_comm(self.world_group)
+        self._coll_state: dict = {}
+
+    # -- communicator bookkeeping ---------------------------------------------------
+
+    def _register_comm(self, group: tuple[int, ...]) -> int:
+        cid = self._next_cid
+        self._next_cid += 1
+        self._groups[cid] = group
+        return cid
+
+    def world_view(self, rank: int) -> Communicator:
+        """COMM_WORLD as seen by ``rank``."""
+        return Communicator(self, self._world_cid, self.world_group, rank)
+
+    def _matcher(self, cid: int, dst_crank: int) -> Matcher:
+        key = (cid, dst_crank)
+        m = self._matchers.get(key)
+        if m is None:
+            m = self._matchers[key] = Matcher()
+        return m
+
+    def _channel(self, cid: int, src: int, dst: int) -> Channel:
+        key = (cid, src, dst)
+        c = self._channels.get(key)
+        if c is None:
+            c = self._channels[key] = Channel()
+        return c
+
+    def coll_state(self, key) -> dict:
+        """Shared per-collective-call scratch state.
+
+        Shared-memory collective modules (SM/SOLO) synchronize their ranks
+        through node-local flags rather than MPI messages; this registry
+        is the simulation stand-in for that shared segment.  Callers pop
+        the key when the call completes.
+        """
+        state = self._coll_state.get(key)
+        if state is None:
+            state = self._coll_state[key] = {}
+        return state
+
+    def drop_coll_state(self, key) -> None:
+        self._coll_state.pop(key, None)
+
+    # -- P2P protocol ------------------------------------------------------------
+
+    def _isend(
+        self,
+        comm: Communicator,
+        src: int,
+        dst: int,
+        nbytes: float,
+        payload: object,
+        tag: int,
+    ) -> Request:
+        prof = self.profile
+        src_w, dst_w = comm.group[src], comm.group[dst]
+        req = Request(self.engine.event("send"), "send")
+        channel = self._channel(comm.cid, src, dst)
+        protocol = EAGER if prof.is_eager(nbytes) else RNDV
+        env = Envelope(
+            cid=comm.cid,
+            src=src,
+            dst=dst,
+            tag=tag,
+            nbytes=nbytes,
+            payload=payload,
+            protocol=protocol,
+            seq=channel.alloc_seq(),
+            src_world=src_w,
+            dst_world=dst_w,
+            send_req=req,
+        )
+        if protocol == RNDV:
+            env.on_matched = self._rndv_matched
+
+        def after_send_overhead(_ev) -> None:
+            # The matchable envelope travels at control latency, in order.
+            ctrl = self.fabric.control_latency(src_w, dst_w)
+            self.engine.schedule(ctrl, lambda: self._deliver(env))
+            if protocol == EAGER:
+                # Data goes immediately (buffered at the receiver if no
+                # recv is posted yet); sender completes locally.
+                self.fabric.start_transfer(
+                    src_w, dst_w, nbytes, lambda: self._data_arrived(env)
+                )
+                req.event.succeed(None)
+
+        ov = self.fabric.progress[src_w].request(prof.send_overhead(nbytes))
+        ov.callbacks.append(after_send_overhead)
+        return req
+
+    def _deliver(self, env: Envelope) -> None:
+        channel = self._channel(env.cid, env.src, env.dst)
+        matcher = self._matcher(env.cid, env.dst)
+        channel.deliver_in_order(env, matcher.deliver)
+
+    def _irecv(
+        self, comm: Communicator, dst: int, source: int, tag: int
+    ) -> Request:
+        req = Request(self.engine.event("recv"), "recv")
+        recv = PostedRecv(source=source, tag=tag, req=req)
+        env = self._matcher(comm.cid, dst).post(recv)
+        if env is not None and env.protocol == EAGER:
+            self._try_finish_eager(env)
+        # Rendezvous envelopes trigger _rndv_matched via Matcher._bind.
+        return req
+
+    def _data_arrived(self, env: Envelope) -> None:
+        env.arrived = True
+        if env.protocol == EAGER:
+            self._try_finish_eager(env)
+        else:
+            # Rendezvous: data lands only after the match, so the recv is
+            # known; complete both sides.
+            env.send_req.event.succeed(None)
+            self._finish_recv(env)
+
+    def _try_finish_eager(self, env: Envelope) -> None:
+        if env.arrived and env.matched:
+            self._finish_recv(env)
+
+    def _rndv_matched(self, env: Envelope, _recv: PostedRecv) -> None:
+        """Receiver matched an RTS: send CTS, then stream the data."""
+        cts = self.fabric.control_latency(env.dst_world, env.src_world)
+
+        def start_data() -> None:
+            self.fabric.start_transfer(
+                env.src_world,
+                env.dst_world,
+                env.nbytes,
+                lambda: self._data_arrived(env),
+            )
+
+        self.engine.schedule(cts, start_data)
+
+    def _finish_recv(self, env: Envelope) -> None:
+        ov = self.fabric.progress[env.dst_world].request(
+            self.profile.recv_overhead(env.nbytes)
+        )
+        msg = Message(
+            source=env.src, tag=env.tag, nbytes=env.nbytes, payload=env.payload
+        )
+        ov.callbacks.append(lambda _ev: env.recv.req.event.succeed(msg))
+
+    # -- comm split ------------------------------------------------------------
+
+    def _split_submit(self, comm: Communicator, epoch: int, color, key):
+        """Collect split calls; resolve when the whole group has called."""
+        ev = self.engine.event(f"split:{comm.cid}:{epoch}:{comm.rank}")
+        state = self._splits.setdefault((comm.cid, epoch), {})
+        state[comm.rank] = (color, key, ev)
+        if len(state) == len(comm.group):
+            del self._splits[(comm.cid, epoch)]
+            self._split_resolve(comm.group, state)
+        return ev
+
+    def _split_resolve(self, parent_group: tuple[int, ...], state: dict) -> None:
+        by_color: dict = {}
+        for rank, (color, key, ev) in state.items():
+            if color == UNDEFINED:
+                continue
+            by_color.setdefault(color, []).append((key, rank, ev))
+        results: dict[int, tuple[Optional[Communicator], object]] = {}
+        for color in sorted(by_color):
+            members = sorted(by_color[color])  # by (key, parent rank)
+            group = tuple(parent_group[rank] for _k, rank, _ev in members)
+            cid = self._register_comm(group)
+            for new_rank, (_k, parent_rank, ev) in enumerate(members):
+                results[parent_rank] = (
+                    Communicator(self, cid, group, new_rank),
+                    ev,
+                )
+        for rank, (color, _key, ev) in state.items():
+            if color == UNDEFINED:
+                ev.succeed(None)
+            else:
+                new_comm, _ = results[rank]
+                ev.succeed(new_comm)
+
+    # -- launching ------------------------------------------------------------
+
+    def run(
+        self,
+        program: Callable[..., Generator],
+        *args,
+        ranks: Optional[int] = None,
+        until: Optional[float] = None,
+    ) -> list:
+        """``mpirun``: start ``program(comm, *args)`` on every rank.
+
+        Returns the per-rank results (the generators' return values) after
+        the simulation drains.  ``ranks`` may restrict the launch to the
+        first N world ranks (they still see a communicator of that size).
+        """
+        nranks = self.machine.num_ranks if ranks is None else ranks
+        if not (1 <= nranks <= self.machine.num_ranks):
+            raise ValueError(f"ranks must be in [1, {self.machine.num_ranks}]")
+        if nranks == self.machine.num_ranks:
+            comms = [self.world_view(r) for r in range(nranks)]
+        else:
+            group = tuple(range(nranks))
+            cid = self._register_comm(group)
+            comms = [Communicator(self, cid, group, r) for r in range(nranks)]
+        procs = [
+            self.engine.spawn(program(comms[r], *args), name=f"rank{r}")
+            for r in range(nranks)
+        ]
+        self.engine.run(until=until)
+        return [p.result for p in procs]

@@ -1,0 +1,32 @@
+"""Transport layer: turns hardware specs into simulated communication.
+
+- :mod:`repro.netsim.profiles` -- per-MPI-library point-to-point behaviour
+  (eager/rendezvous switch, software overheads, achievable-bandwidth
+  curve).  This is the mechanism behind the paper's Fig 11, where the
+  *same* Shaheen II hardware yields different Netpipe curves for Open MPI
+  and Cray MPI.
+- :mod:`repro.netsim.progress` -- per-rank serial progress server modelling
+  single-threaded MPI progression (paper III-A2 factor (2)).
+- :mod:`repro.netsim.fabric` -- builds the fluid resources (NIC channels,
+  links, memory buses) for a machine and provides path lookup.
+"""
+
+from repro.netsim.fabric import Fabric
+from repro.netsim.profiles import (
+    P2PProfile,
+    craympi_profile,
+    intelmpi_profile,
+    mvapich2_profile,
+    openmpi_profile,
+)
+from repro.netsim.progress import ProgressServer
+
+__all__ = [
+    "Fabric",
+    "P2PProfile",
+    "ProgressServer",
+    "craympi_profile",
+    "intelmpi_profile",
+    "mvapich2_profile",
+    "openmpi_profile",
+]

@@ -1,0 +1,206 @@
+"""The fabric: every shared hardware resource of one simulated machine.
+
+Built once per simulation from a :class:`~repro.hardware.MachineSpec` and
+a :class:`~repro.netsim.profiles.P2PProfile`:
+
+- one *memory-bus* fluid resource per node (shared by intra-node copies
+  and NIC DMA -- the `ib`-vs-`sb` contention of paper III-A2),
+- one *NIC tx* and one *NIC rx* fluid resource per node (full-duplex, so
+  `ir` and `ib` can overlap on opposite directions, paper III-B1),
+- one fluid resource per interconnect link (from the topology),
+- one serial :class:`ProgressServer` per rank (single-threaded MPI).
+
+It exposes transfer *plans* (latency + resource route + rate cap) and a
+``start_transfer`` helper that runs the latency->flow pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.hardware.spec import MachineSpec
+from repro.netsim.profiles import P2PProfile
+from repro.netsim.progress import ProgressServer
+from repro.sim.engine import Engine
+from repro.sim.fluid import FluidSolver
+
+__all__ = ["Fabric", "TransferPlan"]
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """Everything needed to time one message's data movement."""
+
+    latency: float
+    resources: Tuple[int, ...]
+    rate_cap: float
+    intra_node: bool
+
+
+class Fabric:
+    def __init__(self, engine: Engine, machine: MachineSpec, profile: P2PProfile):
+        self.engine = engine
+        self.machine = machine
+        self.profile = profile
+        self.solver = FluidSolver(engine)
+        self.topo = machine.build_topology()
+
+        n = machine.num_nodes
+        node = machine.node
+        self._membus = [self.solver.add_resource(node.mem_bw) for _ in range(n)]
+        self._nic_tx = [self.solver.add_resource(machine.nic.bw) for _ in range(n)]
+        self._nic_rx = [self.solver.add_resource(machine.nic.bw) for _ in range(n)]
+        self._links = [
+            self.solver.add_resource(link.capacity) for link in self.topo.links
+        ]
+        # GPU nodes get an NVLink-fabric resource and a per-direction
+        # PCIe staging resource (paper future work: GPU submodule)
+        if node.gpus > 0:
+            self._nvlink = [
+                self.solver.add_resource(node.nvlink_bw) for _ in range(n)
+            ]
+            self._pcie_h2d = [
+                self.solver.add_resource(node.pcie_bw) for _ in range(n)
+            ]
+            self._pcie_d2h = [
+                self.solver.add_resource(node.pcie_bw) for _ in range(n)
+            ]
+        else:
+            self._nvlink = self._pcie_h2d = self._pcie_d2h = None
+        self.progress = [
+            ProgressServer(engine, name=f"rank{r}")
+            for r in range(machine.num_ranks)
+        ]
+        # (src_node, dst_node) -> (latency, resources); the rate cap is
+        # message-size dependent and computed per call.
+        self._path_cache: dict[tuple[int, int], tuple[float, tuple[int, ...]]] = {}
+
+    # -- placement ---------------------------------------------------------------
+
+    def node_of(self, rank: int) -> int:
+        """Block ("by node") rank placement: ranks 0..ppn-1 on node 0, etc."""
+        if not (0 <= rank < self.machine.num_ranks):
+            raise IndexError(f"rank {rank} out of range")
+        return rank // self.machine.ppn
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def membus_rid(self, node: int) -> int:
+        return self._membus[node]
+
+    def nic_tx_rid(self, node: int) -> int:
+        return self._nic_tx[node]
+
+    def nic_rx_rid(self, node: int) -> int:
+        return self._nic_rx[node]
+
+    # -- transfer planning ----------------------------------------------------------
+
+    def plan(self, src_rank: int, dst_rank: int, nbytes: float) -> TransferPlan:
+        """Latency, fluid route and rate cap for one message."""
+        sn, dn = self.node_of(src_rank), self.node_of(dst_rank)
+        prof = self.profile
+        intra = sn == dn
+        cached = self._path_cache.get((sn, dn))
+        if cached is None:
+            if intra:
+                # Shared-memory path: copy-in + copy-out cross the bus twice.
+                bus = self._membus[sn]
+                cached = (
+                    self.machine.node.shm_latency + prof.sw_latency,
+                    (bus, bus),
+                )
+            else:
+                route = self.topo.route(sn, dn)
+                latency = (
+                    self.machine.nic.latency
+                    + prof.sw_latency
+                    + len(route) * self.machine.hop_latency
+                )
+                cached = (
+                    latency,
+                    (
+                        self._nic_tx[sn],
+                        *(self._links[l] for l in route),
+                        self._nic_rx[dn],
+                        self._membus[sn],
+                        self._membus[dn],
+                    ),
+                )
+            self._path_cache[(sn, dn)] = cached
+        latency, resources = cached
+        cap = (
+            self.machine.node.copy_bw
+            if intra
+            else prof.rate_cap(nbytes, self.machine.nic.bw)
+        )
+        return TransferPlan(
+            latency=latency, resources=resources, rate_cap=cap, intra_node=intra
+        )
+
+    def control_latency(self, src_rank: int, dst_rank: int) -> float:
+        """One-way latency of a zero-payload control message (RTS/CTS)."""
+        return self.plan(src_rank, dst_rank, 0).latency
+
+    # -- transfer execution ----------------------------------------------------------
+
+    def start_transfer(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        nbytes: float,
+        on_done: Callable[[], None],
+    ) -> None:
+        """Run latency then the fluid flow; ``on_done`` fires at delivery."""
+        plan = self.plan(src_rank, dst_rank, nbytes)
+
+        def launch() -> None:
+            self.solver.start_flow(
+                nbytes, plan.resources, on_done, rate_cap=plan.rate_cap
+            )
+
+        self.engine.schedule(plan.latency, launch)
+
+    def gpu_flow(
+        self,
+        node: int,
+        nbytes: float,
+        on_done: Callable[[], None],
+        path: str = "nvlink",
+    ) -> int:
+        """GPU-side data movement: 'nvlink', 'h2d' or 'd2h'.
+
+        Host<->device staging (h2d/d2h) also crosses the host memory bus.
+        """
+        if self._nvlink is None:
+            raise RuntimeError("machine has no GPUs (NodeSpec.gpus == 0)")
+        if path == "nvlink":
+            resources = (self._nvlink[node],)
+        elif path == "h2d":
+            resources = (self._pcie_h2d[node], self._membus[node])
+        elif path == "d2h":
+            resources = (self._pcie_d2h[node], self._membus[node])
+        else:
+            raise ValueError(f"unknown gpu path {path!r}")
+        return self.solver.start_flow(nbytes, resources, on_done)
+
+    def membus_flow(
+        self,
+        node: int,
+        nbytes: float,
+        on_done: Callable[[], None],
+        copies: int = 1,
+        rate_cap: float | None = None,
+    ) -> int:
+        """Raw memory-bus flow used by the SM/SOLO intra-node modules.
+
+        ``copies`` is how many times each byte crosses the bus (2 for a
+        bounce-buffer pipe, 1 for a one-sided direct copy).
+        """
+        bus = self._membus[node]
+        cap = self.machine.node.copy_bw if rate_cap is None else rate_cap
+        return self.solver.start_flow(
+            nbytes, (bus,) * copies, on_done, rate_cap=cap
+        )

@@ -1,0 +1,370 @@
+"""Deterministic discrete-event engine with generator-based processes.
+
+The engine keeps a single binary heap of timestamped callbacks.  Simulated
+processes are Python generators that ``yield`` *commands*; the engine
+interprets each command, and resumes the generator (``gen.send(value)``)
+when the command completes.  Sub-routines compose with plain
+``yield from``, so collective algorithms read like straight-line MPI code.
+
+Commands understood by the engine:
+
+``Sleep(dt)``
+    Suspend the process for ``dt`` simulated seconds.
+``SimEvent``
+    Suspend until the event is succeeded; ``succeed(value)`` resumes every
+    waiter with ``value``.
+``AnyOf(events)`` / ``AllOf(events)``
+    Composite waits (used to build ``MPI_Waitany`` / ``MPI_Waitall``).
+``Spawn(gen)``
+    Start a child process *on the same simulated rank* and resume
+    immediately with its :class:`SimProcess` handle.  This is how
+    non-blocking collectives (Libnbc / ADAPT schedules) run concurrently
+    with the caller while still sharing the rank's CPU progress engine.
+``Join(proc)``
+    Suspend until the given child process finishes; resumes with the
+    child's return value.
+
+Determinism: events at equal timestamps are processed in (priority,
+sequence-number) order, so repeated runs are bit-identical.  ``priority``
+lets the fluid solver batch same-instant flow arrivals into a single
+rate recomputation (see :mod:`repro.sim.fluid`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "DeadlockError",
+    "Engine",
+    "Join",
+    "SimEvent",
+    "SimProcess",
+    "Sleep",
+    "Spawn",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LATE",
+]
+
+# Priorities for same-timestamp ordering.  "Late" callbacks (fluid-rate
+# recomputation) run after every normal event scheduled for the same instant.
+PRIORITY_NORMAL = 0
+PRIORITY_LATE = 1
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the event heap drains while processes are still blocked."""
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Command: suspend the issuing process for ``dt`` simulated seconds."""
+
+    dt: float
+
+
+@dataclass(frozen=True)
+class Spawn:
+    """Command: start ``gen`` as a child process; resume with its handle."""
+
+    gen: Generator
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Join:
+    """Command: wait for a spawned :class:`SimProcess` to finish."""
+
+    proc: "SimProcess"
+
+
+class SimEvent:
+    """One-shot event; processes wait on it, someone succeeds it once.
+
+    The value passed to :meth:`succeed` becomes the result of the ``yield``
+    in every waiting process.
+    """
+
+    __slots__ = ("engine", "name", "triggered", "value", "_waiters", "callbacks")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: list[SimProcess] = []
+        # Plain callables invoked (synchronously, in order) on success;
+        # used by AnyOf/AllOf and by the MPI request layer.
+        self.callbacks: list[Callable[["SimEvent"], None]] = []
+
+    def succeed(self, value: Any = None) -> None:
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} succeeded twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for cb in list(self.callbacks):
+            cb(self)
+        for proc in waiters:
+            self.engine._resume(proc, value)
+
+    def _add_waiter(self, proc: "SimProcess") -> None:
+        if self.triggered:
+            self.engine._resume(proc, self.value)
+        else:
+            self._waiters.append(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "set" if self.triggered else "pending"
+        return f"<SimEvent {self.name!r} {state}>"
+
+
+class AnyOf:
+    """Composite command: resume when *any* of ``events`` has triggered.
+
+    Resumes with ``(index, value)`` of the first event (already-triggered
+    events win immediately, lowest index first).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[SimEvent]):
+        self.events = list(events)
+
+
+class AllOf:
+    """Composite command: resume when *all* of ``events`` have triggered.
+
+    Resumes with the list of event values, in order.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[SimEvent]):
+        self.events = list(events)
+
+
+class SimProcess:
+    """Handle for a running generator-based simulated process."""
+
+    __slots__ = ("engine", "gen", "name", "finished", "result", "done_event", "error")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
+        self.engine = engine
+        self.gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.done_event = SimEvent(engine, name=f"done:{name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<SimProcess {self.name!r} {state}>"
+
+
+@dataclass(order=True)
+class _HeapItem:
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Engine:
+    """The discrete-event loop.
+
+    Typical use::
+
+        eng = Engine()
+        def prog():
+            yield Sleep(1.0)
+            return 42
+        p = eng.spawn(prog(), name="p0")
+        eng.run()
+        assert p.result == 42 and eng.now == 1.0
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[_HeapItem] = []
+        self._seq: int = 0
+        self._nblocked: int = 0
+        self._live_procs: int = 0
+        self._blocked_names: dict[int, str] = {}
+        self.trace_hook: Optional[Callable[[float, str, str], None]] = None
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(
+        self, delay: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL
+    ) -> _HeapItem:
+        """Run ``fn()`` after ``delay`` seconds; returns a cancellable token."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        item = _HeapItem(self.now + delay, priority, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, item)
+        return item
+
+    def schedule_at(
+        self, when: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL
+    ) -> _HeapItem:
+        """Run ``fn()`` at absolute simulated time ``when``."""
+        return self.schedule(when - self.now, fn, priority)
+
+    @staticmethod
+    def cancel(item: _HeapItem) -> None:
+        """Cancel a previously scheduled callback (lazy deletion)."""
+        item.cancelled = True
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh one-shot :class:`SimEvent` bound to this engine."""
+        return SimEvent(self, name)
+
+    # -- processes ----------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "") -> SimProcess:
+        """Start ``gen`` as a simulated process at the current time."""
+        proc = SimProcess(self, gen, name)
+        self._live_procs += 1
+        self.schedule(0.0, lambda: self._resume(proc, None))
+        return proc
+
+    def spawn_eager(self, gen: Generator, name: str = "") -> SimProcess:
+        """Start ``gen`` and run it synchronously until its first block.
+
+        Non-blocking collectives (MPI_Ibcast & co.) initiate their first
+        operations *inside* the call before returning; eager spawning
+        preserves that: the child's initial sends are enqueued on the
+        progress server ahead of whatever the caller does next.
+        """
+        proc = SimProcess(self, gen, name)
+        self._live_procs += 1
+        self._resume(proc, None)
+        return proc
+
+    def _resume(self, proc: SimProcess, value: Any) -> None:
+        if proc.finished:
+            return
+        self._blocked_names.pop(id(proc), None)
+        try:
+            cmd = proc.gen.send(value)
+        except StopIteration as stop:
+            self._finish(proc, stop.value, None)
+            return
+        except BaseException as exc:  # propagate at run()
+            self._finish(proc, None, exc)
+            raise
+        self._dispatch(proc, cmd)
+
+    def _finish(self, proc: SimProcess, result: Any, error) -> None:
+        proc.finished = True
+        proc.result = result
+        proc.error = error
+        self._live_procs -= 1
+        self._blocked_names.pop(id(proc), None)
+        if self.trace_hook is not None:
+            self.trace_hook(self.now, proc.name, "finish")
+        proc.done_event.succeed(result)
+
+    def _dispatch(self, proc: SimProcess, cmd: Any) -> None:
+        """Interpret one yielded command for ``proc``."""
+        if isinstance(cmd, SimEvent):
+            self._blocked_names[id(proc)] = proc.name
+            cmd._add_waiter(proc)
+        elif isinstance(cmd, Sleep):
+            self.schedule(cmd.dt, lambda: self._resume(proc, None))
+        elif isinstance(cmd, Spawn):
+            child = self.spawn_eager(cmd.gen, name=cmd.name or f"{proc.name}/child")
+            self.schedule(0.0, lambda: self._resume(proc, child))
+        elif isinstance(cmd, Join):
+            target = cmd.proc
+            if target.finished:
+                self.schedule(0.0, lambda: self._resume(proc, target.result))
+            else:
+                self._blocked_names[id(proc)] = proc.name
+                target.done_event._add_waiter(proc)
+        elif isinstance(cmd, AnyOf):
+            self._wait_any(proc, cmd.events)
+        elif isinstance(cmd, AllOf):
+            self._wait_all(proc, cmd.events)
+        else:
+            raise TypeError(
+                f"process {proc.name!r} yielded unsupported command {cmd!r}"
+            )
+
+    def _wait_any(self, proc: SimProcess, events: list[SimEvent]) -> None:
+        for idx, ev in enumerate(events):
+            if ev.triggered:
+                self.schedule(0.0, lambda i=idx, v=ev.value: self._resume(proc, (i, v)))
+                return
+        state = {"done": False}
+
+        def make_cb(idx: int):
+            def cb(ev: SimEvent) -> None:
+                if state["done"]:
+                    return
+                state["done"] = True
+                self._blocked_names.pop(id(proc), None)
+                self._resume(proc, (idx, ev.value))
+
+            return cb
+
+        self._blocked_names[id(proc)] = proc.name
+        for idx, ev in enumerate(events):
+            ev.callbacks.append(make_cb(idx))
+
+    def _wait_all(self, proc: SimProcess, events: list[SimEvent]) -> None:
+        pending = sum(1 for ev in events if not ev.triggered)
+        if pending == 0:
+            values = [ev.value for ev in events]
+            self.schedule(0.0, lambda: self._resume(proc, values))
+            return
+        state = {"pending": pending}
+
+        def cb(_ev: SimEvent) -> None:
+            state["pending"] -= 1
+            if state["pending"] == 0:
+                self._blocked_names.pop(id(proc), None)
+                self._resume(proc, [e.value for e in events])
+
+        self._blocked_names[id(proc)] = proc.name
+        for ev in events:
+            if not ev.triggered:
+                ev.callbacks.append(cb)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event heap; returns the final simulated time.
+
+        Raises :class:`DeadlockError` if processes remain blocked with no
+        pending events (a genuinely hung simulation), and re-raises any
+        exception a simulated process died with.
+        """
+        heap = self._heap
+        while heap:
+            item = heap[0]
+            if until is not None and item.time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(heap)
+            if item.cancelled:
+                continue
+            if item.time < self.now - 1e-18:
+                raise AssertionError("time went backwards")
+            self.now = item.time
+            item.fn()
+        if self._live_procs > 0 and until is None:
+            blocked = sorted(self._blocked_names.values())
+            raise DeadlockError(
+                f"simulation deadlock: {self._live_procs} live process(es), "
+                f"blocked: {blocked[:20]}"
+            )
+        return self.now

@@ -1,0 +1,85 @@
+"""Structured tracing of simulation events.
+
+Attach a :class:`Tracer` to an engine to record process lifecycles and
+custom marks with simulated timestamps; useful for debugging collective
+schedules and for the kind of task-timeline inspection Figs 1/5 describe.
+
+    eng = Engine()
+    tracer = Tracer(eng)
+    ... run ...
+    tracer.marks          # [(t, name, label), ...]
+    tracer.to_text()      # human-readable timeline
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.sim.engine import Engine
+
+__all__ = ["Tracer", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    actor: str
+    label: str
+
+
+@dataclass
+class Tracer:
+    engine: Engine
+    #: keep at most this many events (ring-buffer semantics)
+    limit: int = 100_000
+    events: List[TraceEvent] = field(default_factory=list)
+    _dropped: int = 0
+
+    def __post_init__(self) -> None:
+        # bind once so close() can recognise (and only remove) its own hook
+        self._hook = self._on_engine_event
+        self.engine.trace_hook = self._hook
+
+    def _on_engine_event(self, t: float, actor: str, label: str) -> None:
+        self.record(actor, label, t=t)
+
+    def record(self, actor: str, label: str, t: Optional[float] = None) -> None:
+        """Add a custom mark at the current (or given) simulated time."""
+        if len(self.events) >= self.limit:
+            self._dropped += 1
+            return
+        self.events.append(
+            TraceEvent(self.engine.now if t is None else t, actor, label)
+        )
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def for_actor(self, actor: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.actor == actor]
+
+    def spans(self, actor: str, start_label: str, end_label: str
+              ) -> List[Tuple[float, float]]:
+        """Pair up start/end marks into (begin, end) spans."""
+        out, stack = [], []
+        for e in self.for_actor(actor):
+            if e.label == start_label:
+                stack.append(e.time)
+            elif e.label == end_label and stack:
+                out.append((stack.pop(), e.time))
+        return out
+
+    def to_text(self, limit: int = 200) -> str:
+        lines = [
+            f"{e.time * 1e6:12.3f}us  {e.actor:20s} {e.label}"
+            for e in self.events[:limit]
+        ]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more")
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        if self.engine.trace_hook is self._hook:
+            self.engine.trace_hook = None

@@ -1,0 +1,54 @@
+"""Inter-node network topologies.
+
+The paper motivates HAN's modular design with the diversity of HPC
+interconnect topologies (hypercube, polymorphic-torus, fat-tree, dragonfly
+-- section I-A).  This package implements those topologies as routed link
+graphs; the transport layer (:mod:`repro.netsim`) turns each link into a
+fluid resource so inter-switch contention emerges naturally.
+
+All topologies implement the :class:`~repro.topology.base.Topology`
+interface: a set of capacity-weighted links plus a deterministic
+``route(src_node, dst_node)`` returning the link ids a message crosses.
+"""
+
+from repro.topology.base import Link, Topology
+from repro.topology.crossbar import Crossbar
+from repro.topology.dragonfly import Dragonfly
+from repro.topology.fattree import FatTree
+from repro.topology.hypercube import Hypercube
+from repro.topology.torus import Torus
+
+__all__ = ["Crossbar", "Dragonfly", "FatTree", "Hypercube", "Link", "Topology", "make_topology"]
+
+_REGISTRY = {
+    "crossbar": Crossbar,
+    "dragonfly": Dragonfly,
+    "fattree": FatTree,
+    "hypercube": Hypercube,
+    "torus": Torus,
+}
+
+
+def make_topology(kind: str, num_nodes: int, link_bw: float, **params) -> Topology:
+    """Instantiate a topology by name.
+
+    Parameters
+    ----------
+    kind:
+        One of ``crossbar``, ``dragonfly``, ``fattree``, ``hypercube``,
+        ``torus``.
+    num_nodes:
+        Number of compute nodes the topology must connect.
+    link_bw:
+        Base bandwidth (bytes/s) of one inter-switch link.
+    params:
+        Topology-specific knobs (e.g. ``taper`` for fat-tree,
+        ``routers_per_group`` for dragonfly, ``dims`` for torus).
+    """
+    try:
+        cls = _REGISTRY[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {kind!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(num_nodes=num_nodes, link_bw=link_bw, **params)

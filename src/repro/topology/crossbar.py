@@ -1,0 +1,25 @@
+"""Ideal full-crossbar interconnect (no internal contention points).
+
+With a crossbar the only shared network resources are the per-node NIC
+channels that the transport layer always models; this is the right default
+for small test clusters and for isolating endpoint effects from fabric
+effects in ablation studies.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.topology.base import Topology
+
+__all__ = ["Crossbar"]
+
+
+class Crossbar(Topology):
+    """Every node pair directly connected; routes have no internal links."""
+
+    def __init__(self, num_nodes: int, link_bw: float = 1.0):
+        super().__init__(num_nodes, link_bw)
+
+    def _route(self, src_node: int, dst_node: int) -> Tuple[int, ...]:
+        return ()

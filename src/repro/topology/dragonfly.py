@@ -1,0 +1,95 @@
+"""Dragonfly interconnect (Kim et al., ISCA'08), as in Cray Aries / XC40.
+
+Shaheen II -- the paper's primary machine -- is a Cray XC40 with an Aries
+dragonfly.  The canonical dragonfly is parameterised by:
+
+- ``p``: compute nodes per router,
+- ``a``: routers per group (fully connected inside the group),
+- ``h``: global links per router (groups fully connected through them).
+
+Minimal routing crosses at most one local link in the source group, one
+global link, and one local link in the destination group (l-g-l).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.topology.base import Topology
+
+__all__ = ["Dragonfly"]
+
+
+class Dragonfly(Topology):
+    def __init__(
+        self,
+        num_nodes: int,
+        link_bw: float,
+        nodes_per_router: int = 4,
+        routers_per_group: int = 4,
+        global_links_per_router: int = 2,
+        global_bw_factor: float = 1.0,
+    ):
+        super().__init__(num_nodes, link_bw)
+        if min(nodes_per_router, routers_per_group, global_links_per_router) < 1:
+            raise ValueError("dragonfly parameters must be >= 1")
+        self.p = nodes_per_router
+        self.a = routers_per_group
+        self.h = global_links_per_router
+
+        routers_needed = (num_nodes + self.p - 1) // self.p
+        self.num_groups = (routers_needed + self.a - 1) // self.a
+        self.num_routers = self.num_groups * self.a
+
+        # Local links: all-to-all routers within each group, both directions.
+        self._local: dict[tuple[int, int], int] = {}
+        for g in range(self.num_groups):
+            for i in range(self.a):
+                for j in range(self.a):
+                    if i == j:
+                        continue
+                    ra, rb = g * self.a + i, g * self.a + j
+                    self._local[(ra, rb)] = self._add_link(
+                        f"r{ra}", f"r{rb}", link_bw
+                    )
+
+        # Global links: connect group pairs.  Each router owns ``h`` global
+        # link endpoints; group pair (ga, gb) is served by a deterministic
+        # router in each group.  With a*h >= num_groups-1 the canonical
+        # single-link-per-pair wiring applies; smaller configs reuse links.
+        self._global: dict[tuple[int, int], tuple[int, int, int]] = {}
+        gbw = link_bw * global_bw_factor
+        for ga in range(self.num_groups):
+            for gb in range(self.num_groups):
+                if ga == gb:
+                    continue
+                # Router in ga responsible for reaching gb (round-robin over
+                # the group's a*h global endpoints).
+                slot = gb if gb < ga else gb - 1
+                r_src = ga * self.a + (slot // self.h) % self.a
+                slot_b = ga if ga < gb else ga - 1
+                r_dst = gb * self.a + (slot_b // self.h) % self.a
+                lid = self._add_link(f"r{r_src}", f"r{r_dst}", gbw)
+                self._global[(ga, gb)] = (lid, r_src, r_dst)
+
+    def router_of(self, node: int) -> int:
+        return node // self.p
+
+    def group_of(self, node: int) -> int:
+        return self.router_of(node) // self.a
+
+    def _route(self, src_node: int, dst_node: int) -> Tuple[int, ...]:
+        rs, rd = self.router_of(src_node), self.router_of(dst_node)
+        if rs == rd:
+            return ()
+        gs, gd = rs // self.a, rd // self.a
+        if gs == gd:
+            return (self._local[(rs, rd)],)
+        glid, g_src_router, g_dst_router = self._global[(gs, gd)]
+        path: list[int] = []
+        if rs != g_src_router:
+            path.append(self._local[(rs, g_src_router)])
+        path.append(glid)
+        if g_dst_router != rd:
+            path.append(self._local[(g_dst_router, rd)])
+        return tuple(path)

@@ -1,0 +1,69 @@
+"""Two-level folded-Clos ("fat-tree") interconnect.
+
+Models the leaf/core structure of Omni-Path and InfiniBand fabrics
+(Stampede2 in the paper uses Omni-Path in a fat-tree).  Compute nodes
+attach to *edge* switches; each edge switch has ``up`` uplinks, one to each
+core switch.  A ``taper`` > 1 means the fabric is oversubscribed (uplink
+capacity is ``link_bw / taper``), which is how real systems are deployed
+and is the source of inter-node congestion for dense traffic.
+
+Routing is deterministic up/down: the core switch is picked by hashing the
+(src, dst) pair, spreading load like static destination-mod routing.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.topology.base import Topology
+
+__all__ = ["FatTree"]
+
+
+class FatTree(Topology):
+    def __init__(
+        self,
+        num_nodes: int,
+        link_bw: float,
+        nodes_per_edge: int = 16,
+        num_core: int = 4,
+        taper: float = 1.0,
+    ):
+        super().__init__(num_nodes, link_bw)
+        if nodes_per_edge < 1 or num_core < 1:
+            raise ValueError("nodes_per_edge and num_core must be >= 1")
+        if taper < 1.0:
+            raise ValueError("taper must be >= 1.0 (1.0 = full bisection)")
+        self.nodes_per_edge = nodes_per_edge
+        self.num_core = num_core
+        self.taper = taper
+        self.num_edge = (num_nodes + nodes_per_edge - 1) // nodes_per_edge
+
+        up_bw = link_bw / taper
+        # uplink[e][c] and downlink[c][e] link ids
+        self._up: list[list[int]] = []
+        self._down: list[list[int]] = []
+        for e in range(self.num_edge):
+            ups = [
+                self._add_link(f"edge{e}", f"core{c}", up_bw)
+                for c in range(num_core)
+            ]
+            self._up.append(ups)
+        for c in range(num_core):
+            downs = [
+                self._add_link(f"core{c}", f"edge{e}", up_bw)
+                for e in range(self.num_edge)
+            ]
+            self._down.append(downs)
+
+    def edge_of(self, node: int) -> int:
+        """Edge switch a compute node attaches to."""
+        return node // self.nodes_per_edge
+
+    def _route(self, src_node: int, dst_node: int) -> Tuple[int, ...]:
+        es, ed = self.edge_of(src_node), self.edge_of(dst_node)
+        if es == ed:
+            # same leaf switch: stays inside the edge switch crossbar
+            return ()
+        core = (src_node * 7919 + dst_node) % self.num_core
+        return (self._up[es][core], self._down[core][ed])

@@ -1,0 +1,40 @@
+"""Binary hypercube with e-cube (dimension-order) routing.
+
+Included for the hypercube networks cited in the paper's introduction
+[Agrawal & Bhuyan].  Node count is padded up to the next power of two;
+excess vertices simply carry no compute node.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.topology.base import Topology
+
+__all__ = ["Hypercube"]
+
+
+class Hypercube(Topology):
+    def __init__(self, num_nodes: int, link_bw: float):
+        super().__init__(num_nodes, link_bw)
+        self.dim = max(1, (num_nodes - 1).bit_length())
+        size = 1 << self.dim
+        self._link_id: dict[tuple[int, int], int] = {}
+        for n in range(size):
+            for d in range(self.dim):
+                m = n ^ (1 << d)
+                self._link_id[(n, m)] = self._add_link(f"h{n}", f"h{m}", link_bw)
+
+    def _route(self, src_node: int, dst_node: int) -> Tuple[int, ...]:
+        path: list[int] = []
+        cur = src_node
+        diff = src_node ^ dst_node
+        d = 0
+        while diff:
+            if diff & 1:
+                nxt = cur ^ (1 << d)
+                path.append(self._link_id[(cur, nxt)])
+                cur = nxt
+            diff >>= 1
+            d += 1
+        return tuple(path)

@@ -1,0 +1,84 @@
+"""k-ary n-dimensional torus with dimension-order routing.
+
+Covers the "polymorphic-torus"-style networks cited in the paper's
+introduction; also the Cray Gemini generation.  One node per router.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.topology.base import Topology
+
+__all__ = ["Torus"]
+
+
+class Torus(Topology):
+    def __init__(
+        self,
+        num_nodes: int,
+        link_bw: float,
+        dims: Sequence[int] | None = None,
+    ):
+        super().__init__(num_nodes, link_bw)
+        if dims is None:
+            # Default: squarest 2-D torus covering num_nodes.
+            side = max(1, int(math.isqrt(num_nodes)))
+            while num_nodes % side:
+                side -= 1
+            dims = (side, num_nodes // side)
+        dims = tuple(int(d) for d in dims)
+        if any(d < 1 for d in dims):
+            raise ValueError("torus dimensions must be >= 1")
+        if math.prod(dims) < num_nodes:
+            raise ValueError(
+                f"torus {dims} holds {math.prod(dims)} nodes < {num_nodes}"
+            )
+        self.dims = dims
+
+        # Links: +1/-1 neighbours in each dimension (wrap-around).
+        self._link_id: dict[tuple[int, int], int] = {}
+        total = math.prod(dims)
+        for n in range(total):
+            for d in range(len(dims)):
+                for step in (+1, -1):
+                    m = self._neighbor(n, d, step)
+                    if (n, m) not in self._link_id and n != m:
+                        self._link_id[(n, m)] = self._add_link(
+                            f"t{n}", f"t{m}", link_bw
+                        )
+
+    def _coords(self, n: int) -> Tuple[int, ...]:
+        cs = []
+        for d in self.dims:
+            cs.append(n % d)
+            n //= d
+        return tuple(cs)
+
+    def _index(self, coords: Sequence[int]) -> int:
+        n, mult = 0, 1
+        for c, d in zip(coords, self.dims):
+            n += (c % d) * mult
+            mult *= d
+        return n
+
+    def _neighbor(self, n: int, dim: int, step: int) -> int:
+        cs = list(self._coords(n))
+        cs[dim] = (cs[dim] + step) % self.dims[dim]
+        return self._index(cs)
+
+    def _route(self, src_node: int, dst_node: int) -> Tuple[int, ...]:
+        path: list[int] = []
+        cur = src_node
+        cur_c = list(self._coords(src_node))
+        dst_c = self._coords(dst_node)
+        for d, k in enumerate(self.dims):
+            while cur_c[d] != dst_c[d]:
+                fwd = (dst_c[d] - cur_c[d]) % k
+                step = +1 if fwd <= k - fwd else -1
+                nxt = self._neighbor(cur, d, step)
+                path.append(self._link_id[(cur, nxt)])
+                cur = nxt
+                cur_c[d] = (cur_c[d] + step) % k
+        return tuple(path)

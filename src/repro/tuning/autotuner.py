@@ -1,0 +1,239 @@
+"""The autotuning orchestrator: four search methods, one lookup table.
+
+Methods (Fig 8/9 legend):
+
+===============  ====================================================
+``exhaustive``   time every (m, config) full collective; guaranteed
+                 optimum, cost ~ M x S x A
+``exhaustive+h`` exhaustive over the heuristic-pruned space
+``task``         benchmark tasks per (segment size, algorithm) once,
+                 estimate all message sizes with eqs. (3)/(4);
+                 cost ~ T x S x A (M collapses)
+``task+h``       task method over the pruned space
+===============  ====================================================
+
+The tuning cost is accounted in *simulated seconds of benchmark time*,
+the same currency the paper's Fig 8 reports (wall time of the tuning
+job), times the benchmark iteration count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.config import HanConfig
+from repro.hardware.spec import MachineSpec
+from repro.netsim.profiles import P2PProfile
+from repro.tuning.costmodel import (
+    estimate_allreduce,
+    estimate_bcast,
+    estimate_reduce,
+    segments_for,
+)
+from repro.tuning.heuristics import prune_configs
+from repro.tuning.lookup import LookupTable
+from repro.tuning.measure import measure_collective
+from repro.tuning.space import SearchSpace
+from repro.tuning.taskbench import TaskBench
+
+__all__ = ["Autotuner", "TuningReport"]
+
+METHODS = ("exhaustive", "exhaustive+h", "task", "task+h")
+
+
+@dataclass
+class TuningReport:
+    """Everything one tuning run produced."""
+
+    method: str
+    machine: str
+    table: LookupTable
+    tuning_cost: float = 0.0  # simulated benchmark seconds (Fig 8)
+    searches: int = 0  # number of benchmark runs
+    #: (coll, m) -> list of (config, measured-or-estimated time)
+    candidates: dict = field(default_factory=dict)
+
+    def best(self, coll: str, m: float) -> tuple[HanConfig, float]:
+        cands = self.candidates[(coll, m)]
+        return min(cands, key=lambda cv: cv[1])
+
+
+@dataclass
+class Autotuner:
+    machine: MachineSpec
+    space: SearchSpace = field(default_factory=SearchSpace.small)
+    profile: Optional[P2PProfile] = None
+    #: iterations a real benchmark loop would run per measurement; scales
+    #: the tuning-cost accounting without changing the (deterministic)
+    #: simulated measurement itself
+    bench_iters: int = 10
+    warm_iters: int = 8
+
+    def tune(
+        self,
+        colls: Sequence[str] = ("bcast", "allreduce"),
+        method: str = "task",
+    ) -> TuningReport:
+        if method not in METHODS:
+            raise ValueError(f"method must be one of {METHODS}, got {method!r}")
+        report = TuningReport(
+            method=method, machine=self.machine.name, table=LookupTable()
+        )
+        use_heuristics = method.endswith("+h")
+        for coll in colls:
+            if method.startswith("exhaustive"):
+                self._tune_exhaustive(coll, report, use_heuristics)
+            else:
+                self._tune_task_based(coll, report, use_heuristics)
+        return report
+
+    # -- exhaustive -----------------------------------------------------------------
+
+    def _tune_exhaustive(
+        self, coll: str, report: TuningReport, heuristics: bool
+    ) -> None:
+        n, p = self.machine.num_nodes, self.machine.ppn
+        all_configs = self.space.configs()
+        for m in self.space.messages:
+            configs = (
+                prune_configs(all_configs, nbytes=m, num_nodes=n)
+                if heuristics
+                else all_configs
+            )
+            if not configs:
+                # heuristics can empty the space for tiny messages (every
+                # fs >= m); fall back to the message-independent prune
+                configs = prune_configs(all_configs) or all_configs
+            cands = []
+            for cfg in configs:
+                meas = measure_collective(
+                    self.machine, coll, m, cfg, profile=self.profile
+                )
+                report.tuning_cost += meas.sim_cost * self.bench_iters
+                report.searches += 1
+                cands.append((cfg, meas.time))
+            report.candidates[(coll, m)] = cands
+            best_cfg, _ = min(cands, key=lambda cv: cv[1])
+            report.table.put(coll, n, p, m, best_cfg)
+
+    # -- task-based (the paper's method) ---------------------------------------------
+
+    def _axis_points(self, heuristics: bool) -> list[tuple[float, dict, str]]:
+        """(seg_bytes, algorithm axis point, smod) to benchmark."""
+        segs = [s for s in self.space.seg_sizes if s is not None]
+        if not segs:
+            raise ValueError("task-based tuning needs at least one segment size")
+        points = []
+        for s in segs:
+            for algo in self.space.algorithm_axis():
+                for smod in self.space.smods:
+                    cfg = HanConfig(fs=s, smod=smod, **algo)
+                    if heuristics and not prune_configs([cfg]):
+                        continue
+                    points.append((s, algo, smod))
+        return points
+
+    def _tune_task_based(
+        self, coll: str, report: TuningReport, heuristics: bool
+    ) -> None:
+        n, p = self.machine.num_nodes, self.machine.ppn
+        bench = TaskBench(
+            self.machine, profile=self.profile, warm_iters=self.warm_iters
+        )
+        # 1) benchmark tasks once per (segment, algorithm, smod)
+        costs: dict[tuple, object] = {}
+        for s, algo, smod in self._axis_points(heuristics):
+            cfg = HanConfig(fs=s, smod=smod, **algo)
+            if coll == "bcast":
+                costs[(s, tuple(sorted(algo.items())), smod)] = (
+                    bench.bench_bcast_tasks(cfg, s)
+                )
+            elif coll == "allreduce":
+                costs[(s, tuple(sorted(algo.items())), smod)] = (
+                    bench.bench_allreduce_tasks(cfg, s)
+                )
+            elif coll == "reduce":
+                costs[(s, tuple(sorted(algo.items())), smod)] = (
+                    bench.bench_reduce_tasks(cfg, s)
+                )
+            else:
+                raise ValueError(f"task-based tuning not defined for {coll!r}")
+            report.searches += 1
+        report.tuning_cost += bench.total_cost * self.bench_iters
+
+        estimator = {
+            "bcast": estimate_bcast,
+            "allreduce": estimate_allreduce,
+            "reduce": estimate_reduce,
+        }[coll]
+
+        # 2) estimate every message size from the cached task costs
+        for m in self.space.messages:
+            cands = []
+            for (s, algo_key, smod), task_costs in costs.items():
+                cfg = HanConfig(fs=s, smod=smod, **dict(algo_key))
+                if heuristics:
+                    if not prune_configs([cfg], nbytes=m, num_nodes=n):
+                        continue
+                if segments_for(m, s) == 1:
+                    # unsegmented: reuse the bench whose segment is
+                    # closest to the whole message
+                    s_star = self._closest_seg(costs, algo_key, smod, m)
+                    if s_star != s:
+                        continue  # only the closest representative counts
+                est = estimator(task_costs, m)
+                cands.append((cfg, est))
+            if not cands:
+                # heuristics pruned everything (tiny message): fall back
+                # to the unpruned estimates
+                for (s, algo_key, smod), task_costs in costs.items():
+                    cfg = HanConfig(fs=s, smod=smod, **dict(algo_key))
+                    cands.append((cfg, estimator(task_costs, m)))
+            report.candidates[(coll, m)] = cands
+            best_cfg, _ = min(cands, key=lambda cv: cv[1])
+            report.table.put(coll, n, p, m, best_cfg)
+
+    @staticmethod
+    def _closest_seg(costs, algo_key, smod, m) -> float:
+        segs = [s for (s, a, sm) in costs if a == algo_key and sm == smod]
+        return min(segs, key=lambda s: abs(math.log2(s) - math.log2(max(m, 1))))
+
+    # -- model validation (Figs 4 and 7) ----------------------------------------------
+
+    def validate_model(
+        self, coll: str, m: float, heuristics: bool = False
+    ) -> list[tuple[HanConfig, float, float]]:
+        """(config, estimated, measured) for every config at one message.
+
+        This regenerates the data behind Fig 4 (bcast) / Fig 7
+        (allreduce): the estimated-vs-actual bars across submodule,
+        algorithm and segment-size combinations.
+        """
+        n = self.machine.num_nodes
+        bench = TaskBench(
+            self.machine, profile=self.profile, warm_iters=self.warm_iters
+        )
+        estimator = {
+            "bcast": estimate_bcast,
+            "allreduce": estimate_allreduce,
+            "reduce": estimate_reduce,
+        }[coll]
+        rows = []
+        for s, algo, smod in self._axis_points(heuristics):
+            cfg = HanConfig(fs=s, smod=smod, **algo)
+            if heuristics and not prune_configs([cfg], nbytes=m, num_nodes=n):
+                continue
+            bench_fn = {
+                "bcast": bench.bench_bcast_tasks,
+                "allreduce": bench.bench_allreduce_tasks,
+                "reduce": bench.bench_reduce_tasks,
+            }[coll]
+            task_costs = bench_fn(cfg, s)
+            est = estimator(task_costs, m)
+            meas = measure_collective(
+                self.machine, coll, m, cfg, profile=self.profile
+            )
+            rows.append((cfg, est, meas.time))
+        return rows

@@ -1,0 +1,94 @@
+"""The HAN cost model (paper equations 3 and 4).
+
+MPI_Bcast, eq. (3)::
+
+    cost = max_i( T_i(ib(0)) + (u-1) * T_i(sbib(s)) + T_i(sb(u-1)) )
+
+MPI_Allreduce, eq. (4)::
+
+    cost = max_i( T_i(sr(0)) + T_i(irsr(1)) + T_i(ibirsr(2))
+                  + (u-3) * T_i(sbibirsr(s))
+                  + T_i(sbibir) + T_i(sbib) + T_i(sb) )
+
+where ``u = ceil(m / fs)`` is the segment count and ``T_i(task(s))`` is
+the *stabilized* in-context task cost on node leader ``i`` measured by
+:mod:`repro.tuning.taskbench`.  The max runs over node leaders -- the
+paper argues (III-A2) leader time dominates because ``sbib`` contains
+``sb`` plus an extra ``ib``.
+
+Short messages degenerate: with ``u == 1`` a bcast is just
+``ib(0) + sb(0)`` and an allreduce is ``sr + ir + ib + sb`` (approximated
+with the measured warm-up terms).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.tuning.taskbench import (
+    AllreduceTaskCosts,
+    BcastTaskCosts,
+    ReduceTaskCosts,
+)
+
+__all__ = [
+    "segments_for",
+    "estimate_bcast",
+    "estimate_allreduce",
+    "estimate_reduce",
+]
+
+
+def segments_for(nbytes: float, fs: float | None) -> int:
+    """u = ceil(m / fs); 1 when segmentation is off or pointless."""
+    if fs is None or fs <= 0 or nbytes <= fs:
+        return 1
+    return int(math.ceil(nbytes / fs))
+
+
+def estimate_bcast(costs: BcastTaskCosts, nbytes: float) -> float:
+    """Equation (3) for a message of ``nbytes``."""
+    u = segments_for(nbytes, costs.seg_bytes)
+    if u == 1:
+        # single segment: ib(0) then a trailing sb -- no sbib steady state
+        per_leader = costs.ib0 + costs.sb_final
+        return float(per_leader.max())
+    per_leader = costs.ib0 + (u - 1) * costs.sbib_stable + costs.sb_final
+    return float(per_leader.max())
+
+
+def estimate_reduce(costs: ReduceTaskCosts, nbytes: float) -> float:
+    """The irsr analogue of eq. (3):
+    ``max_i(sr(0) + (u-1) * irsr(s) + ir_drain)``."""
+    u = segments_for(nbytes, costs.seg_bytes)
+    if u == 1:
+        per_leader = costs.sr0 + costs.drain
+        return float(per_leader.max())
+    per_leader = costs.sr0 + (u - 1) * costs.irsr_stable + costs.drain
+    return float(per_leader.max())
+
+
+def estimate_allreduce(costs: AllreduceTaskCosts, nbytes: float) -> float:
+    """Equation (4) for a message of ``nbytes``."""
+    u = segments_for(nbytes, costs.seg_bytes)
+    drain_total = costs.drain.sum(axis=1)
+    if u == 1:
+        # sr + ir + ib + sb, approximated by the measured warm-up and
+        # drain steps of a unit pipeline
+        per_leader = costs.sr0 + costs.irsr + costs.ibirsr + costs.drain[:, -1]
+        return float(per_leader.max())
+    if u == 2:
+        per_leader = (
+            costs.sr0 + costs.irsr + costs.ibirsr + drain_total - costs.drain[:, 0]
+        )
+        return float(np.maximum(per_leader, 0).max())
+    per_leader = (
+        costs.sr0
+        + costs.irsr
+        + costs.ibirsr
+        + (u - 3) * costs.sbibirsr_stable
+        + drain_total
+    )
+    return float(per_leader.max())

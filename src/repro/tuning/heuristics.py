@@ -1,0 +1,73 @@
+"""Search-space pruning heuristics (paper section III-C).
+
+The paper's examples, implemented here:
+
+- "we only use the SOLO submodule when the segment size is larger than
+  512KB since experimental results suggest SM has better performance
+  than SOLO for small messages";
+- "the chain algorithm in ADAPT can only perform well when there are
+  enough segments to kick-start the pipelining, we can therefore prevent
+  the chain algorithm from being tested when there are less than a
+  certain number of segments";
+
+plus structural prunes that cost nothing in accuracy: a segment size at
+least as large as the message collapses to "no segmentation", and inner
+(ADAPT) segment sizes larger than the HAN segment are meaningless.
+
+Heuristics trade tuning time for a risk of missing the optimum (Fig 8 vs
+Fig 9), so they are optional everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.config import HanConfig
+from repro.tuning.costmodel import segments_for
+
+__all__ = ["prune_configs", "chain_viable"]
+
+SOLO_MIN_SEG = 512 * 1024
+CHAIN_MIN_SEGMENTS = 4
+
+
+def chain_viable(nbytes: float, fs: Optional[float], num_nodes: int) -> bool:
+    """Chain needs a full pipeline: enough segments vs the chain depth."""
+    u = segments_for(nbytes, fs)
+    return u >= max(CHAIN_MIN_SEGMENTS, num_nodes // 2)
+
+
+def prune_configs(
+    configs: Iterable[HanConfig],
+    nbytes: Optional[float] = None,
+    num_nodes: Optional[int] = None,
+) -> list[HanConfig]:
+    """Apply the heuristics; message-dependent rules only when ``nbytes``
+    is given (the task-based method prunes before message sizes exist)."""
+    out = []
+    for cfg in configs:
+        seg = cfg.fs if cfg.fs is not None else nbytes
+        # The paper's SM/SOLO partition: "we only use the SOLO submodule
+        # when the segment size is larger than 512KB since experimental
+        # results suggest SM has better performance than SOLO for small
+        # messages" -- i.e. per segment size only one intra module is
+        # ever tested.
+        if seg is not None:
+            if cfg.smod == "solo" and seg <= SOLO_MIN_SEG:
+                continue
+            if cfg.smod == "sm" and seg > SOLO_MIN_SEG:
+                continue
+        # Inner segmentation beyond the HAN segment size is meaningless.
+        if cfg.ibs is not None and cfg.fs is not None and cfg.ibs > cfg.fs:
+            continue
+        if cfg.irs is not None and cfg.fs is not None and cfg.irs > cfg.fs:
+            continue
+        if nbytes is not None:
+            # fs >= m duplicates the unsegmented configuration.
+            if cfg.fs is not None and cfg.fs >= nbytes:
+                continue
+            if cfg.ibalg == "chain" and num_nodes is not None:
+                if not chain_viable(nbytes, cfg.fs, num_nodes):
+                    continue
+        out.append(cfg)
+    return out

@@ -1,0 +1,95 @@
+"""The autotuning lookup table and its runtime decision function.
+
+Step 2 of autotuning (paper III-C): the offline search stores the best
+configuration per sampled input (t, n, p, m) "to a lookup table in a
+file"; at runtime, inputs that fall between samples are resolved to the
+nearest sampled point (log-scale nearest for the message size -- the
+simple, robust variant of the quadtree/decision-tree encodings the paper
+cites [35, 36]).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.core.config import HanConfig
+
+__all__ = ["LookupTable"]
+
+
+def _cfg_to_dict(cfg: HanConfig) -> dict:
+    return {
+        "fs": cfg.fs,
+        "imod": cfg.imod,
+        "smod": cfg.smod,
+        "ibalg": cfg.ibalg,
+        "iralg": cfg.iralg,
+        "ibs": cfg.ibs,
+        "irs": cfg.irs,
+    }
+
+
+@dataclass
+class LookupTable:
+    """(t, n, p, m) -> HanConfig with nearest-sample decisions."""
+
+    entries: dict = field(default_factory=dict)  # (t, n, p, m) -> HanConfig
+
+    def put(self, t: str, n: int, p: int, m: float, cfg: HanConfig) -> None:
+        self.entries[(t, int(n), int(p), float(m))] = cfg
+
+    def get(self, t: str, n: int, p: int, m: float) -> Optional[HanConfig]:
+        return self.entries.get((t, int(n), int(p), float(m)))
+
+    # -- runtime decision ---------------------------------------------------------
+
+    def decide(self, n: int, p: int, m: float, t: str) -> HanConfig:
+        """Nearest-sample decision; signature matches HanModule hooks."""
+        candidates = [k for k in self.entries if k[0] == t]
+        if not candidates:
+            from repro.core.han import HanModule
+
+            return HanModule.default_config(m)
+
+        def key_distance(k):
+            _t, kn, kp, km = k
+            dn = abs(math.log2(max(kn, 1)) - math.log2(max(n, 1)))
+            dp = abs(math.log2(max(kp, 1)) - math.log2(max(p, 1)))
+            dm = abs(math.log2(max(km, 1.0)) - math.log2(max(m, 1.0)))
+            # message size is the fastest-varying axis; geometry dominates
+            return (dn + dp, dm)
+
+        best = min(candidates, key=key_distance)
+        return self.entries[best]
+
+    def as_decision_fn(self):
+        """Plug into :class:`~repro.core.HanModule`(decision_fn=...)."""
+        return self.decide
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save(self, path) -> None:
+        rows = [
+            {"t": t, "n": n, "p": p, "m": m, "config": _cfg_to_dict(cfg)}
+            for (t, n, p, m), cfg in sorted(self.entries.items())
+        ]
+        Path(path).write_text(json.dumps({"version": 1, "rows": rows}, indent=1))
+
+    @classmethod
+    def load(cls, path) -> "LookupTable":
+        doc = json.loads(Path(path).read_text())
+        if doc.get("version") != 1:
+            raise ValueError(f"unsupported lookup table version: {doc.get('version')}")
+        table = cls()
+        for row in doc["rows"]:
+            table.put(
+                row["t"], row["n"], row["p"], row["m"], HanConfig(**row["config"])
+            )
+        return table
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,73 @@
+"""Full-collective measurement (the exhaustive search's unit of work).
+
+The timing definition follows the paper (III-A2): "the cost of a
+collective operation [is] the longest time among all the processes" --
+the max-across-ranks value that IMB and the OSU benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import HanConfig
+from repro.core.han import HanModule
+from repro.hardware.spec import MachineSpec
+from repro.mpi.runtime import MPIRuntime
+from repro.netsim.profiles import P2PProfile
+
+__all__ = ["CollectiveMeasurement", "measure_collective"]
+
+
+@dataclass(frozen=True)
+class CollectiveMeasurement:
+    """One timed collective: per-rank durations and the IMB-style max."""
+
+    coll: str
+    nbytes: float
+    config: HanConfig
+    time: float  # max across ranks (the reported cost)
+    per_rank: tuple[float, ...]
+    sim_cost: float  # simulated seconds the benchmark consumed (tuning cost)
+
+
+def measure_collective(
+    machine: MachineSpec,
+    coll: str,
+    nbytes: float,
+    config: HanConfig,
+    root: int = 0,
+    iterations: int = 1,
+    profile: P2PProfile | None = None,
+) -> CollectiveMeasurement:
+    """Time one HAN collective configuration on a fresh simulated machine.
+
+    ``iterations`` repeats the operation back-to-back (pipelining state
+    does not persist across calls, so the simulator is deterministic; the
+    knob exists to mirror real benchmarking loops in the tuning-cost
+    accounting of Fig 8).
+    """
+    runtime = MPIRuntime(machine, profile=profile)
+    han = HanModule(config=config)
+    durations: dict[int, float] = {}
+
+    def prog(comm):
+        op = getattr(han, coll)
+        yield from comm.barrier()
+        start = comm.now
+        for _ in range(iterations):
+            yield from op(comm, nbytes, root=root) if coll in (
+                "bcast",
+                "reduce",
+            ) else op(comm, nbytes)
+        durations[comm.rank] = (comm.now - start) / iterations
+
+    runtime.run(prog)
+    per_rank = tuple(durations[r] for r in sorted(durations))
+    return CollectiveMeasurement(
+        coll=coll,
+        nbytes=nbytes,
+        config=config,
+        time=max(per_rank),
+        per_rank=per_rank,
+        sim_cost=runtime.engine.now,
+    )

@@ -1,0 +1,129 @@
+"""STAR-MPI-style online tuning (the road the paper chose *not* to take).
+
+Section II-B: "Online tuning is another approach ... STAR-MPI selects
+algorithms dynamically ... The time to converge to the best selection is
+uncertain, and the cost of timing and maintaining the decision matrix
+online inevitably brings overhead."  This module implements that
+approach so the claim can be measured (see
+``benchmarks/test_ablations.py``): an :class:`OnlineTuner` times each
+candidate configuration in turn on the live application's collectives,
+then locks in the per-(collective, message-bucket) winner.
+
+Consistency across ranks: every rank walks the same candidate schedule
+(collective calls are issued in lockstep), per-trial costs are shared as
+the max across ranks that have reported (the collective cost
+definition), and the first rank to finish exploration locks the winner
+for everyone -- mirroring STAR-MPI's shared decision matrix without
+extra messages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.config import HanConfig
+from repro.core.han import HanModule
+from repro.mpi.op import SUM
+
+__all__ = ["OnlineTuner"]
+
+
+def _bucket(nbytes: float) -> int:
+    """Message sizes are binned per power of two (STAR-MPI's grouping)."""
+    return int(math.log2(max(nbytes, 1.0)))
+
+
+@dataclass
+class _State:
+    #: per-rank position in the exploration schedule
+    rank_pos: dict = field(default_factory=dict)
+    #: trial index -> max duration reported so far
+    trial_max: dict = field(default_factory=dict)
+    locked: Optional[HanConfig] = None
+    #: exploration calls each rank spent before the lock (overhead metric)
+    explore_calls: int = 0
+
+
+@dataclass
+class OnlineTuner:
+    """HAN with per-call online selection.
+
+    The measurement overhead *is* the application's collective time --
+    slow candidates hurt the live run, which is exactly the drawback the
+    paper cites when justifying offline tuning.
+    """
+
+    candidates: Sequence[HanConfig]
+    trials_per_candidate: int = 1
+    _han: HanModule = field(default_factory=HanModule)
+    _states: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.candidates = list(self.candidates)
+        if not self.candidates:
+            raise ValueError("OnlineTuner needs at least one candidate")
+
+    @property
+    def total_trials(self) -> int:
+        return len(self.candidates) * self.trials_per_candidate
+
+    def _state(self, coll: str, nbytes: float) -> _State:
+        key = (coll, _bucket(nbytes))
+        st = self._states.get(key)
+        if st is None:
+            st = self._states[key] = _State()
+        return st
+
+    def _pick(self, st: _State, rank: int) -> tuple[HanConfig, Optional[int]]:
+        """Config for this rank's next call; trial index while exploring."""
+        if st.locked is not None:
+            return st.locked, None
+        pos = st.rank_pos.get(rank, 0)
+        if pos >= self.total_trials:
+            # exploration over for this rank: lock the best known trial
+            per: dict[int, list[float]] = {}
+            for t, d in st.trial_max.items():
+                per.setdefault(t // self.trials_per_candidate, []).append(d)
+            best = min(per, key=lambda c: sum(per[c]) / len(per[c]))
+            st.locked = self.candidates[best]
+            st.explore_calls = self.total_trials
+            return st.locked, None
+        return self.candidates[pos // self.trials_per_candidate], pos
+
+    def _record(self, st: _State, rank: int, trial: int, dt: float) -> None:
+        st.rank_pos[rank] = st.rank_pos.get(rank, 0) + 1
+        st.trial_max[trial] = max(st.trial_max.get(trial, 0.0), dt)
+
+    def converged(self, coll: str, nbytes: float) -> bool:
+        st = self._states.get((coll, _bucket(nbytes)))
+        return bool(st and st.locked is not None)
+
+    def decision(self, coll: str, nbytes: float) -> Optional[HanConfig]:
+        st = self._states.get((coll, _bucket(nbytes)))
+        return st.locked if st else None
+
+    # -- collective entry points (generator API like a module) --------------------
+
+    def bcast(self, comm, nbytes, root=0, payload=None):
+        st = self._state("bcast", nbytes)
+        cfg, trial = self._pick(st, comm.rank)
+        t0 = comm.now
+        out = yield from self._han.bcast(
+            comm, nbytes, root=root, payload=payload, config=cfg
+        )
+        if trial is not None:
+            self._record(st, comm.rank, trial, comm.now - t0)
+        return out
+
+    def allreduce(self, comm, nbytes, payload=None, op=SUM):
+        st = self._state("allreduce", nbytes)
+        cfg, trial = self._pick(st, comm.rank)
+        t0 = comm.now
+        out = yield from self._han.allreduce(
+            comm, nbytes, payload=payload, op=op, config=cfg
+        )
+        if trial is not None:
+            self._record(st, comm.rank, trial, comm.now - t0)
+        return out

@@ -1,0 +1,107 @@
+"""Search-space definitions (paper Tables I and II).
+
+The configuration axes:
+
+- ``fs``: HAN segment size (S in the paper's cost analysis),
+- the inter-node "algorithm" axis A = submodule x algorithm x inner
+  segment size (Libnbc has a single point; ADAPT contributes
+  |{chain, binary, binomial}| x |ibs options|),
+- ``smod``: SM or SOLO.
+
+``M`` (message sizes) is what the task-based method eliminates from the
+search: task costs are reused across every ``m`` (section III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Optional, Sequence
+
+from repro.core.config import HanConfig
+
+__all__ = ["TuningInputs", "SearchSpace"]
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class TuningInputs:
+    """One row of the autotuning input space (paper Table I)."""
+
+    n: int  # number of nodes
+    p: int  # processes per node
+    m: float  # message size (bytes)
+    t: str  # collective operation type ('bcast', 'allreduce', ...)
+
+
+def _pow2_range(lo: float, hi: float) -> tuple[float, ...]:
+    out, v = [], float(lo)
+    while v <= hi:
+        out.append(v)
+        v *= 2
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Enumerable configuration space for one machine geometry."""
+
+    #: HAN segment sizes (fs); None means "no segmentation"
+    seg_sizes: Sequence[Optional[float]] = (
+        None,
+        64 * KiB,
+        128 * KiB,
+        256 * KiB,
+        512 * KiB,
+        1 * MiB,
+    )
+    #: message sizes sampled into the lookup table
+    messages: Sequence[float] = field(
+        default_factory=lambda: _pow2_range(1 * KiB, 16 * MiB)
+    )
+    #: inter-node submodules considered
+    imods: Sequence[str] = ("libnbc", "adapt")
+    #: ADAPT algorithms for ib and ir
+    adapt_algorithms: Sequence[str] = ("chain", "binary", "binomial")
+    #: ADAPT inner segment sizes (None = ADAPT's own default)
+    inner_segs: Sequence[Optional[float]] = (None, 512 * KiB)
+    #: intra-node submodules considered
+    smods: Sequence[str] = ("sm", "solo")
+
+    def algorithm_axis(self) -> list[dict]:
+        """The A axis: submodule x algorithm x inner segment size."""
+        axis: list[dict] = [
+            dict(imod="libnbc", ibalg=None, iralg=None, ibs=None, irs=None)
+        ]
+        if "adapt" in self.imods:
+            for alg, inner in product(self.adapt_algorithms, self.inner_segs):
+                axis.append(
+                    dict(imod="adapt", ibalg=alg, iralg=alg, ibs=inner, irs=inner)
+                )
+        if "libnbc" not in self.imods:
+            axis = axis[1:]
+        return axis
+
+    def configs(self) -> list[HanConfig]:
+        """Every HanConfig in the space (the exhaustive search set)."""
+        out = []
+        for fs, algo, smod in product(
+            self.seg_sizes, self.algorithm_axis(), self.smods
+        ):
+            out.append(HanConfig(fs=fs, smod=smod, **algo))
+        return out
+
+    def size(self) -> int:
+        return len(self.configs())
+
+    @classmethod
+    def small(cls) -> "SearchSpace":
+        """A compact space for tests and fast experiment runs."""
+        return cls(
+            seg_sizes=(None, 128 * KiB, 512 * KiB),
+            messages=_pow2_range(4 * KiB, 4 * MiB),
+            adapt_algorithms=("chain", "binomial"),
+            inner_segs=(None,),
+        )

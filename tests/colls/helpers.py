@@ -1,0 +1,21 @@
+"""Shared machinery for collective-algorithm correctness tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware import tiny_cluster
+from repro.mpi import MPIRuntime
+
+
+def run_collective(nranks, program):
+    """Run ``program(comm)`` on ``nranks`` ranks spread over 2-rank nodes."""
+    nodes = max(1, (nranks + 1) // 2)
+    machine = tiny_cluster(num_nodes=nodes, ppn=2)
+    runtime = MPIRuntime(machine)
+    return runtime.run(program, ranks=nranks), runtime.engine.now
+
+
+def rank_array(rank: int, n: int, dtype=np.float64) -> np.ndarray:
+    """Deterministic distinct per-rank contribution."""
+    return (np.arange(n, dtype=dtype) + 1) * (rank + 1)

@@ -1,0 +1,117 @@
+"""Correctness of every broadcast algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.colls import BCAST_ALGORITHMS
+from tests.colls.helpers import run_collective
+
+ALGS = sorted(BCAST_ALGORITHMS)
+
+
+@pytest.mark.parametrize("alg", ALGS)
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8])
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast_delivers_payload_everywhere(alg, size, root):
+    root = size - 1 if root == "last" else 0
+    data = np.arange(48, dtype=np.float64) * 3.5
+    fn = BCAST_ALGORITHMS[alg]
+
+    def prog(comm):
+        payload = data if comm.rank == root else None
+        out = yield from fn(
+            comm, nbytes=data.nbytes, root=root, payload=payload
+        )
+        return out
+
+    results, t = run_collective(size, prog)
+    for r, out in enumerate(results):
+        np.testing.assert_array_equal(out, data, err_msg=f"alg={alg} rank={r}")
+    if size > 1:
+        assert t > 0
+
+
+@pytest.mark.parametrize("alg", ALGS)
+@pytest.mark.parametrize("segsize", [16, 64, 10_000])
+def test_bcast_segmentation_preserves_data(alg, segsize):
+    data = np.arange(100, dtype=np.float64)
+    fn = BCAST_ALGORITHMS[alg]
+
+    def prog(comm):
+        payload = data if comm.rank == 0 else None
+        out = yield from fn(
+            comm, nbytes=data.nbytes, root=0, payload=payload, segsize=segsize
+        )
+        return out
+
+    results, _ = run_collective(5, prog)
+    for out in results:
+        np.testing.assert_array_equal(out, data)
+
+
+@pytest.mark.parametrize("alg", ALGS)
+def test_bcast_timing_only_mode(alg):
+    fn = BCAST_ALGORITHMS[alg]
+
+    def prog(comm):
+        out = yield from fn(comm, nbytes=1_000_000, root=0, segsize=65536)
+        return out
+
+    results, t = run_collective(4, prog)
+    assert all(r is None for r in results)
+    assert t > 0
+
+
+def test_pipelined_chain_beats_unsegmented_chain_large_message():
+    """Pipelining is the point of segmentation (paper sec III)."""
+    from repro.colls import bcast_chain
+
+    times = {}
+    for segsize in (None, 256 * 1024):
+        def prog(comm, s=segsize):
+            yield from bcast_chain(comm, nbytes=16 * 1024 * 1024, segsize=s)
+
+        _, times[segsize] = run_collective(6, prog)
+    assert times[256 * 1024] < times[None] * 0.7
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    alg=st.sampled_from(ALGS),
+    size=st.integers(1, 7),
+    nelems=st.integers(1, 200),
+    seed=st.integers(0, 2**31),
+)
+def test_property_bcast_any_shape(alg, size, nelems, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(nelems)
+    root = int(rng.integers(0, size))
+    fn = BCAST_ALGORITHMS[alg]
+
+    def prog(comm):
+        payload = data if comm.rank == root else None
+        out = yield from fn(comm, nbytes=data.nbytes, root=root, payload=payload)
+        return out
+
+    results, _ = run_collective(size, prog)
+    for out in results:
+        np.testing.assert_array_equal(out, data)
+
+
+def test_payload_at_nonroot_rejected():
+    from repro.colls import bcast_binomial
+
+    data = np.ones(8)
+
+    def prog2(comm):
+        if comm.rank == 0:
+            out = yield from bcast_binomial(comm, nbytes=64, root=0, payload=data)
+            return out is data
+        with pytest.raises(ValueError):
+            yield from bcast_binomial(comm, nbytes=64, root=0, payload=data)
+        return True
+
+    results, _ = run_collective(2, prog2)
+    assert all(results)

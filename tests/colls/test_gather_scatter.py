@@ -1,0 +1,163 @@
+"""Correctness of gather, scatter, allgather, reduce_scatter, alltoall,
+barrier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.colls import (
+    ALLGATHER_ALGORITHMS,
+    ALLTOALL_ALGORITHMS,
+    BARRIER_ALGORITHMS,
+    GATHER_ALGORITHMS,
+    REDUCE_SCATTER_ALGORITHMS,
+    SCATTER_ALGORITHMS,
+)
+from repro.mpi import SUM
+from tests.colls.helpers import rank_array, run_collective
+
+BLOCK = 6
+
+
+def world_concat(size, n=BLOCK):
+    return np.concatenate([rank_array(r, n) for r in range(size)])
+
+
+@pytest.mark.parametrize("alg", sorted(GATHER_ALGORITHMS))
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8])
+@pytest.mark.parametrize("root", [0, "last"])
+def test_gather(alg, size, root):
+    root = size - 1 if root == "last" else 0
+    fn = GATHER_ALGORITHMS[alg]
+
+    def prog(comm):
+        out = yield from fn(
+            comm, nbytes=BLOCK * 8, root=root, payload=rank_array(comm.rank, BLOCK)
+        )
+        return out
+
+    results, _ = run_collective(size, prog)
+    np.testing.assert_array_equal(results[root], world_concat(size))
+    assert all(r is None for i, r in enumerate(results) if i != root)
+
+
+@pytest.mark.parametrize("alg", sorted(SCATTER_ALGORITHMS))
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8])
+@pytest.mark.parametrize("root", [0, "last"])
+def test_scatter(alg, size, root):
+    root = size - 1 if root == "last" else 0
+    fn = SCATTER_ALGORITHMS[alg]
+    full = world_concat(size)
+
+    def prog(comm):
+        payload = full if comm.rank == root else None
+        out = yield from fn(
+            comm, nbytes=full.nbytes, root=root, payload=payload
+        )
+        return out
+
+    results, _ = run_collective(size, prog)
+    for r, out in enumerate(results):
+        np.testing.assert_array_equal(
+            out, rank_array(r, BLOCK), err_msg=f"alg={alg} rank={r}"
+        )
+
+
+@pytest.mark.parametrize("alg", sorted(ALLGATHER_ALGORITHMS))
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8])
+def test_allgather(alg, size):
+    fn = ALLGATHER_ALGORITHMS[alg]
+
+    def prog(comm):
+        out = yield from fn(
+            comm, nbytes=BLOCK * 8, payload=rank_array(comm.rank, BLOCK)
+        )
+        return out
+
+    results, _ = run_collective(size, prog)
+    want = world_concat(size)
+    for r, out in enumerate(results):
+        np.testing.assert_array_equal(out, want, err_msg=f"alg={alg} rank={r}")
+
+
+@pytest.mark.parametrize("alg", sorted(REDUCE_SCATTER_ALGORITHMS))
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8])
+def test_reduce_scatter(alg, size):
+    fn = REDUCE_SCATTER_ALGORITHMS[alg]
+    n = size * 5  # 5 elements per block
+
+    def prog(comm):
+        out = yield from fn(
+            comm, nbytes=n * 8, payload=rank_array(comm.rank, n), op=SUM
+        )
+        return out
+
+    results, _ = run_collective(size, prog)
+    total = np.sum([rank_array(r, n) for r in range(size)], axis=0)
+    bounds = np.linspace(0, n, size + 1).astype(int)
+    for r, out in enumerate(results):
+        np.testing.assert_allclose(
+            out, total[bounds[r] : bounds[r + 1]], err_msg=f"alg={alg} rank={r}"
+        )
+
+
+@pytest.mark.parametrize("alg", sorted(ALLTOALL_ALGORITHMS))
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8])
+def test_alltoall(alg, size):
+    fn = ALLTOALL_ALGORITHMS[alg]
+    n = size * 4
+
+    def prog(comm):
+        # element value encodes (sender, destination block)
+        payload = np.arange(n, dtype=np.float64) + 1000 * comm.rank
+        out = yield from fn(comm, nbytes=4 * 8, payload=payload)
+        return out
+
+    results, _ = run_collective(size, prog)
+    for me, out in enumerate(results):
+        want = np.concatenate(
+            [
+                np.arange(me * 4, me * 4 + 4, dtype=np.float64) + 1000 * src
+                for src in range(size)
+            ]
+        )
+        np.testing.assert_array_equal(out, want, err_msg=f"alg={alg} rank={me}")
+
+
+@pytest.mark.parametrize("alg", sorted(BARRIER_ALGORITHMS))
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+def test_barrier_no_early_exit(alg, size):
+    fn = BARRIER_ALGORITHMS[alg]
+    slowest_entry = 0.25 * (size - 1)
+    exits = {}
+
+    def prog(comm):
+        yield from comm.compute(0.25 * comm.rank)
+        yield from fn(comm)
+        exits[comm.rank] = comm.now
+
+    run_collective(size, prog)
+    assert min(exits.values()) >= slowest_entry
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    alg=st.sampled_from(sorted(ALLGATHER_ALGORITHMS)),
+    size=st.integers(1, 8),
+    block=st.integers(1, 32),
+    seed=st.integers(0, 2**31),
+)
+def test_property_allgather(alg, size, block, seed):
+    rng = np.random.default_rng(seed)
+    data = [rng.standard_normal(block) for _ in range(size)]
+    fn = ALLGATHER_ALGORITHMS[alg]
+
+    def prog(comm):
+        out = yield from fn(comm, nbytes=block * 8, payload=data[comm.rank])
+        return out
+
+    results, _ = run_collective(size, prog)
+    want = np.concatenate(data)
+    for out in results:
+        np.testing.assert_allclose(out, want)

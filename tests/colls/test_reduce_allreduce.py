@@ -1,0 +1,190 @@
+"""Correctness of reduce and allreduce algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.colls import ALLREDUCE_ALGORITHMS, REDUCE_ALGORITHMS
+from repro.mpi import MAX, MIN, PROD, SUM
+from tests.colls.helpers import rank_array, run_collective
+
+R_ALGS = sorted(REDUCE_ALGORITHMS)
+AR_ALGS = sorted(ALLREDUCE_ALGORITHMS)
+
+
+def expected(op, size, n):
+    parts = [rank_array(r, n) for r in range(size)]
+    acc = parts[0]
+    for p in parts[1:]:
+        acc = op(acc, p)
+    return acc
+
+
+@pytest.mark.parametrize("alg", R_ALGS)
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8])
+@pytest.mark.parametrize("root", [0, "last"])
+def test_reduce_correct(alg, size, root):
+    root = size - 1 if root == "last" else 0
+    n = 30
+    fn = REDUCE_ALGORITHMS[alg]
+
+    def prog(comm):
+        out = yield from fn(
+            comm,
+            nbytes=n * 8,
+            root=root,
+            payload=rank_array(comm.rank, n),
+            op=SUM,
+        )
+        return out
+
+    results, _ = run_collective(size, prog)
+    np.testing.assert_allclose(results[root], expected(SUM, size, n))
+    assert all(r is None for i, r in enumerate(results) if i != root)
+
+
+@pytest.mark.parametrize("alg", R_ALGS)
+@pytest.mark.parametrize("op", [SUM, MAX, MIN, PROD])
+def test_reduce_all_commutative_ops(alg, op):
+    n = 12
+    fn = REDUCE_ALGORITHMS[alg]
+
+    def prog(comm):
+        out = yield from fn(
+            comm, nbytes=n * 8, root=0, payload=rank_array(comm.rank, n), op=op
+        )
+        return out
+
+    results, _ = run_collective(4, prog)
+    np.testing.assert_allclose(results[0], expected(op, 4, n))
+
+
+@pytest.mark.parametrize("alg", R_ALGS)
+def test_reduce_segmented(alg):
+    n = 64
+    fn = REDUCE_ALGORITHMS[alg]
+
+    def prog(comm):
+        out = yield from fn(
+            comm,
+            nbytes=n * 8,
+            root=0,
+            payload=rank_array(comm.rank, n),
+            op=SUM,
+            segsize=100,
+        )
+        return out
+
+    results, _ = run_collective(5, prog)
+    np.testing.assert_allclose(results[0], expected(SUM, 5, n))
+
+
+def test_noncommutative_rejected_on_trees():
+    from repro.colls import reduce_binomial
+    from repro.mpi.op import Op
+
+    weird = Op("first", lambda a, b: a, commutative=False)
+
+    def prog(comm):
+        with pytest.raises(ValueError, match="non-commutative"):
+            yield from reduce_binomial(
+                comm, nbytes=8, payload=np.ones(1), op=weird
+            )
+        yield from comm.barrier()
+        return True
+
+    results, _ = run_collective(2, prog)
+    assert all(results)
+
+
+@pytest.mark.parametrize("alg", AR_ALGS)
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 7, 8])
+def test_allreduce_correct(alg, size):
+    n = 40
+    fn = ALLREDUCE_ALGORITHMS[alg]
+
+    def prog(comm):
+        out = yield from fn(
+            comm, nbytes=n * 8, payload=rank_array(comm.rank, n), op=SUM
+        )
+        return out
+
+    results, _ = run_collective(size, prog)
+    want = expected(SUM, size, n)
+    for r, out in enumerate(results):
+        np.testing.assert_allclose(out, want, err_msg=f"alg={alg} rank={r}")
+
+
+@pytest.mark.parametrize("alg", AR_ALGS)
+def test_allreduce_timing_only(alg):
+    fn = ALLREDUCE_ALGORITHMS[alg]
+
+    def prog(comm):
+        out = yield from fn(comm, nbytes=4 * 1024 * 1024)
+        return out
+
+    results, t = run_collective(4, prog)
+    assert all(r is None for r in results)
+    assert t > 0
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    alg=st.sampled_from(AR_ALGS),
+    size=st.integers(1, 8),
+    nelems=st.integers(1, 100),
+    seed=st.integers(0, 2**31),
+)
+def test_property_allreduce_matches_numpy(alg, size, nelems, seed):
+    rng = np.random.default_rng(seed)
+    contributions = [rng.standard_normal(nelems) for _ in range(size)]
+    want = np.sum(contributions, axis=0)
+    fn = ALLREDUCE_ALGORITHMS[alg]
+
+    def prog(comm):
+        out = yield from fn(
+            comm, nbytes=nelems * 8, payload=contributions[comm.rank], op=SUM
+        )
+        return out
+
+    results, _ = run_collective(size, prog)
+    for out in results:
+        np.testing.assert_allclose(out, want, rtol=1e-10)
+
+
+def test_allreduce_avx_charges_less_time():
+    fn = ALLREDUCE_ALGORITHMS["ring"]
+    times = {}
+    for avx in (False, True):
+
+        def prog(comm, a=avx):
+            yield from fn(comm, nbytes=32 * 1024 * 1024, avx=a)
+
+        _, times[avx] = run_collective(4, prog)
+    assert times[True] < times[False]
+
+
+def test_ring_cheaper_than_recursive_doubling_large_message():
+    """The classic bandwidth-vs-latency tradeoff must emerge."""
+    times = {}
+    for alg in ("ring", "recursive_doubling"):
+        fn = ALLREDUCE_ALGORITHMS[alg]
+
+        def prog(comm, f=fn):
+            yield from f(comm, nbytes=64 * 1024 * 1024)
+
+        _, times[alg] = run_collective(8, prog)
+    assert times["ring"] < times["recursive_doubling"]
+
+
+def test_recursive_doubling_cheaper_small_message():
+    times = {}
+    for alg in ("ring", "recursive_doubling"):
+        fn = ALLREDUCE_ALGORITHMS[alg]
+
+        def prog(comm, f=fn):
+            yield from f(comm, nbytes=8)
+
+        _, times[alg] = run_collective(8, prog)
+    assert times["recursive_doubling"] < times["ring"]

@@ -1,0 +1,104 @@
+"""Correctness of scan/exscan algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.colls import SCAN_ALGORITHMS, exscan_linear
+from repro.mpi import MAX, SUM
+from repro.mpi.op import Op
+from tests.colls.helpers import rank_array, run_collective
+
+
+def prefix(op, size, n, upto):
+    acc = rank_array(0, n)
+    for r in range(1, upto + 1):
+        acc = op(acc, rank_array(r, n))
+    return acc
+
+
+@pytest.mark.parametrize("alg", sorted(SCAN_ALGORITHMS))
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+@pytest.mark.parametrize("op", [SUM, MAX])
+def test_scan_inclusive_prefixes(alg, size, op):
+    n = 10
+    fn = SCAN_ALGORITHMS[alg]
+
+    def prog(comm):
+        out = yield from fn(
+            comm, nbytes=n * 8, payload=rank_array(comm.rank, n), op=op
+        )
+        return out
+
+    results, _ = run_collective(size, prog)
+    for r, out in enumerate(results):
+        np.testing.assert_allclose(
+            out, prefix(op, size, n, r), err_msg=f"alg={alg} rank={r}"
+        )
+
+
+def test_scan_preserves_noncommutative_order():
+    # "left" is associative but not commutative: the prefix of any rank
+    # must be rank 0's value -- a wrong operand order would leak higher
+    # ranks' values in.
+    left = Op("left", lambda a, b: a, commutative=False)
+
+    def prog(comm):
+        out = yield from SCAN_ALGORITHMS["recursive_doubling"](
+            comm,
+            nbytes=8,
+            payload=np.array([float(comm.rank + 1)]),
+            op=left,
+        )
+        return out
+
+    results, _ = run_collective(5, prog)
+    for r, out in enumerate(results):
+        assert out[0] == 1.0, r
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 7])
+def test_exscan(size):
+    n = 6
+
+    def prog(comm):
+        out = yield from exscan_linear(
+            comm, nbytes=n * 8, payload=rank_array(comm.rank, n), op=SUM
+        )
+        return out
+
+    results, _ = run_collective(size, prog)
+    assert results[0] is None
+    for r in range(1, size):
+        np.testing.assert_allclose(results[r], prefix(SUM, size, n, r - 1))
+
+
+@settings(max_examples=10, deadline=None)
+@given(size=st.integers(1, 8), nelems=st.integers(1, 40),
+       seed=st.integers(0, 2**31))
+def test_property_scan_matches_cumsum(size, nelems, seed):
+    rng = np.random.default_rng(seed)
+    data = [rng.standard_normal(nelems) for _ in range(size)]
+
+    def prog(comm):
+        out = yield from SCAN_ALGORITHMS["recursive_doubling"](
+            comm, nbytes=nelems * 8, payload=data[comm.rank], op=SUM
+        )
+        return out
+
+    results, _ = run_collective(size, prog)
+    want = np.cumsum(data, axis=0)
+    for r, out in enumerate(results):
+        np.testing.assert_allclose(out, want[r], rtol=1e-10)
+
+
+@pytest.mark.parametrize("alg", sorted(SCAN_ALGORITHMS))
+def test_scan_timing_only(alg):
+    def prog(comm):
+        out = yield from SCAN_ALGORITHMS[alg](comm, nbytes=1024 * 1024)
+        return out
+
+    results, t = run_collective(4, prog)
+    assert all(r is None for r in results)
+    assert t > 0

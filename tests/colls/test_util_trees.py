@@ -1,0 +1,139 @@
+"""Property tests for tree shapes and segmentation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.colls.trees import binary_tree, binomial_tree, chain_tree, knomial_tree
+from repro.colls.util import Segmenter, combine, unvrank, vrank
+from repro.mpi.op import SUM
+
+TREES = {
+    "binomial": binomial_tree,
+    "binary": binary_tree,
+    "chain": chain_tree,
+    "knomial": lambda v, s: knomial_tree(v, s, radix=4),
+}
+
+
+@pytest.mark.parametrize("name,fn", sorted(TREES.items()))
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 17, 64])
+def test_tree_is_consistent_spanning_tree(name, fn, size):
+    """Parent/children agree, root is 0, every vertex is reachable."""
+    seen = set()
+    for v in range(size):
+        t = fn(v, size)
+        if v == 0:
+            assert t.parent == -1
+        else:
+            assert 0 <= t.parent < size
+            # v must be among its parent's children
+            assert v in fn(t.parent, size).children
+        for c in t.children:
+            assert fn(c, size).parent == v
+            assert c not in seen
+            seen.add(c)
+    assert seen == set(range(1, size))
+
+
+@pytest.mark.parametrize("name,fn", sorted(TREES.items()))
+def test_tree_rejects_bad_queries(name, fn):
+    with pytest.raises(ValueError):
+        fn(0, 0)
+    with pytest.raises(ValueError):
+        fn(5, 5)
+
+
+def test_chain_is_a_path():
+    for v in range(6):
+        t = chain_tree(v, 7)
+        assert t.children == ((v + 1,) if v + 1 < 7 else ())
+
+
+def test_binomial_depth_is_logarithmic():
+    size = 64
+
+    def depth(v):
+        d = 0
+        while v:
+            v = binomial_tree(v, size).parent
+            d += 1
+        return d
+
+    assert max(depth(v) for v in range(size)) == 6
+
+
+def test_knomial_radix_bounds_children():
+    for v in range(27):
+        t = knomial_tree(v, 27, radix=3)
+        # at most (radix-1) children per digit level
+        assert len(t.children) <= 2 * 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rank=st.integers(0, 99),
+    root=st.integers(0, 99),
+    size=st.integers(1, 100),
+)
+def test_property_vrank_roundtrip(rank, root, size):
+    rank, root = rank % size, root % size
+    assert unvrank(vrank(rank, root, size), root, size) == rank
+    assert vrank(root, root, size) == 0
+
+
+class TestSegmenter:
+    def test_single_segment_when_no_segsize(self):
+        s = Segmenter(1000, None)
+        assert s.nseg == 1
+        assert s.seg_nbytes(0) == 1000
+
+    def test_count_from_declared_bytes(self):
+        s = Segmenter(1000, 300)
+        assert s.nseg == 4
+        assert sum(s.seg_nbytes(i) for i in range(4)) == pytest.approx(1000)
+
+    def test_views_cover_payload_without_copies(self):
+        data = np.arange(100, dtype=np.float64)
+        s = Segmenter(data.nbytes, 128, data)
+        parts = [s.seg_view(i) for i in range(s.nseg)]
+        np.testing.assert_array_equal(np.concatenate(parts), data)
+        assert all(p.base is data for p in parts)  # views, not copies
+
+    def test_structure_agrees_with_and_without_payload(self):
+        """The invariant that keeps senders and receivers in lockstep."""
+        data = np.arange(77, dtype=np.float64)
+        with_p = Segmenter(data.nbytes, 100, data)
+        without = Segmenter(data.nbytes, 100, None)
+        assert with_p.nseg == without.nseg
+        for i in range(with_p.nseg):
+            assert with_p.seg_nbytes(i) == without.seg_nbytes(i)
+
+    def test_zero_bytes(self):
+        s = Segmenter(0, 100)
+        assert s.nseg == 1
+
+    def test_rejects_multidim_payload(self):
+        with pytest.raises(ValueError):
+            Segmenter(64, None, np.zeros((2, 4)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        nelems=st.integers(1, 500),
+        segsize=st.integers(1, 4096),
+    )
+    def test_property_views_partition_payload(self, nelems, segsize):
+        data = np.arange(nelems, dtype=np.float64)
+        s = Segmenter(data.nbytes, segsize, data)
+        parts = [s.seg_view(i) for i in range(s.nseg)]
+        assert sum(p.size for p in parts) == nelems
+        np.testing.assert_array_equal(np.concatenate(parts), data)
+
+
+def test_combine_handles_timing_mode():
+    a = np.ones(3)
+    assert combine(SUM, None, None) is None
+    np.testing.assert_array_equal(combine(SUM, a, None), a)
+    np.testing.assert_array_equal(combine(SUM, None, a), a)
+    np.testing.assert_array_equal(combine(SUM, a, a), 2 * a)

@@ -1,0 +1,71 @@
+"""Correctness of the hierarchical all-to-all extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import HanConfig, HanModule
+from repro.hardware import tiny_cluster
+from repro.mpi import MPIRuntime
+
+
+def alltoall_reference(contribs, size, per):
+    """Expected receive buffer of each rank."""
+    out = {}
+    for me in range(size):
+        parts = [
+            contribs[src][me * per : (me + 1) * per] for src in range(size)
+        ]
+        out[me] = np.concatenate(parts)
+    return out
+
+
+@pytest.mark.parametrize("nodes,ppn", [(2, 2), (3, 2), (2, 3), (4, 1)])
+def test_han_alltoall_matches_reference(nodes, ppn):
+    machine = tiny_cluster(num_nodes=nodes, ppn=ppn)
+    size = machine.num_ranks
+    per = 5
+    han = HanModule(config=HanConfig(fs=None))
+    contribs = {
+        r: np.arange(size * per, dtype=np.float64) + 1000.0 * r
+        for r in range(size)
+    }
+    want = alltoall_reference(contribs, size, per)
+    runtime = MPIRuntime(machine)
+
+    def prog(comm):
+        out = yield from han.alltoall(
+            comm, nbytes=per * 8, payload=contribs[comm.rank]
+        )
+        return out
+
+    results = runtime.run(prog)
+    for me, out in enumerate(results):
+        np.testing.assert_array_equal(out, want[me], err_msg=f"rank {me}")
+
+
+def test_han_alltoall_timing_only():
+    machine = tiny_cluster(num_nodes=2, ppn=2)
+    han = HanModule(config=HanConfig(fs=None))
+    runtime = MPIRuntime(machine)
+
+    def prog(comm):
+        out = yield from han.alltoall(comm, nbytes=64 * 1024)
+        return out
+
+    results = runtime.run(prog)
+    assert all(r is None for r in results)
+    assert runtime.engine.now > 0
+
+
+def test_han_alltoall_single_rank():
+    machine = tiny_cluster(num_nodes=1, ppn=1)
+    han = HanModule()
+    data = np.arange(4, dtype=np.float64)
+    runtime = MPIRuntime(machine)
+
+    def prog(comm):
+        out = yield from han.alltoall(comm, nbytes=32, payload=data)
+        return out
+
+    results = runtime.run(prog)
+    assert results[0] is data

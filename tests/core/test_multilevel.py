@@ -1,0 +1,182 @@
+"""Tests for the three-level HAN extension (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import HanConfig
+from repro.core.multilevel import MultiLevelHanModule, build_hierarchy3
+from repro.hardware import MachineSpec, NicSpec, NodeSpec, shaheen2
+from repro.mpi import MPIRuntime
+
+KiB, MiB = 1024, 1024 * 1024
+
+
+def dragonfly_machine(groups=3, routers=2, nodes_per_router=2, ppn=2):
+    node = NodeSpec(cores=max(ppn, 4), mem_bw=60e9, copy_bw=6e9,
+                    reduce_bw=2.5e9, reduce_bw_avx=10e9)
+    return MachineSpec(
+        name="dtest",
+        num_nodes=groups * routers * nodes_per_router,
+        ppn=ppn,
+        node=node,
+        nic=NicSpec(bw=10e9, latency=1.2e-6),
+        topology="dragonfly",
+        link_bw=12e9,
+        topo_params=dict(
+            nodes_per_router=nodes_per_router,
+            routers_per_group=routers,
+            global_links_per_router=2,
+        ),
+    )
+
+
+CFG = HanConfig(fs=128 * KiB, imod="adapt", smod="sm",
+                ibalg="binary", iralg="binary")
+
+
+class TestHierarchy3:
+    def test_levels_partition_by_dragonfly_group(self):
+        machine = dragonfly_machine()
+        runtime = MPIRuntime(machine)
+
+        def prog(comm):
+            hier = yield from build_hierarchy3(comm)
+            return (
+                hier.low.size,
+                hier.mid.size,
+                None if hier.top is None else hier.top.size,
+                hier.num_groups,
+            )
+
+        results = runtime.run(prog)
+        # 12 nodes in 3 groups of 4; ppn=2
+        low, mid, top, groups = results[0]
+        assert low == 2
+        assert mid == 4  # nodes of my group, layer 0
+        assert top == 3  # one leader per group
+        assert groups == 3
+        # exactly one top member per group per layer
+        tops = [r[2] for r in results if r[2] is not None]
+        assert len(tops) == 3 * 2  # 3 groups x 2 layers
+
+    def test_cached(self):
+        machine = dragonfly_machine()
+        runtime = MPIRuntime(machine)
+
+        def prog(comm):
+            h1 = yield from build_hierarchy3(comm)
+            h2 = yield from build_hierarchy3(comm)
+            return h1 is h2
+
+        assert all(runtime.run(prog))
+
+    def test_synthesized_groups_on_crossbar(self):
+        from repro.hardware import tiny_cluster
+
+        machine = tiny_cluster(num_nodes=9, ppn=1)
+        runtime = MPIRuntime(machine)
+
+        def prog(comm):
+            hier = yield from build_hierarchy3(comm)
+            return hier.num_groups
+
+        groups = runtime.run(prog)[0]
+        assert 2 <= groups <= 5  # ~sqrt(9) nodes per synthetic group
+
+
+class TestMultiLevelBcast:
+    @pytest.mark.parametrize("root", [0, 2, 5, 11])
+    def test_payload_everywhere(self, root):
+        machine = dragonfly_machine()
+        han3 = MultiLevelHanModule(config=CFG)
+        data = np.arange(300, dtype=np.float64)
+        runtime = MPIRuntime(machine)
+
+        def prog(comm):
+            payload = data if comm.rank == root else None
+            out = yield from han3.bcast(
+                comm, nbytes=data.nbytes, root=root, payload=payload
+            )
+            return out
+
+        results = runtime.run(prog)
+        for r, out in enumerate(results):
+            np.testing.assert_array_equal(out, data, err_msg=f"rank {r}")
+
+    def test_nonzero_layer_root_falls_back_to_two_level(self):
+        machine = dragonfly_machine()
+        han3 = MultiLevelHanModule(config=CFG)
+        data = np.arange(64, dtype=np.float64)
+        root = 1  # local rank 1 -> 2-level path
+        runtime = MPIRuntime(machine)
+
+        def prog(comm):
+            payload = data if comm.rank == root else None
+            out = yield from han3.bcast(
+                comm, nbytes=data.nbytes, root=root, payload=payload
+            )
+            return out
+
+        results = runtime.run(prog)
+        for out in results:
+            np.testing.assert_array_equal(out, data)
+
+    def test_single_group_falls_back(self):
+        machine = dragonfly_machine(groups=1)
+        han3 = MultiLevelHanModule(config=CFG)
+        data = np.arange(40, dtype=np.float64)
+        runtime = MPIRuntime(machine)
+
+        def prog(comm):
+            payload = data if comm.rank == 0 else None
+            out = yield from han3.bcast(
+                comm, nbytes=data.nbytes, payload=payload
+            )
+            return out
+
+        results = runtime.run(prog)
+        for out in results:
+            np.testing.assert_array_equal(out, data)
+
+    def test_segmented_pipeline(self):
+        machine = dragonfly_machine()
+        han3 = MultiLevelHanModule(
+            config=CFG.with_(fs=256)  # many segments
+        )
+        data = np.arange(512, dtype=np.float64)
+        runtime = MPIRuntime(machine)
+
+        def prog(comm):
+            payload = data if comm.rank == 0 else None
+            out = yield from han3.bcast(
+                comm, nbytes=data.nbytes, payload=payload
+            )
+            return out
+
+        results = runtime.run(prog)
+        for out in results:
+            np.testing.assert_array_equal(out, data)
+
+    def test_three_level_helps_on_grouped_fabric_large_message(self):
+        """On a dragonfly with weak global links, crossing them once per
+        group (not once per node) must pay off for big broadcasts."""
+        from repro.core import HanModule
+
+        machine = dragonfly_machine(groups=6, routers=2,
+                                    nodes_per_router=2, ppn=4)
+        cfg = HanConfig(fs=2 * MiB, imod="adapt", smod="solo",
+                        ibalg="chain", iralg="chain", ibs=512 * KiB,
+                        irs=512 * KiB)
+        times = {}
+        for name, mod in (
+            ("han2", HanModule(config=cfg)),
+            ("han3", MultiLevelHanModule(config=cfg)),
+        ):
+            runtime = MPIRuntime(machine)
+
+            def prog(comm, m=mod):
+                yield from m.bcast(comm, nbytes=32 * MiB)
+
+            runtime.run(prog)
+            times[name] = runtime.engine.now
+        assert times["han3"] < times["han2"]

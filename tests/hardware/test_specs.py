@@ -1,0 +1,88 @@
+"""Tests for hardware specs and machine presets."""
+
+import pytest
+
+from repro.hardware import (
+    MachineSpec,
+    NicSpec,
+    NodeSpec,
+    shaheen2,
+    small_cluster,
+    stampede2,
+    tiny_cluster,
+)
+
+
+def test_shaheen2_paper_geometry():
+    m = shaheen2()
+    assert m.num_ranks == 4096  # 128 nodes x 32 ppn (paper IV-A)
+    assert m.topology == "dragonfly"
+    topo = m.build_topology()
+    assert topo.num_nodes == 128
+
+
+def test_stampede2_paper_geometry():
+    m = stampede2()
+    assert m.num_ranks == 1536  # 32 nodes x 48 ppn (paper IV-A)
+    assert m.topology == "fattree"
+    assert m.node.cores == 48
+
+
+def test_scaled_keeps_hardware():
+    m = shaheen2().scaled(num_nodes=8, ppn=4)
+    assert m.num_ranks == 32
+    assert m.nic == shaheen2().nic
+    assert m.node == shaheen2().node
+
+
+def test_avx_faster_than_scalar_reduction_everywhere():
+    for m in (shaheen2(), stampede2(), small_cluster(), tiny_cluster()):
+        assert m.node.reduce_bw_avx > m.node.reduce_bw
+
+
+def test_membus_faster_than_nic_everywhere():
+    # Intra-node transfers must outrun inter-node for the paper's
+    # hierarchy argument to hold.
+    for m in (shaheen2(), stampede2(), small_cluster(), tiny_cluster()):
+        assert m.node.mem_bw > m.nic.bw
+
+
+def test_ppn_bounded_by_cores():
+    with pytest.raises(ValueError):
+        shaheen2(ppn=33)
+
+
+def test_invalid_node_spec():
+    with pytest.raises(ValueError):
+        NodeSpec(cores=0, mem_bw=1, copy_bw=1, reduce_bw=1, reduce_bw_avx=1)
+    with pytest.raises(ValueError):
+        NodeSpec(cores=1, mem_bw=-1, copy_bw=1, reduce_bw=1, reduce_bw_avx=1)
+
+
+def test_invalid_nic_spec():
+    with pytest.raises(ValueError):
+        NicSpec(bw=0, latency=1e-6)
+    with pytest.raises(ValueError):
+        NicSpec(bw=1e9, latency=-1)
+
+
+def test_machine_topology_build_all_presets():
+    for m in (shaheen2(), stampede2(), small_cluster(), tiny_cluster()):
+        topo = m.build_topology()
+        assert topo.num_nodes == m.num_nodes
+        # spot check a route
+        if m.num_nodes > 1:
+            assert topo.validate_route(0, m.num_nodes - 1)
+
+
+def test_link_bw_defaults_to_nic_bw():
+    m = MachineSpec(
+        name="x",
+        num_nodes=4,
+        ppn=2,
+        node=tiny_cluster().node,
+        nic=NicSpec(bw=5e9, latency=1e-6),
+        topology="torus",
+    )
+    topo = m.build_topology()
+    assert topo.link_bw == 5e9

@@ -1,0 +1,179 @@
+"""Tests for the GPU intra-node submodule (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import HanConfig, HanModule
+from repro.hardware import gpu_cluster, tiny_cluster
+from repro.modules import GpuModule
+from repro.mpi import MPIRuntime, SUM
+from tests.colls.helpers import rank_array
+
+KiB, MiB = 1024, 1024 * 1024
+
+
+def run_intra(prog, ppn=4):
+    machine = gpu_cluster(num_nodes=1, ppn=ppn)
+    runtime = MPIRuntime(machine)
+    return runtime.run(prog), runtime.engine.now
+
+
+class TestGpuModule:
+    def test_bcast_correct(self):
+        mod = GpuModule()
+        data = np.arange(256, dtype=np.float64)
+
+        def prog(comm):
+            payload = data if comm.rank == 0 else None
+            out = yield from mod.bcast(comm, nbytes=data.nbytes,
+                                       payload=payload)
+            return out
+
+        results, t = run_intra(prog)
+        for out in results:
+            np.testing.assert_array_equal(out, data)
+        assert t > 0
+
+    def test_reduce_correct(self):
+        mod = GpuModule()
+        n = 64
+
+        def prog(comm):
+            out = yield from mod.reduce(
+                comm, nbytes=n * 8, payload=rank_array(comm.rank, n), op=SUM
+            )
+            return out
+
+        results, _ = run_intra(prog)
+        want = np.sum([rank_array(r, n) for r in range(4)], axis=0)
+        np.testing.assert_allclose(results[0], want)
+        assert all(r is None for r in results[1:])
+
+    def test_allreduce_correct(self):
+        mod = GpuModule()
+        n = 48
+
+        def prog(comm):
+            out = yield from mod.allreduce(
+                comm, nbytes=n * 8, payload=rank_array(comm.rank, n), op=SUM
+            )
+            return out
+
+        results, _ = run_intra(prog)
+        want = np.sum([rank_array(r, n) for r in range(4)], axis=0)
+        for out in results:
+            np.testing.assert_allclose(out, want)
+
+    def test_barrier(self):
+        mod = GpuModule()
+        exits = {}
+
+        def prog(comm):
+            yield from comm.compute(0.1 * comm.rank)
+            yield from mod.barrier(comm)
+            exits[comm.rank] = comm.now
+
+        run_intra(prog)
+        assert min(exits.values()) >= 0.3
+
+    def test_rejects_cpu_only_nodes(self):
+        mod = GpuModule()
+        runtime = MPIRuntime(tiny_cluster(num_nodes=1, ppn=2))
+
+        def prog(comm):
+            with pytest.raises(ValueError, match="GPU"):
+                yield from mod.bcast(comm, nbytes=64)
+            return True
+
+        assert all(runtime.run(prog))
+
+    def test_gpu_beats_host_modules_for_large_intra_bcast(self):
+        """NVLink fan-out outruns the host memory-bus paths."""
+        from repro.modules import SMModule, SoloModule
+
+        times = {}
+        for name, mod in (("gpu", GpuModule()), ("sm", SMModule()),
+                          ("solo", SoloModule())):
+
+            def prog(comm, m=mod):
+                yield from m.bcast(comm, nbytes=64 * MiB)
+
+            _, times[name] = run_intra(prog)
+        assert times["gpu"] < times["solo"]
+        assert times["gpu"] < times["sm"]
+
+    def test_launch_latency_hurts_small_messages(self):
+        from repro.modules import SMModule
+
+        times = {}
+        for name, mod in (("gpu", GpuModule()), ("sm", SMModule())):
+
+            def prog(comm, m=mod):
+                for _ in range(4):
+                    yield from m.bcast(comm, nbytes=256)
+
+            _, times[name] = run_intra(prog)
+        assert times["sm"] < times["gpu"]
+
+
+class TestHanWithGpuSubmodule:
+    def test_han_accepts_gpu_smod(self):
+        cfg = HanConfig(fs=1 * MiB, imod="adapt", smod="gpu",
+                        ibalg="chain", ibs=512 * KiB)
+        assert cfg.smod == "gpu"
+
+    def test_hierarchical_bcast_with_gpu_intra(self):
+        machine = gpu_cluster(num_nodes=4, ppn=4)
+        han = HanModule(config=HanConfig(
+            fs=1 * MiB, imod="adapt", smod="gpu", ibalg="chain",
+            ibs=512 * KiB,
+        ))
+        data = np.arange(1 * MiB // 8, dtype=np.float64)
+        runtime = MPIRuntime(machine)
+
+        def prog(comm):
+            payload = data if comm.rank == 0 else None
+            out = yield from han.bcast(comm, nbytes=data.nbytes,
+                                       payload=payload)
+            return np.array_equal(out, data)
+
+        assert all(runtime.run(prog))
+
+    def test_gpu_han_beats_host_han_large_bcast(self):
+        """The future-work payoff: HAN + GPU submodule on GPU machines."""
+        machine = gpu_cluster(num_nodes=4, ppn=4)
+        nbytes = 64 * MiB
+        times = {}
+        for smod in ("gpu", "solo"):
+            han = HanModule(config=HanConfig(
+                fs=4 * MiB, imod="adapt", smod=smod, ibalg="chain",
+                ibs=1 * MiB,
+            ))
+            runtime = MPIRuntime(machine)
+
+            def prog(comm, h=han):
+                yield from h.bcast(comm, nbytes=nbytes)
+
+            runtime.run(prog)
+            times[smod] = runtime.engine.now
+        assert times["gpu"] < times["solo"]
+
+    def test_hierarchical_allreduce_with_gpu_intra(self):
+        machine = gpu_cluster(num_nodes=2, ppn=4)
+        han = HanModule(config=HanConfig(
+            fs=None, imod="adapt", smod="gpu", ibalg="binomial",
+            iralg="binomial",
+        ))
+        n = 512
+        runtime = MPIRuntime(machine)
+
+        def prog(comm):
+            out = yield from han.allreduce(
+                comm, nbytes=n * 8, payload=rank_array(comm.rank, n), op=SUM
+            )
+            return out
+
+        results = runtime.run(prog)
+        want = np.sum([rank_array(r, n) for r in range(8)], axis=0)
+        for out in results:
+            np.testing.assert_allclose(out, want)

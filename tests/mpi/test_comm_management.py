@@ -1,0 +1,167 @@
+"""Communicator split / split_type / dup / barrier semantics."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import tiny_cluster
+from repro.mpi import MPIRuntime, UNDEFINED
+
+
+def rt(num_nodes=2, ppn=2):
+    return MPIRuntime(tiny_cluster(num_nodes=num_nodes, ppn=ppn))
+
+
+def test_split_by_parity():
+    runtime = rt(num_nodes=2, ppn=2)
+
+    def prog(comm):
+        sub = yield from comm.split(color=comm.rank % 2)
+        return (sub.rank, sub.size, sub.group)
+
+    results = runtime.run(prog)
+    assert results[0] == (0, 2, (0, 2))
+    assert results[2] == (1, 2, (0, 2))
+    assert results[1] == (0, 2, (1, 3))
+    assert results[3] == (1, 2, (1, 3))
+
+
+def test_split_key_reorders_ranks():
+    runtime = rt()
+
+    def prog(comm):
+        sub = yield from comm.split(color=0, key=-comm.rank)  # reverse
+        return sub.rank
+
+    results = runtime.run(prog)
+    assert results == [3, 2, 1, 0]
+
+
+def test_split_undefined_returns_none():
+    runtime = rt()
+
+    def prog(comm):
+        color = 0 if comm.rank == 0 else UNDEFINED
+        sub = yield from comm.split(color=color)
+        return sub if sub is None else (sub.rank, sub.size)
+
+    results = runtime.run(prog)
+    assert results[0] == (0, 1)
+    assert results[1:] == [None, None, None]
+
+
+def test_split_type_shared_groups_by_node():
+    runtime = rt(num_nodes=2, ppn=2)
+
+    def prog(comm):
+        intra = yield from comm.split_type_shared()
+        return (intra.rank, intra.size, comm.node_of())
+
+    results = runtime.run(prog)
+    # ranks 0,1 on node 0; 2,3 on node 1
+    assert results == [(0, 2, 0), (1, 2, 0), (0, 2, 1), (1, 2, 1)]
+
+
+def test_hierarchy_intra_plus_leader_comm():
+    """The exact two-level decomposition HAN builds (paper section III)."""
+    runtime = rt(num_nodes=3, ppn=2)
+
+    def prog(comm):
+        intra = yield from comm.split_type_shared()
+        is_leader = intra.rank == 0
+        inter = yield from comm.split(color=0 if is_leader else UNDEFINED)
+        return (is_leader, None if inter is None else inter.size)
+
+    results = runtime.run(prog)
+    leaders = [r for r in results if r[0]]
+    assert len(leaders) == 3
+    assert all(r[1] == 3 for r in leaders)
+    assert all(r[1] is None for r in results if not r[0])
+
+
+def test_p2p_inside_subcommunicator_uses_sub_ranks():
+    runtime = rt(num_nodes=2, ppn=2)
+
+    def prog(comm):
+        sub = yield from comm.split(color=comm.rank % 2)
+        # world 2 is rank 1 of the even subcomm; world 0 is rank 0
+        result = None
+        if comm.rank == 0:
+            yield from sub.send(1, payload=np.array([42.0]))
+        elif comm.rank == 2:
+            msg = yield from sub.recv(0)
+            result = float(msg.payload[0])
+        yield from comm.barrier()
+        return result
+
+    results = runtime.run(prog)
+    assert results[2] == 42.0
+
+
+def test_dup_isolates_matching_contexts():
+    runtime = rt()
+
+    def prog(comm):
+        dup = yield from comm.dup()
+        result = None
+        if comm.rank == 0:
+            # same (dest, tag) on both comms; must not cross-match
+            r1 = comm.isend(1, nbytes=100, tag=0)
+            r2 = dup.isend(1, nbytes=200, tag=0)
+            yield from comm.waitall([r1, r2])
+        elif comm.rank == 1:
+            m_dup = yield from dup.recv(0, tag=0)
+            m_orig = yield from comm.recv(0, tag=0)
+            result = (m_dup.nbytes, m_orig.nbytes)
+        yield from comm.barrier()
+        return result
+
+    results = runtime.run(prog)
+    assert results[1] == (200, 100)
+
+
+def test_multiple_sequential_splits():
+    runtime = rt()
+
+    def prog(comm):
+        a = yield from comm.split(color=0)
+        b = yield from a.split(color=a.rank % 2)
+        return b.size
+
+    results = runtime.run(prog)
+    assert results == [2, 2, 2, 2]
+
+
+def test_barrier_synchronizes_all_ranks():
+    runtime = rt(num_nodes=2, ppn=2)
+    exit_times = {}
+
+    def prog(comm):
+        yield from comm.compute(float(comm.rank))  # staggered arrival
+        yield from comm.barrier()
+        exit_times[comm.rank] = comm.now
+
+    runtime.run(prog)
+    # no rank may exit before the slowest (rank 3, arrives at t=3) entered
+    assert min(exit_times.values()) >= 3.0
+
+
+def test_barrier_on_size_one_comm_is_noop():
+    runtime = rt()
+
+    def prog(comm):
+        solo = yield from comm.split(color=comm.rank)
+        yield from solo.barrier()
+        return True
+
+    assert all(runtime.run(prog))
+
+
+def test_node_of_rank():
+    runtime = rt(num_nodes=2, ppn=2)
+
+    def prog(comm):
+        yield from comm.barrier()
+        return [comm.node_of(r) for r in range(comm.size)]
+
+    results = runtime.run(prog)
+    assert results[0] == [0, 0, 1, 1]

@@ -1,0 +1,92 @@
+"""Property tests for MPI matching semantics under random traffic."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import tiny_cluster
+from repro.mpi import ANY_SOURCE, ANY_TAG, MPIRuntime
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    tags=st.lists(st.integers(0, 3), min_size=1, max_size=12),
+    sizes=st.lists(st.integers(1, 64 * 1024), min_size=1, max_size=12),
+    seed=st.integers(0, 2**31),
+)
+def test_per_tag_fifo_under_random_sizes(tags, sizes, seed):
+    """Messages of one (src, tag) stream match in send order, regardless
+    of payload sizes and posting order of other tags."""
+    n = min(len(tags), len(sizes))
+    tags, sizes = tags[:n], sizes[:n]
+    runtime = MPIRuntime(tiny_cluster(num_nodes=2, ppn=1))
+    rng = np.random.default_rng(seed)
+    recv_tag_order = list(rng.permutation(sorted(set(tags))))
+    got: dict[int, list[int]] = {t: [] for t in set(tags)}
+
+    def prog(comm):
+        if comm.rank == 0:
+            reqs = [
+                comm.isend(1, nbytes=sz, tag=t, payload=None)
+                for t, sz in zip(tags, sizes)
+            ]
+            yield from comm.waitall(reqs)
+        else:
+            # post receives grouped by tag, in a random tag order
+            for t in recv_tag_order:
+                for _ in range(tags.count(t)):
+                    msg = yield from comm.recv(source=0, tag=t)
+                    got[t].append(int(msg.nbytes))
+
+    runtime.run(prog)
+    for t in set(tags):
+        sent = [sz for tg, sz in zip(tags, sizes) if tg == t]
+        assert got[t] == sent, (t, got[t], sent)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    nmsgs=st.integers(1, 16),
+    seed=st.integers(0, 2**31),
+)
+def test_wildcard_receives_drain_everything(nmsgs, seed):
+    rng = np.random.default_rng(seed)
+    senders = rng.integers(1, 4, size=nmsgs)  # ranks 1..3
+    runtime = MPIRuntime(tiny_cluster(num_nodes=2, ppn=2))
+    got = []
+
+    def prog(comm):
+        mine = int((senders == comm.rank).sum()) if comm.rank else 0
+        if comm.rank == 0:
+            for _ in range(nmsgs):
+                msg = yield from comm.recv(ANY_SOURCE, ANY_TAG)
+                got.append(msg.source)
+        else:
+            for i in range(mine):
+                yield from comm.send(0, nbytes=64, tag=i)
+
+    runtime.run(prog)
+    assert sorted(got) == sorted(senders.tolist())
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31), n=st.integers(2, 20))
+def test_sendrecv_chain_conserves_payload_sum(seed, n):
+    """Random payloads rotated around a ring end where they started."""
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 1000, size=4)
+    runtime = MPIRuntime(tiny_cluster(num_nodes=2, ppn=2))
+
+    def prog(comm):
+        buf = np.array([values[comm.rank]], dtype=np.int64)
+        for _ in range(comm.size):  # full rotation
+            msg = yield from comm.sendrecv(
+                (comm.rank + 1) % comm.size,
+                (comm.rank - 1) % comm.size,
+                payload=buf,
+            )
+            buf = msg.payload
+        return int(buf[0])
+
+    results = runtime.run(prog)
+    assert results == [int(v) for v in values]

@@ -1,0 +1,201 @@
+"""Tests for P2P profiles, progress servers and the fabric."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import shaheen2, tiny_cluster
+from repro.netsim import (
+    Fabric,
+    P2PProfile,
+    ProgressServer,
+    craympi_profile,
+    intelmpi_profile,
+    mvapich2_profile,
+    openmpi_profile,
+)
+from repro.sim import Engine
+
+ALL_PROFILES = [
+    openmpi_profile,
+    craympi_profile,
+    intelmpi_profile,
+    mvapich2_profile,
+]
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("make", ALL_PROFILES)
+    def test_fraction_bounded(self, make):
+        prof = make()
+        for nbytes in (1, 100, 4096, 2**20, 2**28):
+            f = prof.bw_fraction(nbytes)
+            assert 0 < f <= 1.0
+
+    @pytest.mark.parametrize("make", ALL_PROFILES)
+    def test_curve_endpoints_clamped(self, make):
+        prof = make()
+        lo_size, lo_frac = prof.bw_curve[0]
+        hi_size, hi_frac = prof.bw_curve[-1]
+        assert prof.bw_fraction(lo_size / 10) == lo_frac
+        assert prof.bw_fraction(hi_size * 10) == hi_frac
+
+    @settings(max_examples=50, deadline=None)
+    @given(nbytes=st.floats(1, 2**30))
+    def test_property_interpolation_within_neighbor_bounds(self, nbytes):
+        prof = openmpi_profile()
+        f = prof.bw_fraction(nbytes)
+        fracs = [fr for _s, fr in prof.bw_curve]
+        assert min(fracs) <= f <= max(fracs)
+
+    def test_openmpi_has_the_midrange_dip(self):
+        """The Fig 11 mechanism: a dip around 16KB..512KB."""
+        prof = openmpi_profile()
+        assert prof.bw_fraction(64 * 1024) < prof.bw_fraction(512) * 0.7
+        assert prof.bw_fraction(16 * 2**20) > 0.9
+
+    def test_cray_flatter_than_openmpi(self):
+        omp, cray = openmpi_profile(), craympi_profile()
+        assert cray.bw_fraction(64 * 1024) > omp.bw_fraction(64 * 1024) * 1.5
+        assert abs(cray.bw_fraction(16 * 2**20) - omp.bw_fraction(16 * 2**20)) < 0.1
+
+    def test_eager_adds_copy_overhead(self):
+        prof = openmpi_profile()
+        small = prof.eager_threshold
+        assert prof.send_overhead(small) > prof.o_send
+        assert prof.send_overhead(small * 2) == prof.o_send  # rendezvous
+
+    def test_invalid_curves_rejected(self):
+        with pytest.raises(ValueError):
+            P2PProfile("x", 8192, 1e-6, 1e-6, 1e-7, 1e9,
+                       bw_curve=((1024, 0.5), (512, 0.6)))  # unsorted
+        with pytest.raises(ValueError):
+            P2PProfile("x", 8192, 1e-6, 1e-6, 1e-7, 1e9,
+                       bw_curve=((1024, 1.5),))  # fraction > 1
+        with pytest.raises(ValueError):
+            P2PProfile("x", -1, 1e-6, 1e-6, 1e-7, 1e9,
+                       bw_curve=((1024, 0.5),))
+
+
+class TestProgressServer:
+    def test_fifo_serialization(self):
+        eng = Engine()
+        srv = ProgressServer(eng, "t")
+        done = []
+        ev1 = srv.request(1.0)
+        ev2 = srv.request(2.0)
+        ev1.callbacks.append(lambda _e: done.append(("a", eng.now)))
+        ev2.callbacks.append(lambda _e: done.append(("b", eng.now)))
+        eng.run()
+        assert done == [("a", 1.0), ("b", 3.0)]
+
+    def test_idle_gap_not_charged(self):
+        eng = Engine()
+        srv = ProgressServer(eng, "t")
+        srv.request(1.0)
+        fired = {}
+
+        def late_request():
+            ev = srv.request(1.0)
+            ev.callbacks.append(lambda _e: fired.setdefault("t", eng.now))
+
+        eng.schedule(5.0, late_request)
+        eng.run()
+        assert fired["t"] == 6.0  # starts at request time, not busy_until
+
+    def test_negative_duration_rejected(self):
+        eng = Engine()
+        srv = ProgressServer(eng, "t")
+        with pytest.raises(ValueError):
+            srv.request(-1.0)
+
+    def test_accounting(self):
+        eng = Engine()
+        srv = ProgressServer(eng, "t")
+        srv.request(1.0)
+        srv.request(0.5)
+        eng.run()
+        assert srv.busy_time == pytest.approx(1.5)
+        assert srv.jobs == 2
+        assert srv.backlog == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(durations=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=10))
+    def test_property_total_time_is_sum(self, durations):
+        eng = Engine()
+        srv = ProgressServer(eng, "t")
+        last = [None]
+        for d in durations:
+            ev = srv.request(d)
+        ev.callbacks.append(lambda _e: last.__setitem__(0, eng.now))
+        eng.run()
+        assert last[0] == pytest.approx(sum(durations))
+
+
+class TestFabric:
+    def make(self, machine=None):
+        eng = Engine()
+        m = machine or tiny_cluster(num_nodes=2, ppn=2)
+        return eng, Fabric(eng, m, openmpi_profile())
+
+    def test_node_placement_block(self):
+        _, fab = self.make()
+        assert [fab.node_of(r) for r in range(4)] == [0, 0, 1, 1]
+        with pytest.raises(IndexError):
+            fab.node_of(4)
+
+    def test_intra_plan_uses_bus_twice(self):
+        _, fab = self.make()
+        plan = fab.plan(0, 1, 1024)
+        assert plan.intra_node
+        assert len(plan.resources) == 2
+        assert plan.resources[0] == plan.resources[1]
+
+    def test_inter_plan_includes_nics_and_buses(self):
+        _, fab = self.make()
+        plan = fab.plan(0, 2, 1024)
+        assert not plan.intra_node
+        assert fab.nic_tx_rid(0) in plan.resources
+        assert fab.nic_rx_rid(1) in plan.resources
+        assert fab.membus_rid(0) in plan.resources
+        assert fab.membus_rid(1) in plan.resources
+
+    def test_rate_cap_follows_profile(self):
+        _, fab = self.make()
+        prof = openmpi_profile()
+        nic = fab.machine.nic.bw
+        plan = fab.plan(0, 2, 64 * 1024)
+        assert plan.rate_cap == pytest.approx(prof.rate_cap(64 * 1024, nic))
+
+    def test_plan_latency_includes_hops_on_dragonfly(self):
+        machine = shaheen2(num_nodes=16, ppn=2)
+        eng = Engine()
+        fab = Fabric(eng, machine, openmpi_profile())
+        close = fab.plan(0, machine.ppn * 1, 1024).latency  # same router
+        far = fab.plan(0, machine.ppn * 15, 1024).latency  # cross-group
+        assert far > close
+
+    def test_transfer_completes_after_latency_plus_bandwidth(self):
+        eng, fab = self.make()
+        done = {}
+        nbytes = 1_000_000
+        fab.start_transfer(0, 2, nbytes, lambda: done.setdefault("t", eng.now))
+        eng.run()
+        plan = fab.plan(0, 2, nbytes)
+        expect = plan.latency + nbytes / plan.rate_cap
+        assert done["t"] == pytest.approx(expect, rel=1e-6)
+
+    def test_membus_flow_copies(self):
+        eng, fab = self.make()
+        done = {}
+        fab.membus_flow(0, 1000.0, lambda: done.setdefault("one", eng.now),
+                        copies=1, rate_cap=math.inf)
+        eng.run()
+        eng2, fab2 = self.make()
+        fab2.membus_flow(0, 1000.0, lambda: done.setdefault("two", eng2.now),
+                         copies=2, rate_cap=math.inf)
+        eng2.run()
+        # with no cap, duration is bus-bound: 2 copies take twice as long
+        assert done["two"] == pytest.approx(2 * done["one"])

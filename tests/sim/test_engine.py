@@ -1,0 +1,282 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    DeadlockError,
+    Engine,
+    Join,
+    Sleep,
+    Spawn,
+)
+
+
+def test_sleep_advances_time():
+    eng = Engine()
+
+    def prog():
+        yield Sleep(1.5)
+        yield Sleep(0.5)
+        return "done"
+
+    p = eng.spawn(prog())
+    end = eng.run()
+    assert end == pytest.approx(2.0)
+    assert p.finished and p.result == "done"
+
+
+def test_zero_sleep_is_legal():
+    eng = Engine()
+
+    def prog():
+        yield Sleep(0.0)
+        return eng.now
+
+    p = eng.spawn(prog())
+    eng.run()
+    assert p.result == 0.0
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.schedule(-1.0, lambda: None)
+
+
+def test_event_wakes_waiter_with_value():
+    eng = Engine()
+    ev = eng.event("x")
+    got = []
+
+    def waiter():
+        v = yield ev
+        got.append((eng.now, v))
+
+    def setter():
+        yield Sleep(3.0)
+        ev.succeed(42)
+
+    eng.spawn(waiter())
+    eng.spawn(setter())
+    eng.run()
+    assert got == [(3.0, 42)]
+
+
+def test_event_already_triggered_resumes_immediately():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed("v")
+
+    def waiter():
+        v = yield ev
+        return (eng.now, v)
+
+    p = eng.spawn(waiter())
+    eng.run()
+    assert p.result == (0.0, "v")
+
+
+def test_event_double_succeed_raises():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_multiple_waiters_all_wake():
+    eng = Engine()
+    ev = eng.event()
+    results = []
+
+    def waiter(i):
+        v = yield ev
+        results.append((i, v))
+
+    for i in range(5):
+        eng.spawn(waiter(i))
+
+    def setter():
+        yield Sleep(1.0)
+        ev.succeed("go")
+
+    eng.spawn(setter())
+    eng.run()
+    assert sorted(results) == [(i, "go") for i in range(5)]
+
+
+def test_spawn_and_join_returns_child_result():
+    eng = Engine()
+
+    def child():
+        yield Sleep(2.0)
+        return 99
+
+    def parent():
+        h = yield Spawn(child())
+        v = yield Join(h)
+        return (eng.now, v)
+
+    p = eng.spawn(parent())
+    eng.run()
+    assert p.result == (2.0, 99)
+
+
+def test_join_already_finished_child():
+    eng = Engine()
+
+    def child():
+        yield Sleep(0.1)
+        return "c"
+
+    def parent():
+        h = yield Spawn(child())
+        yield Sleep(5.0)
+        v = yield Join(h)
+        return v
+
+    p = eng.spawn(parent())
+    eng.run()
+    assert p.result == "c"
+
+
+def test_anyof_returns_first_index_and_value():
+    eng = Engine()
+    ev1, ev2 = eng.event(), eng.event()
+
+    def waiter():
+        idx, v = yield AnyOf([ev1, ev2])
+        return (eng.now, idx, v)
+
+    def setter():
+        yield Sleep(1.0)
+        ev2.succeed("b")
+        yield Sleep(1.0)
+        ev1.succeed("a")
+
+    p = eng.spawn(waiter())
+    eng.spawn(setter())
+    eng.run()
+    assert p.result == (1.0, 1, "b")
+
+
+def test_allof_waits_for_all():
+    eng = Engine()
+    evs = [eng.event() for _ in range(3)]
+
+    def waiter():
+        vals = yield AllOf(evs)
+        return (eng.now, vals)
+
+    def setter():
+        for i, ev in enumerate(evs):
+            yield Sleep(1.0)
+            ev.succeed(i * 10)
+
+    p = eng.spawn(waiter())
+    eng.spawn(setter())
+    eng.run()
+    assert p.result == (3.0, [0, 10, 20])
+
+
+def test_allof_with_pretriggered_events():
+    eng = Engine()
+    evs = [eng.event() for _ in range(2)]
+    evs[0].succeed("x")
+    evs[1].succeed("y")
+
+    def waiter():
+        vals = yield AllOf(evs)
+        return vals
+
+    p = eng.spawn(waiter())
+    eng.run()
+    assert p.result == ["x", "y"]
+
+
+def test_deadlock_detection():
+    eng = Engine()
+    ev = eng.event("never")
+
+    def stuck():
+        yield ev
+
+    eng.spawn(stuck(), name="stuck-proc")
+    with pytest.raises(DeadlockError, match="stuck-proc"):
+        eng.run()
+
+
+def test_run_until_stops_early():
+    eng = Engine()
+
+    def prog():
+        yield Sleep(10.0)
+
+    eng.spawn(prog())
+    t = eng.run(until=4.0)
+    assert t == 4.0
+    # finish the rest
+    t = eng.run()
+    assert t == 10.0
+
+
+def test_cancelled_callback_does_not_fire():
+    eng = Engine()
+    fired = []
+    token = eng.schedule(1.0, lambda: fired.append(1))
+    Engine.cancel(token)
+    eng.schedule(2.0, lambda: fired.append(2))
+    eng.run()
+    assert fired == [2]
+
+
+def test_deterministic_same_time_ordering():
+    eng = Engine()
+    order = []
+    for i in range(10):
+        eng.schedule(1.0, lambda i=i: order.append(i))
+    eng.run()
+    assert order == list(range(10))
+
+
+def test_exception_in_process_propagates():
+    eng = Engine()
+
+    def bad():
+        yield Sleep(1.0)
+        raise ValueError("boom")
+
+    eng.spawn(bad())
+    with pytest.raises(ValueError, match="boom"):
+        eng.run()
+
+
+def test_yield_from_composes_subroutines():
+    eng = Engine()
+
+    def sub(dt):
+        yield Sleep(dt)
+        return dt * 2
+
+    def prog():
+        a = yield from sub(1.0)
+        b = yield from sub(2.0)
+        return a + b
+
+    p = eng.spawn(prog())
+    eng.run()
+    assert p.result == 6.0
+    assert eng.now == 3.0
+
+
+def test_unsupported_command_raises_typeerror():
+    eng = Engine()
+
+    def prog():
+        yield "not-a-command"
+
+    eng.spawn(prog())
+    with pytest.raises(TypeError):
+        eng.run()

@@ -1,0 +1,70 @@
+"""Tests for the tracing facility."""
+
+from repro.sim import Engine, Sleep
+from repro.sim.trace import Tracer
+
+
+def test_records_custom_marks_with_time():
+    eng = Engine()
+    tr = Tracer(eng)
+
+    def prog():
+        tr.record("p0", "phase-a")
+        yield Sleep(1.0)
+        tr.record("p0", "phase-b")
+
+    eng.spawn(prog(), name="p0")
+    eng.run()
+    labels = [(e.time, e.label) for e in tr.for_actor("p0")]
+    assert (0.0, "phase-a") in labels
+    assert (1.0, "phase-b") in labels
+
+
+def test_engine_finish_events_traced():
+    eng = Engine()
+    tr = Tracer(eng)
+
+    def prog():
+        yield Sleep(2.0)
+
+    eng.spawn(prog(), name="worker")
+    eng.run()
+    assert any(e.label == "finish" and e.actor == "worker" for e in tr.events)
+
+
+def test_spans_pairing():
+    eng = Engine()
+    tr = Tracer(eng)
+
+    def prog():
+        for _ in range(3):
+            tr.record("p", "start")
+            yield Sleep(0.5)
+            tr.record("p", "end")
+            yield Sleep(0.1)
+
+    eng.spawn(prog(), name="p")
+    eng.run()
+    spans = tr.spans("p", "start", "end")
+    assert len(spans) == 3
+    for b, e in spans:
+        assert e - b == 0.5 or abs(e - b - 0.5) < 1e-12
+
+
+def test_limit_drops_excess():
+    eng = Engine()
+    tr = Tracer(eng, limit=5)
+    for i in range(10):
+        tr.record("x", f"m{i}")
+    assert len(tr.events) == 5
+    assert tr.dropped == 5
+
+
+def test_to_text_and_close():
+    eng = Engine()
+    tr = Tracer(eng)
+    tr.record("a", "hello")
+    text = tr.to_text()
+    assert "hello" in text and "a" in text
+    tr.close()
+    assert eng.trace_hook is None

@@ -1,0 +1,164 @@
+"""Tests for interconnect topologies and routing."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    Crossbar,
+    Dragonfly,
+    FatTree,
+    Hypercube,
+    Torus,
+    make_topology,
+)
+
+ALL_KINDS = ["crossbar", "dragonfly", "fattree", "hypercube", "torus"]
+
+
+def build(kind, n):
+    return make_topology(kind, n, link_bw=1e9)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@pytest.mark.parametrize("n", [1, 2, 5, 16, 33])
+def test_route_self_is_empty(kind, n):
+    topo = build(kind, n)
+    for i in range(0, n, max(1, n // 4)):
+        assert topo.route(i, i) == ()
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_route_out_of_range_raises(kind):
+    topo = build(kind, 4)
+    with pytest.raises(IndexError):
+        topo.route(0, 4)
+    with pytest.raises(IndexError):
+        topo.route(-1, 0)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@pytest.mark.parametrize("n", [2, 7, 16, 40])
+def test_all_routes_are_connected_walks(kind, n):
+    topo = build(kind, n)
+    for a in range(n):
+        for b in range(n):
+            assert topo.validate_route(a, b), (kind, a, b)
+
+
+def test_unknown_topology_rejected():
+    with pytest.raises(ValueError, match="unknown topology"):
+        make_topology("moebius", 4, 1e9)
+
+
+def test_crossbar_has_no_links():
+    topo = Crossbar(16)
+    assert topo.links == []
+    assert topo.route(3, 12) == ()
+
+
+class TestFatTree:
+    def test_same_edge_switch_no_fabric_links(self):
+        topo = FatTree(32, 1e9, nodes_per_edge=16, num_core=4)
+        assert topo.route(0, 15) == ()
+        assert len(topo.route(0, 16)) == 2
+
+    def test_up_down_route_via_one_core(self):
+        topo = FatTree(64, 1e9, nodes_per_edge=8, num_core=4)
+        up, down = topo.route(0, 63)
+        assert topo.links[up].src == "edge0"
+        assert topo.links[up].dst.startswith("core")
+        assert topo.links[down].src == topo.links[up].dst
+        assert topo.links[down].dst == "edge7"
+
+    def test_taper_reduces_uplink_capacity(self):
+        full = FatTree(32, 1e9, nodes_per_edge=8, num_core=2, taper=1.0)
+        tapered = FatTree(32, 1e9, nodes_per_edge=8, num_core=2, taper=2.0)
+        assert tapered.links[0].capacity == pytest.approx(
+            full.links[0].capacity / 2.0
+        )
+
+    def test_invalid_taper(self):
+        with pytest.raises(ValueError):
+            FatTree(8, 1e9, taper=0.5)
+
+
+class TestDragonfly:
+    def test_same_router_no_links(self):
+        topo = Dragonfly(64, 1e9, nodes_per_router=4)
+        assert topo.route(0, 3) == ()
+
+    def test_same_group_single_local_hop(self):
+        topo = Dragonfly(64, 1e9, nodes_per_router=4, routers_per_group=4)
+        # nodes 0 and 4 are on routers 0 and 1 of group 0
+        r = topo.route(0, 4)
+        assert len(r) == 1
+
+    def test_inter_group_at_most_three_hops(self):
+        topo = Dragonfly(
+            128, 1e9, nodes_per_router=4, routers_per_group=4,
+            global_links_per_router=2,
+        )
+        for a in range(0, 128, 17):
+            for b in range(0, 128, 13):
+                assert len(topo.route(a, b)) <= 3
+
+    def test_group_of(self):
+        topo = Dragonfly(64, 1e9, nodes_per_router=4, routers_per_group=4)
+        assert topo.group_of(0) == 0
+        assert topo.group_of(16) == 1
+
+
+class TestTorus:
+    def test_explicit_dims(self):
+        topo = Torus(16, 1e9, dims=(4, 4))
+        assert topo.dims == (4, 4)
+
+    def test_dims_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Torus(16, 1e9, dims=(2, 2))
+
+    def test_wraparound_shortens_route(self):
+        topo = Torus(8, 1e9, dims=(8,))
+        # 0 -> 7 should wrap (1 hop), not walk 7 hops.
+        assert len(topo.route(0, 7)) == 1
+        assert len(topo.route(0, 4)) == 4
+
+    def test_manhattan_distance_3d(self):
+        topo = Torus(27, 1e9, dims=(3, 3, 3))
+        assert len(topo.route(0, 26)) == 3  # (+1,+1,+1) with wrap = 1+1+1
+
+
+class TestHypercube:
+    def test_hop_count_is_hamming_distance(self):
+        topo = Hypercube(16, 1e9)
+        assert len(topo.route(0b0000, 0b1011)) == 3
+        assert len(topo.route(0b0101, 0b0101)) == 0
+
+    def test_nonpow2_padded(self):
+        topo = Hypercube(5, 1e9)
+        assert topo.dim == 3
+        assert topo.validate_route(0, 4)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    kind=st.sampled_from(ALL_KINDS),
+    n=st.integers(2, 48),
+    pair=st.tuples(st.integers(0, 1000), st.integers(0, 1000)),
+)
+def test_property_routes_valid_and_symmetric_length(kind, n, pair):
+    topo = build(kind, n)
+    a, b = pair[0] % n, pair[1] % n
+    assert topo.validate_route(a, b)
+    # minimal routing in these regular topologies gives symmetric hop counts
+    assert len(topo.route(a, b)) == len(topo.route(b, a))
+
+
+@pytest.mark.parametrize("kind", ["dragonfly", "fattree", "torus", "hypercube"])
+def test_link_graph_is_strongly_connected_over_switches(kind):
+    topo = build(kind, 16)
+    g = topo.to_networkx()
+    if g.number_of_nodes() > 1:
+        assert nx.is_strongly_connected(g)

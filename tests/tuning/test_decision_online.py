@@ -1,0 +1,165 @@
+"""Tests for the interval decision rules and the online (STAR-MPI) tuner."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import HanConfig
+from repro.hardware import tiny_cluster
+from repro.mpi import MPIRuntime, SUM
+from repro.tuning import LookupTable
+from repro.tuning.decision_tree import DecisionRules, compile_rules
+from repro.tuning.online import OnlineTuner
+
+KiB, MiB = 1024, 1024 * 1024
+
+SMALL = HanConfig(fs=None)
+MID = HanConfig(fs=256 * KiB, imod="adapt", smod="sm", ibalg="binary",
+                iralg="binary")
+BIG = HanConfig(fs=2 * MiB, imod="adapt", smod="solo", ibalg="chain",
+                iralg="chain")
+
+
+def sample_table():
+    t = LookupTable()
+    sizes = [2.0 ** k for k in range(10, 26)]  # 1KB .. 32MB
+    for m in sizes:
+        if m <= 64 * KiB:
+            cfg = SMALL
+        elif m <= 2 * MiB:
+            cfg = MID
+        else:
+            cfg = BIG
+        t.put("bcast", 8, 4, m, cfg)
+    return t
+
+
+class TestDecisionRules:
+    def test_compiles_to_three_intervals(self):
+        rules = compile_rules(sample_table())
+        assert rules.num_rules == 3
+        assert rules.compression > 5
+
+    def test_decisions_match_table_on_samples(self):
+        table = sample_table()
+        rules = compile_rules(table)
+        for (t, n, p, m), cfg in table.entries.items():
+            assert rules.decide(n, p, m, t) == cfg, m
+
+    def test_interval_boundaries_are_geometric_means(self):
+        rules = compile_rules(sample_table())
+        band = rules.bands[("bcast", 8, 4)]
+        # boundary between 64KB (SMALL) and 128KB (MID) samples
+        assert band.uppers[0] == pytest.approx(
+            math.sqrt(64 * KiB * 128 * KiB)
+        )
+        assert band.uppers[-1] == math.inf
+
+    def test_unsampled_sizes_get_nearest_interval(self):
+        rules = compile_rules(sample_table())
+        assert rules.decide(8, 4, 3 * KiB, "bcast") == SMALL
+        assert rules.decide(8, 4, 1 * MiB, "bcast") == MID
+        assert rules.decide(8, 4, 256 * MiB, "bcast") == BIG
+
+    def test_nearest_geometry_fallback(self):
+        rules = compile_rules(sample_table())
+        assert rules.decide(9, 5, 16 * MiB, "bcast") == BIG
+
+    def test_unknown_collective_default(self):
+        rules = compile_rules(sample_table())
+        cfg = rules.decide(8, 4, 1 * MiB, "allreduce")
+        assert isinstance(cfg, HanConfig)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        rules = compile_rules(sample_table())
+        path = tmp_path / "rules.json"
+        rules.save(path)
+        loaded = DecisionRules.load(path)
+        assert loaded.num_rules == rules.num_rules
+        for m in (4 * KiB, 1 * MiB, 16 * MiB):
+            assert loaded.decide(8, 4, m, "bcast") == rules.decide(
+                8, 4, m, "bcast"
+            )
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"version": 9, "bands": []}')
+        with pytest.raises(ValueError):
+            DecisionRules.load(p)
+
+
+class TestOnlineTuner:
+    CANDIDATES = [
+        HanConfig(fs=None, imod="libnbc", smod="sm"),
+        HanConfig(fs=128 * KiB, imod="adapt", smod="sm", ibalg="chain",
+                  iralg="chain", ibs=64 * KiB, irs=64 * KiB),
+    ]
+
+    def run_calls(self, tuner, ncalls, nbytes=512 * KiB):
+        machine = tiny_cluster(num_nodes=3, ppn=2)
+        runtime = MPIRuntime(machine)
+
+        def prog(comm):
+            for _ in range(ncalls):
+                yield from tuner.bcast(comm, nbytes)
+
+        runtime.run(prog)
+        return runtime.engine.now
+
+    def test_needs_candidates(self):
+        with pytest.raises(ValueError):
+            OnlineTuner(candidates=[])
+
+    def test_converges_after_exploration(self):
+        tuner = OnlineTuner(candidates=self.CANDIDATES,
+                            trials_per_candidate=2)
+        nbytes = 512 * KiB
+        assert not tuner.converged("bcast", nbytes)
+        self.run_calls(tuner, ncalls=tuner.total_trials + 1, nbytes=nbytes)
+        assert tuner.converged("bcast", nbytes)
+        assert tuner.decision("bcast", nbytes) in self.CANDIDATES
+
+    def test_locks_the_faster_candidate(self):
+        tuner = OnlineTuner(candidates=self.CANDIDATES)
+        nbytes = 512 * KiB
+        self.run_calls(tuner, ncalls=len(self.CANDIDATES) + 2, nbytes=nbytes)
+        locked = tuner.decision("bcast", nbytes)
+        # measure both candidates offline and check the pick
+        from repro.tuning import measure_collective
+
+        machine = tiny_cluster(num_nodes=3, ppn=2)
+        times = {
+            cfg.key(): measure_collective(machine, "bcast", nbytes, cfg).time
+            for cfg in self.CANDIDATES
+        }
+        assert times[locked.key()] == min(times.values())
+
+    def test_buckets_are_independent(self):
+        tuner = OnlineTuner(candidates=self.CANDIDATES)
+        self.run_calls(tuner, ncalls=4, nbytes=512 * KiB)
+        assert tuner.converged("bcast", 512 * KiB)
+        assert not tuner.converged("bcast", 4 * KiB)
+
+    def test_allreduce_path(self):
+        tuner = OnlineTuner(candidates=self.CANDIDATES)
+        machine = tiny_cluster(num_nodes=2, ppn=2)
+        runtime = MPIRuntime(machine)
+        n = 64
+
+        def prog(comm):
+            outs = []
+            for _ in range(4):
+                out = yield from tuner.allreduce(
+                    comm, nbytes=n * 8,
+                    payload=np.ones(n) * (comm.rank + 1), op=SUM,
+                )
+                outs.append(out)
+            return outs
+
+        results = runtime.run(prog)
+        want = np.ones(n) * sum(r + 1 for r in range(4))
+        for outs in results:
+            for out in outs:
+                np.testing.assert_allclose(out, want)
+        assert tuner.converged("allreduce", n * 8)

@@ -1,0 +1,69 @@
+"""Tests for task-based tuning of MPI_Reduce (the irsr stream)."""
+
+import pytest
+
+from repro.core import HanConfig
+from repro.hardware import tiny_cluster
+from repro.tuning import (
+    Autotuner,
+    SearchSpace,
+    TaskBench,
+    estimate_reduce,
+    measure_collective,
+)
+
+KiB, MiB = 1024, 1024 * 1024
+MACHINE = tiny_cluster(num_nodes=4, ppn=4)
+CFG = HanConfig(fs=128 * KiB, imod="adapt", smod="sm", ibalg="binary",
+                iralg="binary")
+
+
+@pytest.fixture(scope="module")
+def reduce_costs():
+    bench = TaskBench(MACHINE, warm_iters=8)
+    return bench.bench_reduce_tasks(CFG, 128 * KiB)
+
+
+def test_reduce_tasks_populated(reduce_costs):
+    assert (reduce_costs.sr0 > 0).all()
+    assert (reduce_costs.irsr_stable > 0).all()
+    assert (reduce_costs.drain > 0).all()
+
+
+def test_irsr_stabilizes(reduce_costs):
+    tail = reduce_costs.irsr_series[:, -3:]
+    spread = tail.max(axis=1) - tail.min(axis=1)
+    assert (spread <= 0.25 * tail.mean(axis=1) + 1e-12).all()
+
+
+def test_estimate_scales_with_segments(reduce_costs):
+    e1 = estimate_reduce(reduce_costs, 128 * KiB)
+    e8 = estimate_reduce(reduce_costs, 1 * MiB)
+    assert e1 < e8
+
+
+def test_reduce_model_close_to_measurement(reduce_costs):
+    for m in (1 * MiB, 4 * MiB):
+        est = estimate_reduce(reduce_costs, m)
+        meas = measure_collective(MACHINE, "reduce", m, CFG).time
+        assert est == pytest.approx(meas, rel=0.30), (m, est, meas)
+
+
+def test_autotuner_reduce_path():
+    space = SearchSpace(
+        seg_sizes=(128 * KiB, 512 * KiB),
+        messages=(256 * KiB, 2 * MiB),
+        adapt_algorithms=("binary",),
+        inner_segs=(None,),
+    )
+    tuner = Autotuner(MACHINE, space=space, warm_iters=6)
+    task = tuner.tune(colls=("reduce",), method="task")
+    exh = tuner.tune(colls=("reduce",), method="exhaustive")
+    assert len(task.table) == 2
+    assert task.tuning_cost < exh.tuning_cost
+    # the pick is near-optimal
+    for m in space.messages:
+        picked = task.table.get("reduce", MACHINE.num_nodes, MACHINE.ppn, m)
+        t_pick = measure_collective(MACHINE, "reduce", m, picked).time
+        _best_cfg, t_best = exh.best("reduce", m)
+        assert t_pick <= t_best * 1.3

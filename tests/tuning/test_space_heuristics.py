@@ -1,0 +1,135 @@
+"""Tests for search spaces, heuristics and the lookup table."""
+
+import pytest
+
+from repro.core import HanConfig
+from repro.tuning import LookupTable, SearchSpace, prune_configs
+from repro.tuning.costmodel import segments_for
+from repro.tuning.heuristics import SOLO_MIN_SEG, chain_viable
+from repro.tuning.space import TuningInputs
+
+KiB, MiB = 1024, 1024 * 1024
+
+
+class TestSearchSpace:
+    def test_config_count_is_s_times_a_times_smods(self):
+        space = SearchSpace.small()
+        a = len(space.algorithm_axis())
+        assert space.size() == len(space.seg_sizes) * a * len(space.smods)
+
+    def test_algorithm_axis_includes_libnbc_single_point(self):
+        axis = SearchSpace.small().algorithm_axis()
+        libnbc = [pt for pt in axis if pt["imod"] == "libnbc"]
+        assert len(libnbc) == 1
+        assert libnbc[0]["ibalg"] is None
+
+    def test_all_configs_valid(self):
+        for cfg in SearchSpace.small().configs():
+            assert isinstance(cfg, HanConfig)
+
+    def test_messages_are_powers_of_two(self):
+        space = SearchSpace.small()
+        for m in space.messages:
+            assert m & (int(m) - 1) == 0 if isinstance(m, int) else True
+
+    def test_tuning_inputs_table1_fields(self):
+        ti = TuningInputs(n=64, p=12, m=4 * MiB, t="bcast")
+        assert (ti.n, ti.p, ti.m, ti.t) == (64, 12, 4 * MiB, "bcast")
+
+
+class TestHeuristics:
+    def test_solo_pruned_below_512k(self):
+        small = HanConfig(fs=128 * KiB, smod="solo")
+        big = HanConfig(fs=1 * MiB, smod="solo")
+        kept = prune_configs([small, big])
+        assert kept == [big]
+        assert SOLO_MIN_SEG == 512 * KiB  # the paper's number
+
+    def test_inner_seg_larger_than_fs_pruned(self):
+        bad = HanConfig(fs=128 * KiB, imod="adapt", ibalg="chain", ibs=512 * KiB)
+        assert prune_configs([bad]) == []
+
+    def test_chain_needs_enough_segments(self):
+        assert not chain_viable(256 * KiB, 128 * KiB, num_nodes=8)
+        assert chain_viable(16 * MiB, 128 * KiB, num_nodes=8)
+        chain = HanConfig(fs=128 * KiB, imod="adapt", ibalg="chain")
+        assert prune_configs([chain], nbytes=256 * KiB, num_nodes=8) == []
+        assert prune_configs([chain], nbytes=16 * MiB, num_nodes=8) == [chain]
+
+    def test_fs_at_least_message_pruned_with_message_context(self):
+        cfg = HanConfig(fs=1 * MiB, smod="solo")
+        assert prune_configs([cfg], nbytes=64 * KiB, num_nodes=4) == []
+        assert prune_configs([cfg], nbytes=16 * MiB, num_nodes=4) == [cfg]
+
+    def test_sm_solo_partition_at_512k(self):
+        sm_big = HanConfig(fs=1 * MiB, smod="sm")
+        sm_small = HanConfig(fs=256 * KiB, smod="sm")
+        assert prune_configs([sm_big]) == []  # SM pruned above 512KB
+        assert prune_configs([sm_small]) == [sm_small]
+
+    def test_heuristics_shrink_the_space(self):
+        space = SearchSpace.small()
+        full = space.configs()
+        pruned = prune_configs(full, nbytes=1 * MiB, num_nodes=8)
+        assert 0 < len(pruned) < len(full)
+
+
+class TestSegmentsFor:
+    def test_basic(self):
+        assert segments_for(1 * MiB, 128 * KiB) == 8
+        assert segments_for(100, None) == 1
+        assert segments_for(100, 200) == 1
+        assert segments_for(130, 64) == 3
+
+
+class TestLookupTable:
+    def test_put_get_roundtrip(self):
+        t = LookupTable()
+        cfg = HanConfig(fs=128 * KiB)
+        t.put("bcast", 8, 4, 1 * MiB, cfg)
+        assert t.get("bcast", 8, 4, 1 * MiB) == cfg
+        assert t.get("bcast", 8, 4, 2 * MiB) is None
+
+    def test_decide_exact_and_nearest_message(self):
+        t = LookupTable()
+        small_cfg = HanConfig(fs=None)
+        big_cfg = HanConfig(fs=1 * MiB, imod="adapt", ibalg="chain")
+        t.put("bcast", 8, 4, 4 * KiB, small_cfg)
+        t.put("bcast", 8, 4, 4 * MiB, big_cfg)
+        assert t.decide(8, 4, 4 * KiB, "bcast") == small_cfg
+        assert t.decide(8, 4, 8 * KiB, "bcast") == small_cfg  # nearest
+        assert t.decide(8, 4, 16 * MiB, "bcast") == big_cfg
+
+    def test_decide_nearest_geometry(self):
+        t = LookupTable()
+        cfg8 = HanConfig(fs=None)
+        cfg64 = HanConfig(fs=1 * MiB, imod="adapt", ibalg="binary")
+        t.put("bcast", 8, 4, 1 * MiB, cfg8)
+        t.put("bcast", 64, 4, 1 * MiB, cfg64)
+        assert t.decide(10, 4, 1 * MiB, "bcast") == cfg8
+        assert t.decide(48, 4, 1 * MiB, "bcast") == cfg64
+
+    def test_decide_unknown_collective_falls_back(self):
+        t = LookupTable()
+        cfg = t.decide(8, 4, 1 * MiB, "bcast")
+        assert isinstance(cfg, HanConfig)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        t = LookupTable()
+        t.put("bcast", 8, 4, 4 * KiB, HanConfig(fs=None))
+        t.put(
+            "allreduce", 8, 4, 4 * MiB,
+            HanConfig(fs=1 * MiB, imod="adapt", smod="solo",
+                      ibalg="binary", iralg="chain", ibs=256 * KiB),
+        )
+        path = tmp_path / "table.json"
+        t.save(path)
+        loaded = LookupTable.load(path)
+        assert len(loaded) == 2
+        assert loaded.entries == t.entries
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "rows": []}')
+        with pytest.raises(ValueError, match="version"):
+            LookupTable.load(path)

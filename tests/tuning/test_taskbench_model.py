@@ -1,0 +1,195 @@
+"""Tests for task benchmarking, the cost model and the autotuner."""
+
+import numpy as np
+import pytest
+
+from repro.core import HanConfig
+from repro.hardware import tiny_cluster
+from repro.tuning import (
+    Autotuner,
+    SearchSpace,
+    TaskBench,
+    estimate_bcast,
+    estimate_allreduce,
+    measure_collective,
+)
+
+KiB, MiB = 1024, 1024 * 1024
+
+MACHINE = tiny_cluster(num_nodes=4, ppn=4)
+CFG = HanConfig(fs=128 * KiB, imod="adapt", smod="sm", ibalg="binary",
+                iralg="binary")
+
+
+@pytest.fixture(scope="module")
+def bcast_costs():
+    bench = TaskBench(MACHINE, warm_iters=8)
+    return bench.bench_bcast_tasks(CFG, 128 * KiB)
+
+
+@pytest.fixture(scope="module")
+def allreduce_costs():
+    bench = TaskBench(MACHINE, warm_iters=8)
+    return bench.bench_allreduce_tasks(CFG, 128 * KiB)
+
+
+class TestTaskBench:
+    def test_ib0_positive_and_staggered(self, bcast_costs):
+        ib0 = bcast_costs.ib0
+        assert (ib0 > 0).all()
+        # leaders finish ib(0) at *different* times (paper Fig 2 insight)
+        assert ib0.max() > ib0.min()
+
+    def test_sb_positive(self, bcast_costs):
+        assert (bcast_costs.sb0 > 0).all()
+
+    def test_overlap_significant_but_imperfect(self, bcast_costs):
+        """Fig 2's green bars: max(ib,sb) <= concurrent <= ib+sb."""
+        ib = bcast_costs.ib0.max()
+        sb = bcast_costs.sb0.max()
+        conc = bcast_costs.concurrent.max()
+        assert conc < (ib + sb) * 1.001  # overlap is significant
+        assert conc >= max(ib, sb) * 0.999  # but not better than perfect
+
+    def test_sbib_stabilizes(self, bcast_costs):
+        """Fig 3: after the pipeline warms up, sbib cost settles."""
+        series = bcast_costs.sbib_series
+        tail = series[:, -3:]
+        spread = tail.max(axis=1) - tail.min(axis=1)
+        assert (spread <= 0.25 * tail.mean(axis=1) + 1e-9).all()
+
+    def test_sbib_at_least_sb(self, bcast_costs):
+        # sbib contains sb plus an extra ib: it cannot be cheaper than
+        # the pure intra broadcast it wraps.
+        assert bcast_costs.sbib_stable.max() >= bcast_costs.sb0.max() * 0.9
+
+    def test_allreduce_tasks_populated(self, allreduce_costs):
+        assert (allreduce_costs.sr0 > 0).all()
+        assert (allreduce_costs.irsr > 0).all()
+        assert (allreduce_costs.ibirsr > 0).all()
+        assert (allreduce_costs.sbibirsr_stable > 0).all()
+        assert allreduce_costs.drain.shape[1] == 3
+
+    def test_cost_accounting_accumulates(self):
+        bench = TaskBench(MACHINE, warm_iters=4)
+        assert bench.total_cost == 0
+        bench.bench_bcast_tasks(CFG, 64 * KiB)
+        c1 = bench.total_cost
+        assert c1 > 0
+        bench.bench_bcast_tasks(CFG, 128 * KiB)
+        assert bench.total_cost > c1
+
+    def test_ib_ir_overlap(self):
+        """Fig 6: concurrent ib+ir is far below the serial sum."""
+        bench = TaskBench(MACHINE, warm_iters=4)
+        out = bench.bench_ib_ir_overlap(CFG, 512 * KiB)
+        ib, ir, both = out["ib"].max(), out["ir"].max(), out["both"].max()
+        assert both < (ib + ir) * 0.9
+        assert both >= max(ib, ir) * 0.95
+
+
+class TestCostModel:
+    def test_estimate_scales_with_u(self, bcast_costs):
+        e1 = estimate_bcast(bcast_costs, 128 * KiB)  # u = 1
+        e8 = estimate_bcast(bcast_costs, 1 * MiB)  # u = 8
+        e16 = estimate_bcast(bcast_costs, 2 * MiB)  # u = 16
+        assert e1 < e8 < e16
+        # steady-state slope: (e16 - e8) == 8 * sbib_s on the max leader
+        assert (e16 - e8) == pytest.approx(
+            8 * bcast_costs.sbib_stable.max(), rel=0.35
+        )
+
+    def test_bcast_model_close_to_measurement(self, bcast_costs):
+        """The core claim of Fig 4: estimates track measurements."""
+        for m in (1 * MiB, 4 * MiB):
+            est = estimate_bcast(bcast_costs, m)
+            meas = measure_collective(MACHINE, "bcast", m, CFG).time
+            assert est == pytest.approx(meas, rel=0.30), (m, est, meas)
+
+    def test_allreduce_model_close_to_measurement(self, allreduce_costs):
+        """Fig 7's analogue."""
+        for m in (1 * MiB, 4 * MiB):
+            est = estimate_allreduce(allreduce_costs, m)
+            meas = measure_collective(MACHINE, "allreduce", m, CFG).time
+            assert est == pytest.approx(meas, rel=0.35), (m, est, meas)
+
+
+def small_space():
+    return SearchSpace(
+        seg_sizes=(128 * KiB, 512 * KiB),
+        messages=(64 * KiB, 1 * MiB, 4 * MiB),
+        adapt_algorithms=("chain", "binary"),
+        inner_segs=(None,),
+    )
+
+
+class TestAutotuner:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        tuner = Autotuner(MACHINE, space=small_space(), warm_iters=6)
+        return {
+            m: tuner.tune(colls=("bcast",), method=m)
+            for m in ("exhaustive", "exhaustive+h", "task", "task+h")
+        }
+
+    def test_methods_fill_the_table(self, reports):
+        for rep in reports.values():
+            assert len(rep.table) == 3  # one entry per message size
+
+    def test_task_method_is_much_cheaper(self, reports):
+        """Fig 8: task-based tuning slashes the benchmark time."""
+        assert reports["task"].tuning_cost < reports["exhaustive"].tuning_cost * 0.6
+
+    def test_heuristics_cheapest(self, reports):
+        assert (
+            reports["task+h"].tuning_cost
+            <= reports["task"].tuning_cost
+        )
+        assert (
+            reports["exhaustive+h"].tuning_cost
+            <= reports["exhaustive"].tuning_cost
+        )
+
+    def test_task_method_finds_near_optimal_configs(self, reports):
+        """Fig 9: autotuned results track the exhaustive best."""
+        exh = reports["exhaustive"]
+        task = reports["task"]
+        for m in (1 * MiB, 4 * MiB):
+            best_cfg, best_time = exh.best("bcast", m)
+            picked = task.table.get("bcast", MACHINE.num_nodes, MACHINE.ppn, m)
+            picked_time = measure_collective(MACHINE, "bcast", m, picked).time
+            assert picked_time <= best_time * 1.25, (
+                m, picked.describe(), picked_time, best_cfg.describe(), best_time,
+            )
+
+    def test_exhaustive_median_worse_than_best(self, reports):
+        """Fig 9's purple/orange gap: configuration choice matters."""
+        cands = reports["exhaustive"].candidates[("bcast", 4 * MiB)]
+        times = sorted(t for _c, t in cands)
+        assert np.median(times) > times[0] * 1.1
+
+    def test_bad_method_rejected(self):
+        tuner = Autotuner(MACHINE, space=small_space())
+        with pytest.raises(ValueError):
+            tuner.tune(method="magic")
+
+    def test_table_plugs_into_han_module(self, reports):
+        from repro.core import HanModule
+        from repro.mpi import MPIRuntime
+
+        table = reports["task"].table
+        han = HanModule(decision_fn=table.as_decision_fn())
+        runtime = MPIRuntime(MACHINE)
+
+        def prog(comm):
+            yield from han.bcast(comm, nbytes=1 * MiB)
+
+        runtime.run(prog)
+        assert runtime.engine.now > 0
+
+    def test_validate_model_rows(self):
+        tuner = Autotuner(MACHINE, space=small_space(), warm_iters=4)
+        rows = tuner.validate_model("bcast", 1 * MiB)
+        assert len(rows) > 3
+        for cfg, est, meas in rows:
+            assert est > 0 and meas > 0
