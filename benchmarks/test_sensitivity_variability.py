@@ -1,0 +1,26 @@
+"""Sensitivity bench: noise flips 1-shot tuning, median-of-k restores it."""
+
+from conftest import once
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity_variability(benchmark):
+    out = once(benchmark, lambda: sensitivity.run(scale="small", save=False))
+    summary = out["summary"]
+
+    # amplitude 0 is bit-identical to the pristine platform: no method flips
+    for coll_cells in out["colls"].values():
+        for by_amp in coll_cells.values():
+            cell = by_amp["0.0"]
+            assert not cell["naive"]["flip"]
+            assert not cell["robust"]["flip"]
+            assert cell["naive"]["regret_pct"] == 0.0
+
+    # under noise, 1-shot measurement crowns at least one wrong config...
+    assert summary["naive_flips"] >= 1
+    assert summary["naive_regret_pct"] > 0.0
+    # ...and median-of-k with confidence-aware selection restores the
+    # decisions (strictly fewer flips, strictly less regret)
+    assert summary["robust_flips"] < summary["naive_flips"]
+    assert summary["robust_regret_pct"] < summary["naive_regret_pct"]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 __all__ = ["HanConfig"]
@@ -30,6 +30,14 @@ class HanConfig:
     ``fs=None`` disables HAN-level segmentation (single segment).
     ``ibalg``/``ibs`` must be ``None`` for submodules without algorithm /
     segment support (Libnbc).
+
+    ``seed`` is the single top-level entropy source of a run: every
+    stochastic component (fault injectors, noise models) derives child
+    generators from it via :meth:`seed_sequence` and
+    ``numpy.random.SeedSequence.spawn`` — no module-level RNG state
+    anywhere.  It is *not* a tuned parameter: it is excluded from
+    equality, hashing and :meth:`key`, so two configs that differ only in
+    seed are the same tuning decision.
     """
 
     fs: Optional[float] = 512 * 1024
@@ -39,6 +47,7 @@ class HanConfig:
     iralg: Optional[str] = None
     ibs: Optional[float] = None
     irs: Optional[float] = None
+    seed: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         from repro.modules import INTER_MODULES, INTRA_MODULES
@@ -64,6 +73,19 @@ class HanConfig:
     def with_(self, **kw) -> "HanConfig":
         """Functional update (used heavily by the search loops)."""
         return replace(self, **kw)
+
+    def seed_sequence(self) -> "object":
+        """Root ``numpy.random.SeedSequence`` for this run.
+
+        Stochastic components must spawn children from this (never share
+        or re-seed ad hoc)::
+
+            rng_a, rng_b = (np.random.Generator(np.random.PCG64(s))
+                            for s in cfg.seed_sequence().spawn(2))
+        """
+        import numpy as np
+
+        return np.random.SeedSequence(0 if self.seed is None else self.seed)
 
     def key(self) -> tuple:
         """Hashable identity used by lookup tables."""

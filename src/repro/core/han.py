@@ -29,15 +29,26 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.colls.allgather import allgather_ring
+from repro.colls.bcast import bcast_linear
 from repro.colls.gather import gather_binomial
+from repro.colls.reduce import reduce_linear
 from repro.colls.scatter import scatter_binomial
 from repro.core.config import HanConfig
 from repro.core.subcomms import build_hierarchy
 from repro.modules import make_module
 from repro.modules.base import CollModule
+from repro.mpi.constants import INTERNAL_TAG_BASE
 from repro.mpi.op import SUM
+from repro.sim.engine import AnyOf
 
 __all__ = ["HanModule", "han_segments"]
+
+# Runtime-internal tags for the degraded-mode probe protocol (far above
+# the collective tag blocks and the dissemination-barrier tag window).
+_PROBE_TAG = INTERNAL_TAG_BASE + 2048
+_VOTE_TAG = INTERNAL_TAG_BASE + 2049
+_VERDICT_TAG = INTERNAL_TAG_BASE + 2050
+_SHARE_TAG = INTERNAL_TAG_BASE + 2051
 
 
 def han_segments(nbytes: float, fs: Optional[float], payload=None):
@@ -71,11 +82,20 @@ class HanModule(CollModule):
         self,
         config: Optional[HanConfig] = None,
         decision_fn: Optional[Callable[[int, int, float, str], HanConfig]] = None,
+        degraded_timeout: Optional[float] = None,
+        probe_bytes: float = 4096.0,
     ):
         #: fixed configuration (overrides the decision function)
         self.config = config
         #: callable ``(n_nodes, ppn, nbytes, coll_type) -> HanConfig``
         self.decision_fn = decision_fn
+        #: seconds to wait for an inter-node probe reply before declaring
+        #: the fabric degraded; ``None`` (default) disables the probe and
+        #: leaves every schedule bit-identical to the pre-probe module
+        self.degraded_timeout = degraded_timeout
+        #: payload size of the probe message -- nonzero so it rides the
+        #: fluid network and actually stalls on a dead link
+        self.probe_bytes = probe_bytes
         self._mods: dict[str, CollModule] = {}
 
     # -- configuration ------------------------------------------------------------
@@ -130,6 +150,79 @@ class HanModule(CollModule):
             irs=512 * 1024,
         )
 
+    # -- degraded mode (dead inter-node link detection + flat fallback) -------------
+
+    def _probe_up(self, up):
+        """Leader-side liveness probe of every up-comm peer.
+
+        Exchanges a ``probe_bytes`` message with each peer and races every
+        reply against one shared deadline ``degraded_timeout`` seconds
+        out.  A reply crossing a dead link stalls in the fluid network,
+        so the deadline wins and the leader votes "degraded".
+        """
+        engine = up.runtime.engine
+        peers = [p for p in range(up.size) if p != up.rank]
+        recvs = [up.irecv(source=p, tag=_PROBE_TAG) for p in peers]
+        for p in peers:
+            up.isend(p, nbytes=self.probe_bytes, tag=_PROBE_TAG)
+        deadline = engine.event("han:probe-deadline")
+        token = engine.schedule(self.degraded_timeout, deadline.succeed)
+        bad = False
+        for req in recvs:
+            idx, _ = yield AnyOf([req.event, deadline])
+            bad = bad or idx == 1
+        if not bad:
+            engine.cancel(token)
+        return bad
+
+    def _check_degraded(self, comm, hier):
+        """Collectively decide (once per communicator) if the inter-node
+        fabric is unusable for hierarchical schedules.
+
+        Node leaders probe their up-comm layer; the per-leader votes are
+        OR-reduced at up-rank 0 and the verdict fanned back out — both
+        over zero-byte control messages, which bypass the fluid network
+        and therefore still arrive across the very link being diagnosed
+        (a simulator artifact standing in for an out-of-band RAS plane).
+        The verdict is cached per parent rank, so only the first
+        collective on a communicator pays the probe cost.
+        """
+        if self.degraded_timeout is None or hier.up.size == 1:
+            return False
+        state = comm.runtime.coll_state(("han:degraded", comm.cid))
+        if comm.rank in state:
+            return state[comm.rank]
+        low, up = hier.low, hier.up
+        verdict = False
+        if hier.local_rank == 0:
+            bad = yield from self._probe_up(up)
+            if up.rank == 0:
+                for src in range(1, up.size):
+                    msg = yield from up.recv(source=src, tag=_VOTE_TAG)
+                    bad = bad or msg.payload
+                reqs = [
+                    up.isend(dst, nbytes=0, payload=bad, tag=_VERDICT_TAG)
+                    for dst in range(1, up.size)
+                ]
+                yield from up.waitall(reqs)
+            else:
+                yield from up.send(0, nbytes=0, payload=bad, tag=_VOTE_TAG)
+                msg = yield from up.recv(source=0, tag=_VERDICT_TAG)
+                bad = msg.payload
+            verdict = bad
+        if low.size > 1:
+            if hier.local_rank == 0:
+                reqs = [
+                    low.isend(dst, nbytes=0, payload=verdict, tag=_SHARE_TAG)
+                    for dst in range(1, low.size)
+                ]
+                yield from low.waitall(reqs)
+            else:
+                msg = yield from low.recv(source=0, tag=_SHARE_TAG)
+                verdict = msg.payload
+        state[comm.rank] = verdict
+        return verdict
+
     # -- MPI_Bcast (paper Fig 1) -----------------------------------------------------
 
     def bcast(
@@ -139,6 +232,14 @@ class HanModule(CollModule):
         if comm.size == 1:
             return payload
         hier = yield from build_hierarchy(comm)
+        degraded = yield from self._check_degraded(comm, hier)
+        if degraded:
+            # Dead inter-node link: a hierarchical schedule would wedge on
+            # it, so fall back to a flat star rooted at the coordinator
+            # (linear bcast routes radiate from one node and can avoid a
+            # failed non-root link).
+            out = yield from bcast_linear(comm, nbytes, root=root, payload=payload)
+            return out
         cfg = self.resolve_config(hier, nbytes, "bcast", config)
         if segsize is not None:
             cfg = cfg.with_(fs=segsize)
@@ -212,6 +313,13 @@ class HanModule(CollModule):
                 "(paper section III-B1)"
             )
         hier = yield from build_hierarchy(comm)
+        degraded = yield from self._check_degraded(comm, hier)
+        if degraded:
+            # Flat star fallback: reduce-to-root + broadcast-from-root
+            # (star routes avoid a dead link between non-root nodes).
+            red = yield from reduce_linear(comm, nbytes, root=0, payload=payload, op=op)
+            out = yield from bcast_linear(comm, nbytes, root=0, payload=red)
+            return out
         cfg = self.resolve_config(hier, nbytes, "allreduce", config)
         if segsize is not None:
             cfg = cfg.with_(fs=segsize)

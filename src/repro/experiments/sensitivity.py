@@ -1,0 +1,143 @@
+"""Sensitivity of autotuned decisions to performance variability.
+
+The paper's tuning story (Figs 8/9) assumes noise-free measurements: one
+benchmark run per configuration picks the winner.  The reproducibility
+literature (Cornebize & Legrand; Hunold & Carpen-Amarie) shows that on a
+real, noisy platform a single sample routinely crowns the wrong
+configuration.  This experiment quantifies that on the simulated
+platform using :mod:`repro.faults`:
+
+1. a noise-free exhaustive search establishes the ground-truth winner
+   per (collective, message size);
+2. under increasing :class:`~repro.faults.OsNoise` amplitude, a *naive*
+   tuner (one sample per configuration) and a *robust* tuner
+   (median of k samples, confidence-aware selection) re-tune;
+3. each pick is scored by its noise-free time; "regret" is the gap to
+   the ground-truth best, a "flip" is picking a non-optimal config.
+
+Expected shape: at amplitude 0 every method agrees (bit-identical to the
+pristine platform); as amplitude grows the naive tuner starts flipping
+while median-of-k keeps (most of) the decisions and pays at most a
+fraction of the naive regret.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    fmt_bytes,
+    geometry,
+    main_wrapper,
+    print_table,
+    save_result,
+)
+from repro.faults import FaultPlan, OsNoise
+from repro.tuning import Autotuner, SearchSpace
+
+KiB, MiB = 1024, 1024 * 1024
+
+GEOM = {"small": (4, 4), "medium": (8, 8), "paper": (16, 12)}
+
+SEED = 2026
+AMPLITUDES = (0.0, 0.5, 1.0)
+STRAGGLER_PROB = 0.02  # per-rank chance of a straggler in any one run
+TRIALS = 5  # the k of median-of-k
+
+
+def _space() -> SearchSpace:
+    return SearchSpace(
+        seg_sizes=(128 * KiB, 512 * KiB),
+        messages=(256 * KiB, 1 * MiB),
+        adapt_algorithms=("chain", "binary"),
+        inner_segs=(None,),
+    )
+
+
+def _pick_time(report, truth_times, coll, nodes, ppn, m):
+    """Noise-free cost of the configuration ``report`` selected."""
+    cfg = report.table.get(coll, nodes, ppn, m)
+    return cfg, truth_times[cfg]
+
+
+def run(scale: str = "small", save: bool = True) -> dict:
+    """Tuned-decision flips vs noise amplitude, naive vs median-of-k."""
+    nodes, ppn = GEOM[scale]
+    machine = geometry("shaheen2", "small").scaled(num_nodes=nodes, ppn=ppn)
+    space = _space()
+    colls = ("bcast", "allreduce")
+
+    truth = Autotuner(machine, space=space).tune(colls=colls, method="exhaustive")
+
+    out = {
+        "machine": f"{machine.name} {nodes}x{ppn}",
+        "seed": SEED,
+        "trials": TRIALS,
+        "amplitudes": list(AMPLITUDES),
+        "colls": {c: {} for c in colls},
+        "summary": {},
+    }
+    flips = {"naive": 0, "robust": 0}
+    regret = {"naive": 0.0, "robust": 0.0}
+    rows = []
+    for amp in AMPLITUDES:
+        plan = FaultPlan(seed=SEED).add(
+            OsNoise(amplitude=amp, prob=STRAGGLER_PROB)
+        )
+        naive = Autotuner(
+            machine, space=space, fault_plan=plan, trials=1
+        ).tune(colls=colls, method="exhaustive")
+        robust = Autotuner(
+            machine, space=space, fault_plan=plan, trials=TRIALS,
+            selection="confident",
+        ).tune(colls=colls, method="exhaustive")
+        for coll in colls:
+            for m in space.messages:
+                truth_times = dict(truth.candidates[(coll, m)])
+                best_cfg, best_t = truth.best(coll, m)
+                cell = {}
+                for tag, rep in (("naive", naive), ("robust", robust)):
+                    cfg, t = _pick_time(rep, truth_times, coll, nodes, ppn, m)
+                    flip = cfg != best_cfg
+                    reg = (t - best_t) / best_t
+                    if amp > 0:
+                        flips[tag] += flip
+                        regret[tag] += reg
+                    cell[tag] = {
+                        "picked": cfg.key(), "flip": flip,
+                        "regret_pct": 100.0 * reg,
+                    }
+                cell["truth"] = {"picked": best_cfg.key(), "time": best_t}
+                out["colls"][coll].setdefault(fmt_bytes(m), {})[str(amp)] = cell
+                rows.append(
+                    (
+                        coll,
+                        fmt_bytes(m),
+                        f"{amp:.1f}",
+                        "flip" if cell["naive"]["flip"] else "keep",
+                        f"{cell['naive']['regret_pct']:.1f}%",
+                        "flip" if cell["robust"]["flip"] else "keep",
+                        f"{cell['robust']['regret_pct']:.1f}%",
+                    )
+                )
+    out["summary"] = {
+        "naive_flips": flips["naive"],
+        "robust_flips": flips["robust"],
+        "naive_regret_pct": 100.0 * regret["naive"],
+        "robust_regret_pct": 100.0 * regret["robust"],
+    }
+    print_table(
+        "Tuned decision vs noise amplitude (1-shot naive vs median-of-k)",
+        ["coll", "message", "amp", "naive", "regret", "median-of-k", "regret"],
+        rows,
+    )
+    print(
+        f"\nflips: naive={flips['naive']} robust={flips['robust']}; "
+        f"cumulative regret: naive={100 * regret['naive']:.1f}% "
+        f"robust={100 * regret['robust']:.1f}%"
+    )
+    if save:
+        save_result("sensitivity_variability", out)
+    return out
+
+
+if __name__ == "__main__":
+    main_wrapper(run)

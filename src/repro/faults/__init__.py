@@ -1,0 +1,58 @@
+"""Deterministic fault-injection & performance-variability subsystem.
+
+The seed simulator models a *pristine* platform: every link, NIC and
+rank behaves identically on every run, so the autotuner is only ever
+exercised on noise-free measurements — a regime the "variability
+matters" literature (Cornebize & Legrand; Hunold) shows is unrealistic
+and misleading for tuning decisions.  This package perturbs the
+simulated platform *without touching algorithm code*:
+
+=====================  ====================================================
+injector               perturbation
+=====================  ====================================================
+:class:`LinkDegradation`  scale a link/NIC/memory-bus capacity over a
+                          time window
+:class:`LinkFlap`         capacity -> 0 then restore; in-flight flows
+                          stall and resume where they left off
+:class:`OsNoise`          per-rank CPU progress-engine jitter from a
+                          seeded RNG (system noise / stragglers)
+:class:`MessageJitter`    per-message network latency perturbation
+:class:`RankSlowdown`     persistent straggler (one rank's CPU slowed)
+=====================  ====================================================
+
+Injectors are grouped into a :class:`FaultPlan` — a declarative,
+seedable schedule.  Determinism contract:
+
+- no plan, or every injector at amplitude 0 / factor 1: bit-identical
+  to a run without this subsystem;
+- fixed ``(seed, trial)``: two runs are bit-identical to each other;
+- different ``trial`` indices: independent noise realizations (what
+  repeated-trial measurement, ``tuning.measure``, aggregates over).
+
+:class:`FaultyMachineSpec` wraps any :class:`~repro.hardware.MachineSpec`
+so every :class:`~repro.mpi.MPIRuntime` built on it installs the plan
+automatically — experiment drivers and the autotuner stay agnostic.
+"""
+
+from repro.faults.injectors import (
+    Injector,
+    LinkDegradation,
+    LinkFlap,
+    MessageJitter,
+    OsNoise,
+    RankSlowdown,
+)
+from repro.faults.machine import FaultyMachineSpec
+from repro.faults.plan import FaultPlan, spawn_generators
+
+__all__ = [
+    "FaultPlan",
+    "FaultyMachineSpec",
+    "Injector",
+    "LinkDegradation",
+    "LinkFlap",
+    "MessageJitter",
+    "OsNoise",
+    "RankSlowdown",
+    "spawn_generators",
+]

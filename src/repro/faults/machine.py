@@ -1,0 +1,37 @@
+"""FaultyMachineSpec: any machine preset, made perturbable.
+
+Wrapping keeps the fault layer orthogonal to the hardware layer: every
+consumer that accepts a :class:`~repro.hardware.MachineSpec`
+(``MPIRuntime``, ``measure_collective``, the experiment drivers) works
+unchanged, and :class:`~repro.mpi.MPIRuntime` installs the attached
+plan right after building the fabric.  ``scaled()`` and
+``dataclasses.replace`` preserve the wrapper, so experiment geometry
+scaling composes with fault injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.faults.plan import FaultPlan
+from repro.hardware.spec import MachineSpec
+
+__all__ = ["FaultyMachineSpec"]
+
+
+@dataclass(frozen=True)
+class FaultyMachineSpec(MachineSpec):
+    """A MachineSpec carrying a :class:`FaultPlan` to auto-install."""
+
+    fault_plan: FaultPlan = field(default_factory=FaultPlan)
+
+    @classmethod
+    def wrap(cls, machine: MachineSpec, plan: FaultPlan) -> "FaultyMachineSpec":
+        """Attach ``plan`` to an existing spec (idempotent on wrappers)."""
+        base = {f.name: getattr(machine, f.name) for f in fields(MachineSpec)}
+        return cls(fault_plan=plan, **base)
+
+    def pristine(self) -> MachineSpec:
+        """The underlying fault-free spec."""
+        base = {f.name: getattr(self, f.name) for f in fields(MachineSpec)}
+        return MachineSpec(**base)

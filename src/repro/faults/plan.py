@@ -1,0 +1,101 @@
+"""The FaultPlan: a declarative, seedable schedule of injectors.
+
+Seeding discipline (the repo-wide rule, see ``HanConfig.seed``): one
+top-level integer seed, children spawned via
+``numpy.random.SeedSequence`` — no module-level RNG state.  A plan's
+entropy tree is::
+
+    SeedSequence(seed, spawn_key=(trial,))
+        ├── child 0  -> injector 0   (which may spawn per-rank children)
+        ├── child 1  -> injector 1
+        └── ...
+
+so each (seed, trial) pair is an independent, reproducible noise
+realization and injector RNG streams never interfere with each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.faults.injectors import Injector
+
+__all__ = ["FaultPlan", "spawn_generators"]
+
+
+def spawn_generators(seed: Optional[int], n: int) -> list:
+    """``n`` independent ``numpy.random.Generator`` children of ``seed``."""
+    root = np.random.SeedSequence(0 if seed is None else seed)
+    return [np.random.Generator(np.random.PCG64(s)) for s in root.spawn(n)]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of injectors plus the entropy to drive them.
+
+    ``seed=None`` means "resolve later" — consumers that own a
+    :class:`~repro.core.HanConfig` substitute ``config.seed`` (see
+    ``tuning.measure``); a still-unresolved seed falls back to 0 so a
+    bare plan stays deterministic.  ``trial`` selects one noise
+    realization; repeated-trial measurement re-installs the plan with
+    ``for_trial(0..k-1)``.
+    """
+
+    injectors: Tuple[Injector, ...] = ()
+    seed: Optional[int] = None
+    trial: int = 0
+
+    def add(self, *injectors: Injector) -> "FaultPlan":
+        """Functional append (plans are immutable)."""
+        return replace(self, injectors=self.injectors + tuple(injectors))
+
+    def with_seed(self, seed: Optional[int]) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    def for_trial(self, trial: int) -> "FaultPlan":
+        """The same faults under the ``trial``-th noise realization."""
+        return replace(self, trial=int(trial))
+
+    def resolve_seed(self, fallback: Optional[int]) -> "FaultPlan":
+        """Fill an unset seed from ``fallback`` (e.g. ``HanConfig.seed``)."""
+        if self.seed is not None or fallback is None:
+            return self
+        return replace(self, seed=fallback)
+
+    def install(self, runtime) -> None:
+        """Arm every injector on ``runtime``; chain their overhead hooks.
+
+        Installing an empty plan is a strict no-op, and injectors at
+        amplitude zero install nothing — both leave the runtime
+        bit-identical to one that never saw this subsystem.
+        """
+        if not self.injectors:
+            return
+        root = np.random.SeedSequence(
+            0 if self.seed is None else self.seed, spawn_key=(self.trial,)
+        )
+        children = root.spawn(len(self.injectors))
+        hooks = [
+            h
+            for inj, child in zip(self.injectors, children)
+            if (h := inj.install(runtime, child)) is not None
+        ]
+        if not hooks:
+            return
+        prev = runtime.engine.overhead_hook
+
+        def dispatch(kind: str, who: int, duration: float) -> float:
+            if prev is not None:
+                duration = prev(kind, who, duration)
+            for h in hooks:
+                duration = h(kind, who, duration)
+            return duration
+
+        runtime.engine.overhead_hook = dispatch
+
+    def describe(self) -> str:
+        inj = ", ".join(type(i).__name__ for i in self.injectors) or "none"
+        return f"FaultPlan(seed={self.seed}, trial={self.trial}, [{inj}])"

@@ -34,6 +34,11 @@ class MPIRuntime:
         self.profile = profile if profile is not None else openmpi_profile()
         self.engine = Engine()
         self.fabric = Fabric(self.engine, machine, self.profile)
+        # A FaultyMachineSpec carries a fault plan; arm it on this runtime.
+        # Plain specs (no attribute) and empty plans change nothing.
+        plan = getattr(machine, "fault_plan", None)
+        if plan is not None:
+            plan.install(self)
         self._matchers: dict[tuple[int, int], Matcher] = {}
         self._channels: dict[tuple[int, int, int], Channel] = {}
         self._next_cid = 0

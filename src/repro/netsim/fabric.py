@@ -69,7 +69,7 @@ class Fabric:
         else:
             self._nvlink = self._pcie_h2d = self._pcie_d2h = None
         self.progress = [
-            ProgressServer(engine, name=f"rank{r}")
+            ProgressServer(engine, name=f"rank{r}", rank=r)
             for r in range(machine.num_ranks)
         ]
         # (src_node, dst_node) -> (latency, resources); the rate cap is
@@ -95,6 +95,40 @@ class Fabric:
 
     def nic_rx_rid(self, node: int) -> int:
         return self._nic_rx[node]
+
+    def fault_resources(self, kind: str, *args: int) -> tuple[int, ...]:
+        """Resolve a named hardware element to its fluid resource ids.
+
+        Used by the fault injectors (:mod:`repro.faults`) to target
+        capacity changes without reaching into Fabric internals:
+
+        - ``("membus", node)`` — the node's memory bus,
+        - ``("nic_tx", node)`` / ``("nic_rx", node)`` — one NIC direction,
+        - ``("nic", node)`` — both NIC directions,
+        - ``("link", a, b)`` — every interconnect link on the routed path
+          from node ``a`` to node ``b`` (for adjacent nodes this is the
+          single direct link; topologies without internal links, like the
+          crossbar, yield an empty tuple — degrade the NICs instead).
+        """
+        if kind == "membus":
+            (node,) = args
+            return (self._membus[node],)
+        if kind == "nic_tx":
+            (node,) = args
+            return (self._nic_tx[node],)
+        if kind == "nic_rx":
+            (node,) = args
+            return (self._nic_rx[node],)
+        if kind == "nic":
+            (node,) = args
+            return (self._nic_tx[node], self._nic_rx[node])
+        if kind == "link":
+            a, b = args
+            return tuple(self._links[l] for l in self.topo.route(a, b))
+        raise ValueError(
+            f"unknown fault resource kind {kind!r}; expected membus, "
+            f"nic_tx, nic_rx, nic or link"
+        )
 
     # -- transfer planning ----------------------------------------------------------
 
@@ -155,13 +189,18 @@ class Fabric:
     ) -> None:
         """Run latency then the fluid flow; ``on_done`` fires at delivery."""
         plan = self.plan(src_rank, dst_rank, nbytes)
+        latency = plan.latency
+        if self.engine.overhead_hook is not None:
+            latency = max(
+                0.0, self.engine.overhead_hook("net_latency", src_rank, latency)
+            )
 
         def launch() -> None:
             self.solver.start_flow(
                 nbytes, plan.resources, on_done, rate_cap=plan.rate_cap
             )
 
-        self.engine.schedule(plan.latency, launch)
+        self.engine.schedule(latency, launch)
 
     def gpu_flow(
         self,

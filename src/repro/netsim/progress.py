@@ -25,11 +25,15 @@ __all__ = ["ProgressServer"]
 class ProgressServer:
     """Serial FIFO work queue attached to one simulated rank."""
 
-    __slots__ = ("engine", "name", "_busy_until", "busy_time", "jobs")
+    __slots__ = ("engine", "name", "rank", "_busy_until", "busy_time", "jobs")
 
-    def __init__(self, engine: Engine, name: str = ""):
+    def __init__(self, engine: Engine, name: str = "", rank: int = -1):
         self.engine = engine
         self.name = name
+        #: world rank this server belongs to (-1 when free-standing);
+        #: passed to the engine's overhead hook so per-rank fault
+        #: injectors (OS noise, stragglers) can target it
+        self.rank = rank
         self._busy_until = 0.0
         # accounting (useful for utilization reports / debugging)
         self.busy_time = 0.0
@@ -39,6 +43,10 @@ class ProgressServer:
         """Queue ``duration`` seconds of CPU; the event fires when done."""
         if duration < 0:
             raise ValueError(f"negative duration {duration}")
+        if self.engine.overhead_hook is not None:
+            duration = max(
+                0.0, self.engine.overhead_hook("cpu", self.rank, duration)
+            )
         ev = self.engine.event(f"progress:{self.name}")
         start = max(self.engine.now, self._busy_until)
         end = start + duration

@@ -198,6 +198,15 @@ class Engine:
         self._live_procs: int = 0
         self._blocked_names: dict[int, str] = {}
         self.trace_hook: Optional[Callable[[float, str, str], None]] = None
+        #: Optional perturbation hook ``(kind, who, duration) -> duration``
+        #: consulted by components that charge simulated time (the per-rank
+        #: progress servers with ``kind="cpu"`` and the fabric's message
+        #: latencies with ``kind="net_latency"``).  ``who`` is the rank the
+        #: cost is charged to.  ``None`` (the default) leaves every duration
+        #: untouched, so runs without an installed hook are bit-identical
+        #: to builds that predate it.  Fault injectors
+        #: (:mod:`repro.faults`) install a dispatcher here.
+        self.overhead_hook: Optional[Callable[[str, int, float], float]] = None
 
     # -- scheduling --------------------------------------------------------
 

@@ -71,6 +71,7 @@ class FluidSolver:
         self._last_update = 0.0
         self._completion_token = None
         self._recompute_pending = False
+        self._dead_resources = 0  # resources currently at zero capacity
         # statistics
         self.total_flows = 0
         self.recomputes = 0
@@ -90,6 +91,31 @@ class FluidSolver:
 
     def capacity(self, rid: int) -> float:
         return self._capacity[rid]
+
+    def set_capacity(self, rid: int, capacity: float) -> None:
+        """Rescale a resource's capacity at the current simulated time.
+
+        Bytes already drained at the old rates are accounted first, then
+        a rate recomputation is requested, so in-flight flows see the new
+        capacity from this instant on.  ``capacity`` may be 0.0 (a dead
+        link): flows crossing the resource stall at rate zero and resume
+        when a later :meth:`set_capacity` restores it.
+        """
+        if capacity < 0:
+            raise ValueError(f"resource capacity must be >= 0, got {capacity}")
+        old = self._capacity[rid]
+        if capacity == old:
+            return
+        self._advance_to_now()
+        self._dead_resources += (capacity == 0.0) - (old == 0.0)
+        self._capacity[rid] = float(capacity)
+        self._mark_dirty()
+
+    def scale_capacity(self, rid: int, factor: float) -> None:
+        """Multiply a resource's current capacity by ``factor`` (>= 0)."""
+        if factor < 0:
+            raise ValueError(f"capacity factor must be >= 0, got {factor}")
+        self.set_capacity(rid, self._capacity[rid] * factor)
 
     # -- flows ---------------------------------------------------------------
 
@@ -259,6 +285,11 @@ class FluidSolver:
             for f in self._flows.values()
         )
         if not math.isfinite(horizon):
+            if self._dead_resources:
+                # Flows stalled on a zero-capacity (dead) resource are
+                # legitimate: a later set_capacity() restore re-triggers
+                # the recompute and they resume where they left off.
+                return
             raise RuntimeError(
                 "fluid solver stall: active flow with zero rate and no "
                 "pending capacity change"
@@ -282,4 +313,5 @@ class FluidSolver:
             if f.resources.size:
                 load[f.resources] += f.rate
         cap = np.asarray(self._capacity)
-        return load / cap
+        # dead (zero-capacity) resources report zero utilization
+        return np.divide(load, cap, out=np.zeros_like(load), where=cap > 0)

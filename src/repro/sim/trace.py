@@ -13,8 +13,10 @@ schedules and for the kind of task-timeline inspection Figs 1/5 describe.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from itertools import islice
+from typing import Deque, List, Optional, Tuple
 
 from repro.sim.engine import Engine
 
@@ -31,24 +33,30 @@ class TraceEvent:
 @dataclass
 class Tracer:
     engine: Engine
-    #: keep at most this many events (ring-buffer semantics)
+    #: keep at most this many events; once full, the *oldest* events are
+    #: dropped so the tail of a long run (usually where the bug is)
+    #: survives
     limit: int = 100_000
-    events: List[TraceEvent] = field(default_factory=list)
+    events: Deque[TraceEvent] = field(default_factory=deque)
     _dropped: int = 0
 
     def __post_init__(self) -> None:
         # bind once so close() can recognise (and only remove) its own hook
         self._hook = self._on_engine_event
         self.engine.trace_hook = self._hook
+        self.events = deque(self.events, maxlen=self.limit)
 
     def _on_engine_event(self, t: float, actor: str, label: str) -> None:
         self.record(actor, label, t=t)
 
     def record(self, actor: str, label: str, t: Optional[float] = None) -> None:
-        """Add a custom mark at the current (or given) simulated time."""
-        if len(self.events) >= self.limit:
+        """Add a custom mark at the current (or given) simulated time.
+
+        True ring-buffer semantics: a full tracer evicts its oldest
+        event (counted in :attr:`dropped`) rather than ignoring new ones.
+        """
+        if len(self.events) == self.limit:
             self._dropped += 1
-            return
         self.events.append(
             TraceEvent(self.engine.now if t is None else t, actor, label)
         )
@@ -74,10 +82,12 @@ class Tracer:
     def to_text(self, limit: int = 200) -> str:
         lines = [
             f"{e.time * 1e6:12.3f}us  {e.actor:20s} {e.label}"
-            for e in self.events[:limit]
+            for e in islice(self.events, limit)
         ]
         if len(self.events) > limit:
             lines.append(f"... {len(self.events) - limit} more")
+        if self._dropped:
+            lines.append(f"({self._dropped} older events dropped)")
         return "\n".join(lines)
 
     def close(self) -> None:

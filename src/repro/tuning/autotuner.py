@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.core.config import HanConfig
+from repro.faults.plan import FaultPlan
 from repro.hardware.spec import MachineSpec
 from repro.netsim.profiles import P2PProfile
 from repro.tuning.costmodel import (
@@ -70,6 +71,16 @@ class Autotuner:
     #: simulated measurement itself
     bench_iters: int = 10
     warm_iters: int = 8
+    #: perturb exhaustive measurements with this fault plan (see
+    #: :mod:`repro.faults`); every measurement consumes ``trials`` fresh
+    #: noise realizations (a running trial counter keeps realizations
+    #: distinct across configs, deterministically)
+    fault_plan: Optional[FaultPlan] = None
+    trials: int = 1
+    #: ``"best"`` = argmin of the aggregated time (classic); ``"confident"``
+    #: = argmin of aggregated time + spread, penalizing configurations
+    #: whose advantage is not robust across noise realizations
+    selection: str = "best"
 
     def tune(
         self,
@@ -94,8 +105,17 @@ class Autotuner:
     def _tune_exhaustive(
         self, coll: str, report: TuningReport, heuristics: bool
     ) -> None:
+        if self.selection not in ("best", "confident"):
+            raise ValueError(
+                f"selection must be 'best' or 'confident', got {self.selection!r}"
+            )
         n, p = self.machine.num_nodes, self.machine.ppn
         all_configs = self.space.configs()
+        # Running realization counter: every measurement draws `trials`
+        # previously-unused noise realizations, so no two configurations
+        # are (un)lucky in the same way — and a re-run of tune() replays
+        # the exact same sequence.
+        trial_offset = 0
         for m in self.space.messages:
             configs = (
                 prune_configs(all_configs, nbytes=m, num_nodes=n)
@@ -107,15 +127,28 @@ class Autotuner:
                 # fs >= m); fall back to the message-independent prune
                 configs = prune_configs(all_configs) or all_configs
             cands = []
+            scores = []
             for cfg in configs:
                 meas = measure_collective(
-                    self.machine, coll, m, cfg, profile=self.profile
+                    self.machine,
+                    coll,
+                    m,
+                    cfg,
+                    profile=self.profile,
+                    fault_plan=self.fault_plan,
+                    trials=self.trials,
+                    trial_offset=trial_offset,
                 )
+                trial_offset += self.trials
                 report.tuning_cost += meas.sim_cost * self.bench_iters
                 report.searches += 1
                 cands.append((cfg, meas.time))
+                score = meas.time
+                if self.selection == "confident":
+                    score += meas.spread
+                scores.append((score, meas.time, cfg))
             report.candidates[(coll, m)] = cands
-            best_cfg, _ = min(cands, key=lambda cv: cv[1])
+            _, _, best_cfg = min(scores, key=lambda sv: (sv[0], sv[1]))
             report.table.put(coll, n, p, m, best_cfg)
 
     # -- task-based (the paper's method) ---------------------------------------------

@@ -3,49 +3,62 @@
 The timing definition follows the paper (III-A2): "the cost of a
 collective operation [is] the longest time among all the processes" --
 the max-across-ranks value that IMB and the OSU benchmarks report.
+
+Under performance variability (:mod:`repro.faults`) one run is one
+*sample*; ``trials`` repeats the measurement under independent noise
+realizations and aggregates them, the classic defense against tuning on
+an outlier (median-of-k, Hoefler & Belli's "benchmarking 101" advice).
 """
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.config import HanConfig
 from repro.core.han import HanModule
+from repro.faults.machine import FaultyMachineSpec
+from repro.faults.plan import FaultPlan
 from repro.hardware.spec import MachineSpec
 from repro.mpi.runtime import MPIRuntime
 from repro.netsim.profiles import P2PProfile
 
 __all__ = ["CollectiveMeasurement", "measure_collective"]
 
+AGGREGATES = ("median", "min", "mean")
+
 
 @dataclass(frozen=True)
 class CollectiveMeasurement:
-    """One timed collective: per-rank durations and the IMB-style max."""
+    """One timed collective: per-rank durations and the IMB-style max.
+
+    With ``trials > 1`` the headline ``time`` is the aggregate across
+    noise realizations, ``trial_times`` keeps every sample, and
+    ``spread`` is the median absolute deviation — the robust dispersion
+    the confidence-aware autotuner penalizes.
+    """
 
     coll: str
     nbytes: float
     config: HanConfig
-    time: float  # max across ranks (the reported cost)
+    time: float  # aggregated max across ranks (the reported cost)
     per_rank: tuple[float, ...]
     sim_cost: float  # simulated seconds the benchmark consumed (tuning cost)
+    trial_times: tuple[float, ...] = ()
+    spread: float = 0.0  # median absolute deviation of trial_times
 
 
-def measure_collective(
+def _run_once(
     machine: MachineSpec,
     coll: str,
     nbytes: float,
     config: HanConfig,
-    root: int = 0,
-    iterations: int = 1,
-    profile: P2PProfile | None = None,
-) -> CollectiveMeasurement:
-    """Time one HAN collective configuration on a fresh simulated machine.
-
-    ``iterations`` repeats the operation back-to-back (pipelining state
-    does not persist across calls, so the simulator is deterministic; the
-    knob exists to mirror real benchmarking loops in the tuning-cost
-    accounting of Fig 8).
-    """
+    root: int,
+    iterations: int,
+    profile: Optional[P2PProfile],
+) -> tuple[tuple[float, ...], float]:
+    """One fresh simulated benchmark; (per-rank durations, sim cost)."""
     runtime = MPIRuntime(machine, profile=profile)
     han = HanModule(config=config)
     durations: dict[int, float] = {}
@@ -63,11 +76,73 @@ def measure_collective(
 
     runtime.run(prog)
     per_rank = tuple(durations[r] for r in sorted(durations))
+    return per_rank, runtime.engine.now
+
+
+def measure_collective(
+    machine: MachineSpec,
+    coll: str,
+    nbytes: float,
+    config: HanConfig,
+    root: int = 0,
+    iterations: int = 1,
+    profile: Optional[P2PProfile] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    trials: int = 1,
+    trial_offset: int = 0,
+    aggregate: str = "median",
+) -> CollectiveMeasurement:
+    """Time one HAN collective configuration on a fresh simulated machine.
+
+    ``iterations`` repeats the operation back-to-back (pipelining state
+    does not persist across calls, so the simulator is deterministic; the
+    knob exists to mirror real benchmarking loops in the tuning-cost
+    accounting of Fig 8).
+
+    ``fault_plan`` perturbs the platform: each of the ``trials`` runs
+    re-installs the plan under realization ``trial_offset + t`` (an
+    unset plan seed is resolved from ``config.seed``), so different
+    trials see independent — but reproducible — noise.  ``aggregate``
+    picks the headline statistic over the per-trial maxima; ``sim_cost``
+    sums over all trials, because repeated measurement is exactly what
+    inflates the tuning bill.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if aggregate not in AGGREGATES:
+        raise ValueError(f"aggregate must be one of {AGGREGATES}, got {aggregate!r}")
+    plan = None
+    if fault_plan is not None and fault_plan.injectors:
+        plan = fault_plan.resolve_seed(config.seed)
+
+    times: list[float] = []
+    per_rank_by_trial: list[tuple[float, ...]] = []
+    sim_cost = 0.0
+    for t in range(trials):
+        m = machine
+        if plan is not None:
+            m = FaultyMachineSpec.wrap(machine, plan.for_trial(trial_offset + t))
+        per_rank, cost = _run_once(m, coll, nbytes, config, root, iterations, profile)
+        per_rank_by_trial.append(per_rank)
+        times.append(max(per_rank))
+        sim_cost += cost
+
+    if aggregate == "median":
+        time = statistics.median(times)
+    elif aggregate == "mean":
+        time = statistics.fmean(times)
+    else:
+        time = min(times)
+    spread = statistics.median(abs(t - time) for t in times) if len(times) > 1 else 0.0
+    # report the per-rank profile of the trial closest to the aggregate
+    rep = min(range(len(times)), key=lambda i: (abs(times[i] - time), i))
     return CollectiveMeasurement(
         coll=coll,
         nbytes=nbytes,
         config=config,
-        time=max(per_rank),
-        per_rank=per_rank,
-        sim_cost=runtime.engine.now,
+        time=time,
+        per_rank=per_rank_by_trial[rep],
+        sim_cost=sim_cost,
+        trial_times=tuple(times),
+        spread=spread,
     )

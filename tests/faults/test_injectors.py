@@ -1,0 +1,221 @@
+"""The fault injectors: determinism contract and per-injector behavior."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.han import HanModule
+from repro.faults import (
+    FaultPlan,
+    FaultyMachineSpec,
+    LinkDegradation,
+    LinkFlap,
+    MessageJitter,
+    OsNoise,
+    RankSlowdown,
+    spawn_generators,
+)
+from repro.hardware import small_cluster, tiny_cluster
+from repro.mpi import MPIRuntime
+
+KiB = 1024
+
+
+def ring5(ppn=2):
+    return dataclasses.replace(
+        small_cluster(num_nodes=5, ppn=ppn),
+        topology="torus", topo_params={"dims": (5,)},
+    )
+
+
+def time_allreduce(machine, nbytes=256 * KiB, han=None):
+    """Makespan + correctness-checked result of one world allreduce."""
+    runtime = MPIRuntime(machine)
+    han = han or HanModule()
+
+    def prog(comm):
+        payload = np.full(int(nbytes // 8), float(comm.rank + 1))
+        out = yield from han.allreduce(comm, nbytes, payload=payload)
+        return comm.now, float(out[0])
+
+    results = runtime.run(prog)
+    expect = sum(range(1, machine.num_ranks + 1))
+    assert all(v == expect for _, v in results)
+    return max(t for t, _ in results)
+
+
+# -- determinism contract ---------------------------------------------------------
+
+
+def test_empty_plan_is_bit_identical_to_no_plan():
+    base = tiny_cluster(num_nodes=2, ppn=2)
+    t0 = time_allreduce(base)
+    t1 = time_allreduce(FaultyMachineSpec.wrap(base, FaultPlan()))
+    assert t1 == t0
+
+
+def test_amplitude_zero_is_bit_identical_to_no_plan():
+    base = tiny_cluster(num_nodes=2, ppn=2)
+    plan = (
+        FaultPlan(seed=3)
+        .add(OsNoise(amplitude=0.0, per_op=0.0))
+        .add(MessageJitter(amplitude=0.0))
+        .add(LinkDegradation(("nic", 0), factor=1.0))
+        .add(RankSlowdown(rank=1, factor=1.0))
+    )
+    assert time_allreduce(FaultyMachineSpec.wrap(base, plan)) == time_allreduce(base)
+
+
+def test_same_seed_and_trial_reproduce_exactly():
+    base = tiny_cluster(num_nodes=2, ppn=2)
+    plan = FaultPlan(seed=11).add(OsNoise(amplitude=0.5))
+    t0 = time_allreduce(FaultyMachineSpec.wrap(base, plan))
+    t1 = time_allreduce(FaultyMachineSpec.wrap(base, plan))
+    assert t0 == t1
+
+
+def test_trials_are_independent_realizations():
+    base = tiny_cluster(num_nodes=2, ppn=2)
+    plan = FaultPlan(seed=11).add(OsNoise(amplitude=0.5))
+    times = {
+        trial: time_allreduce(FaultyMachineSpec.wrap(base, plan.for_trial(trial)))
+        for trial in range(3)
+    }
+    assert len(set(times.values())) == 3
+
+
+def test_different_seeds_differ():
+    base = tiny_cluster(num_nodes=2, ppn=2)
+    mk = lambda s: FaultyMachineSpec.wrap(  # noqa: E731
+        base, FaultPlan(seed=s).add(OsNoise(amplitude=0.5))
+    )
+    assert time_allreduce(mk(1)) != time_allreduce(mk(2))
+
+
+def test_spawn_generators_independent_and_reproducible():
+    a = spawn_generators(5, 3)
+    b = spawn_generators(5, 3)
+    draws_a = [g.random() for g in a]
+    draws_b = [g.random() for g in b]
+    assert draws_a == draws_b
+    assert len(set(draws_a)) == 3
+
+
+# -- individual injectors ---------------------------------------------------------
+
+
+def test_os_noise_slows_the_collective():
+    base = tiny_cluster(num_nodes=2, ppn=2)
+    plan = FaultPlan(seed=1).add(OsNoise(amplitude=0.5))
+    assert time_allreduce(FaultyMachineSpec.wrap(base, plan)) > time_allreduce(base)
+
+
+def test_os_noise_ranks_filter():
+    base = tiny_cluster(num_nodes=2, ppn=2)
+    # noise confined to rank 0 still perturbs (rank 0 is on the critical
+    # path) but differs from whole-machine noise
+    all_ranks = FaultPlan(seed=1).add(OsNoise(amplitude=0.5))
+    one_rank = FaultPlan(seed=1).add(OsNoise(amplitude=0.5, ranks=(0,)))
+    t_all = time_allreduce(FaultyMachineSpec.wrap(base, all_ranks))
+    t_one = time_allreduce(FaultyMachineSpec.wrap(base, one_rank))
+    t_base = time_allreduce(base)
+    assert t_one > t_base
+    assert t_one != t_all
+
+
+def test_os_noise_prob_zero_hits_nobody():
+    base = tiny_cluster(num_nodes=2, ppn=2)
+    plan = FaultPlan(seed=1).add(OsNoise(amplitude=0.5, prob=0.0))
+    assert time_allreduce(FaultyMachineSpec.wrap(base, plan)) == time_allreduce(base)
+
+
+def test_message_jitter_slows_and_reproduces():
+    base = tiny_cluster(num_nodes=2, ppn=2)
+    plan = FaultPlan(seed=2).add(MessageJitter(amplitude=1e-5))
+    t0 = time_allreduce(FaultyMachineSpec.wrap(base, plan))
+    t1 = time_allreduce(FaultyMachineSpec.wrap(base, plan))
+    assert t0 > time_allreduce(base)
+    assert t0 == t1
+
+
+def test_rank_slowdown_is_deterministic_and_windowed():
+    base = tiny_cluster(num_nodes=2, ppn=2)
+    slow = FaultPlan().add(RankSlowdown(rank=0, factor=4.0))
+    t_slow = time_allreduce(FaultyMachineSpec.wrap(base, slow))
+    assert t_slow > time_allreduce(base)
+    # a window that closes before the run starts is the identity
+    closed = FaultPlan().add(RankSlowdown(rank=0, factor=4.0, start=0.0, end=0.0))
+    assert time_allreduce(FaultyMachineSpec.wrap(base, closed)) == time_allreduce(base)
+
+
+def test_link_degradation_slows_inter_node_traffic():
+    base = ring5()
+    plan = FaultPlan().add(LinkDegradation(("link", 0, 1), factor=0.05))
+    assert time_allreduce(FaultyMachineSpec.wrap(base, plan)) > time_allreduce(base)
+
+
+def test_link_flap_window_delays_then_restores():
+    base = ring5()
+    t_base = time_allreduce(base)
+    plan = FaultPlan().add(LinkFlap(("link", 0, 1), start=t_base / 4, end=5e-3))
+    t_flap = time_allreduce(FaultyMachineSpec.wrap(base, plan))
+    assert t_flap >= 5e-3  # stalled across the outage, finished after
+
+
+def test_nic_and_membus_targets_resolve():
+    base = tiny_cluster(num_nodes=2, ppn=2)
+    for target in (("nic", 0), ("nic_tx", 0), ("nic_rx", 1), ("membus", 0)):
+        plan = FaultPlan().add(LinkDegradation(target, factor=0.1))
+        assert time_allreduce(FaultyMachineSpec.wrap(base, plan)) > time_allreduce(base)
+
+
+def test_injector_validation():
+    with pytest.raises(ValueError):
+        LinkDegradation(("link", 0, 1), factor=-0.5)
+    with pytest.raises(ValueError):
+        LinkDegradation(("link", 0, 1), factor=0.5, start=3.0, end=1.0)
+    with pytest.raises(ValueError):
+        OsNoise(amplitude=-1.0)
+    with pytest.raises(ValueError):
+        OsNoise(prob=1.5)
+    with pytest.raises(ValueError):
+        MessageJitter(amplitude=-1e-6)
+    with pytest.raises(ValueError):
+        RankSlowdown(rank=0, factor=0.5)
+
+
+# -- the wrapper ------------------------------------------------------------------
+
+
+def test_wrap_preserves_machine_fields_and_pristine_round_trips():
+    base = tiny_cluster(num_nodes=2, ppn=2)
+    plan = FaultPlan(seed=9).add(OsNoise(amplitude=0.2))
+    faulty = FaultyMachineSpec.wrap(base, plan)
+    assert faulty.num_ranks == base.num_ranks
+    assert faulty.fault_plan is plan
+    assert faulty.pristine() == base
+
+
+def test_scaled_keeps_the_fault_plan():
+    base = tiny_cluster(num_nodes=2, ppn=2)
+    plan = FaultPlan(seed=9).add(OsNoise(amplitude=0.2))
+    scaled = FaultyMachineSpec.wrap(base, plan).scaled(num_nodes=3)
+    assert isinstance(scaled, FaultyMachineSpec)
+    assert scaled.fault_plan is plan
+    assert scaled.num_nodes == 3
+
+
+def test_describe_names_injectors():
+    plan = FaultPlan(seed=1).add(OsNoise(), LinkFlap(("link", 0, 1)))
+    text = plan.describe()
+    assert "OsNoise" in text and "LinkFlap" in text
+
+
+def test_link_target_with_no_resources_is_an_error():
+    # the crossbar has no internal links: a "link" kill there must fail
+    # loudly instead of silently perturbing nothing
+    base = tiny_cluster(num_nodes=2, ppn=2)
+    plan = FaultPlan().add(LinkFlap(("link", 0, 1)))
+    with pytest.raises(ValueError, match="no hardware resources"):
+        MPIRuntime(FaultyMachineSpec.wrap(base, plan))

@@ -68,3 +68,22 @@ def test_to_text_and_close():
     assert "hello" in text and "a" in text
     tr.close()
     assert eng.trace_hook is None
+
+
+def test_ring_buffer_keeps_newest_events():
+    eng = Engine()
+    tr = Tracer(eng, limit=3)
+    for i in range(8):
+        tr.record("x", f"m{i}")
+    assert [e.label for e in tr.events] == ["m5", "m6", "m7"]
+    assert tr.dropped == 5
+
+
+def test_to_text_reports_dropped_count():
+    eng = Engine()
+    tr = Tracer(eng, limit=2)
+    for i in range(5):
+        tr.record("x", f"m{i}")
+    text = tr.to_text()
+    assert "3 older events dropped" in text
+    assert "m4" in text and "m0" not in text
