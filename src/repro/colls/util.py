@@ -7,14 +7,19 @@ from typing import Optional
 import numpy as np
 
 from repro.mpi.communicator import Communicator
+from repro.mpi.constants import INTERNAL_TAG_BASE
 
 __all__ = ["coll_tag_block", "Segmenter", "vrank", "unvrank", "charge_reduce", "combine"]
 
 # Collective traffic lives in its own tag region, below the runtime's
-# internal region, above anything user code should use.
+# internal region, above anything user code should use.  Blocks are
+# allocated monotonically — never recycled — so a long-lived collective
+# (e.g. a nonblocking inter-node phase still draining) can never alias
+# the tags of a later call on the same communicator.  The region spans
+# everything up to the internal base: 2^25 blocks of 4096 tags.
 COLL_TAG_BASE = 1 << 28
 _TAG_BLOCK = 4096
-_TAG_SLOTS = 8192
+_TAG_SLOTS = (INTERNAL_TAG_BASE - COLL_TAG_BASE) // _TAG_BLOCK
 
 
 def coll_tag_block(comm: Communicator) -> int:
@@ -22,10 +27,22 @@ def coll_tag_block(comm: Communicator) -> int:
 
     Ranks allocate identically because MPI requires collective calls to be
     issued in the same order on every rank of a communicator.
+
+    Raises once a communicator has issued ``_TAG_SLOTS`` collectives:
+    reusing a block while a prior collective is still in flight would
+    silently cross-match messages, and the allocator cannot know which
+    blocks have drained.  Communicators needing more should ``dup()``
+    themselves a fresh tag space.
     """
     seq = getattr(comm, "_coll_seq", 0)
+    if seq >= _TAG_SLOTS:
+        raise RuntimeError(
+            f"collective tag space exhausted on {comm!r}: {seq} collectives "
+            f"issued (max {_TAG_SLOTS}); reusing tag blocks could alias an "
+            "in-flight collective — dup() the communicator for a fresh space"
+        )
     comm._coll_seq = seq + 1
-    return COLL_TAG_BASE + (seq % _TAG_SLOTS) * _TAG_BLOCK
+    return COLL_TAG_BASE + seq * _TAG_BLOCK
 
 
 def vrank(rank: int, root: int, size: int) -> int:
@@ -67,15 +84,28 @@ class Segmenter:
             nseg = 1
         else:
             nseg = int(np.ceil(nbytes / segsize))
+            # Float ceil overshoots when nbytes is a near-integer multiple
+            # of segsize, minting a ~0-byte trailing segment (a spurious
+            # zero-size message on the wire).  Merge such a sliver into
+            # the previous segment instead.
+            trailing = self.nbytes - (nseg - 1) * segsize
+            if nseg > 1 and trailing <= segsize * 1e-6:
+                nseg -= 1
         self.nseg = nseg
         bounds = []
         off = 0.0
         per = self.nbytes / nseg if segsize is None or nseg == 1 else segsize
         for i in range(nseg):
-            step = min(per, self.nbytes - off) if nseg > 1 else self.nbytes
+            # the last segment absorbs the remainder (which after a merge
+            # may slightly exceed the nominal segment size)
+            step = self.nbytes - off if i == nseg - 1 else min(per, self.nbytes - off)
             bounds.append((off, step))
             off += step
         self._bounds = bounds
+        if self.nbytes > 0:
+            assert all(step > 0 for _off, step in bounds), (
+                f"degenerate segment in {self.nbytes}B / {segsize} split"
+            )
         if payload is None:
             self._elem_bounds = None
         else:

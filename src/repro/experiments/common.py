@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import time
 from pathlib import Path
@@ -63,6 +64,7 @@ def tuned_decision(
     colls: Sequence[str] = ("bcast", "allreduce"),
     cache_key: Optional[str] = None,
     space: Optional[SearchSpace] = None,
+    workers: int = 0,
 ):
     """Autotune HAN (task method) for this machine, with result caching.
 
@@ -85,7 +87,7 @@ def tuned_decision(
             adapt_algorithms=("chain", "binary", "binomial"),
             inner_segs=(None, 512 * KiB),
         )
-    tuner = Autotuner(machine, space=space, warm_iters=6)
+    tuner = Autotuner(machine, space=space, warm_iters=6, workers=workers)
     report = tuner.tune(colls=colls, method="task+h")
     report.table.save(path)
     return report.table.as_decision_fn()
@@ -140,7 +142,23 @@ def main_wrapper(run_fn, default_scale: str = "small"):
         help="experiment geometry (see DESIGN.md on scale substitution)",
     )
     parser.add_argument("--no-save", action="store_true")
+    accepted = inspect.signature(run_fn).parameters
+    if "workers" in accepted:
+        parser.add_argument(
+            "--workers", type=int, default=0,
+            help="measurement worker processes (0 = serial)",
+        )
+    if "cache_dir" in accepted:
+        parser.add_argument(
+            "--cache-dir", default=None,
+            help="persistent measurement-cache directory",
+        )
     args = parser.parse_args()
+    kwargs = {}
+    if "workers" in accepted:
+        kwargs["workers"] = args.workers
+    if "cache_dir" in accepted:
+        kwargs["cache_dir"] = args.cache_dir
     t0 = time.time()
-    run_fn(scale=args.scale, save=not args.no_save)
+    run_fn(scale=args.scale, save=not args.no_save, **kwargs)
     print(f"\n[done in {time.time() - t0:.1f}s wall]")

@@ -18,15 +18,26 @@ from repro.experiments.common import (
     print_table,
     save_result,
 )
-from repro.tuning import Autotuner, SearchSpace, measure_collective
+from repro.tuning import Autotuner, MeasurementCache, SearchSpace, measure_collective
 
 KiB, MiB = 1024, 1024 * 1024
 
 GEOM = {"small": (8, 8), "medium": (16, 12), "paper": (64, 12)}
 
 
-def run(scale: str = "small", save: bool = True) -> dict:
-    """Regenerate Fig 9 (tuning quality per method)."""
+def run(
+    scale: str = "small",
+    save: bool = True,
+    workers: int = 0,
+    cache_dir=None,
+) -> dict:
+    """Regenerate Fig 9 (tuning quality per method).
+
+    ``workers``/``cache_dir`` accelerate the four tuning sweeps (see
+    fig08); picked-configuration re-measurements go through the same
+    cache, so they are free whenever the exhaustive sweep already timed
+    that configuration.
+    """
     nodes, ppn = GEOM[scale]
     machine = geometry("shaheen2", "small").scaled(num_nodes=nodes, ppn=ppn)
     space = SearchSpace(
@@ -35,7 +46,10 @@ def run(scale: str = "small", save: bool = True) -> dict:
         adapt_algorithms=("chain", "binary", "binomial"),
         inner_segs=(None,),
     )
-    tuner = Autotuner(machine, space=space, warm_iters=6)
+    cache = MeasurementCache(cache_dir)
+    tuner = Autotuner(
+        machine, space=space, warm_iters=6, workers=workers, cache=cache
+    )
     out = {"machine": f"{machine.name} {nodes}x{ppn}", "colls": {}}
     for coll in ("bcast", "allreduce"):
         exh = tuner.tune(colls=(coll,), method="exhaustive")
@@ -54,7 +68,7 @@ def run(scale: str = "small", save: bool = True) -> dict:
                 for c, t in exh.candidates[(coll, m)]:
                     if c == cfg:
                         return t
-                return measure_collective(machine, coll, m, cfg).time
+                return measure_collective(machine, coll, m, cfg, cache=cache).time
 
             vals = {
                 "best": best,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import time
 import traceback
 
@@ -19,6 +20,14 @@ def main() -> int:
         "--only", nargs="*", default=None,
         help="subset of experiments, e.g. --only fig10 table3",
     )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="measurement worker processes for tuning-heavy experiments",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent measurement-cache directory shared by experiments",
+    )
     args = parser.parse_args()
     todo = args.only or EXPERIMENTS
     failures = []
@@ -26,8 +35,16 @@ def main() -> int:
         mod = importlib.import_module(f"repro.experiments.{name}")
         print(f"\n{'=' * 70}\nRunning {name} (scale={args.scale})\n{'=' * 70}")
         t0 = time.time()
+        # tuning-heavy experiments accept the engine knobs; the rest
+        # keep their minimal (scale, save) signature
+        accepted = inspect.signature(mod.run).parameters
+        kwargs = {}
+        if "workers" in accepted:
+            kwargs["workers"] = args.workers
+        if "cache_dir" in accepted:
+            kwargs["cache_dir"] = args.cache_dir
         try:
-            mod.run(scale=args.scale, save=True)
+            mod.run(scale=args.scale, save=True, **kwargs)
         except Exception:
             traceback.print_exc()
             failures.append(name)

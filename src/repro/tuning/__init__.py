@@ -20,13 +20,23 @@ Two-step autotuning, as the paper frames it:
 """
 
 from repro.tuning.space import SearchSpace, TuningInputs
-from repro.tuning.measure import measure_collective, CollectiveMeasurement
+from repro.tuning.cache import MeasurementCache, canonical, digest
+from repro.tuning.measure import (
+    CollectiveMeasurement,
+    measure_collective,
+    measurement_from_doc,
+    measurement_key,
+    measurement_to_doc,
+)
 from repro.tuning.taskbench import (
     AllreduceTaskCosts,
     BcastTaskCosts,
     ReduceTaskCosts,
     TaskBench,
+    costs_from_doc,
+    costs_to_doc,
 )
+from repro.tuning.parallel import MeasurePoint, TaskPoint, parallel_map, run_cached
 from repro.tuning.costmodel import (
     estimate_allreduce,
     estimate_bcast,
@@ -45,16 +55,28 @@ __all__ = [
     "CollectiveMeasurement",
     "DecisionRules",
     "LookupTable",
+    "MeasurePoint",
+    "MeasurementCache",
     "OnlineTuner",
     "ReduceTaskCosts",
     "SearchSpace",
     "TaskBench",
+    "TaskPoint",
     "TuningInputs",
     "TuningReport",
+    "canonical",
     "compile_rules",
+    "costs_from_doc",
+    "costs_to_doc",
+    "digest",
     "estimate_allreduce",
     "estimate_bcast",
     "estimate_reduce",
     "measure_collective",
+    "measurement_from_doc",
+    "measurement_key",
+    "measurement_to_doc",
+    "parallel_map",
     "prune_configs",
+    "run_cached",
 ]

@@ -27,6 +27,7 @@ from repro.core.config import HanConfig
 from repro.faults.plan import FaultPlan
 from repro.hardware.spec import MachineSpec
 from repro.netsim.profiles import P2PProfile
+from repro.tuning.cache import MeasurementCache
 from repro.tuning.costmodel import (
     estimate_allreduce,
     estimate_bcast,
@@ -36,6 +37,7 @@ from repro.tuning.costmodel import (
 from repro.tuning.heuristics import prune_configs
 from repro.tuning.lookup import LookupTable
 from repro.tuning.measure import measure_collective
+from repro.tuning.parallel import MeasurePoint, TaskPoint, run_cached
 from repro.tuning.space import SearchSpace
 from repro.tuning.taskbench import TaskBench
 
@@ -81,6 +83,14 @@ class Autotuner:
     #: = argmin of aggregated time + spread, penalizing configurations
     #: whose advantage is not robust across noise realizations
     selection: str = "best"
+    #: fan independent measurements across this many worker processes;
+    #: <= 1 keeps everything in-process.  Results are reassembled in
+    #: submission order, so reports are bit-identical to a serial run.
+    workers: int = 0
+    #: persistent content-addressed measurement cache; hits replay the
+    #: recorded measurement (including its ``sim_cost``), collapsing the
+    #: wall-clock of repeated sweeps without touching ``tuning_cost``
+    cache: Optional[MeasurementCache] = None
 
     def tune(
         self,
@@ -111,11 +121,17 @@ class Autotuner:
             )
         n, p = self.machine.num_nodes, self.machine.ppn
         all_configs = self.space.configs()
-        # Running realization counter: every measurement draws `trials`
+        # Enumerate every (message, config) point up front, in the same
+        # nested order a serial loop would visit, with a running
+        # realization counter: every measurement draws `trials`
         # previously-unused noise realizations, so no two configurations
         # are (un)lucky in the same way — and a re-run of tune() replays
-        # the exact same sequence.
+        # the exact same sequence.  The points are then resolved through
+        # the cache and the worker pool; `run_cached` preserves this
+        # order, so reports fold identically however the points ran.
         trial_offset = 0
+        per_message: list[tuple[float, list[HanConfig]]] = []
+        points: list[MeasurePoint] = []
         for m in self.space.messages:
             configs = (
                 prune_configs(all_configs, nbytes=m, num_nodes=n)
@@ -126,20 +142,27 @@ class Autotuner:
                 # heuristics can empty the space for tiny messages (every
                 # fs >= m); fall back to the message-independent prune
                 configs = prune_configs(all_configs) or all_configs
+            per_message.append((m, configs))
+            for cfg in configs:
+                points.append(
+                    MeasurePoint(
+                        machine=self.machine,
+                        coll=coll,
+                        nbytes=m,
+                        config=cfg,
+                        profile=self.profile,
+                        fault_plan=self.fault_plan,
+                        trials=self.trials,
+                        trial_offset=trial_offset,
+                    )
+                )
+                trial_offset += self.trials
+        measurements = iter(run_cached(points, workers=self.workers, cache=self.cache))
+        for m, configs in per_message:
             cands = []
             scores = []
             for cfg in configs:
-                meas = measure_collective(
-                    self.machine,
-                    coll,
-                    m,
-                    cfg,
-                    profile=self.profile,
-                    fault_plan=self.fault_plan,
-                    trials=self.trials,
-                    trial_offset=trial_offset,
-                )
-                trial_offset += self.trials
+                meas = next(measurements)
                 report.tuning_cost += meas.sim_cost * self.bench_iters
                 report.searches += 1
                 cands.append((cfg, meas.time))
@@ -172,29 +195,29 @@ class Autotuner:
         self, coll: str, report: TuningReport, heuristics: bool
     ) -> None:
         n, p = self.machine.num_nodes, self.machine.ppn
-        bench = TaskBench(
-            self.machine, profile=self.profile, warm_iters=self.warm_iters
-        )
-        # 1) benchmark tasks once per (segment, algorithm, smod)
+        if coll not in ("bcast", "allreduce", "reduce"):
+            raise ValueError(f"task-based tuning not defined for {coll!r}")
+        # 1) benchmark tasks once per (segment, algorithm, smod); each
+        # point runs on a fresh simulated machine, so they fan out
+        # across workers / resolve from the cache independently
+        axis = self._axis_points(heuristics)
+        points = [
+            TaskPoint(
+                machine=self.machine,
+                coll=coll,
+                config=HanConfig(fs=s, smod=smod, **algo),
+                seg_bytes=s,
+                warm_iters=self.warm_iters,
+                profile=self.profile,
+            )
+            for s, algo, smod in axis
+        ]
+        results = run_cached(points, workers=self.workers, cache=self.cache)
         costs: dict[tuple, object] = {}
-        for s, algo, smod in self._axis_points(heuristics):
-            cfg = HanConfig(fs=s, smod=smod, **algo)
-            if coll == "bcast":
-                costs[(s, tuple(sorted(algo.items())), smod)] = (
-                    bench.bench_bcast_tasks(cfg, s)
-                )
-            elif coll == "allreduce":
-                costs[(s, tuple(sorted(algo.items())), smod)] = (
-                    bench.bench_allreduce_tasks(cfg, s)
-                )
-            elif coll == "reduce":
-                costs[(s, tuple(sorted(algo.items())), smod)] = (
-                    bench.bench_reduce_tasks(cfg, s)
-                )
-            else:
-                raise ValueError(f"task-based tuning not defined for {coll!r}")
+        for (s, algo, smod), task_costs in zip(axis, results):
+            costs[(s, tuple(sorted(algo.items())), smod)] = task_costs
             report.searches += 1
-        report.tuning_cost += bench.total_cost * self.bench_iters
+            report.tuning_cost += task_costs.sim_cost * self.bench_iters
 
         estimator = {
             "bcast": estimate_bcast,

@@ -1,0 +1,293 @@
+"""Command-line front end for the tuning engine.
+
+Run, inspect and benchmark HAN autotuning without writing a driver::
+
+    # tune, fanning measurements over 4 worker processes, with a
+    # persistent measurement cache (re-runs become near-instant)
+    python -m repro.tuning.cli run --machine shaheen2 --nodes 6 --ppn 6 \
+        --colls bcast,allreduce --method exhaustive --workers 4 \
+        --cache .tuning-cache --out table.json
+
+    # what is in the cache?
+    python -m repro.tuning.cli inspect --cache .tuning-cache
+
+    # the serial-cold vs parallel-cold vs warm-cache wall-clock study
+    python -m repro.tuning.cli bench --workers 4 --out BENCH_tuning_wallclock.json
+
+``--no-cache`` disables the cache even when ``--cache`` points at an
+existing directory (cold-run comparisons); ``--workers 0`` is the plain
+serial path.  Tuning *results* never depend on either knob — only the
+wall-clock does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.hardware import (
+    shaheen2,
+    small_cluster,
+    stampede2,
+    tiny_cluster,
+)
+from repro.tuning.autotuner import METHODS, Autotuner
+from repro.tuning.cache import MeasurementCache
+from repro.tuning.parallel import effective_workers
+from repro.tuning.space import SearchSpace
+
+__all__ = ["main"]
+
+KiB, MiB = 1024, 1024 * 1024
+
+MACHINES = {
+    "shaheen2": shaheen2,
+    "stampede2": stampede2,
+    "small": small_cluster,
+    "tiny": tiny_cluster,
+}
+
+
+def _machine(args):
+    preset = MACHINES[args.machine]
+    mach = preset()
+    return mach.scaled(num_nodes=args.nodes or mach.num_nodes,
+                       ppn=args.ppn or mach.ppn)
+
+
+def _space(name: str) -> SearchSpace:
+    if name == "small":
+        return SearchSpace.small()
+    if name == "full":
+        return SearchSpace()
+    if name == "bench":  # the wall-clock study sweep (see cmd_bench)
+        return SearchSpace(
+            seg_sizes=(256 * KiB, 512 * KiB, 1 * MiB),
+            messages=[2.0 ** k for k in range(16, 23)],  # 64KB .. 4MB
+            adapt_algorithms=("chain", "binomial"),
+            inner_segs=(None,),
+        )
+    raise ValueError(f"unknown space {name!r}")
+
+
+def _cache(args) -> Optional[MeasurementCache]:
+    if getattr(args, "no_cache", False) or not getattr(args, "cache", None):
+        return None
+    return MeasurementCache(args.cache)
+
+
+# -- run ---------------------------------------------------------------------------
+
+
+def cmd_run(args) -> int:
+    machine = _machine(args)
+    cache = _cache(args)
+    tuner = Autotuner(
+        machine,
+        space=_space(args.space),
+        workers=args.workers,
+        cache=cache,
+    )
+    colls = tuple(c.strip() for c in args.colls.split(",") if c.strip())
+    t0 = time.perf_counter()
+    report = tuner.tune(colls=colls, method=args.method)
+    wall = time.perf_counter() - t0
+    print(
+        f"tuned {machine.name} {machine.num_nodes}x{machine.ppn} "
+        f"[{args.method}] colls={','.join(colls)}"
+    )
+    print(
+        f"  searches={report.searches}  tuning_cost={report.tuning_cost:.4f} "
+        f"simulated-s  wall={wall:.2f}s  workers={args.workers}"
+    )
+    if cache is not None:
+        s = cache.stats()
+        print(
+            f"  cache: {s['hits']} hits / {s['misses']} misses "
+            f"({100 * s['hit_rate']:.0f}% hit rate) at {args.cache}"
+        )
+    for (t, n, p, m), cfg in sorted(report.table.entries.items()):
+        print(f"  {t:>10} n={n} p={p} m={m:>12g}B -> {cfg.describe()}")
+    if args.out:
+        report.table.save(args.out)
+        print(f"  lookup table saved to {args.out}")
+    return 0
+
+
+# -- inspect -----------------------------------------------------------------------
+
+
+def cmd_inspect(args) -> int:
+    path = Path(args.cache)
+    if not path.exists():
+        print(f"no cache at {path}")
+        return 1
+    cache = MeasurementCache(path)
+    kinds: dict[str, int] = {}
+    colls: dict[str, int] = {}
+    total = 0
+    for key, doc in cache.entries():
+        total += 1
+        kinds[doc.get("__kind__", "?")] = kinds.get(doc.get("__kind__", "?"), 0) + 1
+        c = doc.get("coll") or doc.get("config", {}).get("imod", "?")
+        colls[c] = colls.get(c, 0) + 1
+        if args.verbose:
+            print(f"  {key[:16]}  {doc.get('__kind__'):>9}  "
+                  f"coll={doc.get('coll', '-')}  nbytes={doc.get('nbytes', '-')}")
+    print(f"cache {path}: {total} entries")
+    for kind, count in sorted(kinds.items()):
+        print(f"  {kind}: {count}")
+    return 0
+
+
+# -- bench -------------------------------------------------------------------------
+
+
+def cmd_bench(args) -> int:
+    """Serial-cold vs parallel-cold vs warm-cache on one exhaustive sweep.
+
+    This regenerates ``BENCH_tuning_wallclock.json`` — the perf
+    trajectory artifact: the same search, three execution strategies,
+    plus proof that all three produced bit-identical tuning decisions.
+    """
+    machine = _machine(args)
+    space = _space("bench")
+    coll, method = "bcast", "exhaustive"
+    cache_dir = args.cache or tempfile.mkdtemp(prefix="han-tuning-cache-")
+    own_tmp = args.cache is None
+
+    def tuned(workers: int, cache: Optional[MeasurementCache], repeat: int = 1):
+        # min-of-N: scheduler noise only ever adds time
+        best = math.inf
+        for _ in range(max(1, repeat)):
+            tuner = Autotuner(machine, space=space, workers=workers, cache=cache)
+            t0 = time.perf_counter()
+            report = tuner.tune(colls=(coll,), method=method)
+            best = min(best, time.perf_counter() - t0)
+        return report, best
+
+    try:
+        cores = os.cpu_count() or 1
+        print(f"bench sweep: {machine.name} {machine.num_nodes}x{machine.ppn} "
+              f"{coll}/{method}, {space.size()} configs x "
+              f"{len(space.messages)} messages ({cores} cores)")
+        serial, t_serial = tuned(workers=0, cache=None, repeat=args.repeat)
+        print(f"  serial-cold:   {t_serial:7.2f}s wall")
+        par, t_par = tuned(workers=args.workers, cache=None, repeat=args.repeat)
+        print(f"  parallel-cold: {t_par:7.2f}s wall (workers={args.workers})")
+        # populate the cache off the clock, then time the warm replay
+        tuned(workers=args.workers, cache=MeasurementCache(cache_dir))
+        warm_cache = MeasurementCache(cache_dir)
+        warm, t_warm = tuned(workers=0, cache=warm_cache, repeat=args.repeat)
+        print(f"  warm-cache:    {t_warm:7.2f}s wall "
+              f"({warm_cache.stats()['hits']} hits)")
+
+        identical = (
+            serial.candidates == par.candidates == warm.candidates
+            and serial.table.entries == par.table.entries == warm.table.entries
+            and serial.tuning_cost == par.tuning_cost == warm.tuning_cost
+        )
+        out = {
+            "machine": f"{machine.name} {machine.num_nodes}x{machine.ppn}",
+            "sweep": {
+                "coll": coll,
+                "method": method,
+                "configs": space.size(),
+                "messages": len(space.messages),
+                "points": serial.searches,
+            },
+            "workers": args.workers,
+            "repeat": args.repeat,
+            "effective_workers": effective_workers(
+                args.workers, serial.searches
+            ),
+            "cpu_count": cores,
+            "wallclock_s": {
+                "serial_cold": t_serial,
+                "parallel_cold": t_par,
+                "warm_cache": t_warm,
+            },
+            "speedup_vs_serial_cold": {
+                "parallel_cold": t_serial / t_par if t_par else float("inf"),
+                "warm_cache": t_serial / t_warm if t_warm else float("inf"),
+            },
+            "tuning_cost_simulated_s": serial.tuning_cost,
+            "results_bit_identical": identical,
+            "cache": warm_cache.stats(),
+        }
+        Path(args.out).write_text(json.dumps(out, indent=1))
+        print(f"\nparallel-cold {out['speedup_vs_serial_cold']['parallel_cold']:.2f}x, "
+              f"warm-cache {out['speedup_vs_serial_cold']['warm_cache']:.2f}x "
+              f"vs serial-cold; results identical: {identical}")
+        print(f"written to {args.out}")
+        return 0 if identical else 1
+    finally:
+        if own_tmp:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+# -- entry point -------------------------------------------------------------------
+
+
+def _add_machine_args(p: argparse.ArgumentParser, nodes=6, ppn=6) -> None:
+    p.add_argument("--machine", choices=sorted(MACHINES), default="shaheen2")
+    p.add_argument("--nodes", type=int, default=nodes,
+                   help="node count (default: preset geometry)")
+    p.add_argument("--ppn", type=int, default=ppn,
+                   help="processes per node (default: preset geometry)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tuning.cli", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one autotuning search")
+    _add_machine_args(p_run, nodes=None, ppn=None)
+    p_run.add_argument("--colls", default="bcast,allreduce",
+                       help="comma-separated collectives")
+    p_run.add_argument("--method", choices=METHODS, default="task")
+    p_run.add_argument("--space", choices=("small", "full", "bench"),
+                       default="small")
+    p_run.add_argument("--workers", type=int, default=0,
+                       help="measurement worker processes (0 = serial)")
+    p_run.add_argument("--cache", default=None,
+                       help="persistent measurement cache directory")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="force a cold run even if --cache exists")
+    p_run.add_argument("--out", default=None,
+                       help="save the lookup table to this JSON file")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_ins = sub.add_parser("inspect", help="show cache contents and stats")
+    p_ins.add_argument("--cache", required=True)
+    p_ins.add_argument("-v", "--verbose", action="store_true")
+    p_ins.set_defaults(fn=cmd_inspect)
+
+    p_bench = sub.add_parser(
+        "bench", help="serial-cold vs parallel-cold vs warm-cache wall-clock"
+    )
+    _add_machine_args(p_bench)
+    p_bench.add_argument("--workers", type=int, default=4)
+    p_bench.add_argument("--repeat", type=int, default=1,
+                         help="runs per strategy; wall-clock is the min")
+    p_bench.add_argument("--cache", default=None,
+                         help="cache directory to (re)use; default: temp dir")
+    p_bench.add_argument("--out", default="BENCH_tuning_wallclock.json")
+    p_bench.set_defaults(fn=cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,8 +60,11 @@ class LookupTable:
             dn = abs(math.log2(max(kn, 1)) - math.log2(max(n, 1)))
             dp = abs(math.log2(max(kp, 1)) - math.log2(max(p, 1)))
             dm = abs(math.log2(max(km, 1.0)) - math.log2(max(m, 1.0)))
-            # message size is the fastest-varying axis; geometry dominates
-            return (dn + dp, dm)
+            # message size is the fastest-varying axis; geometry dominates.
+            # Equidistant keys tie-break on the canonical (n, p, m) sort
+            # order — never on dict insertion order, which differs
+            # between a freshly built table and its save/load round-trip.
+            return (dn + dp, dm, kn, kp, km)
 
         best = min(candidates, key=key_distance)
         return self.entries[best]

@@ -23,8 +23,16 @@ from repro.faults.plan import FaultPlan
 from repro.hardware.spec import MachineSpec
 from repro.mpi.runtime import MPIRuntime
 from repro.netsim.profiles import P2PProfile
+from repro.tuning.cache import MeasurementCache, digest
 
-__all__ = ["CollectiveMeasurement", "measure_collective"]
+__all__ = [
+    "CollectiveMeasurement",
+    "measure_collective",
+    "measurement_from_doc",
+    "measurement_key",
+    "measurement_to_doc",
+    "resolve_plan",
+]
 
 AGGREGATES = ("median", "min", "mean")
 
@@ -91,6 +99,7 @@ def measure_collective(
     trials: int = 1,
     trial_offset: int = 0,
     aggregate: str = "median",
+    cache: Optional[MeasurementCache] = None,
 ) -> CollectiveMeasurement:
     """Time one HAN collective configuration on a fresh simulated machine.
 
@@ -106,22 +115,36 @@ def measure_collective(
     picks the headline statistic over the per-trial maxima; ``sim_cost``
     sums over all trials, because repeated measurement is exactly what
     inflates the tuning bill.
+
+    ``cache`` (a :class:`~repro.tuning.cache.MeasurementCache`) short-
+    circuits the simulation when this exact point — same machine,
+    collective, size, config, fault realization, iteration counts and
+    profile — was measured before; a hit replays the recorded result,
+    including its ``sim_cost``, so tuning-cost accounting is unaffected.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     if aggregate not in AGGREGATES:
         raise ValueError(f"aggregate must be one of {AGGREGATES}, got {aggregate!r}")
-    plan = None
-    if fault_plan is not None and fault_plan.injectors:
-        plan = fault_plan.resolve_seed(config.seed)
+    plan = resolve_plan(fault_plan, config)
+
+    key = None
+    if cache is not None:
+        key = measurement_key(
+            machine, coll, nbytes, config, root, iterations, profile,
+            plan, trials, trial_offset, aggregate,
+        )
+        doc = cache.get(key)
+        if doc is not None:
+            return measurement_from_doc(doc)
 
     times: list[float] = []
     per_rank_by_trial: list[tuple[float, ...]] = []
     sim_cost = 0.0
-    for t in range(trials):
+    for trial in range(trials):
         m = machine
         if plan is not None:
-            m = FaultyMachineSpec.wrap(machine, plan.for_trial(trial_offset + t))
+            m = FaultyMachineSpec.wrap(machine, plan.for_trial(trial_offset + trial))
         per_rank, cost = _run_once(m, coll, nbytes, config, root, iterations, profile)
         per_rank_by_trial.append(per_rank)
         times.append(max(per_rank))
@@ -133,10 +156,18 @@ def measure_collective(
         time = statistics.fmean(times)
     else:
         time = min(times)
-    spread = statistics.median(abs(t - time) for t in times) if len(times) > 1 else 0.0
+    # MAD around the *median* of the samples, not around the headline
+    # aggregate: with aggregate="min"/"mean" centering on `time` would
+    # inflate the dispersion and unfairly penalize those configs under
+    # selection="confident".
+    if len(times) > 1:
+        center = statistics.median(times)
+        spread = statistics.median(abs(x - center) for x in times)
+    else:
+        spread = 0.0
     # report the per-rank profile of the trial closest to the aggregate
     rep = min(range(len(times)), key=lambda i: (abs(times[i] - time), i))
-    return CollectiveMeasurement(
+    meas = CollectiveMeasurement(
         coll=coll,
         nbytes=nbytes,
         config=config,
@@ -145,4 +176,91 @@ def measure_collective(
         sim_cost=sim_cost,
         trial_times=tuple(times),
         spread=spread,
+    )
+    if cache is not None:
+        cache.put(key, measurement_to_doc(meas))
+    return meas
+
+
+# -- cache plumbing -----------------------------------------------------------------
+
+
+def resolve_plan(
+    fault_plan: Optional[FaultPlan], config: HanConfig
+) -> Optional[FaultPlan]:
+    """The effective (seed-resolved) plan a measurement will install."""
+    if fault_plan is not None and fault_plan.injectors:
+        return fault_plan.resolve_seed(config.seed)
+    return None
+
+
+def measurement_key(
+    machine: MachineSpec,
+    coll: str,
+    nbytes: float,
+    config: HanConfig,
+    root: int,
+    iterations: int,
+    profile: Optional[P2PProfile],
+    plan: Optional[FaultPlan],
+    trials: int,
+    trial_offset: int,
+    aggregate: str,
+) -> str:
+    """Content digest identifying one measurement point.
+
+    ``plan`` must already be resolved (see :func:`resolve_plan`).  The
+    trial window enters the key only under an active plan — without
+    noise every trial is identical, so sweeps that differ merely in
+    trial bookkeeping share cache entries.
+    """
+    realization = None
+    if plan is not None:
+        realization = {"plan": plan, "trial_offset": int(trial_offset)}
+    return digest(
+        "measure",
+        machine=machine,
+        coll=coll,
+        nbytes=float(nbytes),
+        config=list(config.key()),
+        root=int(root),
+        iterations=int(iterations),
+        profile=profile,
+        realization=realization,
+        trials=int(trials),
+        aggregate=aggregate,
+    )
+
+
+def measurement_to_doc(meas: CollectiveMeasurement) -> dict:
+    """JSON-safe cache record of one measurement."""
+    cfg = meas.config
+    return {
+        "__kind__": "measure",
+        "coll": meas.coll,
+        "nbytes": meas.nbytes,
+        "config": {
+            "fs": cfg.fs, "imod": cfg.imod, "smod": cfg.smod,
+            "ibalg": cfg.ibalg, "iralg": cfg.iralg,
+            "ibs": cfg.ibs, "irs": cfg.irs, "seed": cfg.seed,
+        },
+        "time": meas.time,
+        "per_rank": list(meas.per_rank),
+        "sim_cost": meas.sim_cost,
+        "trial_times": list(meas.trial_times),
+        "spread": meas.spread,
+    }
+
+
+def measurement_from_doc(doc: dict) -> CollectiveMeasurement:
+    """Inverse of :func:`measurement_to_doc`."""
+    return CollectiveMeasurement(
+        coll=doc["coll"],
+        nbytes=doc["nbytes"],
+        config=HanConfig(**doc["config"]),
+        time=doc["time"],
+        per_rank=tuple(doc["per_rank"]),
+        sim_cost=doc["sim_cost"],
+        trial_times=tuple(doc["trial_times"]),
+        spread=doc["spread"],
     )

@@ -20,7 +20,7 @@ model (eqs. 3/4) needs, while accounting the simulated time consumed
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Optional
 
 import numpy as np
@@ -32,7 +32,14 @@ from repro.modules import make_module
 from repro.mpi.runtime import MPIRuntime
 from repro.netsim.profiles import P2PProfile
 
-__all__ = ["BcastTaskCosts", "AllreduceTaskCosts", "TaskBench"]
+__all__ = [
+    "AllreduceTaskCosts",
+    "BcastTaskCosts",
+    "ReduceTaskCosts",
+    "TaskBench",
+    "costs_from_doc",
+    "costs_to_doc",
+]
 
 
 @dataclass
@@ -88,6 +95,51 @@ class ReduceTaskCosts:
     irsr_stable: np.ndarray
     drain: np.ndarray  # final ir wait per leader
     sim_cost: float
+
+
+# -- cache (de)serialization --------------------------------------------------------
+
+_COSTS_CLASSES = {}  # populated below, after the dataclasses exist
+
+
+def costs_to_doc(costs) -> dict:
+    """JSON-safe cache record of one task-cost bundle (arrays -> lists)."""
+    kind = type(costs).__name__
+    if kind not in _COSTS_CLASSES:
+        raise TypeError(f"not a task-cost bundle: {kind}")
+    cfg = costs.config
+    doc = {
+        "__kind__": "taskbench",
+        "__costs__": kind,
+        "config": {
+            "fs": cfg.fs, "imod": cfg.imod, "smod": cfg.smod,
+            "ibalg": cfg.ibalg, "iralg": cfg.iralg,
+            "ibs": cfg.ibs, "irs": cfg.irs, "seed": cfg.seed,
+        },
+    }
+    for f in fields(costs):
+        if f.name == "config":
+            continue
+        v = getattr(costs, f.name)
+        doc[f.name] = v.tolist() if isinstance(v, np.ndarray) else v
+    return doc
+
+
+def costs_from_doc(doc: dict):
+    """Inverse of :func:`costs_to_doc`."""
+    cls = _COSTS_CLASSES[doc["__costs__"]]
+    kw = {"config": HanConfig(**doc["config"])}
+    for f in fields(cls):
+        if f.name == "config":
+            continue
+        v = doc[f.name]
+        kw[f.name] = np.asarray(v, dtype=float) if isinstance(v, list) else v
+    return cls(**kw)
+
+
+_COSTS_CLASSES.update(
+    {c.__name__: c for c in (BcastTaskCosts, AllreduceTaskCosts, ReduceTaskCosts)}
+)
 
 
 @dataclass

@@ -6,7 +6,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.colls.trees import binary_tree, binomial_tree, chain_tree, knomial_tree
-from repro.colls.util import Segmenter, combine, unvrank, vrank
+from repro.colls.util import (
+    COLL_TAG_BASE,
+    _TAG_BLOCK,
+    _TAG_SLOTS,
+    Segmenter,
+    coll_tag_block,
+    combine,
+    unvrank,
+    vrank,
+)
+from repro.mpi.constants import INTERNAL_TAG_BASE
 from repro.mpi.op import SUM
 
 TREES = {
@@ -129,6 +139,54 @@ class TestSegmenter:
         parts = [s.seg_view(i) for i in range(s.nseg)]
         assert sum(p.size for p in parts) == nelems
         np.testing.assert_array_equal(np.concatenate(parts), data)
+
+    def test_float_ceil_overshoot_does_not_mint_sliver_segment(self):
+        # 1.1e6 / 1.1e5 evaluates to 10.000000000000002, so a naive
+        # ceil()-based count mints an 11th, ~2e-10-byte trailing segment
+        s = Segmenter(1.1e6, 1.1e5)
+        assert s.nseg == 10
+        assert sum(s.seg_nbytes(i) for i in range(s.nseg)) == pytest.approx(1.1e6)
+
+    def test_exact_multiple_splits_evenly(self):
+        s = Segmenter(4 * 2**20, 1 * 2**20)
+        assert s.nseg == 4
+        assert all(s.seg_nbytes(i) == 2**20 for i in range(4))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        mult=st.integers(2, 40),
+        segsize=st.floats(1.0, 2**22, allow_nan=False, allow_infinity=False),
+    )
+    def test_property_no_degenerate_segments(self, mult, segsize):
+        s = Segmenter(mult * segsize, segsize)
+        assert all(s.seg_nbytes(i) > 0 for i in range(s.nseg))
+        assert sum(s.seg_nbytes(i) for i in range(s.nseg)) == pytest.approx(
+            mult * segsize
+        )
+
+
+class TestCollTagBlock:
+    class FakeComm:
+        """coll_tag_block only touches the per-communicator sequence slot."""
+
+    def test_blocks_stay_distinct_past_old_wraparound(self):
+        # the old allocator recycled after 8192 collectives, aliasing tags
+        # of still-in-flight calls; allocation is now strictly monotonic
+        comm = self.FakeComm()
+        tags = [coll_tag_block(comm) for _ in range(8192 + 64)]
+        assert len(set(tags)) == len(tags)
+        assert tags == sorted(tags)
+        assert tags[0] == COLL_TAG_BASE
+        assert tags[1] - tags[0] == _TAG_BLOCK
+        assert all(t + _TAG_BLOCK <= INTERNAL_TAG_BASE for t in tags)
+
+    def test_raises_on_exhaustion_instead_of_aliasing(self):
+        comm = self.FakeComm()
+        comm._coll_seq = _TAG_SLOTS - 1
+        last = coll_tag_block(comm)
+        assert last + _TAG_BLOCK <= INTERNAL_TAG_BASE
+        with pytest.raises(RuntimeError, match="dup"):
+            coll_tag_block(comm)
 
 
 def test_combine_handles_timing_mode():

@@ -1,0 +1,73 @@
+"""Smoke tests for ``python -m repro.tuning.cli``."""
+
+import json
+
+from repro.tuning.cli import main
+
+
+def test_run_serial_and_warm_cache(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    table = tmp_path / "table.json"
+    argv = [
+        "run", "--machine", "tiny", "--nodes", "2", "--ppn", "2",
+        "--colls", "bcast", "--method", "task", "--space", "small",
+        "--cache", str(cache), "--out", str(table),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "hit rate" in cold and table.exists()
+    doc = json.loads(table.read_text())
+    assert doc["version"] == 1 and doc["rows"]
+
+    assert main(argv) == 0  # second run replays entirely from the cache
+    warm = capsys.readouterr().out
+    assert "0 misses" in warm
+    # decisions don't depend on the cache: identical table both times
+    assert json.loads(table.read_text()) == doc
+
+
+def test_run_defaults_to_preset_geometry(capsys):
+    assert main(["run", "--machine", "tiny", "--colls", "bcast",
+                 "--method", "task"]) == 0
+    assert "tiny_cluster 2x2" in capsys.readouterr().out
+
+
+def test_run_with_workers(capsys):
+    assert main(["run", "--machine", "tiny", "--colls", "bcast",
+                 "--method", "exhaustive", "--workers", "2"]) == 0
+    assert "workers=2" in capsys.readouterr().out
+
+
+def test_no_cache_forces_cold_run(tmp_path, capsys):
+    argv = ["run", "--machine", "tiny", "--colls", "bcast", "--method", "task",
+            "--cache", str(tmp_path / "c")]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv + ["--no-cache"]) == 0
+    assert "cache:" not in capsys.readouterr().out
+
+
+def test_inspect(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    main(["run", "--machine", "tiny", "--colls", "bcast", "--method", "task",
+          "--cache", str(cache)])
+    capsys.readouterr()
+    assert main(["inspect", "--cache", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and "taskbench: " in out
+
+
+def test_inspect_missing_cache(tmp_path, capsys):
+    assert main(["inspect", "--cache", str(tmp_path / "nope")]) == 1
+
+
+def test_bench_writes_artifact(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--machine", "tiny", "--nodes", "2", "--ppn", "2",
+                 "--workers", "2", "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["results_bit_identical"] is True
+    assert set(doc["wallclock_s"]) == {"serial_cold", "parallel_cold",
+                                       "warm_cache"}
+    assert doc["speedup_vs_serial_cold"]["warm_cache"] > 1.0
+    assert doc["cache"]["hits"] == doc["sweep"]["points"]

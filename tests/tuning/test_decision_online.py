@@ -89,6 +89,45 @@ class TestDecisionRules:
             DecisionRules.load(p)
 
 
+class TestLookupTieBreaking:
+    """decide() must not depend on dict insertion order (save/load reorders)."""
+
+    def build(self, order):
+        # two samples equidistant (log-scale) from a 2 MiB query
+        t = LookupTable()
+        samples = {1 * MiB: MID, 4 * MiB: BIG}
+        for m in order:
+            t.put("bcast", 8, 4, m, samples[m])
+        return t
+
+    def test_tie_breaks_on_canonical_key_not_insertion_order(self):
+        fwd = self.build([1 * MiB, 4 * MiB])
+        rev = self.build([4 * MiB, 1 * MiB])
+        assert fwd.decide(8, 4, 2 * MiB, "bcast") == MID  # smaller key wins
+        assert rev.decide(8, 4, 2 * MiB, "bcast") == MID
+
+    def test_decide_survives_save_load_roundtrip(self, tmp_path):
+        # save() sorts rows, so a fresh table and its round-trip used to
+        # hold the same entries in different insertion order — and could
+        # pick different configs for tied queries
+        fresh = self.build([4 * MiB, 1 * MiB])
+        fresh.save(tmp_path / "t.json")
+        loaded = LookupTable.load(tmp_path / "t.json")
+        assert loaded.entries == fresh.entries
+        for m in (512 * KiB, 1 * MiB, 2 * MiB, 3 * MiB, 8 * MiB):
+            for n, p in ((8, 4), (4, 8), (6, 6)):
+                assert loaded.decide(n, p, m, "bcast") == fresh.decide(
+                    n, p, m, "bcast"
+                ), (n, p, m)
+
+    def test_geometry_ties_also_canonical(self):
+        t = LookupTable()
+        # (4, 8) and (16, 2) are log-equidistant from a (8, 4) query
+        t.put("bcast", 16, 2, 1 * MiB, BIG)
+        t.put("bcast", 4, 8, 1 * MiB, MID)
+        assert t.decide(8, 4, 1 * MiB, "bcast") == MID  # kn=4 < kn=16
+
+
 class TestOnlineTuner:
     CANDIDATES = [
         HanConfig(fs=None, imod="libnbc", smod="sm"),

@@ -52,6 +52,27 @@ def test_trials_collect_independent_samples_and_median():
     assert m.sim_cost > one.sim_cost
 
 
+def test_spread_centers_on_median_of_trials_not_headline():
+    # the MAD must be computed around the median of the trial times; the
+    # old code centered it on the headline aggregate, so aggregate="min"
+    # reported an inflated spread for the very same samples
+    import statistics
+
+    results = {}
+    for agg in ("median", "min", "mean"):
+        m = measure_collective(
+            machine(), "allreduce", 64 * KiB, config(),
+            fault_plan=noisy_plan(seed=11), trials=5, aggregate=agg,
+        )
+        results[agg] = m
+        center = statistics.median(m.trial_times)
+        want = statistics.median(abs(x - center) for x in m.trial_times)
+        assert m.spread == pytest.approx(want), agg
+    # same seed, same samples -> same dispersion whatever the headline
+    assert len({tuple(m.trial_times) for m in results.values()}) == 1
+    assert len({m.spread for m in results.values()}) == 1
+
+
 def test_median_rejects_a_straggler_outlier():
     # rare large straggler: most trials are clean, the median stays at
     # the clean time while min/mean react
