@@ -1,0 +1,204 @@
+"""CI guard: tracing-disabled runs must stay within 2% of uninstrumented.
+
+Every observability hook sits behind a single ``engine.obs is not None``
+attribute test, so the only cost a tracing-disabled run can pay over the
+pre-instrumentation simulator is that test.  This script makes the bound
+checkable on any machine, without a pre-instrumentation checkout:
+
+1. run the Fig 8 benchmark unit (``measure_collective`` on the tuning
+   machine) with tracing disabled and time it;
+2. count the hook crossings of the identical workload by attaching a
+   recorder and counting every emission;
+3. microbenchmark the per-crossing guard (`x.obs is not None`) and bound
+   the disabled-path overhead as ``crossings * guard_cost / wallclock``;
+4. independently verify the recorder never perturbs simulated time
+   (bit-identical measurement with and without it).
+
+Exit status is nonzero if the bound exceeds the budget or determinism
+breaks.  Writes a JSON report for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.config import HanConfig
+from repro.hardware import shaheen2
+from repro.obs import ObsRecorder
+from repro.tuning.measure import _run_once
+
+BUDGET = 0.02  # 2% of wall-clock
+
+KiB, MiB = 1024, 1024 * 1024
+
+
+def workload_points():
+    """A slice of the Fig 8 exhaustive sweep: (machine, coll, m, cfg)."""
+    machine = shaheen2(num_nodes=4, ppn=8)
+    cfgs = [
+        HanConfig(fs=128 * KiB),
+        HanConfig(fs=512 * KiB, imod="adapt", ibalg="binary"),
+        HanConfig(fs=1 * MiB, imod="adapt", ibalg="binomial"),
+    ]
+    for coll in ("bcast", "allreduce"):
+        for m in (64.0 * KiB, 1.0 * MiB, 4.0 * MiB):
+            for cfg in cfgs:
+                yield machine, coll, m, cfg
+
+
+def run_disabled() -> tuple[float, list]:
+    t0 = time.perf_counter()
+    results = [
+        _run_once(machine, coll, m, cfg, 0, 1, None)
+        for machine, coll, m, cfg in workload_points()
+    ]
+    return time.perf_counter() - t0, results
+
+
+class CountingRecorder(ObsRecorder):
+    """Counts every hook emission; each is one guarded crossing."""
+
+    def __init__(self, engine):
+        super().__init__(engine)
+        self.crossings = 0
+
+    def begin(self, *a, **kw):
+        self.crossings += 1
+        return super().begin(*a, **kw)
+
+    def end(self, *a, **kw):
+        self.crossings += 1
+        return super().end(*a, **kw)
+
+    def complete(self, *a, **kw):
+        self.crossings += 1
+        return super().complete(*a, **kw)
+
+    def counter(self, *a, **kw):
+        self.crossings += 1
+        return super().counter(*a, **kw)
+
+    def msg_begin(self, *a, **kw):
+        self.crossings += 1
+        return super().msg_begin(*a, **kw)
+
+    def msg_send_done(self, *a, **kw):
+        self.crossings += 1
+        return super().msg_send_done(*a, **kw)
+
+    def msg_arrived(self, *a, **kw):
+        self.crossings += 1
+        return super().msg_arrived(*a, **kw)
+
+    def msg_recv_done(self, *a, **kw):
+        self.crossings += 1
+        return super().msg_recv_done(*a, **kw)
+
+
+def count_crossings() -> tuple[int, list, float]:
+    from repro.core.han import HanModule
+    from repro.mpi.runtime import MPIRuntime
+
+    crossings = 0
+    results = []
+    t0 = time.perf_counter()
+    for machine, coll, m, cfg in workload_points():
+        runtime = MPIRuntime(machine)
+        han = HanModule(config=cfg)
+        durations = {}
+
+        def prog(comm, op=coll, nbytes=m):
+            fn = getattr(han, op)
+            yield from comm.barrier()
+            start = comm.now
+            if op in ("bcast", "reduce"):
+                yield from fn(comm, nbytes, root=0)
+            else:
+                yield from fn(comm, nbytes)
+            durations[comm.rank] = comm.now - start
+
+        rec = CountingRecorder(runtime.engine)
+        with rec:
+            runtime.run(prog)
+        crossings += rec.crossings
+        results.append(
+            (tuple(durations[r] for r in sorted(durations)),
+             runtime.engine.now)
+        )
+    return crossings, results, time.perf_counter() - t0
+
+
+def guard_cost() -> float:
+    """Seconds per `obj.obs is not None` check (the whole disabled path)."""
+
+    class Obj:
+        obs = None
+
+    obj = Obj()
+    n = 2_000_000
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        hits = 0
+        for _i in range(n):
+            if obj.obs is not None:  # pragma: no cover - never taken
+                hits += 1
+        best = min(best, time.perf_counter() - t0)
+    return best / n
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="", help="JSON report path")
+    parser.add_argument("--budget", type=float, default=BUDGET)
+    args = parser.parse_args(argv)
+
+    wall_disabled, res_disabled = run_disabled()
+    # second disabled run to warm caches fairly; keep the faster
+    wall2, _ = run_disabled()
+    wall_disabled = min(wall_disabled, wall2)
+    crossings, res_attached, wall_attached = count_crossings()
+    per_check = guard_cost()
+
+    bound = crossings * per_check / wall_disabled
+    deterministic = res_disabled == res_attached
+    report = {
+        "workload": "fig08 bench unit (measure sweep, 4x8 shaheen2)",
+        "wallclock_disabled_s": wall_disabled,
+        "wallclock_attached_s": wall_attached,
+        "hook_crossings": crossings,
+        "guard_cost_ns": per_check * 1e9,
+        "disabled_overhead_bound": bound,
+        "budget": args.budget,
+        "attached_overhead": wall_attached / wall_disabled - 1.0,
+        "deterministic": deterministic,
+    }
+    print(json.dumps(report, indent=2))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+
+    ok = True
+    if not deterministic:
+        print("FAIL: recorder perturbed simulated results", file=sys.stderr)
+        ok = False
+    if bound > args.budget:
+        print(
+            f"FAIL: disabled-path overhead bound {bound:.4%} exceeds "
+            f"{args.budget:.0%}",
+            file=sys.stderr,
+        )
+        ok = False
+    if ok:
+        print(
+            f"OK: disabled-path overhead bound {bound:.4%} "
+            f"(budget {args.budget:.0%}); recorder attach is deterministic"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

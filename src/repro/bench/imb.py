@@ -43,8 +43,13 @@ def imb_run(
     sizes,
     root: int = 0,
     iterations: int = 1,
+    trace_out: str = "",
 ) -> IMBResult:
-    """Time ``library``'s ``coll`` at every size in ``sizes``."""
+    """Time ``library``'s ``coll`` at every size in ``sizes``.
+
+    ``trace_out`` writes a Perfetto-loadable Chrome trace of the whole
+    sweep (one track per rank / CPU / resource) to the given path.
+    """
     runtime = MPIRuntime(machine, profile=library.profile)
     per_size: dict[float, dict[int, float]] = {s: {} for s in sizes}
 
@@ -74,7 +79,18 @@ def imb_run(
                     raise ValueError(f"imb_run does not know {coll!r}")
             per_size[s][comm.rank] = (comm.now - t0) / iterations
 
-    runtime.run(prog)
+    if trace_out:
+        from repro.obs import ObsRecorder, write_chrome_trace
+
+        with ObsRecorder(runtime.engine) as rec:
+            runtime.run(prog)
+            rec.snapshot_resources(runtime.fabric.solver)
+        record = rec.run_record(
+            meta={"bench": "imb", "library": library.name, "coll": coll}
+        )
+        write_chrome_trace(record, trace_out)
+    else:
+        runtime.run(prog)
     times = tuple(max(per_size[s].values()) for s in sizes)
     return IMBResult(
         library=library.name,

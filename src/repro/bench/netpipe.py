@@ -33,8 +33,13 @@ def netpipe_run(
     profile: P2PProfile,
     sizes,
     pingpongs: int = 4,
+    trace_out: str = "",
 ) -> NetpipeResult:
-    """Ping-pong rank 0 <-> first rank of node 1."""
+    """Ping-pong rank 0 <-> first rank of node 1.
+
+    ``trace_out`` writes a Perfetto-loadable Chrome trace of the whole
+    sweep (one track per rank / CPU / resource) to the given path.
+    """
     if machine.num_nodes < 2:
         raise ValueError("netpipe needs at least two nodes")
     runtime = MPIRuntime(machine, profile=profile)
@@ -62,7 +67,18 @@ def netpipe_run(
             yield from comm.recv(source=0, tag=1)
             yield from comm.send(0, nbytes=s, tag=2)
 
-    runtime.run(prog)
+    if trace_out:
+        from repro.obs import ObsRecorder, write_chrome_trace
+
+        with ObsRecorder(runtime.engine) as rec:
+            runtime.run(prog)
+            rec.snapshot_resources(runtime.fabric.solver)
+        record = rec.run_record(
+            meta={"bench": "netpipe", "profile": profile.name}
+        )
+        write_chrome_trace(record, trace_out)
+    else:
+        runtime.run(prog)
     sizes_t = tuple(float(s) for s in sizes)
     one = tuple(oneway[s] for s in sizes)
     bw = tuple(float(s) / t for s, t in zip(sizes_t, one))

@@ -23,6 +23,7 @@ built-in static default.
 
 from __future__ import annotations
 
+import functools
 import math
 from typing import Callable, Optional
 
@@ -49,6 +50,39 @@ _PROBE_TAG = INTERNAL_TAG_BASE + 2048
 _VOTE_TAG = INTERNAL_TAG_BASE + 2049
 _VERDICT_TAG = INTERNAL_TAG_BASE + 2050
 _SHARE_TAG = INTERNAL_TAG_BASE + 2051
+
+
+def _coll_span(fn):
+    """Observe a collective generator method: one span per call.
+
+    When no recorder is attached (``engine.obs is None``) the original
+    generator is returned untouched — zero wrapping, zero overhead.
+    """
+    coll_name = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(self, comm, *args, **kwargs):
+        gen = fn(self, comm, *args, **kwargs)
+        rec = comm.runtime.engine.obs
+        if rec is None:
+            return gen
+        nbytes = args[0] if args and isinstance(args[0], (int, float)) else (
+            kwargs.get("nbytes", 0)
+        )
+        return _spanned(rec, comm, coll_name, nbytes, gen)
+
+    return wrapper
+
+
+def _spanned(rec, comm, name, nbytes, gen):
+    sid = rec.begin(
+        f"rank{comm.world_rank}", name, "coll", nbytes=nbytes, size=comm.size
+    )
+    try:
+        result = yield from gen
+    finally:
+        rec.end(sid)
+    return result
 
 
 def han_segments(nbytes: float, fs: Optional[float], payload=None):
@@ -225,6 +259,7 @@ class HanModule(CollModule):
 
     # -- MPI_Bcast (paper Fig 1) -----------------------------------------------------
 
+    @_coll_span
     def bcast(
         self, comm, nbytes, root=0, payload=None, config=None,
         algorithm=None, segsize=None,
@@ -252,6 +287,8 @@ class HanModule(CollModule):
         )
         low, up = hier.low, hier.up
         pieces: list = [None] * u
+        rec = comm.runtime.engine.obs
+        trk = f"rank{comm.world_rank}" if rec is not None else ""
 
         if low.size == 1:
             # Degenerate: one rank per node -> pure inter-node bcast.
@@ -263,35 +300,58 @@ class HanModule(CollModule):
 
         if on_ib_layer and up.size > 1:
             # leaders: ib(0), sbib(1..u-1), sb(u-1)
+            s_ib = rec.begin(trk, "ib", "phase", seg=0) if rec else -1
             req = imod.ibcast(
                 up, seg_bytes[0], root=root_up, payload=views[0],
                 algorithm=cfg.ibalg, segsize=cfg.ibs,
             )
             prev = yield from up.wait(req)  # task ib(0)
+            if rec:
+                rec.end(s_ib)
             for i in range(1, u):
+                if rec:
+                    s_ib = rec.begin(trk, "ib", "phase", seg=i)
                 req = imod.ibcast(
                     up, seg_bytes[i], root=root_up, payload=views[i],
                     algorithm=cfg.ibalg, segsize=cfg.ibs,
                 )  # start ib(i) ...
+                if rec:
+                    s_sb = rec.begin(trk, "sb", "phase", seg=i - 1)
                 pieces[i - 1] = yield from smod.bcast(
                     low, seg_bytes[i - 1], root=root_local, payload=prev
                 )  # ... overlap with sb(i-1): the sbib(i) task
+                if rec:
+                    rec.end(s_sb)
                 prev = yield from up.wait(req)
+                if rec:
+                    rec.end(s_ib)
+            if rec:
+                s_sb = rec.begin(trk, "sb", "phase", seg=u - 1)
             pieces[u - 1] = yield from smod.bcast(
                 low, seg_bytes[u - 1], root=root_local, payload=prev
             )  # final sb(u-1)
+            if rec:
+                rec.end(s_sb)
         elif on_ib_layer:
             # single node: the "leader" just feeds the intra level
             for i in range(u):
+                if rec:
+                    s_sb = rec.begin(trk, "sb", "phase", seg=i)
                 pieces[i] = yield from smod.bcast(
                     low, seg_bytes[i], root=root_local, payload=views[i]
                 )
+                if rec:
+                    rec.end(s_sb)
         else:
             # other processes: sb(0) ... sb(u-1)
             for i in range(u):
+                if rec:
+                    s_sb = rec.begin(trk, "sb", "phase", seg=i)
                 pieces[i] = yield from smod.bcast(
                     low, seg_bytes[i], root=root_local, payload=None
                 )
+                if rec:
+                    rec.end(s_sb)
 
         if comm.rank == root:
             return payload
@@ -301,6 +361,7 @@ class HanModule(CollModule):
 
     # -- MPI_Allreduce (paper Fig 5) -----------------------------------------------------
 
+    @_coll_span
     def allreduce(
         self, comm, nbytes, payload=None, op=SUM, config=None,
         algorithm=None, segsize=None,
@@ -328,6 +389,8 @@ class HanModule(CollModule):
         u, seg_bytes, views = han_segments(nbytes, cfg.fs, payload)
         pieces: list = [None] * u
         layer0 = hier.local_rank == 0
+        rec = comm.runtime.engine.obs
+        trk = f"rank{comm.world_rank}" if rec is not None else ""
 
         if low.size == 1:
             # one rank per node: explicit ir + ib on the wire
@@ -344,9 +407,13 @@ class HanModule(CollModule):
             srres: dict[int, object] = {}
             irreq: dict[int, object] = {}
             ibreq: dict[int, object] = {}
+            ir_sid: dict[int, int] = {}
+            ib_sid: dict[int, int] = {}
             for i in range(u + 3):
                 if 0 <= i - 1 < u:
                     # start ir(i-1): inter-node reduce of the intra result
+                    if rec:
+                        ir_sid[i - 1] = rec.begin(trk, "ir", "phase", seg=i - 1)
                     irreq[i - 1] = imod.ireduce(
                         up, seg_bytes[i - 1], root=0,
                         payload=srres.pop(i - 1), op=op,
@@ -355,6 +422,9 @@ class HanModule(CollModule):
                 if 0 <= i - 2 < u:
                     # start ib(i-2): broadcast the reduced segment back
                     red = yield from up.wait(irreq.pop(i - 2))
+                    if rec:
+                        rec.end(ir_sid.pop(i - 2))
+                        ib_sid[i - 2] = rec.begin(trk, "ib", "phase", seg=i - 2)
                     ibreq[i - 2] = imod.ibcast(
                         up, seg_bytes[i - 2], root=0, payload=red,
                         algorithm=cfg.ibalg, segsize=cfg.ibs,
@@ -362,25 +432,42 @@ class HanModule(CollModule):
                 if 0 <= i - 3 < u:
                     # sb(i-3): distribute on the node
                     res = yield from up.wait(ibreq.pop(i - 3))
+                    if rec:
+                        rec.end(ib_sid.pop(i - 3))
+                        s_sb = rec.begin(trk, "sb", "phase", seg=i - 3)
                     pieces[i - 3] = yield from smod.bcast(
                         low, seg_bytes[i - 3], root=0, payload=res
                     )
+                    if rec:
+                        rec.end(s_sb)
                 if i < u:
                     # sr(i): intra-node reduction of the next segment
+                    if rec:
+                        s_sr = rec.begin(trk, "sr", "phase", seg=i)
                     srres[i] = yield from smod.reduce(
                         low, seg_bytes[i], root=0, payload=views[i], op=op
                     )
+                    if rec:
+                        rec.end(s_sr)
         else:
             # other processes: the sbsr task stream
             for i in range(u + 3):
                 if 0 <= i - 3 < u:
+                    if rec:
+                        s_sb = rec.begin(trk, "sb", "phase", seg=i - 3)
                     pieces[i - 3] = yield from smod.bcast(
                         low, seg_bytes[i - 3], root=0, payload=None
                     )
+                    if rec:
+                        rec.end(s_sb)
                 if i < u:
+                    if rec:
+                        s_sr = rec.begin(trk, "sr", "phase", seg=i)
                     yield from smod.reduce(
                         low, seg_bytes[i], root=0, payload=views[i], op=op
                     )
+                    if rec:
+                        rec.end(s_sr)
 
         if any(p is None for p in pieces):
             return None
@@ -391,26 +478,38 @@ class HanModule(CollModule):
         irreq: dict[int, object] = {}
         ibreq: dict[int, object] = {}
         pieces: list = [None] * u
+        rec = up.runtime.engine.obs
+        trk = f"rank{up.world_rank}" if rec is not None else ""
+        ir_sid: dict[int, int] = {}
+        ib_sid: dict[int, int] = {}
         for i in range(u + 2):
             if 0 <= i < u:
+                if rec:
+                    ir_sid[i] = rec.begin(trk, "ir", "phase", seg=i)
                 irreq[i] = imod.ireduce(
                     up, seg_bytes[i], root=0, payload=views[i], op=op,
                     algorithm=cfg.iralg, segsize=cfg.irs,
                 )
             if 0 <= i - 1 < u:
                 red = yield from up.wait(irreq.pop(i - 1))
+                if rec:
+                    rec.end(ir_sid.pop(i - 1))
+                    ib_sid[i - 1] = rec.begin(trk, "ib", "phase", seg=i - 1)
                 ibreq[i - 1] = imod.ibcast(
                     up, seg_bytes[i - 1], root=0, payload=red,
                     algorithm=cfg.ibalg, segsize=cfg.ibs,
                 )
             if 0 <= i - 2 < u:
                 pieces[i - 2] = yield from up.wait(ibreq.pop(i - 2))
+                if rec:
+                    rec.end(ib_sid.pop(i - 2))
         if any(p is None for p in pieces):
             return None
         return pieces[0] if u == 1 else np.concatenate(pieces)
 
     # -- extensions (paper section III: "similar designs can be extended") ------------
 
+    @_coll_span
     def reduce(
         self, comm, nbytes, root=0, payload=None, op=SUM, config=None,
         algorithm=None, segsize=None,
@@ -438,20 +537,27 @@ class HanModule(CollModule):
             )
             return result if comm.rank == root else None
 
+        rec = comm.runtime.engine.obs
+        trk = f"rank{comm.world_rank}" if rec is not None else ""
         if on_layer:
             # the irsr task stream: irsr(i) starts the inter-node reduce
             # of segment i-1, overlaps it with the intra reduce of
             # segment i, and completes it at task end
             srres: dict[int, object] = {}
             irreq = None
+            s_ir = -1
             for i in range(u + 1):
                 if 0 <= i - 1 < u:
+                    if rec:
+                        s_ir = rec.begin(trk, "ir", "phase", seg=i - 1)
                     irreq = imod.ireduce(
                         up, seg_bytes[i - 1], root=root_up,
                         payload=srres.pop(i - 1), op=op,
                         algorithm=cfg.iralg, segsize=cfg.irs,
                     )
                 if i < u:
+                    if rec:
+                        s_sr = rec.begin(trk, "sr", "phase", seg=i)
                     if low.size > 1:
                         srres[i] = yield from smod.reduce(
                             low, seg_bytes[i], root=root_local,
@@ -459,13 +565,21 @@ class HanModule(CollModule):
                         )
                     else:
                         srres[i] = views[i]
+                    if rec:
+                        rec.end(s_sr)
                 if 0 <= i - 1 < u:
                     pieces[i - 1] = yield from up.wait(irreq)
+                    if rec:
+                        rec.end(s_ir)
         else:
             for i in range(u):
+                if rec:
+                    s_sr = rec.begin(trk, "sr", "phase", seg=i)
                 yield from smod.reduce(
                     low, seg_bytes[i], root=root_local, payload=views[i], op=op
                 )
+                if rec:
+                    rec.end(s_sr)
             return None
 
         if comm.rank != root:
@@ -474,6 +588,7 @@ class HanModule(CollModule):
             return None
         return pieces[0] if u == 1 else np.concatenate(pieces)
 
+    @_coll_span
     def gather(self, comm, nbytes, root=0, payload=None, config=None):
         """Intra-node gather (sg) then inter-node gather (ig) of node blocks."""
         if comm.size == 1:
@@ -500,6 +615,7 @@ class HanModule(CollModule):
             gathered = node_block
         return gathered if comm.rank == root else None
 
+    @_coll_span
     def allgather(self, comm, nbytes, payload=None, config=None):
         """sg + inter-node allgather + sb, as sketched in the paper."""
         if comm.size == 1:
@@ -528,6 +644,7 @@ class HanModule(CollModule):
             )
         return full
 
+    @_coll_span
     def scatter(self, comm, nbytes, root=0, payload=None, config=None):
         """Inter-node scatter of node blocks, then intra-node scatter."""
         if comm.size == 1:
@@ -562,6 +679,7 @@ class HanModule(CollModule):
         )
         return result
 
+    @_coll_span
     def alltoall(self, comm, nbytes, payload=None, config=None):
         """Hierarchical all-to-all (the structure of [Traff & Rougier]):
 
@@ -632,6 +750,7 @@ class HanModule(CollModule):
             )
         return result
 
+    @_coll_span
     def barrier(self, comm, config=None):
         """sb-style barrier: low, then up (layer 0), then low again."""
         if comm.size == 1:

@@ -153,12 +153,20 @@ def main_wrapper(run_fn, default_scale: str = "small"):
             "--cache-dir", default=None,
             help="persistent measurement-cache directory",
         )
+    if "trace_out" in accepted:
+        parser.add_argument(
+            "--trace-out", default="",
+            help="write a Perfetto-loadable Chrome trace here "
+                 "(see repro.obs)",
+        )
     args = parser.parse_args()
     kwargs = {}
     if "workers" in accepted:
         kwargs["workers"] = args.workers
     if "cache_dir" in accepted:
         kwargs["cache_dir"] = args.cache_dir
+    if "trace_out" in accepted:
+        kwargs["trace_out"] = args.trace_out
     t0 = time.time()
     run_fn(scale=args.scale, save=not args.no_save, **kwargs)
     print(f"\n[done in {time.time() - t0:.1f}s wall]")

@@ -14,7 +14,7 @@ from repro.experiments.common import main_wrapper
 from repro.experiments.machine_bench import bench_against_libraries
 
 
-def run(scale: str = "small", save: bool = True) -> dict:
+def run(scale: str = "small", save: bool = True, trace_out: str = "") -> dict:
     """Regenerate Fig 10."""
     return bench_against_libraries(
         fig="Fig 10",
@@ -27,6 +27,7 @@ def run(scale: str = "small", save: bool = True) -> dict:
             "HAN up to 4.72x/7.35x vs default Open MPI (small/large); "
             "slightly slower than Cray MPI small, up to 2.32x faster large"
         ),
+        trace_out=trace_out,
     )
 
 

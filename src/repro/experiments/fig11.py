@@ -21,11 +21,11 @@ from repro.netsim.profiles import craympi_profile, openmpi_profile
 KiB, MiB = 1024, 1024 * 1024
 
 
-def run(scale: str = "small", save: bool = True) -> dict:
+def run(scale: str = "small", save: bool = True, trace_out: str = "") -> dict:
     """Regenerate Fig 11 (P2P bandwidth curves)."""
     machine = geometry("shaheen2", "small").scaled(num_nodes=2)
     sizes = [2.0 ** k for k in range(6, 25)]  # 64B .. 16MB
-    omp = netpipe_run(machine, openmpi_profile(), sizes)
+    omp = netpipe_run(machine, openmpi_profile(), sizes, trace_out=trace_out)
     cray = netpipe_run(machine, craympi_profile(), sizes)
     rows = []
     out = {"machine": machine.name, "rows": []}

@@ -24,7 +24,9 @@ def bench_against_libraries(
     scale: str,
     save: bool,
     paper_note: str,
+    trace_out: str = "",
 ) -> dict:
+    """``trace_out`` (a path) records the HAN sweep as a Chrome trace."""
     machine = geometry(machine_name, scale)
     small, large = bcast_sweep_sizes(scale)
     sizes = small + large
@@ -33,7 +35,13 @@ def bench_against_libraries(
     libs = [OpenMPIHan(decision_fn=decide)] + [
         library_by_name(r) for r in rivals
     ]
-    results = {lib.name: imb_run(machine, lib, coll, sizes) for lib in libs}
+    results = {
+        lib.name: imb_run(
+            machine, lib, coll, sizes,
+            trace_out=trace_out if lib.name == "han" else "",
+        )
+        for lib in libs
+    }
 
     han = results["han"]
     rows = []

@@ -28,7 +28,17 @@ def main() -> int:
         "--cache-dir", default=None,
         help="persistent measurement-cache directory shared by experiments",
     )
+    parser.add_argument(
+        "--trace-out-dir", default="",
+        help="directory for per-experiment Chrome traces (repro.obs); "
+             "experiments that support tracing write "
+             "<trace-out-dir>/<name>.json",
+    )
     args = parser.parse_args()
+    if args.trace_out_dir:
+        import os
+
+        os.makedirs(args.trace_out_dir, exist_ok=True)
     todo = args.only or EXPERIMENTS
     failures = []
     for name in todo:
@@ -43,6 +53,12 @@ def main() -> int:
             kwargs["workers"] = args.workers
         if "cache_dir" in accepted:
             kwargs["cache_dir"] = args.cache_dir
+        if "trace_out" in accepted and args.trace_out_dir:
+            import os
+
+            kwargs["trace_out"] = os.path.join(
+                args.trace_out_dir, f"{name}.json"
+            )
         try:
             mod.run(scale=args.scale, save=True, **kwargs)
         except Exception:

@@ -97,6 +97,9 @@ class CollModule:
     @staticmethod
     def _spawn(comm: Communicator, gen: Generator, kind: str) -> Request:
         """Run ``gen`` as a concurrent child of this rank; Request wraps it."""
+        obs = comm.runtime.engine.obs
+        if obs is not None:
+            gen = _observed_schedule(obs, comm, gen, kind)
         proc = comm.runtime.engine.spawn_eager(
             gen, name=f"{kind}@w{comm.world_rank}"
         )
@@ -111,3 +114,17 @@ class CollModule:
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__}>"
+
+
+def _observed_schedule(obs, comm: Communicator, gen: Generator, kind: str):
+    """Wrap a non-blocking schedule in an observability span.
+
+    The span covers the schedule's whole lifetime on the issuing rank's
+    track (category ``module``), closing even if the schedule dies.
+    """
+    sid = obs.begin(f"rank{comm.world_rank}", kind, "module")
+    try:
+        result = yield from gen
+    finally:
+        obs.end(sid)
+    return result

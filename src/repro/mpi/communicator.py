@@ -155,7 +155,9 @@ class Communicator:
 
     def compute(self, seconds: float):
         """Occupy this rank's CPU for ``seconds`` (application compute)."""
-        ev = self.runtime.fabric.progress[self.world_rank].request(seconds)
+        ev = self.runtime.fabric.progress[self.world_rank].request(
+            seconds, "compute"
+        )
         yield ev
 
     def reduce_compute(self, nbytes: float, avx: bool = False):
@@ -166,7 +168,9 @@ class Communicator:
         """
         node = self.runtime.machine.node
         rate = node.reduce_bw_avx if avx else node.reduce_bw
-        yield self.runtime.fabric.progress[self.world_rank].request(nbytes / rate)
+        yield self.runtime.fabric.progress[self.world_rank].request(
+            nbytes / rate, "reduce", nbytes=nbytes
+        )
 
     # -- communicator management ------------------------------------------------------------
 

@@ -41,6 +41,8 @@ class Envelope:
     # fired by the runtime when the match happens (rendezvous CTS trigger)
     on_matched: Optional[Callable[["Envelope", "PostedRecv"], None]] = None
     recv: Optional["PostedRecv"] = None
+    #: observability message id (-1 when no recorder is attached)
+    mid: int = -1
 
 
 @dataclass

@@ -107,6 +107,15 @@ class MPIRuntime:
         req = Request(self.engine.event("send"), "send")
         channel = self._channel(comm.cid, src, dst)
         protocol = EAGER if prof.is_eager(nbytes) else RNDV
+        obs = self.engine.obs
+        mid = -1
+        if obs is not None:
+            mid = obs.msg_begin(src_w, dst_w, tag, nbytes, protocol)
+            sid = obs.begin(
+                f"rank{src_w}", "send", "p2p",
+                peer=dst_w, tag=tag, nbytes=nbytes, mid=mid,
+            )
+            req.event.callbacks.append(lambda _ev: obs.end(sid))
         env = Envelope(
             cid=comm.cid,
             src=src,
@@ -119,11 +128,14 @@ class MPIRuntime:
             src_world=src_w,
             dst_world=dst_w,
             send_req=req,
+            mid=mid,
         )
         if protocol == RNDV:
             env.on_matched = self._rndv_matched
 
         def after_send_overhead(_ev) -> None:
+            if self.engine.obs is not None:
+                self.engine.obs.msg_send_done(env.mid)
             # The matchable envelope travels at control latency, in order.
             ctrl = self.fabric.control_latency(src_w, dst_w)
             self.engine.schedule(ctrl, lambda: self._deliver(env))
@@ -135,7 +147,9 @@ class MPIRuntime:
                 )
                 req.event.succeed(None)
 
-        ov = self.fabric.progress[src_w].request(prof.send_overhead(nbytes))
+        ov = self.fabric.progress[src_w].request(
+            prof.send_overhead(nbytes), "send_ov", mid=mid
+        )
         ov.callbacks.append(after_send_overhead)
         return req
 
@@ -148,6 +162,18 @@ class MPIRuntime:
         self, comm: Communicator, dst: int, source: int, tag: int
     ) -> Request:
         req = Request(self.engine.event("recv"), "recv")
+        obs = self.engine.obs
+        if obs is not None:
+            dst_w = comm.group[dst]
+            sid = obs.begin(
+                f"rank{dst_w}", "recv", "p2p", source=source, tag=tag
+            )
+            req.event.callbacks.append(
+                lambda ev: obs.end(
+                    sid,
+                    nbytes=getattr(ev.value, "nbytes", 0.0),
+                )
+            )
         recv = PostedRecv(source=source, tag=tag, req=req)
         env = self._matcher(comm.cid, dst).post(recv)
         if env is not None and env.protocol == EAGER:
@@ -157,6 +183,8 @@ class MPIRuntime:
 
     def _data_arrived(self, env: Envelope) -> None:
         env.arrived = True
+        if self.engine.obs is not None:
+            self.engine.obs.msg_arrived(env.mid)
         if env.protocol == EAGER:
             self._try_finish_eager(env)
         else:
@@ -185,12 +213,18 @@ class MPIRuntime:
 
     def _finish_recv(self, env: Envelope) -> None:
         ov = self.fabric.progress[env.dst_world].request(
-            self.profile.recv_overhead(env.nbytes)
+            self.profile.recv_overhead(env.nbytes), "recv_ov", mid=env.mid
         )
         msg = Message(
             source=env.src, tag=env.tag, nbytes=env.nbytes, payload=env.payload
         )
-        ov.callbacks.append(lambda _ev: env.recv.req.event.succeed(msg))
+
+        def complete(_ev) -> None:
+            if self.engine.obs is not None:
+                self.engine.obs.msg_recv_done(env.mid)
+            env.recv.req.event.succeed(msg)
+
+        ov.callbacks.append(complete)
 
     # -- comm split ------------------------------------------------------------
 

@@ -48,23 +48,36 @@ class Fabric:
 
         n = machine.num_nodes
         node = machine.node
-        self._membus = [self.solver.add_resource(node.mem_bw) for _ in range(n)]
-        self._nic_tx = [self.solver.add_resource(machine.nic.bw) for _ in range(n)]
-        self._nic_rx = [self.solver.add_resource(machine.nic.bw) for _ in range(n)]
+        self._membus = [
+            self.solver.add_resource(node.mem_bw, name=f"membus:n{i}")
+            for i in range(n)
+        ]
+        self._nic_tx = [
+            self.solver.add_resource(machine.nic.bw, name=f"nic_tx:n{i}")
+            for i in range(n)
+        ]
+        self._nic_rx = [
+            self.solver.add_resource(machine.nic.bw, name=f"nic_rx:n{i}")
+            for i in range(n)
+        ]
         self._links = [
-            self.solver.add_resource(link.capacity) for link in self.topo.links
+            self.solver.add_resource(link.capacity, name=f"link:{i}")
+            for i, link in enumerate(self.topo.links)
         ]
         # GPU nodes get an NVLink-fabric resource and a per-direction
         # PCIe staging resource (paper future work: GPU submodule)
         if node.gpus > 0:
             self._nvlink = [
-                self.solver.add_resource(node.nvlink_bw) for _ in range(n)
+                self.solver.add_resource(node.nvlink_bw, name=f"nvlink:n{i}")
+                for i in range(n)
             ]
             self._pcie_h2d = [
-                self.solver.add_resource(node.pcie_bw) for _ in range(n)
+                self.solver.add_resource(node.pcie_bw, name=f"pcie_h2d:n{i}")
+                for i in range(n)
             ]
             self._pcie_d2h = [
-                self.solver.add_resource(node.pcie_bw) for _ in range(n)
+                self.solver.add_resource(node.pcie_bw, name=f"pcie_d2h:n{i}")
+                for i in range(n)
             ]
         else:
             self._nvlink = self._pcie_h2d = self._pcie_d2h = None
@@ -194,10 +207,14 @@ class Fabric:
             latency = max(
                 0.0, self.engine.overhead_hook("net_latency", src_rank, latency)
             )
+        label = (
+            f"x:{src_rank}->{dst_rank}" if self.engine.obs is not None else ""
+        )
 
         def launch() -> None:
             self.solver.start_flow(
-                nbytes, plan.resources, on_done, rate_cap=plan.rate_cap
+                nbytes, plan.resources, on_done, rate_cap=plan.rate_cap,
+                label=label,
             )
 
         self.engine.schedule(latency, launch)
@@ -223,7 +240,9 @@ class Fabric:
             resources = (self._pcie_d2h[node], self._membus[node])
         else:
             raise ValueError(f"unknown gpu path {path!r}")
-        return self.solver.start_flow(nbytes, resources, on_done)
+        return self.solver.start_flow(
+            nbytes, resources, on_done, label=f"gpu:{path}"
+        )
 
     def membus_flow(
         self,
@@ -241,5 +260,5 @@ class Fabric:
         bus = self._membus[node]
         cap = self.machine.node.copy_bw if rate_cap is None else rate_cap
         return self.solver.start_flow(
-            nbytes, (bus,) * copies, on_done, rate_cap=cap
+            nbytes, (bus,) * copies, on_done, rate_cap=cap, label="shm-copy"
         )

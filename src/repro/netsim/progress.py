@@ -39,8 +39,12 @@ class ProgressServer:
         self.busy_time = 0.0
         self.jobs = 0
 
-    def request(self, duration: float) -> SimEvent:
-        """Queue ``duration`` seconds of CPU; the event fires when done."""
+    def request(self, duration: float, label: str = "cpu", **span_args) -> SimEvent:
+        """Queue ``duration`` seconds of CPU; the event fires when done.
+
+        ``label`` and ``span_args`` only feed the observability layer
+        (span name / extra attributes); they never affect timing.
+        """
         if duration < 0:
             raise ValueError(f"negative duration {duration}")
         if self.engine.overhead_hook is not None:
@@ -53,6 +57,19 @@ class ProgressServer:
         self._busy_until = end
         self.busy_time += duration
         self.jobs += 1
+        obs = self.engine.obs
+        if obs is not None and duration > 0:
+            # Both endpoints are known at request time (FIFO, non-
+            # preemptive), so the spans are emitted complete up front.
+            track = f"cpu:{self.name or self.rank}"
+            if start > self.engine.now:
+                # queued time is waiting, not work: separate category so
+                # the exporter and the critical-path walk never mistake
+                # it for busy CPU (it overlaps the prior job's busy span)
+                obs.complete(track, "queued", self.engine.now, start, "wait",
+                             rank=self.rank)
+            obs.complete(track, label, start, end, "cpu",
+                         rank=self.rank, **span_args)
         self.engine.schedule_at(end, lambda: ev.succeed(None))
         return ev
 

@@ -1,0 +1,57 @@
+"""repro.obs — observability for the simulated HAN stack.
+
+- :mod:`repro.obs.core`: the :class:`ObsRecorder` (spans, counters,
+  message records) that attaches to an engine as ``engine.obs``;
+- :mod:`repro.obs.export`: Chrome ``trace_event`` (Perfetto) export,
+  JSONL run records, resource timelines;
+- :mod:`repro.obs.critpath`: critical-path extraction, phase overlap,
+  run diffing;
+- :mod:`repro.obs.record`: one-call observed collective runs;
+- :mod:`repro.obs.cli`: ``python -m repro.obs.cli record|report|...``.
+"""
+
+from repro.obs.core import (
+    CounterSample,
+    MessageRecord,
+    ObsRecorder,
+    RunRecord,
+    Span,
+)
+from repro.obs.critpath import (
+    CriticalPath,
+    CritSegment,
+    critical_path,
+    diff_runs,
+    phase_overlap,
+    phase_totals,
+)
+from repro.obs.export import (
+    chrome_trace,
+    load_jsonl,
+    resource_timeline,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.record import record_collective
+
+__all__ = [
+    "CounterSample",
+    "CriticalPath",
+    "CritSegment",
+    "MessageRecord",
+    "ObsRecorder",
+    "RunRecord",
+    "Span",
+    "chrome_trace",
+    "critical_path",
+    "diff_runs",
+    "load_jsonl",
+    "phase_overlap",
+    "phase_totals",
+    "record_collective",
+    "resource_timeline",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,224 @@
+"""Observability command line: ``python -m repro.obs.cli <cmd>``.
+
+Subcommands:
+
+- ``record``   -- simulate one HAN collective with the recorder attached;
+  write a JSONL run record and/or a Perfetto-loadable Chrome trace.
+- ``report``   -- summarize a run record (spans, messages, resources).
+- ``critpath`` -- extract and print the critical path of a run record.
+- ``diff``     -- compare two run records (phases, resources, path).
+- ``export``   -- convert a JSONL run record to a Chrome trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs import critpath as cp
+from repro.obs import export as ex
+from repro.obs.record import record_collective
+
+_SUFFIX = {"": 1, "k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def parse_nbytes(text: str) -> float:
+    """``"64"``, ``"64K"``, ``"1M"``, ``"2G"`` -> bytes."""
+    t = text.strip().lower().rstrip("b")
+    for suf, mult in _SUFFIX.items():
+        if suf and t.endswith(suf):
+            return float(t[: -len(suf)]) * mult
+    return float(t)
+
+
+def _machine(name: str, nodes: int, ppn: int):
+    from repro.hardware import machines
+
+    try:
+        factory = getattr(machines, name)
+    except AttributeError:
+        raise SystemExit(
+            f"unknown machine {name!r}; see repro.hardware.machines"
+        )
+    return factory(num_nodes=nodes, ppn=ppn)
+
+
+def _load(path: str):
+    return ex.load_jsonl(path)
+
+
+# -- subcommands -------------------------------------------------------------
+
+
+def cmd_record(ns: argparse.Namespace) -> int:
+    machine = _machine(ns.machine, ns.nodes, ns.ppn)
+    record = record_collective(
+        machine, ns.coll, parse_nbytes(ns.nbytes), root=ns.root
+    )
+    if ns.out:
+        ex.write_jsonl(record, ns.out)
+    if ns.trace_out:
+        ex.write_chrome_trace(record, ns.trace_out)
+    meta = record.meta
+    print(
+        f"{meta['coll']} {int(meta['nbytes'])}B on {meta['machine']}: "
+        f"time={meta['time']:.6e}s sim_time={record.sim_time:.6e}s "
+        f"spans={len(record.spans)} msgs={len(record.messages)}"
+    )
+    for dst, what in ((ns.out, "run record"), (ns.trace_out, "chrome trace")):
+        if dst:
+            print(f"wrote {what}: {dst}")
+    return 0
+
+
+def cmd_report(ns: argparse.Namespace) -> int:
+    record = _load(getattr(ns, "in"))
+    print("meta:")
+    for k, v in sorted(record.meta.items()):
+        print(f"  {k}: {v}")
+    by_cat: dict[str, int] = {}
+    for s in record.spans:
+        by_cat[s.cat] = by_cat.get(s.cat, 0) + 1
+    print("spans:")
+    for cat in sorted(by_cat):
+        print(f"  {cat:8s} {by_cat[cat]}")
+    print(f"messages: {len(record.messages)}")
+    phases = cp.phase_totals(record)
+    if phases:
+        print("phases (count / total / union seconds):")
+        for name in sorted(phases):
+            d = phases[name]
+            print(
+                f"  {name:4s} {d['count']:4d}  {d['total']:.6e}"
+                f"  {d['union']:.6e}"
+            )
+    timeline = ex.resource_timeline(record)
+    busy = [r for r in timeline if r["busy_time"] > 0]
+    if busy:
+        print("resources (busy seconds / mean utilization):")
+        for r in sorted(busy, key=lambda r: -r["busy_time"])[: ns.top]:
+            print(
+                f"  {r['name']:14s} {r['busy_time']:.6e}"
+                f"  {r['mean_utilization']:.3f}"
+            )
+    return 0
+
+
+def cmd_critpath(ns: argparse.Namespace) -> int:
+    record = _load(getattr(ns, "in"))
+    path = cp.critical_path(record)
+    att = path.attribution
+    if ns.segments:
+        print(f"{'t0':>13s} {'t1':>13s} {'dur':>12s} kind  what")
+        for seg in path.segments:
+            where = f" @ {seg.track}" if seg.track else ""
+            print(
+                f"{seg.t0:13.6e} {seg.t1:13.6e} {seg.dur:12.4e}"
+                f" {seg.kind:4s}  {seg.label}{where}"
+            )
+    end = att["end"] or 1.0
+    print(f"end of path: {att['end']:.6e}s (coverage {att['coverage']:.1%})")
+    for kind in ("cpu", "net", "wait"):
+        print(f"  {kind:4s} {att[kind]:.6e}s  ({att[kind] / end:.1%})")
+    return 0
+
+
+def cmd_diff(ns: argparse.Namespace) -> int:
+    d = cp.diff_runs(_load(ns.a), _load(ns.b))
+    if ns.json:
+        print(json.dumps(d, indent=2))
+        return 0
+
+    def row(name, e):
+        print(f"  {name:14s} {e['a']:.6e} -> {e['b']:.6e}  ({e['delta']:+.3e})")
+
+    print("totals:")
+    for key in ("sim_time", "messages", "spans"):
+        row(key, d[key])
+    if d["phases"]:
+        print("phase totals:")
+        for name, e in d["phases"].items():
+            row(name, e)
+    if d["resources"]:
+        print("resource busy time:")
+        for name, e in d["resources"].items():
+            row(name, e)
+    print("critical path:")
+    for kind, e in d["critical_path"].items():
+        row(kind, e)
+    return 0
+
+
+def cmd_export(ns: argparse.Namespace) -> int:
+    record = _load(getattr(ns, "in"))
+    doc = ex.chrome_trace(record)
+    err = ex.validate_chrome_trace(doc)
+    if err is not None:
+        print(f"internal error: invalid trace: {err}", file=sys.stderr)
+        return 1
+    with open(ns.trace_out, "w") as fh:
+        json.dump(doc, fh)
+    print(
+        f"wrote {ns.trace_out}: {len(doc['traceEvents'])} events "
+        "(open at https://ui.perfetto.dev)"
+    )
+    return 0
+
+
+# -- argument plumbing -------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.obs.cli",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    rec = sub.add_parser("record", help="simulate + record one collective")
+    rec.add_argument("--coll", default="bcast")
+    rec.add_argument("--nbytes", default="1M",
+                     help="message size (suffixes K/M/G)")
+    rec.add_argument("--machine", default="small_cluster",
+                     help="factory name in repro.hardware.machines")
+    rec.add_argument("--nodes", type=int, default=2)
+    rec.add_argument("--ppn", type=int, default=4)
+    rec.add_argument("--root", type=int, default=0)
+    rec.add_argument("--out", default="", help="JSONL run record path")
+    rec.add_argument("--trace-out", default="", help="Chrome trace path")
+    rec.set_defaults(fn=cmd_record)
+
+    rep = sub.add_parser("report", help="summarize a run record")
+    rep.add_argument("in", help="JSONL run record")
+    rep.add_argument("--top", type=int, default=12,
+                     help="resources to list")
+    rep.set_defaults(fn=cmd_report)
+
+    cri = sub.add_parser("critpath", help="critical path of a run record")
+    cri.add_argument("in", help="JSONL run record")
+    cri.add_argument("--segments", action="store_true",
+                     help="print every path segment")
+    cri.set_defaults(fn=cmd_critpath)
+
+    dif = sub.add_parser("diff", help="compare two run records")
+    dif.add_argument("a")
+    dif.add_argument("b")
+    dif.add_argument("--json", action="store_true")
+    dif.set_defaults(fn=cmd_diff)
+
+    exp = sub.add_parser("export", help="JSONL record -> Chrome trace")
+    exp.add_argument("in", help="JSONL run record")
+    exp.add_argument("trace_out", help="output Chrome trace path")
+    exp.set_defaults(fn=cmd_export)
+    return p
+
+
+def main(argv=None) -> int:
+    ns = build_parser().parse_args(argv)
+    return ns.fn(ns)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,300 @@
+"""Observability core: spans, counters and message records.
+
+An :class:`ObsRecorder` attaches to a simulation :class:`~repro.sim.Engine`
+(``engine.obs``); instrumented components — the fluid solver, the fabric,
+the per-rank progress servers, the MPI runtime and the HAN module — emit
+
+- **spans** (named intervals on a *track*: one track per rank, per CPU
+  progress server, per fluid resource),
+- **counters** (sampled values, e.g. per-resource utilization),
+- **message records** (one per point-to-point message: sender, receiver,
+  tag, size, and the send/arrive/complete timestamps that let the
+  analysis layer reconstruct cross-rank dependencies).
+
+Every hook point is guarded by a single ``engine.obs is not None`` check,
+so a simulation without a recorder attached pays one attribute test per
+hook — simulated costs are bit-identical with and without the subsystem
+compiled in, and wall-clock overhead is noise-level.
+
+The recorder's contents serialize to a :class:`RunRecord` (a plain-dict
+document) which the exporters (:mod:`repro.obs.export`) turn into Chrome
+``trace_event`` JSON for Perfetto, a JSONL run record, or a resource
+timeline, and which the analysis layer (:mod:`repro.obs.critpath`)
+consumes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sim.engine import Engine
+
+__all__ = [
+    "CounterSample",
+    "MessageRecord",
+    "ObsRecorder",
+    "RunRecord",
+    "Span",
+]
+
+#: span categories used by the built-in hook points
+CAT_COLL = "coll"    # collective entry/exit (HanModule and friends)
+CAT_PHASE = "phase"  # HAN task phases: ib / sb / sr / ir, with segment index
+CAT_P2P = "p2p"      # MPI send / recv lifetimes
+CAT_CPU = "cpu"      # progress-server busy time
+CAT_FLOW = "flow"    # fluid flows, one span per resource crossed
+CAT_MODULE = "module"  # non-blocking module schedules (adapt.ibcast, ...)
+
+
+@dataclass
+class Span:
+    """One named interval on a track.  ``t1 < 0`` means still open."""
+
+    sid: int
+    track: str
+    name: str
+    cat: str
+    t0: float
+    t1: float = -1.0
+    args: dict = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        return self.t1 < 0.0
+
+    @property
+    def dur(self) -> float:
+        return max(0.0, self.t1 - self.t0)
+
+
+@dataclass
+class MessageRecord:
+    """Timing skeleton of one point-to-point message.
+
+    ``t_send`` is the send call, ``t_send_done`` the completion of the
+    sender-side software overhead (when the wire work is handed off),
+    ``t_arrive`` the instant the last byte lands at the receiver, and
+    ``t_recv_done`` the completion of the receiver-side overhead (when
+    the matching recv request succeeds).  ``-1`` marks "not yet".
+    """
+
+    mid: int
+    src: int  # world rank
+    dst: int  # world rank
+    tag: int
+    nbytes: float
+    t_send: float
+    t_send_done: float = -1.0
+    t_arrive: float = -1.0
+    t_recv_done: float = -1.0
+    protocol: str = ""
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    track: str
+    name: str
+    t: float
+    value: float
+
+
+class ObsRecorder:
+    """Span/counter/message registry bound to one engine.
+
+    Use as a context manager (or call :meth:`attach`/:meth:`detach`)::
+
+        rec = ObsRecorder(engine)
+        with rec:
+            runtime.run(prog)
+        doc = rec.run_record(meta={"coll": "bcast"})
+
+    Attaching nests: detaching restores whatever recorder (usually
+    ``None``) was installed before.
+    """
+
+    def __init__(self, engine: Engine, limit: int = 2_000_000):
+        self.engine = engine
+        #: hard cap on stored spans+counters; hook points stop recording
+        #: (and count drops) past it, so a runaway run cannot OOM
+        self.limit = limit
+        self.spans: list[Span] = []
+        self.counters: list[CounterSample] = []
+        self.messages: dict[int, MessageRecord] = {}
+        self.dropped = 0
+        self.resources: list[dict] = []  # filled by snapshot_resources()
+        self._next_sid = 0
+        self._next_mid = 0
+        self._open: dict[int, Span] = {}
+        self._last_counter: dict[tuple[str, str], float] = {}
+        self._prev: Any = None
+        self._attached = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def attach(self) -> "ObsRecorder":
+        if self._attached:
+            return self
+        self._prev = self.engine.obs
+        self.engine.obs = self
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached and self.engine.obs is self:
+            self.engine.obs = self._prev
+        self._attached = False
+
+    def __enter__(self) -> "ObsRecorder":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- spans -------------------------------------------------------------
+
+    def begin(self, track: str, name: str, cat: str = "", **args) -> int:
+        """Open a span at the current simulated time; returns its id."""
+        if len(self.spans) >= self.limit:
+            self.dropped += 1
+            return -1
+        sid = self._next_sid
+        self._next_sid += 1
+        sp = Span(sid, track, name, cat, self.engine.now, args=args)
+        self.spans.append(sp)
+        self._open[sid] = sp
+        return sid
+
+    def end(self, sid: int, **args) -> None:
+        """Close an open span at the current simulated time."""
+        sp = self._open.pop(sid, None)
+        if sp is None:
+            return
+        sp.t1 = self.engine.now
+        if args:
+            sp.args.update(args)
+
+    def complete(
+        self, track: str, name: str, t0: float, t1: float, cat: str = "", **args
+    ) -> int:
+        """Record an already-finished span (both endpoints known)."""
+        if len(self.spans) >= self.limit:
+            self.dropped += 1
+            return -1
+        sid = self._next_sid
+        self._next_sid += 1
+        self.spans.append(Span(sid, track, name, cat, t0, t1, args))
+        return sid
+
+    def instant(self, track: str, name: str, **args) -> None:
+        self.complete(track, name, self.engine.now, self.engine.now, "instant",
+                      **args)
+
+    # -- counters -------------------------------------------------------------
+
+    def counter(self, track: str, name: str, value: float) -> None:
+        """Sample a counter; consecutive identical values are deduped."""
+        key = (track, name)
+        if self._last_counter.get(key) == value:
+            return
+        if len(self.counters) >= self.limit:
+            self.dropped += 1
+            return
+        self._last_counter[key] = value
+        self.counters.append(
+            CounterSample(track, name, self.engine.now, float(value))
+        )
+
+    # -- messages -------------------------------------------------------------
+
+    def msg_begin(self, src: int, dst: int, tag: int, nbytes: float,
+                  protocol: str = "") -> int:
+        mid = self._next_mid
+        self._next_mid += 1
+        self.messages[mid] = MessageRecord(
+            mid, src, dst, tag, float(nbytes), self.engine.now,
+            protocol=protocol,
+        )
+        return mid
+
+    def msg_send_done(self, mid: int) -> None:
+        m = self.messages.get(mid)
+        if m is not None and m.t_send_done < 0:
+            m.t_send_done = self.engine.now
+
+    def msg_arrived(self, mid: int) -> None:
+        m = self.messages.get(mid)
+        if m is not None:
+            m.t_arrive = self.engine.now
+
+    def msg_recv_done(self, mid: int) -> None:
+        m = self.messages.get(mid)
+        if m is not None:
+            m.t_recv_done = self.engine.now
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot_resources(self, solver) -> None:
+        """Capture the fluid solver's time-integrated resource accounting."""
+        solver.sync_accounting()
+        horizon = self.engine.now
+        self.resources = [
+            {
+                "rid": rid,
+                "name": solver.resource_name(rid) or f"res{rid}",
+                "capacity": solver.capacity(rid),
+                "busy_time": solver.busy_time(rid),
+                "served_bytes": solver.served_bytes(rid),
+                "mean_utilization": (
+                    solver.served_bytes(rid)
+                    / (solver.capacity(rid) * horizon)
+                    if horizon > 0 and solver.capacity(rid) > 0
+                    else 0.0
+                ),
+            }
+            for rid in range(solver.num_resources)
+        ]
+
+    def run_record(self, meta: Optional[dict] = None) -> "RunRecord":
+        """Freeze the recorder into a serializable :class:`RunRecord`."""
+        return RunRecord(
+            meta=dict(meta or {}, sim_time=self.engine.now,
+                      dropped=self.dropped),
+            spans=[s for s in self.spans if not s.open],
+            messages=sorted(self.messages.values(), key=lambda m: m.mid),
+            counters=list(self.counters),
+            resources=list(self.resources),
+        )
+
+
+@dataclass
+class RunRecord:
+    """Everything one observed run produced, decoupled from the engine."""
+
+    meta: dict
+    spans: list[Span]
+    messages: list[MessageRecord]
+    counters: list[CounterSample]
+    resources: list[dict]
+
+    # -- convenience selectors ----------------------------------------------
+
+    def spans_by_cat(self, cat: str) -> list[Span]:
+        return [s for s in self.spans if s.cat == cat]
+
+    def phase_spans(self, name: Optional[str] = None) -> list[Span]:
+        return [
+            s
+            for s in self.spans
+            if s.cat == CAT_PHASE and (name is None or s.name == name)
+        ]
+
+    def tracks(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.track, None)
+        return list(seen)
+
+    @property
+    def sim_time(self) -> float:
+        return float(self.meta.get("sim_time", 0.0))

@@ -1,0 +1,268 @@
+"""Critical-path extraction and run comparison over :class:`RunRecord`\\ s.
+
+The simulated machine has exactly two kinds of time consumers: serial
+per-rank CPU work (progress-server busy spans, category ``cpu``) and
+wire transfers (message records).  That makes the dependency structure
+explicit in the recording:
+
+- within one CPU track, busy spans are totally ordered (FIFO server);
+- across tracks, the only edges are messages: the receiver's ``recv_ov``
+  span (tagged with the message id ``mid``) depends on the arrival of
+  the data, which depends on the sender's ``send_ov`` span (same mid).
+
+:func:`critical_path` walks those edges backward from the last CPU span
+to finish.  Every instant in ``[0, end]`` lands in exactly one segment,
+attributed as
+
+- ``cpu``      -- a progress-server busy span lies on the path,
+- ``net``      -- wire/control time of the path's message
+                  (``t_send_done .. t_arrive``),
+- ``wait``     -- nothing on the path was running (dependency slack:
+                  late-posted receives, barrier skew, pipeline bubbles).
+
+so on a purely serial schedule the attribution covers 100% of simulated
+time by construction.  :func:`phase_overlap` measures the wall-clock
+concurrency between two HAN phases (e.g. ``ib`` vs ``sb``) and
+:func:`diff_runs` compares two recordings end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.core import CAT_CPU, CAT_PHASE, MessageRecord, RunRecord, Span
+
+__all__ = [
+    "CritSegment",
+    "CriticalPath",
+    "critical_path",
+    "diff_runs",
+    "phase_overlap",
+    "phase_totals",
+]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class CritSegment:
+    """One chronological piece of the critical path."""
+
+    t0: float
+    t1: float
+    kind: str  # "cpu" | "net" | "wait"
+    label: str  # span name / message description
+    track: str  # where it happened ("" for wait gaps)
+
+    @property
+    def dur(self) -> float:
+        return max(0.0, self.t1 - self.t0)
+
+
+@dataclass
+class CriticalPath:
+    """The extracted path plus its time attribution."""
+
+    segments: list[CritSegment]  # chronological
+    end: float  # finish time of the anchor span
+
+    def total(self, kind: str) -> float:
+        return sum(s.dur for s in self.segments if s.kind == kind)
+
+    @property
+    def attribution(self) -> dict:
+        out = {k: self.total(k) for k in ("cpu", "net", "wait")}
+        out["end"] = self.end
+        covered = sum(s.dur for s in self.segments)
+        out["coverage"] = covered / self.end if self.end > 0 else 1.0
+        return out
+
+
+def _cpu_spans(record: RunRecord) -> list[Span]:
+    return sorted(record.spans_by_cat(CAT_CPU), key=lambda s: (s.t1, s.t0))
+
+
+def critical_path(record: RunRecord) -> CriticalPath:
+    """Backward walk from the last CPU span to time zero."""
+    cpus = _cpu_spans(record)
+    if not cpus:
+        end = record.sim_time
+        segs = [CritSegment(0.0, end, "wait", "idle", "")] if end > 0 else []
+        return CriticalPath(segments=segs, end=end)
+
+    by_track: dict[str, list[Span]] = {}
+    for s in cpus:
+        by_track.setdefault(s.track, []).append(s)
+    msgs: dict[int, MessageRecord] = {m.mid: m for m in record.messages}
+    send_ov: dict[int, Span] = {}
+    for s in cpus:
+        mid = s.args.get("mid", -1)
+        if s.name == "send_ov" and mid >= 0:
+            send_ov[mid] = s
+
+    def prev_on_track(span: Span, before: float) -> Span | None:
+        best = None
+        for cand in by_track[span.track]:
+            if cand is span or cand.t1 > before + _EPS:
+                continue
+            if best is None or cand.t1 > best.t1:
+                best = cand
+        return best
+
+    anchor = max(cpus, key=lambda s: s.t1)
+    segments: list[CritSegment] = []
+    cur: Span | None = anchor
+    guard = 0
+    while cur is not None and guard < 10 * len(cpus) + 16:
+        guard += 1
+        segments.append(
+            CritSegment(cur.t0, cur.t1, "cpu", cur.name, cur.track)
+        )
+        if cur.t0 <= _EPS:
+            cur = None
+            break
+        mid = cur.args.get("mid", -1)
+        m = msgs.get(mid) if cur.name == "recv_ov" else None
+        if m is not None and m.t_arrive >= 0:
+            # dependency edge: data arrival (plus any matching wait)
+            if cur.t0 - m.t_arrive > _EPS:
+                segments.append(CritSegment(
+                    m.t_arrive, cur.t0, "wait",
+                    f"match m{m.mid}", cur.track,
+                ))
+            t_net0 = m.t_send_done if m.t_send_done >= 0 else m.t_send
+            label = f"m{m.mid} {m.src}->{m.dst} ({m.protocol})"
+            segments.append(
+                CritSegment(t_net0, m.t_arrive, "net", label, "")
+            )
+            sender = send_ov.get(m.mid)
+            if sender is not None:
+                if t_net0 - sender.t1 > _EPS:
+                    segments.append(CritSegment(
+                        sender.t1, t_net0, "wait", f"ctrl m{m.mid}", ""
+                    ))
+                cur = sender
+                continue
+            if t_net0 > _EPS:
+                segments.append(
+                    CritSegment(0.0, t_net0, "wait", "start", "")
+                )
+            cur = None
+            break
+        prev = prev_on_track(cur, cur.t0)
+        if prev is not None and cur.t0 - prev.t1 <= _EPS:
+            cur = prev  # back-to-back on the same CPU
+            continue
+        # idle gap: fall back to the latest CPU span (any track) ending
+        # at or before the gap start; the machine was waiting on it
+        best = None
+        for cand in cpus:
+            if cand.t1 <= cur.t0 + _EPS and cand is not cur:
+                if best is None or cand.t1 > best.t1:
+                    best = cand
+        if best is None:
+            segments.append(
+                CritSegment(0.0, cur.t0, "wait", "start", cur.track)
+            )
+            cur = None
+        else:
+            if cur.t0 - best.t1 > _EPS:
+                segments.append(CritSegment(
+                    best.t1, cur.t0, "wait", "idle", cur.track
+                ))
+            cur = best
+
+    segments.reverse()
+    return CriticalPath(segments=segments, end=anchor.t1)
+
+
+# -- phase analysis -------------------------------------------------------------
+
+
+def _union(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    if not intervals:
+        return []
+    out = []
+    for t0, t1 in sorted(intervals):
+        if out and t0 <= out[-1][1] + _EPS:
+            out[-1] = (out[-1][0], max(out[-1][1], t1))
+        else:
+            out.append((t0, t1))
+    return out
+
+
+def _intersect_len(
+    a: list[tuple[float, float]], b: list[tuple[float, float]]
+) -> float:
+    total, i, j = 0.0, 0, 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+def phase_totals(record: RunRecord) -> dict[str, dict]:
+    """Per HAN phase (ib/sb/sr/ir): count, summed and union durations."""
+    out: dict[str, dict] = {}
+    by_name: dict[str, list[tuple[float, float]]] = {}
+    for s in record.spans:
+        if s.cat != CAT_PHASE:
+            continue
+        by_name.setdefault(s.name, []).append((s.t0, s.t1))
+        d = out.setdefault(s.name, {"count": 0, "total": 0.0})
+        d["count"] += 1
+        d["total"] += s.dur
+    for name, ivs in by_name.items():
+        out[name]["union"] = sum(t1 - t0 for t0, t1 in _union(ivs))
+    return out
+
+
+def phase_overlap(record: RunRecord, a: str, b: str) -> float:
+    """Wall-clock seconds during which phases ``a`` and ``b`` both ran."""
+    iv_a = _union([(s.t0, s.t1) for s in record.phase_spans(a)])
+    iv_b = _union([(s.t0, s.t1) for s in record.phase_spans(b)])
+    return _intersect_len(iv_a, iv_b)
+
+
+# -- run comparison -------------------------------------------------------------
+
+
+def diff_runs(a: RunRecord, b: RunRecord) -> dict:
+    """Structured comparison of two recordings (A = baseline, B = new)."""
+    pa, pb = phase_totals(a), phase_totals(b)
+    phases = {}
+    for name in sorted(set(pa) | set(pb)):
+        ta = pa.get(name, {}).get("total", 0.0)
+        tb = pb.get(name, {}).get("total", 0.0)
+        phases[name] = {"a": ta, "b": tb, "delta": tb - ta}
+    ra = {r["name"]: r for r in a.resources}
+    rb = {r["name"]: r for r in b.resources}
+    resources = {}
+    for name in sorted(set(ra) | set(rb)):
+        ba = ra.get(name, {}).get("busy_time", 0.0)
+        bb = rb.get(name, {}).get("busy_time", 0.0)
+        if ba or bb:
+            resources[name] = {"a": ba, "b": bb, "delta": bb - ba}
+    ca, cb = critical_path(a).attribution, critical_path(b).attribution
+    return {
+        "sim_time": {
+            "a": a.sim_time, "b": b.sim_time,
+            "delta": b.sim_time - a.sim_time,
+        },
+        "messages": {"a": len(a.messages), "b": len(b.messages),
+                     "delta": len(b.messages) - len(a.messages)},
+        "spans": {"a": len(a.spans), "b": len(b.spans),
+                  "delta": len(b.spans) - len(a.spans)},
+        "phases": phases,
+        "resources": resources,
+        "critical_path": {
+            k: {"a": ca[k], "b": cb[k], "delta": cb[k] - ca[k]}
+            for k in ("cpu", "net", "wait")
+        },
+    }

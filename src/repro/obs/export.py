@@ -1,0 +1,233 @@
+"""Exporters: Chrome ``trace_event`` JSON, JSONL run records, timelines.
+
+The Chrome trace format is the `trace_event` JSON understood by Perfetto
+(https://ui.perfetto.dev) and the legacy ``chrome://tracing`` viewer:
+
+- one *process* per track family (ranks / CPU progress servers / fluid
+  resources), one *thread* per track, named via ``M`` metadata events;
+- serial CPU busy spans become ``X`` complete events (they never overlap
+  within a track by construction -- the progress server is FIFO);
+- everything that may overlap on a track (collective spans, HAN phase
+  spans, p2p send/recv lifetimes, fluid flows, queue-wait intervals)
+  becomes legacy async ``b``/``e`` event pairs, one id per span, which
+  Perfetto renders stacked;
+- utilization samples become ``C`` counter events.
+
+Simulated time is seconds; trace timestamps are microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from repro.obs.core import CounterSample, MessageRecord, RunRecord, Span
+
+__all__ = [
+    "chrome_trace",
+    "load_jsonl",
+    "resource_timeline",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+_US = 1e6  # seconds -> microseconds
+
+# track-family -> (pid, display name).  Deterministic ordering in the UI.
+_FAMILIES = (
+    ("rank", 1, "ranks"),
+    ("cpu:", 2, "progress cpus"),
+    ("res:", 3, "resources"),
+)
+
+
+def _family(track: str) -> tuple[int, str]:
+    for prefix, pid, label in _FAMILIES:
+        if track.startswith(prefix):
+            return pid, label
+    return 9, "other"
+
+
+def _tid_map(tracks: Iterable[str]) -> dict[str, tuple[int, int]]:
+    """track -> (pid, tid), tids dense per pid in first-seen order."""
+    out: dict[str, tuple[int, int]] = {}
+    next_tid: dict[int, int] = {}
+    for tr in tracks:
+        if tr in out:
+            continue
+        pid, _ = _family(tr)
+        tid = next_tid.get(pid, 0)
+        next_tid[pid] = tid + 1
+        out[tr] = (pid, tid)
+    return out
+
+
+def chrome_trace(record: RunRecord) -> dict:
+    """Render a :class:`RunRecord` as a Chrome ``trace_event`` document."""
+    tracks: list[str] = []
+    for s in record.spans:
+        tracks.append(s.track)
+    for c in record.counters:
+        tracks.append(c.track)
+    tids = _tid_map(tracks)
+
+    events: list[dict] = []
+    seen_procs: set[int] = set()
+    for tr, (pid, tid) in tids.items():
+        if pid not in seen_procs:
+            seen_procs.add(pid)
+            events.append({
+                "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+                "args": {"name": _family(tr)[1]},
+            })
+        events.append({
+            "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": tr},
+        })
+
+    for s in record.spans:
+        pid, tid = tids[s.track]
+        ts = s.t0 * _US
+        if s.cat == "cpu":
+            events.append({
+                "ph": "X", "pid": pid, "tid": tid, "name": s.name,
+                "cat": s.cat, "ts": ts, "dur": s.dur * _US,
+                "args": dict(s.args),
+            })
+        elif s.cat == "instant":
+            events.append({
+                "ph": "i", "pid": pid, "tid": tid, "name": s.name,
+                "s": "t", "ts": ts, "args": dict(s.args),
+            })
+        else:
+            ident = f"s{s.sid}"
+            base = {
+                "pid": pid, "tid": tid, "name": s.name, "cat": s.cat or "span",
+                "id": ident, "scope": s.track,
+            }
+            events.append(dict(base, ph="b", ts=ts, args=dict(s.args)))
+            events.append(dict(base, ph="e", ts=s.t1 * _US))
+
+    for c in record.counters:
+        pid, _tid = tids[c.track]
+        events.append({
+            "ph": "C", "pid": pid, "tid": 0, "name": f"{c.track}:{c.name}",
+            "ts": c.t * _US, "args": {c.name: c.value},
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(record.meta),
+    }
+
+
+def write_chrome_trace(record: RunRecord, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(record), fh)
+
+
+# -- resource timeline -------------------------------------------------------------
+
+
+def resource_timeline(record: RunRecord) -> list[dict]:
+    """Per-resource utilization summary plus the sampled time series.
+
+    Each entry combines the solver's exact time-integrated accounting
+    (``busy_time``, ``served_bytes``, ``mean_utilization``) with the
+    utilization counter samples recorded on that resource's track.
+    """
+    by_track: dict[str, list[tuple[float, float]]] = {}
+    for c in record.counters:
+        if c.name == "utilization":
+            by_track.setdefault(c.track, []).append((c.t, c.value))
+    out = []
+    for res in record.resources:
+        track = f"res:{res['name']}"
+        out.append(dict(res, track=track, samples=by_track.get(track, [])))
+    return out
+
+
+# -- JSONL run records -------------------------------------------------------------
+
+
+def write_jsonl(record: RunRecord, path: str) -> None:
+    """Compact one-record-per-line serialization (streams, greps, diffs)."""
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"kind": "meta", **record.meta}) + "\n")
+        for s in record.spans:
+            fh.write(json.dumps({
+                "kind": "span", "sid": s.sid, "track": s.track,
+                "name": s.name, "cat": s.cat, "t0": s.t0, "t1": s.t1,
+                "args": s.args,
+            }) + "\n")
+        for m in record.messages:
+            fh.write(json.dumps({
+                "kind": "msg", "mid": m.mid, "src": m.src, "dst": m.dst,
+                "tag": m.tag, "nbytes": m.nbytes, "t_send": m.t_send,
+                "t_send_done": m.t_send_done, "t_arrive": m.t_arrive,
+                "t_recv_done": m.t_recv_done, "protocol": m.protocol,
+            }) + "\n")
+        for c in record.counters:
+            fh.write(json.dumps({
+                "kind": "counter", "track": c.track, "name": c.name,
+                "t": c.t, "value": c.value,
+            }) + "\n")
+        for r in record.resources:
+            fh.write(json.dumps({"kind": "resource", **r}) + "\n")
+
+
+def load_jsonl(path: str) -> RunRecord:
+    """Inverse of :func:`write_jsonl`."""
+    meta: dict = {}
+    spans: list[Span] = []
+    messages: list[MessageRecord] = []
+    counters: list[CounterSample] = []
+    resources: list[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            kind = doc.pop("kind")
+            if kind == "meta":
+                meta = doc
+            elif kind == "span":
+                spans.append(Span(**doc))
+            elif kind == "msg":
+                messages.append(MessageRecord(**doc))
+            elif kind == "counter":
+                counters.append(CounterSample(**doc))
+            elif kind == "resource":
+                resources.append(doc)
+            else:  # pragma: no cover - forward compatibility
+                continue
+    return RunRecord(meta=meta, spans=spans, messages=messages,
+                     counters=counters, resources=resources)
+
+
+def validate_chrome_trace(doc: dict) -> Optional[str]:
+    """Cheap schema check; returns an error string or ``None`` if valid."""
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return "missing traceEvents"
+    opened: dict = {}
+    for i, ev in enumerate(doc["traceEvents"]):
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "b", "e", "C", "i"):
+            return f"event {i}: unknown ph {ph!r}"
+        if "pid" not in ev or "name" not in ev:
+            return f"event {i}: missing pid/name"
+        if ph in ("X", "b", "e", "C", "i") and "ts" not in ev:
+            return f"event {i}: missing ts"
+        if ph == "X" and ev.get("dur", -1) < 0:
+            return f"event {i}: X without non-negative dur"
+        if ph == "b":
+            opened[(ev.get("cat"), ev.get("id"))] = i
+        elif ph == "e":
+            if opened.pop((ev.get("cat"), ev.get("id")), None) is None:
+                return f"event {i}: e without matching b"
+    if opened:
+        return f"{len(opened)} async span(s) never closed"
+    return None

@@ -1,0 +1,69 @@
+"""One-call recording of an observed collective run.
+
+:func:`record_collective` is the observability twin of
+:func:`repro.tuning.measure.measure_collective`: same simulated
+benchmark shape (barrier, then the collective), but it returns the full
+:class:`~repro.obs.core.RunRecord` instead of a single timing number.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import HanConfig
+from repro.core.han import HanModule
+from repro.hardware.spec import MachineSpec
+from repro.mpi.runtime import MPIRuntime
+from repro.netsim.profiles import P2PProfile
+from repro.obs.core import ObsRecorder, RunRecord
+
+__all__ = ["record_collective"]
+
+
+def record_collective(
+    machine: MachineSpec,
+    coll: str,
+    nbytes: float,
+    config: Optional[HanConfig] = None,
+    root: int = 0,
+    profile: Optional[P2PProfile] = None,
+    meta: Optional[dict] = None,
+    limit: int = 2_000_000,
+) -> RunRecord:
+    """Run one HAN collective with a recorder attached; return the record.
+
+    The recorded interval covers the whole simulation (including the
+    warm-up barrier); the collective itself is bracketed by its ``coll``
+    span, so analyses that want just the operation select on that.
+    """
+    runtime = MPIRuntime(machine, profile=profile)
+    han = HanModule(config=config)
+    durations: dict[int, float] = {}
+
+    def prog(comm):
+        op = getattr(han, coll)
+        yield from comm.barrier()
+        start = comm.now
+        if coll in ("bcast", "reduce", "gather", "scatter"):
+            yield from op(comm, nbytes, root=root)
+        elif coll == "barrier":
+            yield from op(comm)
+        else:
+            yield from op(comm, nbytes)
+        durations[comm.rank] = comm.now - start
+
+    rec = ObsRecorder(runtime.engine, limit=limit)
+    with rec:
+        runtime.run(prog)
+        rec.snapshot_resources(runtime.fabric.solver)
+    info = {
+        "coll": coll,
+        "nbytes": float(nbytes),
+        "machine": f"{machine.num_nodes}x{machine.ppn}",
+        "root": root,
+        "time": max(durations.values()) if durations else 0.0,
+    }
+    if config is not None:
+        info["config"] = repr(config)
+    info.update(meta or {})
+    return rec.run_record(meta=info)

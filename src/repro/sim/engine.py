@@ -207,6 +207,12 @@ class Engine:
         #: to builds that predate it.  Fault injectors
         #: (:mod:`repro.faults`) install a dispatcher here.
         self.overhead_hook: Optional[Callable[[str, int, float], float]] = None
+        #: Optional observability recorder (:mod:`repro.obs`).  Every
+        #: instrumented component guards its emission with a single
+        #: ``engine.obs is not None`` test, so a run without a recorder
+        #: attached is bit-identical to (and as fast as) an uninstrumented
+        #: build.
+        self.obs: Optional[Any] = None
 
     # -- scheduling --------------------------------------------------------
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -66,6 +66,7 @@ class FluidSolver:
     def __init__(self, engine: Engine):
         self.engine = engine
         self._capacity: list[float] = []
+        self._names: list[str] = []
         self._flows: dict[int, Flow] = {}
         self._next_fid = 0
         self._last_update = 0.0
@@ -75,15 +76,33 @@ class FluidSolver:
         # statistics
         self.total_flows = 0
         self.recomputes = 0
+        # time-integrated accounting, maintained by _advance_to_now():
+        # per-resource seconds with nonzero load, and bytes served.  The
+        # instantaneous load vector (_load) is refreshed whenever rates
+        # change (_solve_rates / last flow retired).
+        self._load = np.zeros(0)
+        self._busy_time = np.zeros(0)
+        self._served_bytes = np.zeros(0)
 
     # -- resources -----------------------------------------------------------
 
-    def add_resource(self, capacity: float) -> int:
+    def add_resource(self, capacity: float, name: str = "") -> int:
         """Register a shared resource with ``capacity`` bytes/s; returns id."""
         if capacity <= 0:
             raise ValueError(f"resource capacity must be positive, got {capacity}")
         self._capacity.append(float(capacity))
-        return len(self._capacity) - 1
+        self._names.append(name)
+        n = len(self._capacity)
+        self._load = np.resize(self._load, n)
+        self._load[n - 1] = 0.0
+        self._busy_time = np.resize(self._busy_time, n)
+        self._busy_time[n - 1] = 0.0
+        self._served_bytes = np.resize(self._served_bytes, n)
+        self._served_bytes[n - 1] = 0.0
+        return n - 1
+
+    def resource_name(self, rid: int) -> str:
+        return self._names[rid]
 
     @property
     def num_resources(self) -> int:
@@ -126,6 +145,7 @@ class FluidSolver:
         on_complete: Callable[[], None],
         rate_cap: float = _INF,
         weight: float = 1.0,
+        label: str = "",
     ) -> int:
         """Begin transferring ``nbytes`` across ``resources``.
 
@@ -145,7 +165,7 @@ class FluidSolver:
         fid = self._next_fid
         self._next_fid += 1
         self.total_flows += 1
-        self._flows[fid] = Flow(
+        flow = Flow(
             fid=fid,
             remaining=float(nbytes),
             resources=rids,
@@ -153,6 +173,12 @@ class FluidSolver:
             on_complete=on_complete,
             weight=float(weight),
         )
+        self._flows[fid] = flow
+        obs = self.engine.obs
+        if obs is not None:
+            flow.meta["obs_t0"] = self.engine.now
+            flow.meta["obs_label"] = label
+            flow.meta["obs_nbytes"] = float(nbytes)
         self._mark_dirty()
         return fid
 
@@ -181,7 +207,14 @@ class FluidSolver:
             self.engine.schedule(0.0, self._recompute, priority=PRIORITY_LATE)
 
     def _advance_to_now(self) -> None:
-        """Drain bytes for the interval since the last update."""
+        """Drain bytes for the interval since the last update.
+
+        Also integrates the per-resource accounting: ``_load`` holds the
+        bytes/s crossing each resource over the elapsed interval (it was
+        refreshed when the rates last changed), so busy seconds and
+        served bytes accumulate exactly — including across mid-flow
+        capacity rescales, which call here *before* touching capacity.
+        """
         dt = self.engine.now - self._last_update
         self._last_update = self.engine.now
         if dt <= 0:
@@ -190,6 +223,16 @@ class FluidSolver:
             f.remaining -= f.rate * dt
             if f.remaining < 0:
                 f.remaining = 0.0
+        busy = self._load > 0.0
+        self._busy_time[busy] += dt
+        self._served_bytes += self._load * dt
+
+    def _refresh_load(self) -> None:
+        """Recompute the instantaneous per-resource load vector."""
+        self._load[:] = 0.0
+        for f in self._flows.values():
+            if f.resources.size:
+                self._load[f.resources] += f.rate
 
     def _recompute(self) -> None:
         self._recompute_pending = False
@@ -198,7 +241,23 @@ class FluidSolver:
         self._complete_finished()
         if self._flows:
             self._solve_rates()
+        self._refresh_load()
+        obs = self.engine.obs
+        if obs is not None:
+            self._sample_utilization(obs)
         self._schedule_completion()
+
+    def _sample_utilization(self, obs) -> None:
+        """Emit per-resource utilization counter samples (obs attached)."""
+        cap = np.asarray(self._capacity)
+        util = np.divide(
+            self._load, cap, out=np.zeros_like(self._load), where=cap > 0
+        )
+        for rid in range(len(self._capacity)):
+            obs.counter(
+                f"res:{self._names[rid] or rid}", "utilization",
+                round(float(util[rid]), 9),
+            )
 
     def _complete_finished(self) -> None:
         # A flow is done when its residue is below the absolute epsilon,
@@ -213,11 +272,25 @@ class FluidSolver:
             if f.remaining <= _EPS_BYTES
             or (f.rate > 0 and f.remaining <= f.rate * tiny_t)
         ]
+        obs = self.engine.obs
         for f in done:
             del self._flows[f.fid]
+            if obs is not None and "obs_t0" in f.meta:
+                self._emit_flow_spans(obs, f)
             # Completion callbacks run as normal-priority events *now* so any
             # flows they start are folded into the same recompute batch.
             self.engine.schedule(0.0, f.on_complete)
+
+    def _emit_flow_spans(self, obs, f: Flow) -> None:
+        """One completed span per distinct resource the flow crossed."""
+        t0 = f.meta["obs_t0"]
+        label = f.meta["obs_label"] or f"flow{f.fid}"
+        nbytes = f.meta["obs_nbytes"]
+        for rid in dict.fromkeys(f.resources.tolist()):
+            obs.complete(
+                f"res:{self._names[rid] or rid}", label,
+                t0, self.engine.now, "flow", nbytes=nbytes, fid=f.fid,
+            )
 
     def _solve_rates(self) -> None:
         """Vectorized progressive filling with per-flow rate caps."""
@@ -305,6 +378,41 @@ class FluidSolver:
         )
 
     # -- introspection ---------------------------------------------------------
+
+    def sync_accounting(self) -> None:
+        """Fold the interval since the last rate event into the integrals.
+
+        The busy-time integrals advance lazily (at rate-change events);
+        call this before reading them mid-run.  Idempotent, and does not
+        perturb the simulation: it drains exactly the bytes the active
+        rates would have drained anyway.
+        """
+        self._advance_to_now()
+
+    def busy_time(self, rid: int) -> float:
+        """Seconds (up to the last sync) the resource carried any flow.
+
+        This is the *time-integrated* busy measure the observability
+        timeline uses — unlike :meth:`utilization`, which reports only
+        the instantaneous rates at the moment of the call.
+        """
+        return float(self._busy_time[rid])
+
+    def served_bytes(self, rid: int) -> float:
+        """Total bytes that crossed the resource (up to the last sync)."""
+        return float(self._served_bytes[rid])
+
+    def mean_utilization(self, rid: int, horizon: Optional[float] = None) -> float:
+        """Served bytes over ``capacity * horizon`` (default: now).
+
+        Uses the resource's *current* capacity; under mid-run rescales
+        this is an approximation, while :meth:`busy_time` stays exact.
+        """
+        h = self.engine.now if horizon is None else horizon
+        cap = self._capacity[rid]
+        if h <= 0 or cap <= 0:
+            return 0.0
+        return float(self._served_bytes[rid]) / (cap * h)
 
     def utilization(self) -> np.ndarray:
         """Instantaneous fraction of each resource's capacity in use."""

@@ -43,6 +43,10 @@ class Tracer:
     def __post_init__(self) -> None:
         # bind once so close() can recognise (and only remove) its own hook
         self._hook = self._on_engine_event
+        # remember what was installed before us so close() can restore it
+        # (hook *chaining*: a Tracer stacked on another consumer forwards
+        # nothing while attached, but detaching puts the original back)
+        self._prev_hook = self.engine.trace_hook
         self.engine.trace_hook = self._hook
         self.events = deque(self.events, maxlen=self.limit)
 
@@ -91,5 +95,18 @@ class Tracer:
         return "\n".join(lines)
 
     def close(self) -> None:
+        """Detach, restoring whatever hook was installed before us.
+
+        Only removes *our own* hook: if someone else replaced it after we
+        attached, their hook is left alone (and our saved one is not
+        restored over it).  Idempotent.
+        """
         if self.engine.trace_hook is self._hook:
-            self.engine.trace_hook = None
+            self.engine.trace_hook = self._prev_hook
+        self._prev_hook = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

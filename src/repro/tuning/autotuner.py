@@ -91,6 +91,12 @@ class Autotuner:
     #: recorded measurement (including its ``sim_cost``), collapsing the
     #: wall-clock of repeated sweeps without touching ``tuning_cost``
     cache: Optional[MeasurementCache] = None
+    #: directory for per-winner Chrome traces: after tuning, each table
+    #: entry's chosen configuration is re-run once with the observability
+    #: recorder attached and exported as ``<coll>_<bytes>B.json``
+    #: (Perfetto-loadable).  Tuning results are unaffected — tracing
+    #: never perturbs simulated time.  Empty string disables.
+    trace_out: str = ""
 
     def tune(
         self,
@@ -108,7 +114,21 @@ class Autotuner:
                 self._tune_exhaustive(coll, report, use_heuristics)
             else:
                 self._tune_task_based(coll, report, use_heuristics)
+        if self.trace_out:
+            self._trace_winners(report)
         return report
+
+    def _trace_winners(self, report: TuningReport) -> None:
+        """Record one observed run per lookup-table entry."""
+        import os
+
+        os.makedirs(self.trace_out, exist_ok=True)
+        for (coll, n, p, m), cfg in sorted(report.table.entries.items()):
+            path = os.path.join(self.trace_out, f"{coll}_{int(m)}B.json")
+            measure_collective(
+                self.machine, coll, m, cfg, profile=self.profile,
+                trace_out=path,
+            )
 
     # -- exhaustive -----------------------------------------------------------------
 

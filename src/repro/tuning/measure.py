@@ -65,8 +65,14 @@ def _run_once(
     root: int,
     iterations: int,
     profile: Optional[P2PProfile],
+    trace_out: str = "",
 ) -> tuple[tuple[float, ...], float]:
-    """One fresh simulated benchmark; (per-rank durations, sim cost)."""
+    """One fresh simulated benchmark; (per-rank durations, sim cost).
+
+    ``trace_out`` attaches an observability recorder and writes a
+    Perfetto-loadable Chrome trace of the run; the recorder never touches
+    timing, so traced and untraced runs are bit-identical.
+    """
     runtime = MPIRuntime(machine, profile=profile)
     han = HanModule(config=config)
     durations: dict[int, float] = {}
@@ -82,7 +88,21 @@ def _run_once(
             ) else op(comm, nbytes)
         durations[comm.rank] = (comm.now - start) / iterations
 
-    runtime.run(prog)
+    if trace_out:
+        from repro.obs import ObsRecorder, write_chrome_trace
+
+        with ObsRecorder(runtime.engine) as rec:
+            runtime.run(prog)
+            rec.snapshot_resources(runtime.fabric.solver)
+        write_chrome_trace(
+            rec.run_record(meta={
+                "coll": coll, "nbytes": float(nbytes),
+                "config": repr(config),
+            }),
+            trace_out,
+        )
+    else:
+        runtime.run(prog)
     per_rank = tuple(durations[r] for r in sorted(durations))
     return per_rank, runtime.engine.now
 
@@ -100,6 +120,7 @@ def measure_collective(
     trial_offset: int = 0,
     aggregate: str = "median",
     cache: Optional[MeasurementCache] = None,
+    trace_out: str = "",
 ) -> CollectiveMeasurement:
     """Time one HAN collective configuration on a fresh simulated machine.
 
@@ -121,6 +142,10 @@ def measure_collective(
     collective, size, config, fault realization, iteration counts and
     profile — was measured before; a hit replays the recorded result,
     including its ``sim_cost``, so tuning-cost accounting is unaffected.
+
+    ``trace_out`` writes a Chrome trace of the *first* trial's run (the
+    recorder does not perturb timing; cache hits skip the simulation and
+    therefore produce no trace).
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -145,7 +170,10 @@ def measure_collective(
         m = machine
         if plan is not None:
             m = FaultyMachineSpec.wrap(machine, plan.for_trial(trial_offset + trial))
-        per_rank, cost = _run_once(m, coll, nbytes, config, root, iterations, profile)
+        per_rank, cost = _run_once(
+            m, coll, nbytes, config, root, iterations, profile,
+            trace_out=trace_out if trial == 0 else "",
+        )
         per_rank_by_trial.append(per_rank)
         times.append(max(per_rank))
         sim_cost += cost

@@ -1,0 +1,132 @@
+"""Recorder mechanics: spans, counters, messages, attach/detach, limits."""
+
+import pytest
+
+from repro.obs import ObsRecorder
+from repro.sim import Engine, Sleep
+
+
+def test_begin_end_span_times():
+    eng = Engine()
+    rec = ObsRecorder(eng)
+
+    def prog():
+        sid = rec.begin("t", "work", "phase", seg=3)
+        yield Sleep(2.0)
+        rec.end(sid, extra=1)
+
+    with rec:
+        eng.spawn(prog(), name="p")
+        eng.run()
+    (sp,) = rec.spans
+    assert (sp.t0, sp.t1, sp.name, sp.cat) == (0.0, 2.0, "work", "phase")
+    assert sp.args == {"seg": 3, "extra": 1}
+    assert sp.dur == 2.0 and not sp.open
+
+
+def test_attach_detach_restores_previous():
+    eng = Engine()
+    outer = ObsRecorder(eng)
+    inner = ObsRecorder(eng)
+    outer.attach()
+    inner.attach()
+    assert eng.obs is inner
+    inner.detach()
+    assert eng.obs is outer
+    outer.detach()
+    assert eng.obs is None
+
+
+def test_context_manager():
+    eng = Engine()
+    with ObsRecorder(eng) as rec:
+        assert eng.obs is rec
+    assert eng.obs is None
+
+
+def test_open_spans_excluded_from_run_record():
+    eng = Engine()
+    rec = ObsRecorder(eng)
+    with rec:
+        sid = rec.begin("t", "never-closed")
+        done = rec.begin("t", "closed")
+        rec.end(done)
+    record = rec.run_record()
+    assert [s.name for s in record.spans] == ["closed"]
+    assert sid not in {s.sid for s in record.spans}
+
+
+def test_limit_drops_and_counts():
+    eng = Engine()
+    rec = ObsRecorder(eng, limit=2)
+    with rec:
+        assert rec.begin("t", "a") >= 0
+        assert rec.begin("t", "b") >= 0
+        assert rec.begin("t", "c") == -1  # over the cap
+        assert rec.complete("t", "d", 0.0, 1.0) == -1
+    assert rec.dropped == 2
+    assert rec.run_record().meta["dropped"] == 2
+
+
+def test_counter_dedupes_identical_consecutive_values():
+    eng = Engine()
+    rec = ObsRecorder(eng)
+    with rec:
+        rec.counter("res:x", "utilization", 0.5)
+        rec.counter("res:x", "utilization", 0.5)  # dropped (same value)
+        rec.counter("res:x", "utilization", 0.7)
+        rec.counter("res:y", "utilization", 0.7)  # different track kept
+    assert [(c.track, c.value) for c in rec.counters] == [
+        ("res:x", 0.5), ("res:x", 0.7), ("res:y", 0.7),
+    ]
+
+
+def test_message_lifecycle():
+    eng = Engine()
+    rec = ObsRecorder(eng)
+
+    def prog():
+        mid = rec.msg_begin(0, 1, 7, 4096.0, "eager")
+        yield Sleep(1.0)
+        rec.msg_send_done(mid)
+        yield Sleep(1.0)
+        rec.msg_arrived(mid)
+        yield Sleep(0.5)
+        rec.msg_recv_done(mid)
+
+    with rec:
+        eng.spawn(prog(), name="p")
+        eng.run()
+    (m,) = rec.run_record().messages
+    assert (m.src, m.dst, m.tag, m.nbytes, m.protocol) == (0, 1, 7, 4096.0, "eager")
+    assert (m.t_send, m.t_send_done, m.t_arrive, m.t_recv_done) == (
+        0.0, 1.0, 2.0, 2.5,
+    )
+
+
+def test_run_record_selectors():
+    eng = Engine()
+    rec = ObsRecorder(eng)
+    with rec:
+        rec.complete("rank0", "ib", 0.0, 1.0, "phase", seg=0)
+        rec.complete("rank0", "sb", 0.5, 2.0, "phase", seg=0)
+        rec.complete("cpu:rank0", "send_ov", 0.0, 0.1, "cpu")
+    record = rec.run_record(meta={"coll": "bcast"})
+    assert record.meta["coll"] == "bcast"
+    assert {s.name for s in record.phase_spans()} == {"ib", "sb"}
+    assert [s.name for s in record.phase_spans("ib")] == ["ib"]
+    assert [s.name for s in record.spans_by_cat("cpu")] == ["send_ov"]
+    assert record.tracks() == ["rank0", "cpu:rank0"]
+
+
+def test_sim_time_in_meta():
+    eng = Engine()
+    rec = ObsRecorder(eng)
+
+    def prog():
+        yield Sleep(3.5)
+
+    with rec:
+        eng.spawn(prog(), name="p")
+        eng.run()
+    assert rec.run_record().sim_time == pytest.approx(3.5)

@@ -1,0 +1,168 @@
+"""Wiring + non-perturbation acceptance.
+
+The load-bearing guarantee: attaching a recorder must not change a
+single simulated timestamp (every hook is behind one ``engine.obs is not
+None`` check on the non-timing side), so tracing-disabled runs are
+bit-identical to the pre-instrumentation simulator.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import HanConfig
+from repro.hardware.machines import small_cluster
+from repro.mpi.runtime import MPIRuntime
+from repro.obs import ObsRecorder, validate_chrome_trace
+from repro.obs.cli import main as cli_main
+from repro.obs.cli import parse_nbytes
+from repro.tuning.measure import measure_collective
+
+
+def _run_han(nbytes, attach):
+    from repro.core.han import HanModule
+
+    machine = small_cluster(num_nodes=2, ppn=4)
+    runtime = MPIRuntime(machine)
+    han = HanModule()
+    durations = {}
+
+    def prog(comm):
+        yield from comm.barrier()
+        t0 = comm.now
+        yield from han.bcast(comm, nbytes)
+        durations[comm.rank] = comm.now - t0
+
+    if attach:
+        with ObsRecorder(runtime.engine):
+            runtime.run(prog)
+    else:
+        runtime.run(prog)
+    return durations, runtime.engine.now
+
+
+@pytest.mark.parametrize("nbytes", [1 << 12, 1 << 20])
+def test_recorder_does_not_perturb_simulated_time(nbytes):
+    plain, t_plain = _run_han(nbytes, attach=False)
+    traced, t_traced = _run_han(nbytes, attach=True)
+    assert t_plain == t_traced  # bit-identical, no tolerance
+    assert plain == traced
+
+
+def test_measure_collective_trace_out_identical_and_valid(tmp_path):
+    machine = small_cluster(num_nodes=2, ppn=2)
+    cfg = HanConfig()
+    base = measure_collective(machine, "bcast", 1 << 18, cfg)
+    path = tmp_path / "meas.json"
+    traced = measure_collective(
+        machine, "bcast", 1 << 18, cfg, trace_out=str(path)
+    )
+    assert traced.time == base.time  # bit-identical
+    assert traced.per_rank == base.per_rank
+    doc = json.loads(path.read_text())
+    assert validate_chrome_trace(doc) is None
+
+
+def test_netpipe_trace_out(tmp_path):
+    from repro.bench import netpipe_run
+    from repro.netsim.profiles import openmpi_profile
+
+    machine = small_cluster(num_nodes=2, ppn=2)
+    path = tmp_path / "netpipe.json"
+    plain = netpipe_run(machine, openmpi_profile(), [1024.0, 65536.0])
+    traced = netpipe_run(
+        machine, openmpi_profile(), [1024.0, 65536.0],
+        trace_out=str(path),
+    )
+    assert traced.oneway == plain.oneway
+    doc = json.loads(path.read_text())
+    assert validate_chrome_trace(doc) is None
+    assert doc["otherData"]["bench"] == "netpipe"
+
+
+def test_imb_trace_out(tmp_path):
+    from repro.bench import imb_run
+    from repro.comparators import library_by_name
+
+    machine = small_cluster(num_nodes=2, ppn=2)
+    lib = library_by_name("openmpi")
+    path = tmp_path / "imb.json"
+    plain = imb_run(machine, lib, "bcast", [4096.0])
+    traced = imb_run(machine, lib, "bcast", [4096.0], trace_out=str(path))
+    assert traced.times == plain.times
+    doc = json.loads(path.read_text())
+    assert validate_chrome_trace(doc) is None
+    assert doc["otherData"]["coll"] == "bcast"
+
+
+def test_autotuner_trace_out_writes_winner_traces(tmp_path):
+    from repro.tuning import Autotuner, SearchSpace
+
+    machine = small_cluster(num_nodes=2, ppn=2)
+    space = SearchSpace(
+        seg_sizes=(65536,),
+        messages=[65536.0],
+        adapt_algorithms=("chain",),
+        inner_segs=(None,),
+    )
+    out = tmp_path / "traces"
+    tuner = Autotuner(machine, space=space, warm_iters=2,
+                      trace_out=str(out))
+    report = tuner.tune(colls=("bcast",), method="task")
+    assert report.table.entries
+    files = sorted(os.listdir(out))
+    assert files == ["bcast_65536B.json"]
+    doc = json.loads((out / files[0]).read_text())
+    assert validate_chrome_trace(doc) is None
+
+
+# -- CLI -------------------------------------------------------------
+
+
+def test_parse_nbytes():
+    assert parse_nbytes("64") == 64.0
+    assert parse_nbytes("64K") == 65536.0
+    assert parse_nbytes("1m") == 1048576.0
+    assert parse_nbytes("2MB") == 2 * 1048576.0
+    assert parse_nbytes("1G") == float(1 << 30)
+
+
+def test_cli_record_report_critpath_export_diff(tmp_path, capsys):
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    trace = tmp_path / "a.json"
+    args = ["record", "--coll", "bcast", "--nbytes", "256K",
+            "--machine", "small_cluster", "--nodes", "2", "--ppn", "2",
+            "--out", str(a), "--trace-out", str(trace)]
+    assert cli_main(args) == 0
+    assert cli_main(["record", "--coll", "bcast", "--nbytes", "512K",
+                     "--nodes", "2", "--ppn", "2", "--out", str(b)]) == 0
+    doc = json.loads(trace.read_text())
+    assert validate_chrome_trace(doc) is None
+
+    assert cli_main(["report", str(a)]) == 0
+    out = capsys.readouterr().out
+    assert "phases" in out and "resources" in out
+
+    assert cli_main(["critpath", str(a), "--segments"]) == 0
+    out = capsys.readouterr().out
+    assert "coverage 100.0%" in out
+
+    assert cli_main(["diff", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "sim_time" in out and "critical path:" in out
+
+    trace2 = tmp_path / "a2.json"
+    assert cli_main(["export", str(a), str(trace2)]) == 0
+    assert validate_chrome_trace(json.loads(trace2.read_text())) is None
+
+
+def test_cli_diff_json_mode(tmp_path, capsys):
+    a = tmp_path / "a.jsonl"
+    assert cli_main(["record", "--nbytes", "64K", "--nodes", "2",
+                     "--ppn", "2", "--out", str(a)]) == 0
+    capsys.readouterr()  # drain the record summary line
+    assert cli_main(["diff", str(a), str(a), "--json"]) == 0
+    d = json.loads(capsys.readouterr().out)
+    assert d["sim_time"]["delta"] == 0.0

@@ -1,8 +1,5 @@
 """Unit + property tests for the max-min fluid bandwidth solver."""
 
-import math
-
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -287,3 +284,83 @@ def test_conservation_total_bytes():
     end = eng.run()
     # Single shared resource at full utilisation the whole time:
     assert end == pytest.approx(total / 123.0)
+
+
+def test_time_integrated_accounting_basics():
+    eng, net = make()
+    r = net.add_resource(100.0, name="link")
+    done = {}
+    net.start_flow(500.0, [r], record_completion(done, eng, "f"))
+    eng.run()
+    net.sync_accounting()
+    assert net.resource_name(r) == "link"
+    assert net.busy_time(r) == pytest.approx(5.0)
+    assert net.served_bytes(r) == pytest.approx(500.0)
+    # flow ran 0..5 at full rate; at horizon=now (5 s) utilization is 1
+    assert net.mean_utilization(r) == pytest.approx(1.0)
+    assert net.mean_utilization(r, horizon=10.0) == pytest.approx(0.5)
+
+
+def test_accounting_counts_busy_not_instantaneous():
+    """utilization() is instantaneous (zero after the flow ends);
+    busy_time() integrates, so it keeps the history."""
+    eng, net = make()
+    r = net.add_resource(100.0)
+    net.start_flow(200.0, [r], lambda: None)
+    eng.run()
+    assert net.utilization()[0] == 0.0  # nothing in flight *now*
+    net.sync_accounting()
+    assert net.busy_time(r) == pytest.approx(2.0)  # ...but it was busy
+
+
+def test_accounting_exact_across_mid_flow_capacity_rescale():
+    """The busy/served integrals must use the *old* rates for time
+    before a rescale and the new rates after it."""
+    eng, net = make()
+    r = net.add_resource(100.0, name="link")
+    done = {}
+    net.start_flow(1000.0, [r], record_completion(done, eng, "f"))
+    # At t=2 (200 B drained) halve the capacity: the remaining 800 B
+    # drain at 50 B/s -> completion at t = 2 + 16 = 18.
+    eng.schedule(2.0, lambda: net.set_capacity(r, 50.0))
+    eng.run()
+    assert done["f"] == pytest.approx(18.0)
+    net.sync_accounting()
+    assert net.busy_time(r) == pytest.approx(18.0)
+    assert net.served_bytes(r) == pytest.approx(1000.0)
+    # mean_utilization uses the *current* capacity (50 B/s) over 18 s
+    assert net.mean_utilization(r) == pytest.approx(1000.0 / (50.0 * 18.0))
+
+
+def test_accounting_idle_gap_not_counted_busy():
+    eng, net = make()
+    r = net.add_resource(100.0)
+    done = {}
+    net.start_flow(100.0, [r], record_completion(done, eng, "a"))  # 0..1
+    # second flow starts after a 2-second idle gap
+    eng.schedule(
+        3.0,
+        lambda: net.start_flow(100.0, [r], record_completion(done, eng, "b")),
+    )
+    eng.run()
+    assert done["a"] == pytest.approx(1.0)
+    assert done["b"] == pytest.approx(4.0)
+    net.sync_accounting()
+    assert net.busy_time(r) == pytest.approx(2.0)  # 0..1 and 3..4
+    assert net.served_bytes(r) == pytest.approx(200.0)
+
+
+def test_accounting_zero_capacity_stall_not_busy():
+    """A flow stalled on a dead resource accrues no busy time."""
+    eng, net = make()
+    r = net.add_resource(100.0)
+    done = {}
+    net.start_flow(200.0, [r], record_completion(done, eng, "f"))
+    eng.schedule(1.0, lambda: net.set_capacity(r, 0.0))  # die at t=1
+    eng.schedule(5.0, lambda: net.set_capacity(r, 100.0))  # revive at t=5
+    eng.run()
+    # 100 B by t=1, stall 1..5, last 100 B in 5..6
+    assert done["f"] == pytest.approx(6.0)
+    net.sync_accounting()
+    assert net.busy_time(r) == pytest.approx(2.0)
+    assert net.served_bytes(r) == pytest.approx(200.0)

@@ -87,3 +87,108 @@ def test_to_text_reports_dropped_count():
     text = tr.to_text()
     assert "3 older events dropped" in text
     assert "m4" in text and "m0" not in text
+
+
+def test_context_manager_restores_previous_hook():
+    eng = Engine()
+    seen = []
+
+    def original(t, actor, label):
+        seen.append((t, actor, label))
+
+    eng.trace_hook = original
+    with Tracer(eng) as tr:
+        assert eng.trace_hook is not original
+
+        def prog():
+            yield Sleep(1.0)
+
+        eng.spawn(prog(), name="w")
+        eng.run()
+    # tracer saw the engine event; the original hook is back in place
+    assert any(e.label == "finish" for e in tr.events)
+    assert eng.trace_hook is original
+    assert seen == []  # nothing leaked to the displaced hook while nested
+
+
+def test_nested_tracers_restore_lifo():
+    eng = Engine()
+    outer = Tracer(eng)
+    inner = Tracer(eng)
+    assert eng.trace_hook is inner._hook
+    inner.close()
+    assert eng.trace_hook is outer._hook
+    outer.close()
+    assert eng.trace_hook is None
+
+
+def test_close_is_idempotent_and_respects_foreign_hooks():
+    eng = Engine()
+    tr = Tracer(eng)
+
+    def foreign(t, actor, label):
+        pass
+
+    eng.trace_hook = foreign  # someone replaced us after attach
+    tr.close()
+    assert eng.trace_hook is foreign  # not clobbered
+    tr.close()  # second close: still a no-op
+    assert eng.trace_hook is foreign
+
+
+def test_tracer_and_obs_recorder_coexist():
+    """The trace hook and the obs recorder are independent channels."""
+    from repro.obs import ObsRecorder
+
+    eng = Engine()
+    rec = ObsRecorder(eng)
+    with rec, Tracer(eng) as tr:
+
+        def prog():
+            sid = rec.begin("t", "work")
+            yield Sleep(1.0)
+            rec.end(sid)
+
+        eng.spawn(prog(), name="w")
+        eng.run()
+        assert eng.obs is rec and eng.trace_hook is tr._hook
+    assert eng.obs is None and eng.trace_hook is None
+    assert any(e.label == "finish" for e in tr.events)
+    assert [s.name for s in rec.spans] == ["work"]
+
+
+def test_ring_buffer_eviction_via_engine_hook():
+    """Engine-emitted events obey the same ring-buffer semantics as
+    manual record() calls: oldest evicted, eviction counted."""
+    eng = Engine()
+    tr = Tracer(eng, limit=3)
+
+    def prog(i):
+        yield Sleep(float(i))
+
+    for i in range(8):
+        eng.spawn(prog(i), name=f"p{i}")
+    eng.run()
+    assert [e.actor for e in tr.events] == ["p5", "p6", "p7"]
+    assert tr.dropped == 5
+
+
+def test_ring_buffer_mixed_engine_and_manual_events():
+    eng = Engine()
+    tr = Tracer(eng, limit=4)
+
+    def prog():
+        tr.record("m", "manual-early")
+        yield Sleep(1.0)
+
+    for i in range(3):
+        eng.spawn(prog(), name=f"p{i}")
+    eng.run()
+    tr.record("m", "manual-late")
+    # 3 manual-early + 3 finish + 1 manual-late = 7 events, keep last 4
+    labels = [(e.actor, e.label) for e in tr.events]
+    assert labels == [
+        ("p0", "finish"), ("p1", "finish"), ("p2", "finish"),
+        ("m", "manual-late"),
+    ]
+    assert tr.dropped == 3
