@@ -15,6 +15,14 @@ KiB = 1024
 MiB = 1024 * 1024
 
 
+def pytest_collection_modifyitems(config, items):
+    """The whole per-figure suite is minutes-long: mark it slow so
+    ``pytest -m 'not slow'`` (and tier-1 runs that include this
+    directory explicitly) can skip it wholesale."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def shaheen_small():
     """Reduced Shaheen II: 6 nodes x 6 ppn (paper: 128 x 32)."""

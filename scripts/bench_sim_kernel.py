@@ -1,0 +1,251 @@
+#!/usr/bin/env python
+"""Benchmark the fluid-solver kernel on the Fig-8 autotuning path.
+
+Times the same tuning workload under two solver configurations:
+
+- **before** — the ``reference`` solver mode with the progressive-fill
+  memo disabled: a global re-solve of every flow at every rate event
+  with an O(n) completion-horizon scan, i.e. the pre-incremental
+  implementation this PR replaced (retained as the correctness oracle);
+- **after** — the default configuration: the ``incremental`` solver
+  (component-local re-solves, lazy completion heap) with the
+  process-wide solve memo enabled.
+
+Repetitions are interleaved (before/after/before/after …) and the
+minimum per configuration is reported, which suppresses machine noise
+far better than back-to-back timing.  Events/sec uses the engine's
+process-wide event counter, so it covers every runtime the tuner
+creates internally.
+
+The script also runs the paper-scale 4096-process (256 nodes x 16 ppn)
+broadcast + allreduce from ``repro.experiments.scaling4096`` in both
+solver modes and bit-compares every measured time; the combined
+verdict lands in the ``results_bit_identical`` flag.
+
+Usage::
+
+    python scripts/bench_sim_kernel.py                  # full bench
+    python scripts/bench_sim_kernel.py --quick          # CI-sized
+    python scripts/bench_sim_kernel.py --quick \
+        --check-baseline BENCH_sim_kernel.json          # perf smoke
+    python scripts/bench_sim_kernel.py -o BENCH_sim_kernel.json
+
+``--check-baseline`` compares the *after* events/sec against the named
+committed baseline and exits non-zero on a >20% regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+KiB, MiB = 1024, 1024 * 1024
+
+#: regression tolerance for --check-baseline (fraction of baseline)
+TOLERANCE = 0.20
+
+CONFIGS = {
+    # (REPRO_FLUID_SOLVER, REPRO_FLUID_FILL_MEMO)
+    "before": ("reference", "0"),
+    "after": ("incremental", "1"),
+}
+
+
+def _solver_env(mode: str, memo: str) -> None:
+    os.environ["REPRO_FLUID_SOLVER"] = mode
+    os.environ["REPRO_FLUID_FILL_MEMO"] = memo
+
+
+def tuning_workload(quick: bool):
+    """One Fig-8-style task-method tuning sweep; returns its report."""
+    from repro.hardware import shaheen2
+    from repro.tuning import Autotuner, SearchSpace
+
+    if quick:
+        machine = shaheen2(num_nodes=4, ppn=4)
+        space = SearchSpace(
+            seg_sizes=(512 * KiB,),
+            messages=[2.0 ** k for k in range(14, 23, 4)],
+            adapt_algorithms=("chain", "binomial"),
+        )
+    else:
+        # fig08's "medium" geometry: 16 nodes x 12 ppn.  The incremental
+        # solver's advantage grows with scale (the reference mode
+        # re-solves every in-flight flow globally), so the bench geometry
+        # should match what the experiments actually run.
+        machine = shaheen2(num_nodes=16, ppn=12)
+        space = SearchSpace(
+            seg_sizes=(512 * KiB, 1 * MiB),
+            messages=[2.0 ** k for k in range(14, 25, 2)],
+            adapt_algorithms=("chain", "binomial"),
+        )
+    tuner = Autotuner(machine, space=space, warm_iters=6)
+    return tuner.tune(colls=("bcast",), method="task")
+
+
+def candidate_times(report) -> list[float]:
+    """Flatten every measured candidate time, in deterministic order."""
+    out = []
+    for key in sorted(report.candidates, key=repr):
+        out.extend(t for _cfg, t in report.candidates[key])
+    return out
+
+
+def timed_tuning(config: str, quick: bool) -> dict:
+    from repro.sim.engine import Engine
+
+    _solver_env(*CONFIGS[config])
+    ev0 = Engine.events_total
+    t0 = time.perf_counter()
+    report = tuning_workload(quick)
+    wall = time.perf_counter() - t0
+    events = Engine.events_total - ev0
+    return {
+        "wallclock_s": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "tuning_cost_s": report.tuning_cost,
+        "candidate_times": candidate_times(report),
+    }
+
+
+def scaling_runs(quick: bool) -> dict:
+    """Paper-scale collectives in both modes, bit-compared."""
+    from repro.experiments import scaling4096
+
+    out: dict = {}
+    for config, (mode, memo) in CONFIGS.items():
+        _solver_env(mode, memo)
+        t0 = time.perf_counter()
+        out[config] = scaling4096.run(
+            scale="quick" if quick else "paper", save=False
+        )
+        out[config]["wallclock_s"] = time.perf_counter() - t0
+    out["identical"] = (
+        out["before"]["times"] == out["after"]["times"]
+    )
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI-sized workload (seconds, not minutes)")
+    ap.add_argument("--repeat", type=int, default=3,
+                    help="interleaved repetitions per configuration")
+    ap.add_argument("--check-baseline", metavar="JSON",
+                    help="compare events/sec against a committed baseline; "
+                         f"exit 1 on a >{TOLERANCE:.0%} regression")
+    ap.add_argument("-o", "--output", metavar="JSON",
+                    help="write the result document here")
+    args = ap.parse_args(argv)
+
+    phases: dict[str, list[dict]] = {c: [] for c in CONFIGS}
+    for rep in range(args.repeat):
+        for config in CONFIGS:
+            r = timed_tuning(config, args.quick)
+            phases[config].append(r)
+            print(
+                f"[{rep + 1}/{args.repeat}] {config:>6}: "
+                f"{r['wallclock_s']:.2f}s  "
+                f"{r['events_per_sec']:,.0f} events/s",
+                flush=True,
+            )
+
+    best = {
+        c: min(runs, key=lambda r: r["wallclock_s"])
+        for c, runs in phases.items()
+    }
+    identical_tuning = all(
+        runs_c["candidate_times"] == best["before"]["candidate_times"]
+        and runs_c["tuning_cost_s"] == best["before"]["tuning_cost_s"]
+        for runs in phases.values()
+        for runs_c in runs
+    )
+
+    print("scaling run (256x16 bcast + allreduce)..." if not args.quick
+          else "scaling run (quick geometry)...", flush=True)
+    scaling = scaling_runs(args.quick)
+
+    speedup = (
+        best["before"]["wallclock_s"] / best["after"]["wallclock_s"]
+        if best["after"]["wallclock_s"] > 0 else 0.0
+    )
+    doc = {
+        "workload": "fig08 bcast task-method tuning sweep "
+                    + ("(quick geometry 4x4)" if args.quick
+                       else "(medium geometry 16x12)"),
+        "quick": args.quick,
+        "repeat": args.repeat,
+        "before": {k: best["before"][k] for k in
+                   ("wallclock_s", "events", "events_per_sec")},
+        "after": {k: best["after"][k] for k in
+                  ("wallclock_s", "events", "events_per_sec")},
+        "speedup": speedup,
+        "scaling4096": {
+            "geometry": scaling["after"]["geometry"],
+            "times": scaling["after"]["times"],
+            "events": scaling["after"].get("events"),
+            "wallclock_after_s": scaling["after"]["wallclock_s"],
+            "wallclock_before_s": scaling["before"]["wallclock_s"],
+        },
+        "results_bit_identical": identical_tuning and scaling["identical"],
+    }
+
+    print(
+        f"\nbefore: {doc['before']['wallclock_s']:.2f}s  "
+        f"after: {doc['after']['wallclock_s']:.2f}s  "
+        f"speedup: {speedup:.2f}x  "
+        f"bit-identical: {doc['results_bit_identical']}"
+    )
+
+    if args.output and not args.quick:
+        # CI's perf smoke runs --quick, so the committed baseline needs a
+        # quick-workload events/sec to compare against (the full-workload
+        # rate has a different event mix).
+        smoke = min(
+            (timed_tuning("after", quick=True) for _ in range(args.repeat)),
+            key=lambda r: r["wallclock_s"],
+        )
+        doc["perf_smoke_baseline"] = {
+            k: smoke[k] for k in ("wallclock_s", "events", "events_per_sec")
+        }
+        print(
+            f"perf-smoke baseline (quick): "
+            f"{smoke['events_per_sec']:,.0f} events/s"
+        )
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    if args.check_baseline:
+        base = json.loads(Path(args.check_baseline).read_text())
+        key = "perf_smoke_baseline" if args.quick else "after"
+        baseline_eps = base.get(key, base["after"])["events_per_sec"]
+        current = doc["after"]["events_per_sec"]
+        floor = baseline_eps * (1.0 - TOLERANCE)
+        print(
+            f"perf smoke: {current:,.0f} events/s vs baseline "
+            f"{baseline_eps:,.0f} (floor {floor:,.0f})"
+        )
+        if current < floor:
+            print("FAIL: events/sec regressed more than "
+                  f"{TOLERANCE:.0%} vs {args.check_baseline}")
+            return 1
+        print("OK")
+    if not doc["results_bit_identical"]:
+        print("FAIL: solver modes disagree — investigate before trusting "
+              "any benchmark above")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

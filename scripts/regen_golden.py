@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Regenerate the golden completion-time traces in ``tests/golden/``.
+
+The golden file pins the exact simulated completion time of every HAN
+collective on a fixed machine and configuration.  The simulator is
+deterministic, so these are bit-exact expectations: any change —
+intended tuning-model work or an accidental solver regression — shows
+up as a diff in ``tests/golden/test_golden_traces.py``.
+
+When a change is intentional, re-run this script and commit the result::
+
+    python scripts/regen_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "tests" / "golden" / "collectives.json"
+)
+
+KiB, MiB = 1024, 1024 * 1024
+
+#: every collective measure_collective can time (barrier takes no bytes)
+COLLS = (
+    "bcast", "reduce", "allreduce", "gather", "scatter", "allgather",
+    "alltoall",
+)
+SIZES = (64 * KiB, 1 * MiB)
+GEOMETRY = (4, 4)  # nodes x ppn
+
+
+def compute_golden() -> dict:
+    """The full golden document, keyed ``"<coll>/<nbytes>"``.
+
+    Floats are stored verbatim (json round-trips Python floats through
+    repr), so the comparison in the regression test is exact equality.
+    """
+    from repro.core.config import HanConfig
+    from repro.hardware import shaheen2
+    from repro.tuning.measure import measure_collective
+
+    nodes, ppn = GEOMETRY
+    machine = shaheen2(num_nodes=nodes, ppn=ppn)
+    config = HanConfig(fs=512 * KiB)
+    traces = {}
+    for coll in COLLS:
+        for nbytes in SIZES:
+            m = measure_collective(machine, coll, nbytes, config)
+            traces[f"{coll}/{nbytes}"] = {
+                "time": m.time,
+                "sim_cost": m.sim_cost,
+            }
+    return {
+        "machine": f"{machine.name} {nodes}x{ppn}",
+        "config": repr(config),
+        "traces": traces,
+    }
+
+
+def main() -> int:
+    doc = compute_golden()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(doc['traces'])} traces)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,37 @@ from repro.mpi.communicator import Communicator
 __all__ = ["Hierarchy", "build_hierarchy"]
 
 _CACHE_ATTR = "_han_hierarchy"
+_LAYOUT_ATTR = "_han_group_layouts"
+
+
+def _group_layout(runtime, group: tuple) -> tuple[int, dict]:
+    """Node layout of a communicator group, shared across its ranks.
+
+    Returns ``(num_nodes, positions)`` where ``positions`` maps a world
+    rank to its ``(node position, local rank)`` pair.  Every rank of a
+    communicator asks the same question about the same group, so the
+    answer is computed once per distinct group and cached on the runtime
+    — without this, P ranks each doing an O(P) scan makes hierarchy
+    construction O(P^2) per runtime, which dominates paper-scale setup.
+    """
+    cache = getattr(runtime, _LAYOUT_ATTR, None)
+    if cache is None:
+        cache = {}
+        setattr(runtime, _LAYOUT_ATTR, cache)
+    hit = cache.get(group)
+    if hit is not None:
+        return hit
+    fabric = runtime.fabric
+    members_by_node: dict[int, list[int]] = {}
+    for w in group:
+        members_by_node.setdefault(fabric.node_of(w), []).append(w)
+    positions: dict[int, tuple[int, int]] = {}
+    for node_pos, node in enumerate(sorted(members_by_node)):
+        for local, w in enumerate(sorted(members_by_node[node])):
+            positions[w] = (node_pos, local)
+    layout = (len(members_by_node), positions)
+    cache[group] = layout
+    return layout
 
 
 @dataclass
@@ -48,14 +79,9 @@ class Hierarchy:
         hit = self._pos_cache.get(parent_rank)
         if hit is not None:
             return hit
-        fabric = self.parent.runtime.fabric
         world = self.parent.group[parent_rank]
-        node = fabric.node_of(world)
-        nodes = sorted({fabric.node_of(w) for w in self.parent.group})
-        peers = sorted(
-            w for w in self.parent.group if fabric.node_of(w) == node
-        )
-        pos = (nodes.index(node), peers.index(world))
+        _, positions = _group_layout(self.parent.runtime, self.parent.group)
+        pos = positions[world]
         self._pos_cache[parent_rank] = pos
         return pos
 
@@ -86,11 +112,11 @@ def build_hierarchy(comm: Communicator):
     up = yield from comm.split(color=low.rank, key=comm.rank)
     hier = Hierarchy(parent=comm, low=low, up=up)
     # homogeneity check: every layer must have one member per node
-    nodes = {comm.runtime.fabric.node_of(w) for w in comm.group}
-    if up.size != len(nodes) or low.size * up.size != comm.size:
+    num_nodes, _ = _group_layout(comm.runtime, comm.group)
+    if up.size != num_nodes or low.size * up.size != comm.size:
         raise ValueError(
             "HAN requires the same number of processes on every node "
-            f"(got {comm.size} ranks over {len(nodes)} nodes, layer "
+            f"(got {comm.size} ranks over {num_nodes} nodes, layer "
             f"{low.rank} has {up.size} members)"
         )
     setattr(comm, _CACHE_ATTR, hier)

@@ -30,6 +30,7 @@ EXPERIMENTS = [
     "fig14",
     "table3",
     "fig15",
+    "scaling4096",
 ]
 
 __all__ = ["EXPERIMENTS"]

@@ -68,11 +68,13 @@ def _capacity_window(runtime, rids, factor, start, end) -> None:
     def enter() -> None:
         for r in rids:
             saved[r] = solver.capacity(r)
-            solver.set_capacity(r, saved[r] * factor)
+        # one batched rescale: the whole fault domain (e.g. every lane of
+        # a trunk route) changes at the same instant with a single
+        # accounting advance and one rate recompute
+        solver.set_capacities((r, saved[r] * factor) for r in rids)
 
     def leave() -> None:
-        for r in rids:
-            solver.set_capacity(r, saved[r])
+        solver.set_capacities((r, saved[r]) for r in rids)
 
     engine.schedule_at(start, enter)
     if math.isfinite(end):

@@ -64,6 +64,7 @@ class Communicator:
         self.rank = rank
         self._split_epoch = 0
         self._barrier_epoch = 0
+        self._nodes: Optional[list[int]] = None  # node_of cache, lazy
 
     # -- introspection -----------------------------------------------------------
 
@@ -77,8 +78,15 @@ class Communicator:
 
     def node_of(self, rank: Optional[int] = None) -> int:
         """Physical node hosting ``rank`` (default: me)."""
+        nodes = self._nodes
+        if nodes is None:
+            nodes = self._nodes = self.runtime.nodes_of_comm(
+                self.cid, self.group
+            )
         r = self.rank if rank is None else rank
-        return self.runtime.fabric.node_of(self.group[r])
+        if r < 0:
+            raise IndexError(f"rank {r} out of range")
+        return nodes[r]
 
     def translate_world(self, world_rank: int) -> int:
         """World rank -> rank in this communicator (ValueError if absent)."""

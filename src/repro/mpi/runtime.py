@@ -44,6 +44,9 @@ class MPIRuntime:
         self._next_cid = 0
         # cid -> group (world ranks); split coordination state
         self._groups: dict[int, tuple[int, ...]] = {}
+        # cid -> node per communicator rank, shared by every rank's view
+        # (each rank holds its own Communicator object for the same cid)
+        self._comm_nodes: dict[int, list[int]] = {}
         self._splits: dict[tuple[int, int], dict] = {}
         self.world_group = tuple(range(machine.num_ranks))
         self._world_cid = self._register_comm(self.world_group)
@@ -56,6 +59,14 @@ class MPIRuntime:
         self._next_cid += 1
         self._groups[cid] = group
         return cid
+
+    def nodes_of_comm(self, cid: int, group: tuple[int, ...]) -> list[int]:
+        """Node of every communicator rank, computed once per cid."""
+        nodes = self._comm_nodes.get(cid)
+        if nodes is None:
+            node_of = self.fabric.node_of
+            nodes = self._comm_nodes[cid] = [node_of(w) for w in group]
+        return nodes
 
     def world_view(self, rank: int) -> Communicator:
         """COMM_WORLD as seen by ``rank``."""

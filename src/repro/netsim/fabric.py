@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Tuple
 
+import numpy as np
+
 from repro.hardware.spec import MachineSpec
 from repro.netsim.profiles import P2PProfile
 from repro.netsim.progress import ProgressServer
@@ -30,10 +32,15 @@ __all__ = ["Fabric", "TransferPlan"]
 
 @dataclass(frozen=True)
 class TransferPlan:
-    """Everything needed to time one message's data movement."""
+    """Everything needed to time one message's data movement.
+
+    ``resources`` is a pre-validated ``np.intp`` array so the fluid
+    solver's trusted fast path can start the flow without converting or
+    re-checking the route (plans are cached and reused per message).
+    """
 
     latency: float
-    resources: Tuple[int, ...]
+    resources: np.ndarray
     rate_cap: float
     intra_node: bool
 
@@ -86,16 +93,28 @@ class Fabric:
             for r in range(machine.num_ranks)
         ]
         # (src_node, dst_node) -> (latency, resources); the rate cap is
-        # message-size dependent and computed per call.
-        self._path_cache: dict[tuple[int, int], tuple[float, tuple[int, ...]]] = {}
+        # message-size dependent, so full plans are cached separately
+        # under (src_node, dst_node, nbytes) — collectives reuse a
+        # handful of segment sizes, so both caches stay small.
+        self._path_cache: dict[tuple[int, int], tuple[float, np.ndarray]] = {}
+        self._plan_cache: dict[tuple[int, int, float], TransferPlan] = {}
+        # (node, copies) -> pre-validated membus route for membus_flow()
+        self._membus_routes: dict[tuple[int, int], np.ndarray] = {}
+        # node_of() is the hottest call in a paper-scale run (millions of
+        # lookups); a precomputed table beats the div + property chain.
+        ppn = machine.ppn
+        self._node_of = [r // ppn for r in range(machine.num_ranks)]
 
     # -- placement ---------------------------------------------------------------
 
     def node_of(self, rank: int) -> int:
         """Block ("by node") rank placement: ranks 0..ppn-1 on node 0, etc."""
-        if not (0 <= rank < self.machine.num_ranks):
+        if rank < 0:
             raise IndexError(f"rank {rank} out of range")
-        return rank // self.machine.ppn
+        try:
+            return self._node_of[rank]
+        except IndexError:
+            raise IndexError(f"rank {rank} out of range") from None
 
     def same_node(self, a: int, b: int) -> bool:
         return self.node_of(a) == self.node_of(b)
@@ -148,6 +167,9 @@ class Fabric:
     def plan(self, src_rank: int, dst_rank: int, nbytes: float) -> TransferPlan:
         """Latency, fluid route and rate cap for one message."""
         sn, dn = self.node_of(src_rank), self.node_of(dst_rank)
+        plan = self._plan_cache.get((sn, dn, nbytes))
+        if plan is not None:
+            return plan
         prof = self.profile
         intra = sn == dn
         cached = self._path_cache.get((sn, dn))
@@ -157,7 +179,7 @@ class Fabric:
                 bus = self._membus[sn]
                 cached = (
                     self.machine.node.shm_latency + prof.sw_latency,
-                    (bus, bus),
+                    np.asarray((bus, bus), dtype=np.intp),
                 )
             else:
                 route = self.topo.route(sn, dn)
@@ -168,12 +190,15 @@ class Fabric:
                 )
                 cached = (
                     latency,
-                    (
-                        self._nic_tx[sn],
-                        *(self._links[l] for l in route),
-                        self._nic_rx[dn],
-                        self._membus[sn],
-                        self._membus[dn],
+                    np.asarray(
+                        (
+                            self._nic_tx[sn],
+                            *(self._links[l] for l in route),
+                            self._nic_rx[dn],
+                            self._membus[sn],
+                            self._membus[dn],
+                        ),
+                        dtype=np.intp,
                     ),
                 )
             self._path_cache[(sn, dn)] = cached
@@ -183,9 +208,11 @@ class Fabric:
             if intra
             else prof.rate_cap(nbytes, self.machine.nic.bw)
         )
-        return TransferPlan(
+        plan = TransferPlan(
             latency=latency, resources=resources, rate_cap=cap, intra_node=intra
         )
+        self._plan_cache[(sn, dn, nbytes)] = plan
+        return plan
 
     def control_latency(self, src_rank: int, dst_rank: int) -> float:
         """One-way latency of a zero-payload control message (RTS/CTS)."""
@@ -257,8 +284,11 @@ class Fabric:
         ``copies`` is how many times each byte crosses the bus (2 for a
         bounce-buffer pipe, 1 for a one-sided direct copy).
         """
-        bus = self._membus[node]
+        route = self._membus_routes.get((node, copies))
+        if route is None:
+            route = np.full(copies, self._membus[node], dtype=np.intp)
+            self._membus_routes[(node, copies)] = route
         cap = self.machine.node.copy_bw if rate_cap is None else rate_cap
         return self.solver.start_flow(
-            nbytes, (bus,) * copies, on_done, rate_cap=cap, label="shm-copy"
+            nbytes, route, on_done, rate_cap=cap, label="shm-copy"
         )

@@ -25,11 +25,16 @@ __all__ = ["ProgressServer"]
 class ProgressServer:
     """Serial FIFO work queue attached to one simulated rank."""
 
-    __slots__ = ("engine", "name", "rank", "_busy_until", "busy_time", "jobs")
+    __slots__ = (
+        "engine", "name", "rank", "_busy_until", "busy_time", "jobs", "_ev_name"
+    )
 
     def __init__(self, engine: Engine, name: str = "", rank: int = -1):
         self.engine = engine
         self.name = name
+        # one request() per simulated message makes this a hot path at
+        # paper scale; build the event name once instead of per call
+        self._ev_name = f"progress:{name}"
         #: world rank this server belongs to (-1 when free-standing);
         #: passed to the engine's overhead hook so per-rank fault
         #: injectors (OS noise, stragglers) can target it
@@ -51,7 +56,7 @@ class ProgressServer:
             duration = max(
                 0.0, self.engine.overhead_hook("cpu", self.rank, duration)
             )
-        ev = self.engine.event(f"progress:{self.name}")
+        ev = SimEvent(self.engine, self._ev_name)
         start = max(self.engine.now, self._busy_until)
         end = start + duration
         self._busy_until = end
@@ -70,7 +75,9 @@ class ProgressServer:
                              rank=self.rank)
             obs.complete(track, label, start, end, "cpu",
                          rank=self.rank, **span_args)
-        self.engine.schedule_at(end, lambda: ev.succeed(None))
+        # succeed() with no argument delivers None to every waiter;
+        # scheduling the bound method skips a per-request lambda
+        self.engine.schedule_at(end, ev.succeed)
         return ev
 
     @property

@@ -123,6 +123,7 @@ class ObsRecorder:
         self.messages: dict[int, MessageRecord] = {}
         self.dropped = 0
         self.resources: list[dict] = []  # filled by snapshot_resources()
+        self.solver_stats: dict = {}  # fluid-solver work counters, ditto
         self._next_sid = 0
         self._next_mid = 0
         self._open: dict[int, Span] = {}
@@ -237,6 +238,8 @@ class ObsRecorder:
     def snapshot_resources(self, solver) -> None:
         """Capture the fluid solver's time-integrated resource accounting."""
         solver.sync_accounting()
+        stats = getattr(solver, "kernel_stats", None)
+        self.solver_stats = stats() if callable(stats) else {}
         horizon = self.engine.now
         self.resources = [
             {
@@ -257,9 +260,10 @@ class ObsRecorder:
 
     def run_record(self, meta: Optional[dict] = None) -> "RunRecord":
         """Freeze the recorder into a serializable :class:`RunRecord`."""
+        extra = {"solver": self.solver_stats} if self.solver_stats else {}
         return RunRecord(
             meta=dict(meta or {}, sim_time=self.engine.now,
-                      dropped=self.dropped),
+                      dropped=self.dropped, **extra),
             spans=[s for s in self.spans if not s.open],
             messages=sorted(self.messages.values(), key=lambda m: m.mid),
             counters=list(self.counters),

@@ -33,7 +33,7 @@ rate recomputation (see :mod:`repro.sim.fluid`).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -107,8 +107,9 @@ class SimEvent:
         self.triggered = True
         self.value = value
         waiters, self._waiters = self._waiters, []
-        for cb in list(self.callbacks):
-            cb(self)
+        if self.callbacks:
+            for cb in list(self.callbacks):
+                cb(self)
         for proc in waiters:
             self.engine._resume(proc, value)
 
@@ -167,13 +168,13 @@ class SimProcess:
         return f"<SimProcess {self.name!r} {state}>"
 
 
-@dataclass(order=True)
-class _HeapItem:
-    time: float
-    priority: int
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+# Heap items are plain lists [time, priority, seq, fn, cancelled]: list
+# comparison is C-level and the unique seq breaks every tie before the
+# (incomparable) callable is reached.  A dataclass with order=True costs
+# a Python-level __lt__ per heap sift, which shows up on paper-scale
+# runs (millions of events).
+_TIME, _PRIORITY, _SEQ, _FN, _CANCELLED = range(5)
+_HeapItem = list
 
 
 class Engine:
@@ -190,13 +191,24 @@ class Engine:
         assert p.result == 42 and eng.now == 1.0
     """
 
+    #: process-wide event counter (sum over every engine instance); lets
+    #: benchmark harnesses compute events/sec across runtimes they never
+    #: see (e.g. the ones :func:`measure_collective` creates internally)
+    events_total: int = 0
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[_HeapItem] = []
         self._seq: int = 0
+        #: events executed by this engine instance
+        self.events: int = 0
         self._nblocked: int = 0
         self._live_procs: int = 0
-        self._blocked_names: dict[int, str] = {}
+        # live processes, for deadlock diagnostics: when the heap drains,
+        # every unfinished process is by definition blocked, so a
+        # spawn/finish registry replaces per-block bookkeeping (which
+        # cost two dict ops on every suspend/resume)
+        self._procs: dict[int, SimProcess] = {}
         self.trace_hook: Optional[Callable[[float, str, str], None]] = None
         #: Optional perturbation hook ``(kind, who, duration) -> duration``
         #: consulted by components that charge simulated time (the per-rank
@@ -222,7 +234,7 @@ class Engine:
         """Run ``fn()`` after ``delay`` seconds; returns a cancellable token."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        item = _HeapItem(self.now + delay, priority, self._seq, fn)
+        item = [self.now + delay, priority, self._seq, fn, False]
         self._seq += 1
         heapq.heappush(self._heap, item)
         return item
@@ -230,13 +242,25 @@ class Engine:
     def schedule_at(
         self, when: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL
     ) -> _HeapItem:
-        """Run ``fn()`` at absolute simulated time ``when``."""
-        return self.schedule(when - self.now, fn, priority)
+        """Run ``fn()`` at absolute simulated time ``when``.
+
+        ``when`` lands on the heap *exactly* (not via a ``now + (when -
+        now)`` round trip, which can be off by an ulp) — the fluid
+        solver relies on this so that a flow-completion event fires at
+        the bit-identical instant regardless of how many unrelated
+        events were processed in between.
+        """
+        if when < self.now:
+            raise ValueError(f"schedule_at({when}) is in the past (now={self.now})")
+        item = [when, priority, self._seq, fn, False]
+        self._seq += 1
+        heapq.heappush(self._heap, item)
+        return item
 
     @staticmethod
     def cancel(item: _HeapItem) -> None:
         """Cancel a previously scheduled callback (lazy deletion)."""
-        item.cancelled = True
+        item[_CANCELLED] = True
 
     def event(self, name: str = "") -> SimEvent:
         """Create a fresh one-shot :class:`SimEvent` bound to this engine."""
@@ -248,6 +272,7 @@ class Engine:
         """Start ``gen`` as a simulated process at the current time."""
         proc = SimProcess(self, gen, name)
         self._live_procs += 1
+        self._procs[id(proc)] = proc
         self.schedule(0.0, lambda: self._resume(proc, None))
         return proc
 
@@ -261,13 +286,13 @@ class Engine:
         """
         proc = SimProcess(self, gen, name)
         self._live_procs += 1
+        self._procs[id(proc)] = proc
         self._resume(proc, None)
         return proc
 
     def _resume(self, proc: SimProcess, value: Any) -> None:
         if proc.finished:
             return
-        self._blocked_names.pop(id(proc), None)
         try:
             cmd = proc.gen.send(value)
         except StopIteration as stop:
@@ -283,7 +308,7 @@ class Engine:
         proc.result = result
         proc.error = error
         self._live_procs -= 1
-        self._blocked_names.pop(id(proc), None)
+        self._procs.pop(id(proc), None)
         if self.trace_hook is not None:
             self.trace_hook(self.now, proc.name, "finish")
         proc.done_event.succeed(result)
@@ -291,7 +316,6 @@ class Engine:
     def _dispatch(self, proc: SimProcess, cmd: Any) -> None:
         """Interpret one yielded command for ``proc``."""
         if isinstance(cmd, SimEvent):
-            self._blocked_names[id(proc)] = proc.name
             cmd._add_waiter(proc)
         elif isinstance(cmd, Sleep):
             self.schedule(cmd.dt, lambda: self._resume(proc, None))
@@ -303,7 +327,6 @@ class Engine:
             if target.finished:
                 self.schedule(0.0, lambda: self._resume(proc, target.result))
             else:
-                self._blocked_names[id(proc)] = proc.name
                 target.done_event._add_waiter(proc)
         elif isinstance(cmd, AnyOf):
             self._wait_any(proc, cmd.events)
@@ -326,12 +349,10 @@ class Engine:
                 if state["done"]:
                     return
                 state["done"] = True
-                self._blocked_names.pop(id(proc), None)
                 self._resume(proc, (idx, ev.value))
 
             return cb
 
-        self._blocked_names[id(proc)] = proc.name
         for idx, ev in enumerate(events):
             ev.callbacks.append(make_cb(idx))
 
@@ -346,10 +367,8 @@ class Engine:
         def cb(_ev: SimEvent) -> None:
             state["pending"] -= 1
             if state["pending"] == 0:
-                self._blocked_names.pop(id(proc), None)
                 self._resume(proc, [e.value for e in events])
 
-        self._blocked_names[id(proc)] = proc.name
         for ev in events:
             if not ev.triggered:
                 ev.callbacks.append(cb)
@@ -364,20 +383,30 @@ class Engine:
         exception a simulated process died with.
         """
         heap = self._heap
-        while heap:
-            item = heap[0]
-            if until is not None and item.time > until:
-                self.now = until
-                return self.now
-            heapq.heappop(heap)
-            if item.cancelled:
-                continue
-            if item.time < self.now - 1e-18:
-                raise AssertionError("time went backwards")
-            self.now = item.time
-            item.fn()
+        pop = heapq.heappop
+        events_before = self.events
+        try:
+            while heap:
+                item = heap[0]
+                if until is not None and item[_TIME] > until:
+                    self.now = until
+                    return self.now
+                pop(heap)
+                if item[_CANCELLED]:
+                    continue
+                if item[_TIME] < self.now - 1e-18:
+                    raise AssertionError("time went backwards")
+                self.now = item[_TIME]
+                self.events += 1
+                item[_FN]()
+        finally:
+            # the process-wide counter is updated in one batch: a
+            # per-event class-attribute store is measurable at scale
+            Engine.events_total += self.events - events_before
         if self._live_procs > 0 and until is None:
-            blocked = sorted(self._blocked_names.values())
+            blocked = sorted(
+                p.name for p in self._procs.values() if not p.finished
+            )
             raise DeadlockError(
                 f"simulation deadlock: {self._live_procs} live process(es), "
                 f"blocked: {blocked[:20]}"

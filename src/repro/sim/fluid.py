@@ -19,18 +19,61 @@ modelling the achievable point-to-point bandwidth of the MPI library for a
 given message size (the `P2PProfile` of Fig 11); a cap is just an extra
 single-flow resource.
 
+Incremental solving
+-------------------
+
 The solver is event-driven: on every batch of flow arrivals/departures the
-rates are recomputed (vectorized over numpy arrays) and a single
-"next completion" callback is (re)scheduled on the engine.  Same-instant
-arrivals are batched through a `PRIORITY_LATE` callback so a collective
-step that starts P flows triggers one recomputation, not P.
+rates are recomputed and a single "next completion" callback is
+(re)scheduled on the engine.  Same-instant arrivals are batched through a
+`PRIORITY_LATE` callback so a collective step that starts P flows triggers
+one recomputation, not P.
+
+Two solver modes share one vectorized progressive-filling kernel
+(:meth:`FluidSolver._progressive_fill`):
+
+``"incremental"`` (the default)
+    A resource→flow incidence index is maintained; each recompute
+    re-solves only the connected component of flows that (transitively)
+    share a resource with whatever changed — a flow started/aborted/
+    retired, or a capacity rescale.  This is *exact*, not an
+    approximation: the max-min allocation of disjoint components is
+    independent (progressive filling never moves bandwidth across
+    components), so flows outside the component keep their rates — and
+    because rates, remaining bytes and completion instants are only
+    re-committed when a rate actually *changes*, the floating-point
+    history of every flow is bit-identical to the reference mode.
+    Completions are tracked in a lazy heap of ``(t_done, fid, epoch)``
+    entries instead of an O(n) horizon scan.
+
+``"reference"``
+    The retained global solver: every recompute re-solves all flows and
+    scans all completion horizons.  It exists as the verification oracle
+    for the differential suite (``tests/sim/test_fluid_differential.py``)
+    and as an escape hatch (``REPRO_FLUID_SOLVER=reference``).
+
+Bit-identity between the modes rests on three disciplines:
+
+1. *Committed drains*: a flow's ``remaining`` is drained only when its
+   rate changes; observers use the non-committing ``drained_at`` view.
+   (The reference mode follows the same discipline, so both modes
+   perform the identical sequence of floating-point operations per flow.)
+2. *Exact completion instants*: ``t_done = drained_at + remaining/rate``
+   is computed once per rate commit and placed on the engine heap
+   verbatim via :meth:`Engine.schedule_at`; a flow retires exactly when
+   ``t_done <= now`` in both modes.
+3. *Order-stable kernels*: component flows are solved in fid order with
+   resource ids remapped through a sorted index, so every per-resource
+   accumulation (``np.add.at`` / ``np.minimum.at``) sees the same value
+   sequence as the global solve restricted to that component.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -41,19 +84,45 @@ __all__ = ["FluidSolver", "Flow"]
 _EPS_BYTES = 1e-6  # flows with fewer remaining bytes are considered done
 _INF = math.inf
 
+#: environment override for the default solver mode (benchmark A/B switch)
+_MODE_ENV = "REPRO_FLUID_SOLVER"
+_MODES = ("incremental", "reference")
 
-@dataclass
+#: process-wide progressive-fill memo (see FluidSolver._progressive_fill):
+#: (capacity-vector tuple, ((route, rate_cap, weight), ...)) -> rates.
+#: Bounded: cleared wholesale when it outgrows _FILL_MEMO_MAX entries.
+#: REPRO_FLUID_FILL_MEMO=0 disables it (differential tests use this to
+#: exercise the kernel itself; benchmarks use it for the pre-memo
+#: baseline) — results are bit-identical either way, the memo only ever
+#: returns arrays the kernel itself produced for the identical inputs.
+_FILL_MEMO: dict = {}
+_FILL_MEMO_MAX = 200_000
+_FILL_MEMO_ENV = "REPRO_FLUID_FILL_MEMO"
+
+
+def _fill_memo_enabled() -> bool:
+    return os.environ.get(_FILL_MEMO_ENV, "1") != "0"
+
+
+@dataclass(slots=True)
 class Flow:
     """One active data transfer inside the fluid solver."""
 
     fid: int
-    remaining: float  # bytes still to transfer
+    remaining: float  # bytes still to transfer, as of `drained_at`
     resources: np.ndarray  # resource ids this flow crosses (may be empty)
     rate_cap: float  # private upper bound on rate (bytes/s), inf if none
     on_complete: Callable[[], None]
     rate: float = 0.0  # current allocated rate, maintained by the solver
     weight: float = 1.0  # share weight on contended resources
     meta: dict = field(default_factory=dict)
+    # -- solver bookkeeping (see module docstring, "Bit-identity") --------
+    drained_at: float = 0.0  # instant `remaining` was last committed
+    t_done: float = _INF  # completion instant at the current rate
+    epoch: int = 0  # bumped per rate commit; invalidates heap entries
+    res_list: list = field(default_factory=list)  # resources.tolist() cache
+    res_key: tuple = ()  # hashable route, for the solve memo cache
+    res_unique: list = field(default_factory=list)  # distinct rids, route order
 
 
 class FluidSolver:
@@ -61,28 +130,80 @@ class FluidSolver:
 
     Resources are created once (topology build time) via
     :meth:`add_resource`; flows come and go via :meth:`start_flow`.
+
+    ``mode`` selects the solver strategy (``"incremental"`` or
+    ``"reference"``); when ``None`` it comes from the
+    ``REPRO_FLUID_SOLVER`` environment variable, defaulting to
+    ``"incremental"``.  Both modes produce bit-identical rates,
+    completion times and accounting integrals.
     """
 
-    def __init__(self, engine: Engine):
+    def __init__(self, engine: Engine, mode: Optional[str] = None):
+        if mode is None:
+            mode = os.environ.get(_MODE_ENV, "incremental")
+        if mode not in _MODES:
+            raise ValueError(f"unknown fluid solver mode {mode!r}; want one of {_MODES}")
         self.engine = engine
+        self.mode = mode
+        self._incremental = mode == "incremental"
         self._capacity: list[float] = []
         self._names: list[str] = []
         self._flows: dict[int, Flow] = {}
         self._next_fid = 0
         self._last_update = 0.0
         self._completion_token = None
+        self._token_time = _INF
         self._recompute_pending = False
         self._dead_resources = 0  # resources currently at zero capacity
+        # incremental-mode state: resource -> set of incident flow ids,
+        # dirty seeds accumulated since the last recompute, and the lazy
+        # completion heap of [t_done, fid, epoch] entries.
+        self._res_flows: list[set[int]] = []
+        self._dirty_fids: set[int] = set()
+        self._dirty_rids: set[int] = set()
+        self._cheap: list[list] = []
         # statistics
         self.total_flows = 0
         self.recomputes = 0
-        # time-integrated accounting, maintained by _advance_to_now():
+        #: flows handed to the progressive-filling kernel, summed over
+        #: recomputes — the incremental mode's work metric (the reference
+        #: mode counts every active flow at every recompute).
+        self.kernel_flows_solved = 0
+        #: solve-memo bookkeeping: a max-min allocation depends only on
+        #: the component's structure (routes, weights, rate caps) and the
+        #: current capacities — not on remaining bytes — so identical
+        #: configurations (ubiquitous on tuning paths: warm iterations,
+        #: per-segment pipeline rounds, repeated measurement runtimes)
+        #: reuse the solved rates verbatim.  The memo is process-wide
+        #: (keyed by the full capacity vector), so the many short-lived
+        #: solvers an autotuning sweep creates share one warm cache.
+        self.fill_cache_hits = 0
+        self._fill_memo_on = _fill_memo_enabled()
+        self._caps_key: Optional[tuple] = None  # lazy tuple(self._capacity)
+        # route arrays arriving on the trusted fast path are cached,
+        # immutable fabric plans — derive (res_list, res_key, res_unique)
+        # once per distinct array object instead of per flow start.  The
+        # cached array reference keeps the id() key stable and is checked
+        # by identity before reuse.
+        self._route_derived: dict[int, tuple] = {}
+        # time-integrated accounting, maintained by _advance_accounting():
         # per-resource seconds with nonzero load, and bytes served.  The
         # instantaneous load vector (_load) is refreshed whenever rates
-        # change (_solve_rates / last flow retired).
+        # change (_recompute / last flow retired).
         self._load = np.zeros(0)
         self._busy_time = np.zeros(0)
         self._served_bytes = np.zeros(0)
+        self._acct_tmp = np.zeros(0)
+        # numpy mirror of _capacity, rebuilt lazily with the accounting
+        # arrays (growing per add_resource is O(R^2) at topology build)
+        self._cap_arr = np.zeros(0)
+        #: False when every resource load is known zero (no active flows)
+        #: — lets the per-event accounting integration skip its numpy work
+        self._load_any = False
+        # utilization counters go to this recorder; a recorder change
+        # (attach/detach) forces a full re-emission so partial sampling
+        # never hides a rid from a freshly attached observer.
+        self._obs_last_recorder = None
 
     # -- resources -----------------------------------------------------------
 
@@ -92,14 +213,24 @@ class FluidSolver:
             raise ValueError(f"resource capacity must be positive, got {capacity}")
         self._capacity.append(float(capacity))
         self._names.append(name)
+        self._res_flows.append(set())
+        self._caps_key = None  # capacity vector changed: new memo keyspace
+        # accounting arrays grow lazily (_ensure_arrays): a paper-scale
+        # fabric registers thousands of resources back to back
+        return len(self._capacity) - 1
+
+    def _ensure_arrays(self) -> None:
+        """Grow the per-resource numpy arrays to match the resource count."""
         n = len(self._capacity)
-        self._load = np.resize(self._load, n)
-        self._load[n - 1] = 0.0
-        self._busy_time = np.resize(self._busy_time, n)
-        self._busy_time[n - 1] = 0.0
-        self._served_bytes = np.resize(self._served_bytes, n)
-        self._served_bytes[n - 1] = 0.0
-        return n - 1
+        if self._load.size == n:
+            return
+        old = self._load.size
+        for attr in ("_load", "_busy_time", "_served_bytes"):
+            grown = np.zeros(n)
+            grown[:old] = getattr(self, attr)
+            setattr(self, attr, grown)
+        self._cap_arr = np.asarray(self._capacity, dtype=np.float64)
+        self._acct_tmp = np.zeros(n)  # scratch for _advance_accounting
 
     def resource_name(self, rid: int) -> str:
         return self._names[rid]
@@ -120,14 +251,32 @@ class FluidSolver:
         link): flows crossing the resource stall at rate zero and resume
         when a later :meth:`set_capacity` restores it.
         """
-        if capacity < 0:
-            raise ValueError(f"resource capacity must be >= 0, got {capacity}")
-        old = self._capacity[rid]
-        if capacity == old:
+        self.set_capacities([(rid, capacity)])
+
+    def set_capacities(self, updates: Iterable[tuple[int, float]]) -> None:
+        """Apply a batch of ``(rid, capacity)`` rescales at the current time.
+
+        Equivalent to calling :meth:`set_capacity` per pair, but advances
+        the accounting integrals once and seeds a single recompute — the
+        fault injectors use this for whole-fault-domain windows (a link
+        flap touches every lane of a trunk at the same instant).
+        """
+        changed: list[tuple[int, float]] = []
+        for rid, capacity in updates:
+            if capacity < 0:
+                raise ValueError(f"resource capacity must be >= 0, got {capacity}")
+            if float(capacity) != self._capacity[rid]:
+                changed.append((rid, float(capacity)))
+        if not changed:
             return
-        self._advance_to_now()
-        self._dead_resources += (capacity == 0.0) - (old == 0.0)
-        self._capacity[rid] = float(capacity)
+        self._advance_accounting()
+        for rid, capacity in changed:
+            old = self._capacity[rid]
+            self._dead_resources += (capacity == 0.0) - (old == 0.0)
+            self._capacity[rid] = capacity
+            self._cap_arr[rid] = capacity
+            self._dirty_rids.add(rid)
+        self._caps_key = None
         self._mark_dirty()
 
     def scale_capacity(self, rid: int, factor: float) -> None:
@@ -155,9 +304,14 @@ class FluidSolver:
         """
         if nbytes < 0:
             raise ValueError(f"negative flow size {nbytes}")
-        rids = np.asarray(resources, dtype=np.intp)
-        if rids.size and (rids.min() < 0 or rids.max() >= len(self._capacity)):
-            raise IndexError("flow references unknown resource id")
+        if type(resources) is np.ndarray and resources.dtype == np.intp:
+            # trusted fast path: the fabric passes cached, pre-validated
+            # route arrays (per-flow min/max reductions are a hot spot)
+            rids = resources
+        else:
+            rids = np.asarray(resources, dtype=np.intp)
+            if rids.size and (rids.min() < 0 or rids.max() >= len(self._capacity)):
+                raise IndexError("flow references unknown resource id")
         if nbytes <= _EPS_BYTES or (rids.size == 0 and rate_cap == _INF):
             # Instantaneous: no bandwidth constraint applies.
             self.engine.schedule(0.0, on_complete)
@@ -165,6 +319,17 @@ class FluidSolver:
         fid = self._next_fid
         self._next_fid += 1
         self.total_flows += 1
+        derived = self._route_derived.get(id(rids))
+        if derived is None or derived[0] is not rids:
+            res_list = rids.tolist()
+            derived = (
+                rids,
+                res_list,
+                tuple(res_list),
+                list(dict.fromkeys(res_list)),
+            )
+            if rids is resources:  # only cache caller-owned (fabric) arrays
+                self._route_derived[id(rids)] = derived
         flow = Flow(
             fid=fid,
             remaining=float(nbytes),
@@ -172,8 +337,15 @@ class FluidSolver:
             rate_cap=float(rate_cap),
             on_complete=on_complete,
             weight=float(weight),
+            drained_at=self.engine.now,
+            res_list=derived[1],
         )
+        flow.res_key = derived[2]
+        flow.res_unique = derived[3]
         self._flows[fid] = flow
+        for rid in flow.res_unique:
+            self._res_flows[rid].add(fid)
+        self._dirty_fids.add(fid)
         obs = self.engine.obs
         if obs is not None:
             flow.meta["obs_t0"] = self.engine.now
@@ -184,19 +356,41 @@ class FluidSolver:
 
     def abort_flow(self, fid: int) -> None:
         """Drop a flow without firing its completion callback."""
-        if fid in self._flows:
-            self._advance_to_now()
-            del self._flows[fid]
-            self._mark_dirty()
+        f = self._flows.pop(fid, None)
+        if f is None:
+            return
+        self._advance_accounting()
+        for rid in f.res_unique:
+            self._res_flows[rid].discard(fid)
+            self._dirty_rids.add(rid)
+        self._dirty_fids.discard(fid)
+        self._mark_dirty()
 
     @property
     def active_flows(self) -> int:
         return len(self._flows)
 
     def flow_rate(self, fid: int) -> float:
-        """Current rate of an active flow (bytes/s); 0.0 if unknown."""
+        """Current rate of a flow (bytes/s); 0.0 for completed/unknown fids.
+
+        Completed and aborted flows — including the ``-1`` pseudo-fid of
+        instantaneous flows — report 0.0 rather than raising, so callers
+        may poll a saved fid without tracking completion themselves.
+        """
         f = self._flows.get(fid)
         return f.rate if f is not None else 0.0
+
+    def flow_remaining(self, fid: int) -> float:
+        """Bytes a flow still has to transfer at the current instant.
+
+        A non-committing view (the flow's drain state is not mutated);
+        0.0 for completed/unknown fids.
+        """
+        f = self._flows.get(fid)
+        if f is None:
+            return 0.0
+        rem = f.remaining - f.rate * (self.engine.now - f.drained_at)
+        return rem if rem > 0.0 else 0.0
 
     # -- solver core -----------------------------------------------------------
 
@@ -206,122 +400,327 @@ class FluidSolver:
             self._recompute_pending = True
             self.engine.schedule(0.0, self._recompute, priority=PRIORITY_LATE)
 
-    def _advance_to_now(self) -> None:
-        """Drain bytes for the interval since the last update.
+    def _advance_accounting(self) -> None:
+        """Integrate per-resource accounting for the elapsed interval.
 
-        Also integrates the per-resource accounting: ``_load`` holds the
-        bytes/s crossing each resource over the elapsed interval (it was
-        refreshed when the rates last changed), so busy seconds and
-        served bytes accumulate exactly — including across mid-flow
-        capacity rescales, which call here *before* touching capacity.
+        ``_load`` holds the bytes/s crossing each resource over the
+        interval since the last rate event (it was refreshed when rates
+        last changed), so busy seconds and served bytes accumulate
+        exactly — including across mid-flow capacity rescales, which
+        call here *before* touching capacity.  Flow byte drains are kept
+        separately, per flow, committed only at rate changes (see the
+        module docstring).
         """
         dt = self.engine.now - self._last_update
         self._last_update = self.engine.now
-        if dt <= 0:
+        self._ensure_arrays()
+        if dt <= 0 or not self._load_any:
             return
-        for f in self._flows.values():
-            f.remaining -= f.rate * dt
-            if f.remaining < 0:
-                f.remaining = 0.0
-        busy = self._load > 0.0
-        self._busy_time[busy] += dt
-        self._served_bytes += self._load * dt
-
-    def _refresh_load(self) -> None:
-        """Recompute the instantaneous per-resource load vector."""
-        self._load[:] = 0.0
-        for f in self._flows.values():
-            if f.resources.size:
-                self._load[f.resources] += f.rate
+        load = self._load
+        # in-place where= add and a reused scratch buffer: equivalent
+        # elementwise operations to busy_time[load > 0] += dt and
+        # served += load * dt, minus the index/temporary allocations
+        np.add(self._busy_time, dt, out=self._busy_time, where=load > 0.0)
+        np.multiply(load, dt, out=self._acct_tmp)
+        np.add(self._served_bytes, self._acct_tmp, out=self._served_bytes)
 
     def _recompute(self) -> None:
         self._recompute_pending = False
         self.recomputes += 1
-        self._advance_to_now()
-        self._complete_finished()
-        if self._flows:
-            self._solve_rates()
-        self._refresh_load()
+        self._advance_accounting()
+        now = self.engine.now
+        if self._incremental:
+            due = self._pop_due(now)
+        else:
+            due = sorted(
+                (f for f in self._flows.values() if f.t_done <= now),
+                key=lambda f: f.fid,
+            )
+        if due:
+            self._retire(due)
+        if self._incremental:
+            rid_arr = self._recompute_incremental()
+        else:
+            rid_arr = self._recompute_reference()
         obs = self.engine.obs
         if obs is not None:
-            self._sample_utilization(obs)
-        self._schedule_completion()
+            self._sample_utilization(obs, rid_arr)
+        else:
+            self._obs_last_recorder = None
+        self._schedule_next()
 
-    def _sample_utilization(self, obs) -> None:
-        """Emit per-resource utilization counter samples (obs attached)."""
-        cap = np.asarray(self._capacity)
+    def _recompute_reference(self) -> None:
+        """Global re-solve: all flows, all resources (the oracle path)."""
+        self._dirty_fids.clear()
+        self._dirty_rids.clear()
+        flows = list(self._flows.values())  # fids are monotonic: dict order == fid order
+        if flows:
+            rid_index = np.arange(self.num_resources, dtype=np.intp)
+            rates = self._progressive_fill(flows, rid_index)
+            self._apply_rates(flows, rates, push_heap=False)
+            self.kernel_flows_solved += len(flows)
+        self._load[:] = 0.0
+        for f in self._flows.values():
+            if f.resources.size:
+                self._load[f.resources] += f.rate
+        self._load_any = bool(self._flows)
+        return None
+
+    def _recompute_incremental(self) -> Optional[np.ndarray]:
+        """Re-solve only the component(s) touching the dirty seeds."""
+        # Fast path: one freshly started flow sharing no resource with
+        # any other — its component is itself, so the BFS, the sort and
+        # the dict-based load refresh all collapse.  Produces the exact
+        # arithmetic of the generic path restricted to one flow
+        # (_progressive_fill dispatches singletons to _fill_single too).
+        dirty_fids = self._dirty_fids
+        if len(dirty_fids) == 1 and not self._dirty_rids:
+            (fid,) = dirty_fids
+            f = self._flows.get(fid)
+            if f is not None and all(
+                len(self._res_flows[rid]) == 1 for rid in f.res_unique
+            ):
+                dirty_fids.clear()
+                self._apply_rates([f], self._fill_single(f), push_heap=True)
+                self.kernel_flows_solved += 1
+                load = self._load
+                r = f.rate
+                for rid in f.res_unique:
+                    load[rid] = r
+                self._load_any = True
+                if self.engine.obs is None:
+                    return None
+                return np.fromiter(
+                    sorted(f.res_unique), dtype=np.intp,
+                    count=len(f.res_unique),
+                )
+        comp_fids, comp_rids = self._affected_component()
+        self._dirty_fids.clear()
+        self._dirty_rids.clear()
+        if not comp_rids and not comp_fids:
+            return None
+        rid_arr = np.fromiter(sorted(comp_rids), dtype=np.intp, count=len(comp_rids))
+        flows = [self._flows[fid] for fid in sorted(comp_fids)]
+        if flows:
+            rates = self._progressive_fill(flows, rid_arr)
+            self._apply_rates(flows, rates, push_heap=True)
+            self.kernel_flows_solved += len(flows)
+        # Partial load refresh: by closure, every resource in rid_arr is
+        # used only by component flows, so zero-then-readd reproduces the
+        # full rebuild exactly.  A rid appearing twice in one flow
+        # (intra-node double bus crossing) counts once, matching the
+        # buffered fancy-indexed `+=` of the reference rebuild; per-rid
+        # accumulation runs in fid order with the identical IEEE adds.
+        acc: dict[int, float] = {}
+        for f in flows:
+            r = f.rate
+            for rid in f.res_unique:
+                acc[rid] = acc.get(rid, 0.0) + r
+        load = self._load
+        if rid_arr.size:
+            load[rid_arr] = 0.0
+        for rid, v in acc.items():
+            load[rid] = v
+        self._load_any = bool(self._flows)
+        return rid_arr
+
+    def _affected_component(self) -> tuple[set[int], set[int]]:
+        """Closure of flows transitively sharing a resource with the seeds.
+
+        Seeds are flows started since the last recompute (``_dirty_fids``)
+        plus resources whose capacity changed or whose flows retired or
+        aborted (``_dirty_rids``).  The returned rid set additionally
+        contains flowless dirty rids (so their load/obs samples refresh).
+        """
+        flows = self._flows
+        res_flows = self._res_flows
+        seen_f: set[int] = set()
+        seen_r: set[int] = set()
+        todo: list[int] = []
+        for fid in self._dirty_fids:
+            if fid in flows and fid not in seen_f:
+                seen_f.add(fid)
+                todo.append(fid)
+        for rid in self._dirty_rids:
+            if rid not in seen_r:
+                seen_r.add(rid)
+                for fid in res_flows[rid]:
+                    if fid not in seen_f:
+                        seen_f.add(fid)
+                        todo.append(fid)
+        while todo:
+            fid = todo.pop()
+            for rid in flows[fid].res_list:
+                if rid not in seen_r:
+                    seen_r.add(rid)
+                    for fid2 in res_flows[rid]:
+                        if fid2 not in seen_f:
+                            seen_f.add(fid2)
+                            todo.append(fid2)
+        return seen_f, seen_r
+
+    def _pop_due(self, now: float) -> list[Flow]:
+        """Pop every flow whose completion instant has arrived (fid order).
+
+        Heap entries are lazily invalidated: an entry is live only if its
+        fid is still active *and* its epoch matches the flow's (each rate
+        commit bumps the epoch, orphaning older entries).
+        """
+        heap = self._cheap
+        flows = self._flows
+        due: list[Flow] = []
+        while heap and heap[0][0] <= now:
+            t, fid, epoch = heapq.heappop(heap)
+            f = flows.get(fid)
+            if f is not None and f.epoch == epoch:
+                due.append(f)
+        due.sort(key=lambda f: f.fid)
+        return due
+
+    def _retire(self, due: list[Flow]) -> None:
+        """Remove finished flows and fire their completion callbacks.
+
+        Callbacks run as normal-priority events *now* so any flows they
+        start are folded into the same recompute batch (same-instant
+        completions were already batched by the caller's due scan).
+        """
+        obs = self.engine.obs
+        for f in due:
+            del self._flows[f.fid]
+            for rid in f.res_unique:
+                self._res_flows[rid].discard(f.fid)
+                self._dirty_rids.add(rid)
+            if obs is not None and "obs_t0" in f.meta:
+                self._emit_flow_spans(obs, f)
+            self.engine.schedule(0.0, f.on_complete)
+
+    def _apply_rates(
+        self, flows: list[Flow], rates: np.ndarray, push_heap: bool
+    ) -> None:
+        """Commit newly solved rates; untouched rates commit nothing.
+
+        The commit discipline is the heart of cross-mode bit-identity: a
+        flow drains (remaining -= rate * dt) only here, and only when the
+        solved rate *differs* from the current one.  Since disjoint
+        components solve to identical values, a reference-mode global
+        re-solve commits exactly the flows an incremental component
+        re-solve commits, with identical operands.
+        """
+        now = self.engine.now
+        cheap = self._cheap
+        for f, r in zip(flows, rates.tolist()):
+            if r == f.rate:
+                continue
+            rem = f.remaining - f.rate * (now - f.drained_at)
+            f.remaining = rem if rem > 0.0 else 0.0
+            f.drained_at = now
+            f.rate = r
+            f.epoch += 1
+            if r > 0.0:
+                f.t_done = now + f.remaining / r
+                if push_heap:
+                    heapq.heappush(cheap, [f.t_done, f.fid, f.epoch])
+            else:
+                f.t_done = _INF
+
+    def _sample_utilization(self, obs, rid_arr: Optional[np.ndarray]) -> None:
+        """Emit per-resource utilization counter samples (obs attached).
+
+        ``rid_arr`` limits emission to the resources the recompute
+        touched; unchanged resources would emit the identical value and
+        be deduplicated by the recorder anyway.  A recorder change forces
+        a full emission so fresh observers see every resource once.
+        """
+        if obs is not self._obs_last_recorder:
+            self._obs_last_recorder = obs
+            rid_arr = None
+        cap = self._cap_arr
         util = np.divide(
             self._load, cap, out=np.zeros_like(self._load), where=cap > 0
         )
-        for rid in range(len(self._capacity)):
+        rids = range(len(self._capacity)) if rid_arr is None else rid_arr.tolist()
+        for rid in rids:
             obs.counter(
                 f"res:{self._names[rid] or rid}", "utilization",
                 round(float(util[rid]), 9),
             )
-
-    def _complete_finished(self) -> None:
-        # A flow is done when its residue is below the absolute epsilon,
-        # OR when finishing it would take less than a float ulp of the
-        # current time -- at large simulated times (seconds), a dribble
-        # of 1e-5 bytes at GB/s rates has a completion horizon below the
-        # representable time step, which would loop forever otherwise.
-        tiny_t = 4.0 * math.ulp(max(self.engine.now, 1e-9))
-        done = [
-            f
-            for f in self._flows.values()
-            if f.remaining <= _EPS_BYTES
-            or (f.rate > 0 and f.remaining <= f.rate * tiny_t)
-        ]
-        obs = self.engine.obs
-        for f in done:
-            del self._flows[f.fid]
-            if obs is not None and "obs_t0" in f.meta:
-                self._emit_flow_spans(obs, f)
-            # Completion callbacks run as normal-priority events *now* so any
-            # flows they start are folded into the same recompute batch.
-            self.engine.schedule(0.0, f.on_complete)
 
     def _emit_flow_spans(self, obs, f: Flow) -> None:
         """One completed span per distinct resource the flow crossed."""
         t0 = f.meta["obs_t0"]
         label = f.meta["obs_label"] or f"flow{f.fid}"
         nbytes = f.meta["obs_nbytes"]
-        for rid in dict.fromkeys(f.resources.tolist()):
+        for rid in f.res_unique:
             obs.complete(
                 f"res:{self._names[rid] or rid}", label,
                 t0, self.engine.now, "flow", nbytes=nbytes, fid=f.fid,
             )
 
-    def _solve_rates(self) -> None:
-        """Vectorized progressive filling with per-flow rate caps."""
-        flows = list(self._flows.values())
+    def _progressive_fill(
+        self, flows: list[Flow], rid_index: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized progressive filling with per-flow rate caps.
+
+        ``flows`` must be in fid order and ``rid_index`` a sorted array
+        of the resource ids they (collectively) cross; returns the
+        solved rate per flow.  Resource ids are remapped to positions in
+        ``rid_index``, so a component solve performs the same
+        per-resource accumulation sequences as a global solve restricted
+        to that component — the remap changes array sizes, never operand
+        values or order.
+        """
         nf = len(flows)
-        # Flatten the flow->resource incidence.
+        if nf == 1:
+            return self._fill_single(flows[0])
+        # Solve memo: rates depend only on routes, weights, rate caps and
+        # capacities (never on remaining bytes), so an identical
+        # configuration — same flows in the same fid order under the same
+        # capacity vector — reuses the previously solved array verbatim
+        # (bit-identical by construction: it *is* the kernel's output).
+        # The rid_index is omitted from the key on purpose: resources
+        # outside the flows' union carry no edges and cannot influence
+        # the solution, and the remap preserves accumulation order.
+        key = None
+        if self._fill_memo_on:
+            if self._caps_key is None:
+                self._caps_key = tuple(self._capacity)
+            key = (
+                self._caps_key,
+                tuple((f.res_key, f.rate_cap, f.weight) for f in flows),
+            )
+            cached = _FILL_MEMO.get(key)
+            if cached is not None:
+                self.fill_cache_hits += 1
+                return cached
         lens = np.fromiter((f.resources.size for f in flows), dtype=np.intp, count=nf)
         caps_flow = np.fromiter((f.rate_cap for f in flows), dtype=np.float64, count=nf)
         weights = np.fromiter((f.weight for f in flows), dtype=np.float64, count=nf)
         if int(lens.sum()) == 0:
-            for f, c in zip(flows, caps_flow):
-                f.rate = c
-            return
-        flat_rids = np.concatenate([f.resources for f in flows if f.resources.size])
+            if key is not None:
+                if len(_FILL_MEMO) >= _FILL_MEMO_MAX:
+                    _FILL_MEMO.clear()
+                _FILL_MEMO[key] = caps_flow
+            return caps_flow
+        flat_global = np.concatenate([f.resources for f in flows if f.resources.size])
+        flat_rids = np.searchsorted(rid_index, flat_global)
         flat_fids = np.repeat(np.arange(nf), lens)
 
-        residual = np.asarray(self._capacity, dtype=np.float64).copy()
+        residual = self._cap_arr[rid_index]
+        nr = rid_index.size
         rate = np.zeros(nf)
         active = np.ones(nf, dtype=bool)
 
-        for _ in range(self.num_resources + nf + 1):
+        for _ in range(nr + nf + 1):
             act_edge = active[flat_fids]
             if not act_edge.any():
                 break
             rids = flat_rids[act_edge]
             fids = flat_fids[act_edge]
             # Weighted fair share on each resource still carrying active flows.
-            wsum = np.zeros(len(residual))
+            wsum = np.zeros(nr)
             np.add.at(wsum, rids, weights[fids])
             used = wsum > 0
-            share = np.full(len(residual), _INF)
+            share = np.full(nr, _INF)
             share[used] = residual[used] / wsum[used]
             # Per-unit-weight allocation each active flow could get.
             flow_share = np.full(nf, _INF)
@@ -344,20 +743,77 @@ class FluidSolver:
             if not active.any():
                 break
 
-        for f, r in zip(flows, rate):
-            f.rate = float(r)
+        if key is not None:
+            if len(_FILL_MEMO) >= _FILL_MEMO_MAX:
+                _FILL_MEMO.clear()
+            _FILL_MEMO[key] = rate
+        return rate
 
-    def _schedule_completion(self) -> None:
-        if self._completion_token is not None:
-            Engine.cancel(self._completion_token)
-            self._completion_token = None
+    def _fill_single(self, f: Flow) -> np.ndarray:
+        """Scalar progressive fill for a one-flow component.
+
+        Bit-exact mirror of the vectorized kernel at ``nf == 1``: the
+        per-resource weight sums accumulate one ``w`` per route
+        occurrence in the same order as ``np.add.at``, the share minimum
+        is order-independent, and every operation is an IEEE-754 double
+        op identical to its numpy counterpart — so the solved rate is
+        the same float the array path would produce.  Roughly a fifth of
+        tuning-path fills are single-flow components; skipping the array
+        setup there is a measurable win.
+        """
+        res = f.res_list
+        if not res:
+            return np.asarray([f.rate_cap])
+        w = f.weight
+        cap = self._cap_arr
+        wsum: dict[int, float] = {}
+        for rid in res:
+            wsum[rid] = wsum.get(rid, 0.0) + w
+        share = _INF
+        for rid, ws in wsum.items():
+            if ws > 0.0:
+                s = cap[rid] / ws
+                if s < share:
+                    share = s
+        alloc = share * w
+        if f.rate_cap < alloc:
+            alloc = f.rate_cap
+        if not math.isfinite(alloc):
+            # mirrors the kernel's unconstrained branch (and its NaN
+            # handling for zero-weight flows): fall back to the cap
+            alloc = f.rate_cap
+        return np.asarray([alloc], dtype=np.float64)
+
+    def _schedule_next(self) -> None:
+        """(Re)arm the completion callback at the earliest ``t_done``.
+
+        The incremental mode peeks the lazy heap (discarding orphaned
+        entries); the reference mode scans every flow.  Both modes place
+        the instant on the engine heap *exactly* (``schedule_at``), so a
+        completion fires at the bit-identical time in either mode.
+        """
         if not self._flows:
+            if self._completion_token is not None:
+                Engine.cancel(self._completion_token)
+                self._completion_token = None
             return
-        horizon = min(
-            (f.remaining / f.rate if f.rate > 0 else _INF)
-            for f in self._flows.values()
-        )
-        if not math.isfinite(horizon):
+        if self._incremental:
+            heap = self._cheap
+            flows = self._flows
+            t_next = _INF
+            while heap:
+                t, fid, epoch = heap[0]
+                f = flows.get(fid)
+                if f is not None and f.epoch == epoch:
+                    t_next = t
+                    break
+                heapq.heappop(heap)
+        else:
+            t_next = min(f.t_done for f in self._flows.values())
+        if not math.isfinite(t_next):
+            if self._completion_token is not None:
+                Engine.cancel(self._completion_token)
+                self._completion_token = None
             if self._dead_resources:
                 # Flows stalled on a zero-capacity (dead) resource are
                 # legitimate: a later set_capacity() restore re-triggers
@@ -367,27 +823,44 @@ class FluidSolver:
                 "fluid solver stall: active flow with zero rate and no "
                 "pending capacity change"
             )
-        # Ensure the completion event lands at a representable later time;
-        # sub-ulp horizons are handled by the dribble rule above on the
-        # immediately following recompute.
-        # A sub-ulp horizon schedules at the same instant; the following
-        # recompute then retires the flow via the dribble rule (its
-        # remaining bytes are below rate * ulp), so progress is guaranteed.
-        self._completion_token = self.engine.schedule(
-            max(horizon, 0.0), self._recompute, priority=PRIORITY_LATE
+        if self._completion_token is not None:
+            if self._token_time == t_next:
+                # the earliest completion is unchanged; the pending token
+                # already targets it — skip the cancel/reschedule churn
+                return
+            Engine.cancel(self._completion_token)
+        self._completion_token = self.engine.schedule_at(
+            t_next, self._on_token, priority=PRIORITY_LATE
         )
+        self._token_time = t_next
+
+    def _on_token(self) -> None:
+        # the token just fired off the engine heap; forget it *before*
+        # recomputing so _schedule_next never "reuses" a consumed token
+        self._completion_token = None
+        self._recompute()
 
     # -- introspection ---------------------------------------------------------
+
+    def kernel_stats(self) -> dict:
+        """Solver work counters for benchmarks and obs snapshots."""
+        return {
+            "mode": self.mode,
+            "recomputes": self.recomputes,
+            "kernel_flows_solved": self.kernel_flows_solved,
+            "total_flows": self.total_flows,
+            "fill_cache_hits": self.fill_cache_hits,
+        }
 
     def sync_accounting(self) -> None:
         """Fold the interval since the last rate event into the integrals.
 
         The busy-time integrals advance lazily (at rate-change events);
         call this before reading them mid-run.  Idempotent, and does not
-        perturb the simulation: it drains exactly the bytes the active
-        rates would have drained anyway.
+        perturb the simulation: flow drain state is untouched (remaining
+        bytes are committed per flow, at rate changes only).
         """
-        self._advance_to_now()
+        self._advance_accounting()
 
     def busy_time(self, rid: int) -> float:
         """Seconds (up to the last sync) the resource carried any flow.
@@ -396,10 +869,12 @@ class FluidSolver:
         timeline uses — unlike :meth:`utilization`, which reports only
         the instantaneous rates at the moment of the call.
         """
+        self._ensure_arrays()
         return float(self._busy_time[rid])
 
     def served_bytes(self, rid: int) -> float:
         """Total bytes that crossed the resource (up to the last sync)."""
+        self._ensure_arrays()
         return float(self._served_bytes[rid])
 
     def mean_utilization(self, rid: int, horizon: Optional[float] = None) -> float:
@@ -408,6 +883,7 @@ class FluidSolver:
         Uses the resource's *current* capacity; under mid-run rescales
         this is an approximation, while :meth:`busy_time` stays exact.
         """
+        self._ensure_arrays()
         h = self.engine.now if horizon is None else horizon
         cap = self._capacity[rid]
         if h <= 0 or cap <= 0:
@@ -416,10 +892,11 @@ class FluidSolver:
 
     def utilization(self) -> np.ndarray:
         """Instantaneous fraction of each resource's capacity in use."""
+        self._ensure_arrays()
         load = np.zeros(self.num_resources)
         for f in self._flows.values():
             if f.resources.size:
                 load[f.resources] += f.rate
-        cap = np.asarray(self._capacity)
+        cap = self._cap_arr
         # dead (zero-capacity) resources report zero utilization
         return np.divide(load, cap, out=np.zeros_like(load), where=cap > 0)

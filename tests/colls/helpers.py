@@ -7,12 +7,43 @@ import numpy as np
 from repro.hardware import tiny_cluster
 from repro.mpi import MPIRuntime
 
+#: module names accepted by :func:`make_test_module`
+MODULE_NAMES = ("han", "tuned", "libnbc", "adapt", "sm", "solo")
+
+#: modules that only run inside one node (shared-memory transports)
+INTRA_ONLY = frozenset({"sm", "solo"})
+
 
 def run_collective(nranks, program):
     """Run ``program(comm)`` on ``nranks`` ranks spread over 2-rank nodes."""
     nodes = max(1, (nranks + 1) // 2)
     machine = tiny_cluster(num_nodes=nodes, ppn=2)
     runtime = MPIRuntime(machine)
+    return runtime.run(program, ranks=nranks), runtime.engine.now
+
+
+def make_test_module(name: str):
+    """Instantiate any collective module by name, including HAN itself."""
+    if name == "han":
+        from repro.core import HanModule
+
+        return HanModule()
+    from repro.modules import make_module
+
+    return make_module(name)
+
+
+def module_machine(name: str, nranks: int):
+    """A machine the named module can legally run ``nranks`` ranks on."""
+    if name in INTRA_ONLY:
+        return tiny_cluster(num_nodes=1, ppn=nranks)
+    nodes = max(1, (nranks + 1) // 2)
+    return tiny_cluster(num_nodes=nodes, ppn=2)
+
+
+def run_module_collective(name: str, nranks: int, program):
+    """``run_collective`` with module-appropriate rank placement."""
+    runtime = MPIRuntime(module_machine(name, nranks))
     return runtime.run(program, ranks=nranks), runtime.engine.now
 
 

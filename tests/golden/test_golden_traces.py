@@ -1,0 +1,79 @@
+"""Golden-trace regression: exact completion times of every collective.
+
+The simulator is deterministic, so the golden file pins *bit-exact*
+times.  A failure means the timing model changed: if intentional, run
+``python scripts/regen_golden.py`` and commit the updated file; if not,
+the diff below is the regression.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+GOLDEN = Path(__file__).resolve().parent / "collectives.json"
+
+
+def _load_regen():
+    spec = importlib.util.spec_from_file_location(
+        "regen_golden", ROOT / "scripts" / "regen_golden.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _diff_lines(want: dict, got: dict) -> list[str]:
+    lines = []
+    for key in sorted(set(want) | set(got)):
+        w, g = want.get(key), got.get(key)
+        if w == g:
+            continue
+        if w is None:
+            lines.append(f"  {key}: NEW (no golden entry) got={g}")
+        elif g is None:
+            lines.append(f"  {key}: MISSING (golden expects {w})")
+        else:
+            for field in sorted(set(w) | set(g)):
+                wv, gv = w.get(field), g.get(field)
+                if wv == gv:
+                    continue
+                rel = (
+                    f"{(gv - wv) / wv:+.3%}"
+                    if isinstance(wv, float) and wv
+                    else "n/a"
+                )
+                lines.append(
+                    f"  {key}.{field}: expected {wv!r}, got {gv!r} ({rel})"
+                )
+    return lines
+
+
+def test_collective_times_match_golden():
+    if not GOLDEN.exists():
+        pytest.fail(
+            f"golden file missing: {GOLDEN}\n"
+            "generate it with: python scripts/regen_golden.py"
+        )
+    golden = json.loads(GOLDEN.read_text())
+    current = _load_regen().compute_golden()
+
+    assert current["machine"] == golden["machine"], (
+        "golden machine geometry changed; regenerate with "
+        "scripts/regen_golden.py"
+    )
+    assert current["config"] == golden["config"]
+
+    diff = _diff_lines(golden["traces"], current["traces"])
+    if diff:
+        pytest.fail(
+            "collective completion times diverged from tests/golden/"
+            "collectives.json:\n"
+            + "\n".join(diff)
+            + "\n\nIf this change is intentional, regenerate the golden "
+            "file:\n    python scripts/regen_golden.py"
+        )

@@ -1,0 +1,152 @@
+"""Every collective x every module, element-exact against a numpy oracle.
+
+Payloads are integer-valued float64 arrays (seeded per rank), so SUM
+reductions are exact in IEEE double regardless of the reduction order an
+algorithm picks — the comparison is ``assert_array_equal``, not a
+tolerance check.  Modules that do not implement a collective are
+skipped via :class:`NotSupportedError`; the shared-memory modules (sm,
+solo) run all ranks inside one node, everything else runs multi-node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.modules import NotSupportedError
+from tests.colls.helpers import make_test_module, run_module_collective
+
+SIZE = 8
+NELEMS = 96  # divisible by SIZE -> clean scatter/gather blocks
+BLOCK = NELEMS // SIZE
+
+MODULES = ("han", "tuned", "libnbc", "sm", "solo")
+SEEDS = (1, 2, 3)
+
+_UNSUPPORTED = "NOT_SUPPORTED"
+
+
+def payload_for(seed: int, rank: int, n: int = NELEMS) -> np.ndarray:
+    """Integer-valued float64 data: SUM is order-independent and exact."""
+    rng = np.random.default_rng([seed, rank])
+    return rng.integers(-50, 50, n).astype(np.float64)
+
+
+def _run(module_name, prog):
+    results, _ = run_module_collective(module_name, SIZE, prog)
+    if any(r is _UNSUPPORTED for r in results):
+        pytest.skip(f"{module_name} does not support this collective")
+    return results
+
+
+def _guard(gen_fn):
+    """Program wrapper translating NotSupportedError into a sentinel."""
+
+    def prog(comm):
+        try:
+            out = yield from gen_fn(comm)
+        except NotSupportedError:
+            return _UNSUPPORTED
+        return out
+
+    return prog
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("module_name", MODULES)
+def test_bcast_oracle(module_name, seed):
+    mod = make_test_module(module_name)
+    data = payload_for(seed, 0)
+
+    results = _run(module_name, _guard(lambda comm: mod.bcast(
+        comm, nbytes=data.nbytes,
+        payload=data if comm.rank == 0 else None,
+    )))
+    for rank, out in enumerate(results):
+        np.testing.assert_array_equal(out, data, err_msg=f"rank {rank}")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("module_name", MODULES)
+def test_reduce_oracle(module_name, seed):
+    mod = make_test_module(module_name)
+    blocks = [payload_for(seed, r) for r in range(SIZE)]
+    want = np.sum(blocks, axis=0)
+
+    results = _run(module_name, _guard(lambda comm: mod.reduce(
+        comm, nbytes=blocks[0].nbytes, payload=blocks[comm.rank],
+    )))
+    np.testing.assert_array_equal(results[0], want)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("module_name", MODULES)
+def test_allreduce_oracle(module_name, seed):
+    mod = make_test_module(module_name)
+    blocks = [payload_for(seed, r) for r in range(SIZE)]
+    want = np.sum(blocks, axis=0)
+
+    results = _run(module_name, _guard(lambda comm: mod.allreduce(
+        comm, nbytes=blocks[0].nbytes, payload=blocks[comm.rank],
+    )))
+    for rank, out in enumerate(results):
+        np.testing.assert_array_equal(out, want, err_msg=f"rank {rank}")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("module_name", MODULES)
+def test_gather_oracle(module_name, seed):
+    mod = make_test_module(module_name)
+    blocks = [payload_for(seed, r, BLOCK) for r in range(SIZE)]
+    want = np.concatenate(blocks)
+
+    results = _run(module_name, _guard(lambda comm: mod.gather(
+        comm, nbytes=blocks[0].nbytes, payload=blocks[comm.rank],
+    )))
+    np.testing.assert_array_equal(results[0], want)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("module_name", MODULES)
+def test_scatter_oracle(module_name, seed):
+    mod = make_test_module(module_name)
+    blocks = [payload_for(seed, r, BLOCK) for r in range(SIZE)]
+    full = np.concatenate(blocks)
+
+    results = _run(module_name, _guard(lambda comm: mod.scatter(
+        comm, nbytes=full.nbytes,
+        payload=full if comm.rank == 0 else None,
+    )))
+    for rank, out in enumerate(results):
+        np.testing.assert_array_equal(out, blocks[rank],
+                                      err_msg=f"rank {rank}")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("module_name", MODULES)
+def test_allgather_oracle(module_name, seed):
+    mod = make_test_module(module_name)
+    blocks = [payload_for(seed, r, BLOCK) for r in range(SIZE)]
+    want = np.concatenate(blocks)
+
+    results = _run(module_name, _guard(lambda comm: mod.allgather(
+        comm, nbytes=blocks[0].nbytes, payload=blocks[comm.rank],
+    )))
+    for rank, out in enumerate(results):
+        np.testing.assert_array_equal(out, want, err_msg=f"rank {rank}")
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_barrier_no_early_exit(module_name):
+    """No payload to compare; the oracle is the synchronization itself."""
+    mod = make_test_module(module_name)
+    entries, exits = {}, {}
+
+    def body(comm):
+        yield from comm.compute(0.05 * comm.rank)
+        entries[comm.rank] = comm.now
+        yield from mod.barrier(comm)
+        exits[comm.rank] = comm.now
+
+    _run(module_name, _guard(body))
+    assert min(exits.values()) >= max(entries.values())

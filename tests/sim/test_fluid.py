@@ -364,3 +364,63 @@ def test_accounting_zero_capacity_stall_not_busy():
     net.sync_accounting()
     assert net.busy_time(r) == pytest.approx(2.0)
     assert net.served_bytes(r) == pytest.approx(200.0)
+
+
+def test_flow_rate_after_completion_returns_zero():
+    """Regression: polling a completed fid used to raise KeyError."""
+    eng, net = make()
+    r = net.add_resource(100.0)
+    done = {}
+    fid = net.start_flow(100.0, [r], record_completion(done, eng, "f"))
+    eng.run()
+    assert done["f"] == pytest.approx(1.0)
+    assert net.flow_rate(fid) == 0.0
+    assert net.flow_remaining(fid) == 0.0
+    # aborted and instantaneous (-1) pseudo-fids answer 0.0 too
+    fid2 = net.start_flow(100.0, [r], lambda: None)
+    net.abort_flow(fid2)
+    assert net.flow_rate(fid2) == 0.0
+    assert net.flow_rate(-1) == 0.0
+
+
+@pytest.mark.parametrize("mode", ["incremental", "reference"])
+def test_zero_capacity_stall_and_resume_rates(mode):
+    """set_capacity(0) stalls in-flight flows at rate 0 (no stall error);
+    restoring the capacity resumes them and they finish exactly."""
+    eng = Engine()
+    net = FluidSolver(eng, mode=mode)
+    r = net.add_resource(100.0)
+    done = {}
+    fid = net.start_flow(300.0, [r], record_completion(done, eng, "f"))
+    rates = {}
+
+    def probe(key):
+        def cb():
+            rates[key] = net.flow_rate(fid)
+
+        return cb
+
+    eng.schedule(0.5, probe("before"))
+    eng.schedule(1.0, lambda: net.set_capacity(r, 0.0))
+    eng.schedule(2.0, probe("stalled"))
+    eng.schedule(3.0, lambda: net.set_capacity(r, 50.0))
+    eng.schedule(3.5, probe("resumed"))
+    eng.run()
+    assert rates == {"before": 100.0, "stalled": 0.0, "resumed": 50.0}
+    # 100 B by t=1, stall 1..3, 200 B at 50 B/s -> done at t=7
+    assert done["f"] == pytest.approx(7.0)
+
+
+@pytest.mark.parametrize("mode", ["incremental", "reference"])
+def test_flow_started_on_dead_resource_waits_for_revival(mode):
+    eng = Engine()
+    net = FluidSolver(eng, mode=mode)
+    r = net.add_resource(100.0)
+    done = {}
+    eng.schedule(0.0, lambda: net.set_capacity(r, 0.0))
+    eng.schedule(
+        1.0, lambda: net.start_flow(100.0, [r], record_completion(done, eng, "f"))
+    )
+    eng.schedule(4.0, lambda: net.set_capacity(r, 100.0))
+    eng.run()
+    assert done["f"] == pytest.approx(5.0)
