@@ -36,19 +36,29 @@ SIZES = (64 * KiB, 1 * MiB)
 GEOMETRY = (4, 4)  # nodes x ppn
 
 
+def golden_config():
+    from repro.core.config import HanConfig
+
+    return HanConfig(fs=512 * KiB)
+
+
 def compute_golden() -> dict:
     """The full golden document, keyed ``"<coll>/<nbytes>"``.
 
     Floats are stored verbatim (json round-trips Python floats through
     repr), so the comparison in the regression test is exact equality.
+    The returned document is pure content — the provenance header
+    (``schema_version`` / ``config_digest``, see
+    ``repro.experiments.common.RESULT_HEADER_KEYS``) is stamped only on
+    the written file and ignored by the golden test, so regenerating
+    with an unchanged timing model is a no-op diff.
     """
-    from repro.core.config import HanConfig
     from repro.hardware import shaheen2
     from repro.tuning.measure import measure_collective
 
     nodes, ppn = GEOMETRY
     machine = shaheen2(num_nodes=nodes, ppn=ppn)
-    config = HanConfig(fs=512 * KiB)
+    config = golden_config()
     traces = {}
     for coll in COLLS:
         for nbytes in SIZES:
@@ -65,7 +75,12 @@ def compute_golden() -> dict:
 
 
 def main() -> int:
+    from repro.experiments.common import RESULT_SCHEMA_VERSION
+    from repro.obs.store import config_digest
+
     doc = compute_golden()
+    doc["schema_version"] = RESULT_SCHEMA_VERSION
+    doc["config_digest"] = config_digest(golden_config())
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {GOLDEN_PATH} ({len(doc['traces'])} traces)")

@@ -14,17 +14,52 @@ from repro.hardware.spec import MachineSpec
 from repro.tuning import Autotuner, LookupTable, SearchSpace
 
 __all__ = [
+    "RESULT_HEADER_KEYS",
+    "RESULT_SCHEMA_VERSION",
     "RESULTS_DIR",
     "bcast_sweep_sizes",
     "fmt_bytes",
     "geometry",
     "main_wrapper",
     "print_table",
+    "run_store",
     "save_result",
+    "strip_result_header",
     "tuned_decision",
 ]
 
 RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+#: every ``results/*.json`` document carries this version plus a config
+#: digest, so downstream tooling can tell at a glance whether two result
+#: files are comparable.  Bump on incompatible layout changes.
+RESULT_SCHEMA_VERSION = 1
+
+#: provenance keys :func:`save_result` stamps onto every document —
+#: consumers that diff or hash results (golden traces, regen scripts)
+#: must ignore exactly these.
+RESULT_HEADER_KEYS = frozenset(
+    {"schema_version", "config_digest", "_generated"}
+)
+
+
+def strip_result_header(doc: dict) -> dict:
+    """The document minus the provenance header (for content compares)."""
+    return {k: v for k, v in doc.items() if k not in RESULT_HEADER_KEYS}
+
+
+def run_store(store_dir: Optional[str] = None):
+    """The cross-run observatory every experiment appends to.
+
+    Defaults to ``results/store/``; pass ``store_dir="none"`` to disable
+    (returns ``None``) — e.g. for throwaway runs that should not enter
+    the regression history (``python -m repro.obs.cli regress``).
+    """
+    if store_dir == "none":
+        return None
+    from repro.obs.store import RunStore
+
+    return RunStore(Path(store_dir) if store_dir else RESULTS_DIR / "store")
 
 KiB, MiB = 1024, 1024 * 1024
 
@@ -123,9 +158,20 @@ def print_table(title: str, headers: Sequence[str], rows) -> None:
         print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
 
 
-def save_result(name: str, payload: dict) -> Path:
+def save_result(name: str, payload: dict, config=None) -> Path:
+    """Write one ``results/<name>.json`` with the provenance header.
+
+    Every result document is stamped with ``schema_version`` and a
+    ``config_digest`` (of the :class:`HanConfig` the experiment ran
+    under; the null-config digest when the experiment sweeps configs) —
+    see :data:`RESULT_HEADER_KEYS` for what readers must ignore.
+    """
+    from repro.obs.store import config_digest
+
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = dict(payload)
+    payload["schema_version"] = RESULT_SCHEMA_VERSION
+    payload["config_digest"] = config_digest(config)
     payload["_generated"] = time.strftime("%Y-%m-%d %H:%M:%S")
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=1, default=str))
@@ -159,6 +205,12 @@ def main_wrapper(run_fn, default_scale: str = "small"):
             help="write a Perfetto-loadable Chrome trace here "
                  "(see repro.obs)",
         )
+    if "store_dir" in accepted:
+        parser.add_argument(
+            "--store-dir", default=None,
+            help="run-store directory (default results/store; "
+                 "'none' disables)",
+        )
     args = parser.parse_args()
     kwargs = {}
     if "workers" in accepted:
@@ -167,6 +219,8 @@ def main_wrapper(run_fn, default_scale: str = "small"):
         kwargs["cache_dir"] = args.cache_dir
     if "trace_out" in accepted:
         kwargs["trace_out"] = args.trace_out
+    if "store_dir" in accepted:
+        kwargs["store_dir"] = args.store_dir
     t0 = time.time()
     run_fn(scale=args.scale, save=not args.no_save, **kwargs)
     print(f"\n[done in {time.time() - t0:.1f}s wall]")

@@ -13,6 +13,7 @@ from repro.experiments.common import (
     geometry,
     main_wrapper,
     print_table,
+    run_store,
     save_result,
 )
 from repro.tuning import Autotuner, MeasurementCache, SearchSpace
@@ -28,6 +29,7 @@ def run(
     save: bool = True,
     workers: int = 0,
     cache_dir=None,
+    store_dir=None,
 ) -> dict:
     """Regenerate Fig 8 (tuning cost per search method).
 
@@ -36,6 +38,8 @@ def run(
     heuristic methods re-measure points of the plain methods, so even
     the default in-memory cache collapses substantial rework, while the
     reported tuning cost stays in simulated benchmark seconds.
+    ``store_dir`` points the cross-run observatory (default
+    ``results/store``; ``"none"`` disables).
     """
     nodes, ppn = GEOM[scale]
     machine = geometry("shaheen2", "small").scaled(num_nodes=nodes, ppn=ppn)
@@ -46,8 +50,12 @@ def run(
         inner_segs=(None,),
     )
     cache = MeasurementCache(cache_dir)
+    # an explicitly requested store dir is honored even under
+    # --no-save; only the default results/store is save-gated
+    store = run_store(store_dir) if (save or store_dir) else None
     tuner = Autotuner(
-        machine, space=space, warm_iters=6, workers=workers, cache=cache
+        machine, space=space, warm_iters=6, workers=workers, cache=cache,
+        store=store,
     )
     reports = {}
     for method in METHODS:

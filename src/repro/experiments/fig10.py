@@ -14,7 +14,8 @@ from repro.experiments.common import main_wrapper
 from repro.experiments.machine_bench import bench_against_libraries
 
 
-def run(scale: str = "small", save: bool = True, trace_out: str = "") -> dict:
+def run(scale: str = "small", save: bool = True, trace_out: str = "",
+        store_dir=None) -> dict:
     """Regenerate Fig 10."""
     return bench_against_libraries(
         fig="Fig 10",
@@ -28,6 +29,7 @@ def run(scale: str = "small", save: bool = True, trace_out: str = "") -> dict:
             "slightly slower than Cray MPI small, up to 2.32x faster large"
         ),
         trace_out=trace_out,
+        store_dir=store_dir,
     )
 
 

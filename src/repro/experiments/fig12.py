@@ -12,7 +12,7 @@ from repro.experiments.common import main_wrapper
 from repro.experiments.machine_bench import bench_against_libraries
 
 
-def run(scale: str = "small", save: bool = True) -> dict:
+def run(scale: str = "small", save: bool = True, store_dir=None) -> dict:
     """Regenerate Fig 12."""
     return bench_against_libraries(
         fig="Fig 12",
@@ -25,6 +25,7 @@ def run(scale: str = "small", save: bool = True) -> dict:
             "HAN up to 1.15x/2.28x/5.35x (small) and 1.39x/3.83x/1.73x "
             "(large) vs Intel MPI / MVAPICH2 / default Open MPI"
         ),
+        store_dir=store_dir,
     )
 
 

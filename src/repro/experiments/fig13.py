@@ -13,7 +13,7 @@ from repro.experiments.common import main_wrapper
 from repro.experiments.machine_bench import bench_against_libraries
 
 
-def run(scale: str = "small", save: bool = True) -> dict:
+def run(scale: str = "small", save: bool = True, store_dir=None) -> dict:
     """Regenerate Fig 13."""
     return bench_against_libraries(
         fig="Fig 13",
@@ -27,6 +27,7 @@ def run(scale: str = "small", save: bool = True) -> dict:
             "2MB, up to 1.12x beyond; HAN behind on small (no AVX in SM/"
             "Libnbc)"
         ),
+        store_dir=store_dir,
     )
 
 

@@ -11,7 +11,7 @@ from repro.experiments.common import main_wrapper
 from repro.experiments.machine_bench import bench_against_libraries
 
 
-def run(scale: str = "small", save: bool = True) -> dict:
+def run(scale: str = "small", save: bool = True, store_dir=None) -> dict:
     """Regenerate Fig 14."""
     return bench_against_libraries(
         fig="Fig 14",
@@ -24,6 +24,7 @@ def run(scale: str = "small", save: bool = True) -> dict:
             "HAN fastest 4..64MB; ties MVAPICH2 (multi-leader) above; both "
             "clearly beat Intel MPI and default Open MPI at large sizes"
         ),
+        store_dir=store_dir,
     )
 
 

@@ -9,6 +9,7 @@ from repro.experiments.common import (
     fmt_bytes,
     geometry,
     print_table,
+    run_store,
     save_result,
     tuned_decision,
 )
@@ -25,8 +26,11 @@ def bench_against_libraries(
     save: bool,
     paper_note: str,
     trace_out: str = "",
+    store_dir=None,
 ) -> dict:
-    """``trace_out`` (a path) records the HAN sweep as a Chrome trace."""
+    """``trace_out`` (a path) records the HAN sweep as a Chrome trace;
+    ``store_dir`` points the cross-run observatory every sweep point is
+    appended to (default ``results/store``, ``"none"`` disables)."""
     machine = geometry(machine_name, scale)
     small, large = bcast_sweep_sizes(scale)
     sizes = small + large
@@ -42,6 +46,19 @@ def bench_against_libraries(
         )
         for lib in libs
     }
+
+    # an explicitly requested store dir is honored even under
+    # --no-save; only the default results/store is save-gated
+    store = run_store(store_dir) if (save or store_dir) else None
+    if store is not None:
+        from repro.obs.store import summarize_point
+
+        for lib in libs:
+            for s, t in zip(sizes, results[lib.name].times):
+                store.append(summarize_point(
+                    machine, coll, s, t, library=lib.name,
+                    source=f"machine_bench.{fig.lower().replace(' ', '')}",
+                ))
 
     han = results["han"]
     rows = []

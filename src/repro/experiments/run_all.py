@@ -34,6 +34,11 @@ def main() -> int:
              "experiments that support tracing write "
              "<trace-out-dir>/<name>.json",
     )
+    parser.add_argument(
+        "--store-dir", default=None,
+        help="cross-run observatory directory shared by experiments "
+             "(default results/store; 'none' disables)",
+    )
     args = parser.parse_args()
     if args.trace_out_dir:
         import os
@@ -59,6 +64,8 @@ def main() -> int:
             kwargs["trace_out"] = os.path.join(
                 args.trace_out_dir, f"{name}.json"
             )
+        if "store_dir" in accepted:
+            kwargs["store_dir"] = args.store_dir
         try:
             mod.run(scale=args.scale, save=True, **kwargs)
         except Exception:

@@ -23,6 +23,7 @@ from repro.experiments.common import (
     fmt_time,
     main_wrapper,
     print_table,
+    run_store,
     save_result,
 )
 from repro.hardware import shaheen2
@@ -42,11 +43,14 @@ COLLS = ("bcast", "allreduce")
 NBYTES = 1 * MiB
 
 
-def run(scale: str = "small", save: bool = True) -> dict:
+def run(scale: str = "small", save: bool = True, store_dir=None) -> dict:
     """Time bcast + allreduce at (up to) 4096 simulated processes."""
     nodes, ppn = GEOM.get(scale, GEOM["paper"])
     machine = shaheen2(num_nodes=nodes, ppn=ppn)
     config = HanConfig(fs=512 * KiB)
+    # an explicitly requested store dir is honored even under
+    # --no-save; only the default results/store is save-gated
+    store = run_store(store_dir) if (save or store_dir) else None
     out: dict = {
         "geometry": f"{machine.name} {nodes}x{ppn} "
                     f"({machine.num_ranks} processes)",
@@ -57,7 +61,8 @@ def run(scale: str = "small", save: bool = True) -> dict:
     rows = []
     for coll in COLLS:
         ev0 = Engine.events_total
-        m = measure_collective(machine, coll, NBYTES, config)
+        m = measure_collective(machine, coll, NBYTES, config,
+                               store=store, store_source="scaling4096")
         events = Engine.events_total - ev0
         # repr() keeps the full float; json round-trips it exactly, so
         # the bench's before/after bit-comparison stays meaningful.
@@ -70,7 +75,7 @@ def run(scale: str = "small", save: bool = True) -> dict:
         rows,
     )
     if save:
-        save_result(f"scaling4096_{scale}", out)
+        save_result(f"scaling4096_{scale}", out, config=config)
     return out
 
 

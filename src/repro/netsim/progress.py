@@ -67,14 +67,19 @@ class ProgressServer:
             # Both endpoints are known at request time (FIFO, non-
             # preemptive), so the spans are emitted complete up front.
             track = f"cpu:{self.name or self.rank}"
+            sid = -1
             if start > self.engine.now:
                 # queued time is waiting, not work: separate category so
                 # the exporter and the critical-path walk never mistake
                 # it for busy CPU (it overlaps the prior job's busy span)
-                obs.complete(track, "queued", self.engine.now, start, "wait",
-                             rank=self.rank)
+                sid = obs.complete(track, "queued", self.engine.now, start,
+                                   "wait", rank=self.rank)
             obs.complete(track, label, start, end, "cpu",
                          rank=self.rank, **span_args)
+            # metrics plane: zero-wait jobs count too — the queue-wait
+            # distribution is meaningless without its uncontended mass
+            obs.cpu_job(self.rank, duration, start - self.engine.now,
+                        sid=sid)
         # succeed() with no argument delivers None to every waiter;
         # scheduling the bound method skips a per-request lambda
         self.engine.schedule_at(end, ev.succeed)

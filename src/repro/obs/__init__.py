@@ -1,13 +1,20 @@
 """repro.obs — observability for the simulated HAN stack.
 
 - :mod:`repro.obs.core`: the :class:`ObsRecorder` (spans, counters,
-  message records) that attaches to an engine as ``engine.obs``;
+  message records, metrics registry) that attaches to an engine as
+  ``engine.obs``;
+- :mod:`repro.obs.metrics`: the aggregate metrics plane (counters,
+  gauges, fixed-bucket histograms with span-id exemplars);
+- :mod:`repro.obs.store`: the cross-run observatory — content-addressed
+  append-only store of run summaries under ``results/store/``;
+- :mod:`repro.obs.insights`: automated performance-insight checks
+  (guidelines, straggler skew, MAD-band regressions);
 - :mod:`repro.obs.export`: Chrome ``trace_event`` (Perfetto) export,
   JSONL run records, resource timelines;
 - :mod:`repro.obs.critpath`: critical-path extraction, phase overlap,
   run diffing;
 - :mod:`repro.obs.record`: one-call observed collective runs;
-- :mod:`repro.obs.cli`: ``python -m repro.obs.cli record|report|...``.
+- :mod:`repro.obs.cli`: ``python -m repro.obs.cli record|insights|...``.
 """
 
 from repro.obs.core import (
@@ -33,24 +40,63 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.insights import (
+    Insight,
+    check_regressions,
+    format_insights,
+    guideline_insights,
+    quick_workload,
+    run_insights,
+    straggler_insight,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_registries,
+)
 from repro.obs.record import record_collective
+from repro.obs.store import (
+    RunStore,
+    config_digest,
+    run_key,
+    summarize_measurement,
+    summarize_record,
+)
 
 __all__ = [
+    "Counter",
     "CounterSample",
     "CriticalPath",
     "CritSegment",
+    "Gauge",
+    "Histogram",
+    "Insight",
     "MessageRecord",
+    "MetricsRegistry",
     "ObsRecorder",
     "RunRecord",
+    "RunStore",
     "Span",
+    "check_regressions",
     "chrome_trace",
+    "config_digest",
     "critical_path",
     "diff_runs",
+    "format_insights",
+    "guideline_insights",
     "load_jsonl",
+    "merge_registries",
     "phase_overlap",
     "phase_totals",
+    "quick_workload",
     "record_collective",
     "resource_timeline",
+    "run_insights",
+    "run_key",
+    "summarize_measurement",
+    "summarize_record",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",

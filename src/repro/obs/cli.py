@@ -8,6 +8,12 @@ Subcommands:
 - ``critpath`` -- extract and print the critical path of a run record.
 - ``diff``     -- compare two run records (phases, resources, path).
 - ``export``   -- convert a JSONL run record to a Chrome trace.
+- ``metrics``  -- print the aggregate metrics registry of a run record
+  (or of a freshly simulated collective).
+- ``insights`` -- run the quick insight workload: guideline checks,
+  HAN-vs-rival margins, straggler skew; optionally append every point
+  to a run store.
+- ``regress``  -- MAD-band cross-run regression check over a run store.
 """
 
 from __future__ import annotations
@@ -166,6 +172,99 @@ def cmd_export(ns: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(ns: argparse.Namespace) -> int:
+    src = getattr(ns, "in")
+    if src:
+        doc = _load(src).metrics
+        if not doc:
+            print(f"{src}: no metrics recorded", file=sys.stderr)
+            return 1
+    else:
+        machine = _machine(ns.machine, ns.nodes, ns.ppn)
+        record = record_collective(
+            machine, ns.coll, parse_nbytes(ns.nbytes), root=ns.root,
+            mode="metrics",
+        )
+        doc = record.metrics
+    if ns.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+
+    def label(entry):
+        suffix = ",".join(f"{k}={v}" for k, v in entry["labels"])
+        return entry["name"] + (f"{{{suffix}}}" if suffix else "")
+
+    if doc.get("counters"):
+        print("counters:")
+        for c in doc["counters"]:
+            print(f"  {label(c):42s} {c['value']:.6g}")
+    if doc.get("gauges"):
+        print("gauges:")
+        for g in doc["gauges"]:
+            print(f"  {label(g):42s} {g['value']:.6g}")
+    if doc.get("histograms"):
+        from repro.obs.metrics import MetricsRegistry
+
+        print("histograms (count / sum / ~p50 / ~p99):")
+        for h in MetricsRegistry.from_doc(doc).histograms:
+            print(
+                f"  {label({'name': h.name, 'labels': h.labels}):42s}"
+                f" {h.count:8d}  {h.sum:.6g}"
+                f"  {h.quantile(0.5):.3g}  {h.quantile(0.99):.3g}"
+            )
+    return 0
+
+
+def cmd_insights(ns: argparse.Namespace) -> int:
+    from repro.obs import insights as ins
+
+    machine = _machine(ns.machine, ns.nodes, ns.ppn)
+    store = None
+    if ns.store_dir:
+        from repro.obs.store import RunStore
+
+        store = RunStore(ns.store_dir)
+    colls = tuple(c.strip() for c in ns.colls.split(",") if c.strip())
+    sizes = tuple(parse_nbytes(s) for s in ns.sizes.split(",") if s.strip())
+    rivals = () if ns.no_rivals else tuple(
+        r.strip() for r in ns.rivals.split(",") if r.strip()
+    )
+    workload = ins.quick_workload(
+        machine=machine, colls=colls, sizes=sizes, rivals=rivals,
+        store=store,
+    )
+    checks = ins.run_insights(workload)
+    if ns.json:
+        print(json.dumps({
+            "machine": workload["machine"],
+            "config": workload["config"],
+            "insights": [i.to_doc() for i in checks],
+        }, indent=2))
+    else:
+        print(f"insight workload on {workload['machine']} "
+              f"[{workload['config']}]")
+        print(ins.format_insights(checks))
+        if store is not None:
+            print(f"appended {store.appends} run(s) to {store.root}")
+    return 0 if all(i.passed for i in checks) else 1
+
+
+def cmd_regress(ns: argparse.Namespace) -> int:
+    from repro.obs import insights as ins
+    from repro.obs.store import RunStore
+
+    store = RunStore(ns.store_dir)
+    checks = ins.check_regressions(
+        store, k=ns.k, rel_floor=ns.rel_floor, min_runs=ns.min_runs
+    )
+    if ns.json:
+        print(json.dumps([i.to_doc() for i in checks], indent=2))
+    else:
+        print(f"store {store.root}: {len(store.keys())} group(s)")
+        print(ins.format_insights(checks))
+    return 0 if all(i.passed for i in checks) else 1
+
+
 # -- argument plumbing -------------------------------------------------------------
 
 
@@ -212,6 +311,52 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("in", help="JSONL run record")
     exp.add_argument("trace_out", help="output Chrome trace path")
     exp.set_defaults(fn=cmd_export)
+
+    met = sub.add_parser("metrics", help="print a run's metrics registry")
+    met.add_argument("in", nargs="?", default="",
+                     help="JSONL run record (omit to simulate fresh)")
+    met.add_argument("--coll", default="bcast")
+    met.add_argument("--nbytes", default="1M")
+    met.add_argument("--machine", default="small_cluster")
+    met.add_argument("--nodes", type=int, default=2)
+    met.add_argument("--ppn", type=int, default=4)
+    met.add_argument("--root", type=int, default=0)
+    met.add_argument("--json", action="store_true")
+    met.set_defaults(fn=cmd_metrics)
+
+    insp = sub.add_parser(
+        "insights",
+        help="guideline + straggler + margin checks on a quick workload",
+    )
+    insp.add_argument("--machine", default="shaheen2")
+    insp.add_argument("--nodes", type=int, default=4)
+    insp.add_argument("--ppn", type=int, default=8)
+    insp.add_argument("--colls",
+                      default="bcast,reduce,allreduce,scatter,gather,"
+                              "allgather")
+    insp.add_argument("--sizes", default="64K,1M,4M",
+                      help="comma-separated (suffixes K/M/G)")
+    insp.add_argument("--rivals", default="openmpi",
+                      help="comma-separated comparator library names")
+    insp.add_argument("--no-rivals", action="store_true",
+                      help="skip the HAN-vs-rival margin checks")
+    insp.add_argument("--store-dir", default="",
+                      help="append every measured point to this run store")
+    insp.add_argument("--json", action="store_true")
+    insp.set_defaults(fn=cmd_insights)
+
+    reg = sub.add_parser(
+        "regress", help="cross-run regression check over a run store"
+    )
+    reg.add_argument("store_dir", help="run store directory")
+    reg.add_argument("--k", type=float, default=5.0,
+                     help="MAD multiplier of the tolerance band")
+    reg.add_argument("--rel-floor", type=float, default=0.02,
+                     help="relative tolerance floor")
+    reg.add_argument("--min-runs", type=int, default=2,
+                     help="skip groups with fewer runs than this")
+    reg.add_argument("--json", action="store_true")
+    reg.set_defaults(fn=cmd_regress)
     return p
 
 

@@ -25,9 +25,12 @@ consumes directly.
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass, field
+from bisect import bisect_left
 from typing import Any, Optional
 
+from repro.obs.metrics import BYTE_BUCKETS, MetricsRegistry
 from repro.sim.engine import Engine
 
 __all__ = [
@@ -37,6 +40,19 @@ __all__ = [
     "RunRecord",
     "Span",
 ]
+
+#: span categories that feed the metrics plane (straggler rank-finish
+#: tracking and the ``span.seconds`` histograms)
+_METRIC_CATS = frozenset(
+    {"coll", "phase", "p2p", "cpu", "flow", "module", "wait"}
+)
+#: the subset that also gets a duration histogram — ``cpu`` is excluded
+#: because the cpu plane is already covered with finer-grained metrics
+#: (``cpu.busy_seconds``/``cpu.jobs`` counters and the exemplar-bearing
+#: ``cpu.queue_wait_seconds`` histogram), and cpu spans are the single
+#: hottest span stream, so the duplicate histogram would be the largest
+#: line item in the metrics-overhead budget
+_HIST_CATS = _METRIC_CATS - {"cpu"}
 
 #: span categories used by the built-in hook points
 CAT_COLL = "coll"    # collective entry/exit (HanModule and friends)
@@ -113,23 +129,56 @@ class ObsRecorder:
     ``None``) was installed before.
     """
 
-    def __init__(self, engine: Engine, limit: int = 2_000_000):
+    def __init__(self, engine: Engine, limit: int = 2_000_000,
+                 mode: str = "full"):
+        if mode not in ("full", "metrics"):
+            raise ValueError(f"mode must be 'full' or 'metrics', got {mode!r}")
         self.engine = engine
-        #: hard cap on stored spans+counters; hook points stop recording
-        #: (and count drops) past it, so a runaway run cannot OOM
+        #: hard cap on stored spans / counters / messages; hook points
+        #: stop recording (and count drops, per stream) past it, so a
+        #: runaway run cannot OOM
         self.limit = limit
+        #: ``"full"`` keeps every span/counter/message for trace export;
+        #: ``"metrics"`` feeds only the aggregate registry — the cheap
+        #: always-on production mode (nothing grows with run length)
+        self.mode = mode
+        self._full = mode == "full"
         self.spans: list[Span] = []
         self.counters: list[CounterSample] = []
         self.messages: dict[int, MessageRecord] = {}
-        self.dropped = 0
+        #: per-stream drop counters: a truncated trace is diagnosable
+        #: only if span and message loss are reported separately
+        self.dropped_spans = 0
+        self.dropped_counters = 0
+        self.dropped_messages = 0
+        #: aggregate metrics (always on; bounded cardinality)
+        self.metrics = MetricsRegistry()
         self.resources: list[dict] = []  # filled by snapshot_resources()
         self.solver_stats: dict = {}  # fluid-solver work counters, ditto
         self._next_sid = 0
         self._next_mid = 0
         self._open: dict[int, Span] = {}
         self._last_counter: dict[tuple[str, str], float] = {}
+        self._rank_finish: dict[str, float] = {}
+        # hot-path caches: each metric object is resolved through the
+        # registry (label canonicalization, dict probe) once, then hit
+        # via a plain dict keyed on the raw label value — per-event cost
+        # is one probe plus inc/observe
+        self._m_span_hist: dict[str, Any] = {}
+        self._m_sent: dict[int, Any] = {}
+        self._m_recv: dict[int, Any] = {}
+        self._m_cpu: dict[int, Any] = {}
+        self._m_gauge: dict[tuple[str, str], Any] = {}
+        self._m_msg_bytes: Any = None
+        self._m_wait: Any = None
+        self._m_flow: Any = None
         self._prev: Any = None
         self._attached = False
+
+    @property
+    def dropped(self) -> int:
+        """Total drops across all streams (legacy aggregate)."""
+        return self.dropped_spans + self.dropped_counters + self.dropped_messages
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -156,13 +205,14 @@ class ObsRecorder:
 
     def begin(self, track: str, name: str, cat: str = "", **args) -> int:
         """Open a span at the current simulated time; returns its id."""
-        if len(self.spans) >= self.limit:
-            self.dropped += 1
+        if self._full and len(self.spans) >= self.limit:
+            self.dropped_spans += 1
             return -1
         sid = self._next_sid
         self._next_sid += 1
         sp = Span(sid, track, name, cat, self.engine.now, args=args)
-        self.spans.append(sp)
+        if self._full:
+            self.spans.append(sp)
         self._open[sid] = sp
         return sid
 
@@ -174,18 +224,48 @@ class ObsRecorder:
         sp.t1 = self.engine.now
         if args:
             sp.args.update(args)
+        self._span_metrics(sp)
 
     def complete(
         self, track: str, name: str, t0: float, t1: float, cat: str = "", **args
     ) -> int:
         """Record an already-finished span (both endpoints known)."""
-        if len(self.spans) >= self.limit:
-            self.dropped += 1
+        if self._full and len(self.spans) >= self.limit:
+            self.dropped_spans += 1
             return -1
         sid = self._next_sid
         self._next_sid += 1
-        self.spans.append(Span(sid, track, name, cat, t0, t1, args))
+        sp = Span(sid, track, name, cat, t0, t1, args)
+        if self._full:
+            self.spans.append(sp)
+        self._span_metrics(sp)
         return sid
+
+    def _span_metrics(self, sp: Span) -> None:
+        """Aggregate a closed span into the metrics registry.
+
+        This and the other per-event hooks below manually inline
+        ``Counter.inc`` / ``Histogram.observe``: at ~200k updates per
+        tuning sweep the method-call overhead alone is a large slice of
+        the metrics budget enforced by ``scripts/check_obs_overhead.py``.
+        """
+        if sp.cat not in _METRIC_CATS:
+            return
+        if sp.cat in _HIST_CATS:
+            h = self._m_span_hist.get(sp.cat)
+            if h is None:
+                h = self._m_span_hist[sp.cat] = self.metrics.histogram(
+                    "span.seconds", cat=sp.cat
+                )
+            i = bisect_left(h.bounds, sp.dur)
+            h.counts[i] += 1
+            h.exemplars[i] = sp.sid
+            h.sum += sp.dur
+        if sp.track.startswith("rank"):
+            # last activity per rank track drives the straggler gauges
+            prev = self._rank_finish.get(sp.track, 0.0)
+            if sp.t1 > prev:
+                self._rank_finish[sp.track] = sp.t1
 
     def instant(self, track: str, name: str, **args) -> None:
         self.complete(track, name, self.engine.now, self.engine.now, "instant",
@@ -195,13 +275,22 @@ class ObsRecorder:
 
     def counter(self, track: str, name: str, value: float) -> None:
         """Sample a counter; consecutive identical values are deduped."""
+        value = float(value)
         key = (track, name)
         if self._last_counter.get(key) == value:
             return
-        if len(self.counters) >= self.limit:
-            self.dropped += 1
-            return
         self._last_counter[key] = value
+        g = self._m_gauge.get(key)
+        if g is None:
+            g = self._m_gauge[key] = self.metrics.gauge(name, track=track)
+        g.value = value
+        if value > g.max_value:
+            g.max_value = value
+        if not self._full:
+            return
+        if len(self.counters) >= self.limit:
+            self.dropped_counters += 1
+            return
         self.counters.append(
             CounterSample(track, name, self.engine.now, float(value))
         )
@@ -210,10 +299,39 @@ class ObsRecorder:
 
     def msg_begin(self, src: int, dst: int, tag: int, nbytes: float,
                   protocol: str = "") -> int:
+        # Byte accounting happens at send time for both endpoints: the
+        # simulator delivers every message, so the totals agree with
+        # arrival accounting while staying correct in metrics-only mode
+        # (where no MessageRecord survives to arrival).
+        nbytes = float(nbytes)
+        c = self._m_sent.get(src)
+        if c is None:
+            c = self._m_sent[src] = self.metrics.counter(
+                "mpi.bytes_sent", rank=src
+            )
+        c.value += nbytes
+        c = self._m_recv.get(dst)
+        if c is None:
+            c = self._m_recv[dst] = self.metrics.counter(
+                "mpi.bytes_received", rank=dst
+            )
+        c.value += nbytes
+        h = self._m_msg_bytes
+        if h is None:
+            h = self._m_msg_bytes = self.metrics.histogram(
+                "mpi.message_bytes", BYTE_BUCKETS
+            )
+        h.counts[bisect_left(h.bounds, nbytes)] += 1
+        h.sum += nbytes
+        if not self._full:
+            return -1
+        if len(self.messages) >= self.limit:
+            self.dropped_messages += 1
+            return -1
         mid = self._next_mid
         self._next_mid += 1
         self.messages[mid] = MessageRecord(
-            mid, src, dst, tag, float(nbytes), self.engine.now,
+            mid, src, dst, tag, nbytes, self.engine.now,
             protocol=protocol,
         )
         return mid
@@ -232,6 +350,58 @@ class ObsRecorder:
         m = self.messages.get(mid)
         if m is not None:
             m.t_recv_done = self.engine.now
+
+    # -- derived metrics hooks ---------------------------------------------------
+
+    def cpu_job(self, rank: int, busy: float, wait: float,
+                sid: int = -1) -> None:
+        """One progress-server job: ``busy`` seconds of CPU after
+        ``wait`` seconds in the FIFO queue (0 when the server was idle).
+
+        Fed by :class:`~repro.netsim.progress.ProgressServer` — the
+        queue-wait distribution is the "how contended is the progress
+        engine" signal the span stream only shows one interval at a time.
+        """
+        pair = self._m_cpu.get(rank)
+        if pair is None:
+            pair = self._m_cpu[rank] = (
+                self.metrics.counter("cpu.busy_seconds", rank=rank),
+                self.metrics.counter("cpu.jobs", rank=rank),
+            )
+        pair[0].value += busy
+        pair[1].value += 1.0
+        h = self._m_wait
+        if h is None:
+            h = self._m_wait = self.metrics.histogram(
+                "cpu.queue_wait_seconds"
+            )
+        i = bisect_left(h.bounds, wait)
+        h.counts[i] += 1
+        if sid >= 0:
+            h.exemplars[i] = sid
+        h.sum += wait
+
+    def flow_done(self, nbytes: float, dur: float, sid: int = -1) -> None:
+        """One completed fluid flow (fed by the solver at retirement).
+
+        Flow *durations* already land in ``span.seconds{cat=flow}`` with
+        exemplars, so only the count and the size distribution are kept
+        here.
+        """
+        pair = self._m_flow
+        if pair is None:
+            pair = self._m_flow = (
+                self.metrics.counter("net.flows"),
+                self.metrics.histogram("net.flow_bytes", BYTE_BUCKETS),
+            )
+        pair[0].value += 1.0
+        h = pair[1]
+        nbytes = float(nbytes)
+        i = bisect_left(h.bounds, nbytes)
+        h.counts[i] += 1
+        if sid >= 0:
+            h.exemplars[i] = sid
+        h.sum += nbytes
 
     # -- export -------------------------------------------------------------
 
@@ -257,17 +427,50 @@ class ObsRecorder:
             }
             for rid in range(solver.num_resources)
         ]
+        # exact time-integrated utilization as gauges: the NIC / membus /
+        # link load numbers the metrics plane stores and diffs per run
+        for res in self.resources:
+            self.metrics.gauge(
+                "resource.mean_utilization", res=res["name"]
+            ).set(res["mean_utilization"])
+            self.metrics.gauge(
+                "resource.served_bytes", res=res["name"]
+            ).set(res["served_bytes"])
+
+    def _derive_metrics(self) -> None:
+        """Cheap end-of-run derived gauges (straggler skew)."""
+        m = self.metrics
+        busy = [
+            c.value for c in m.counters if c.name == "cpu.busy_seconds"
+        ]
+        if busy:
+            med = statistics.median(busy)
+            m.gauge("straggler.cpu_skew").set(
+                max(busy) / med if med > 0 else 1.0
+            )
+        if self._rank_finish:
+            finish = sorted(self._rank_finish.values())
+            med = statistics.median(finish)
+            m.gauge("straggler.finish_skew").set(
+                max(finish) / med if med > 0 else 1.0
+            )
 
     def run_record(self, meta: Optional[dict] = None) -> "RunRecord":
         """Freeze the recorder into a serializable :class:`RunRecord`."""
+        self._derive_metrics()
         extra = {"solver": self.solver_stats} if self.solver_stats else {}
         return RunRecord(
             meta=dict(meta or {}, sim_time=self.engine.now,
-                      dropped=self.dropped, **extra),
+                      dropped=self.dropped,
+                      dropped_spans=self.dropped_spans,
+                      dropped_messages=self.dropped_messages,
+                      dropped_counters=self.dropped_counters,
+                      **extra),
             spans=[s for s in self.spans if not s.open],
             messages=sorted(self.messages.values(), key=lambda m: m.mid),
             counters=list(self.counters),
             resources=list(self.resources),
+            metrics=self.metrics.to_doc(),
         )
 
 
@@ -280,6 +483,8 @@ class RunRecord:
     messages: list[MessageRecord]
     counters: list[CounterSample]
     resources: list[dict]
+    #: serialized :class:`~repro.obs.metrics.MetricsRegistry` document
+    metrics: dict = field(default_factory=dict)
 
     # -- convenience selectors ----------------------------------------------
 
@@ -302,3 +507,7 @@ class RunRecord:
     @property
     def sim_time(self) -> float:
         return float(self.meta.get("sim_time", 0.0))
+
+    def metrics_registry(self) -> "MetricsRegistry":
+        """The run's metrics, rehydrated into a live registry."""
+        return MetricsRegistry.from_doc(self.metrics)

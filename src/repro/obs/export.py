@@ -41,6 +41,10 @@ _FAMILIES = (
     ("res:", 3, "resources"),
 )
 
+#: process id of the synthetic "metrics" track family (aggregate
+#: counters / gauges / histogram buckets rendered as counter tracks)
+_METRICS_PID = 4
+
 
 def _family(track: str) -> tuple[int, str]:
     for prefix, pid, label in _FAMILIES:
@@ -116,11 +120,60 @@ def chrome_trace(record: RunRecord) -> dict:
             "ts": c.t * _US, "args": {c.name: c.value},
         })
 
+    events.extend(_metric_events(record))
+
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": dict(record.meta),
     }
+
+
+def _metric_events(record: RunRecord) -> list[dict]:
+    """Render the run's aggregate metrics as Perfetto counter tracks.
+
+    Histograms become one counter track per metric with one series per
+    bucket (``le_<bound>``), sampled once at the end of the run — the
+    stacked counter rendering makes the bucket distribution visible next
+    to the spans it summarizes.  Counters and gauges become single-series
+    tracks the same way.
+    """
+    doc = record.metrics
+    if not doc:
+        return []
+    ts = record.sim_time * _US
+    events: list[dict] = [{
+        "ph": "M", "pid": _METRICS_PID, "tid": 0, "name": "process_name",
+        "args": {"name": "metrics"},
+    }]
+
+    def track_name(name: str, labels) -> str:
+        suffix = ",".join(f"{k}={v}" for k, v in labels)
+        return f"metric:{name}" + (f"{{{suffix}}}" if suffix else "")
+
+    for c in doc.get("counters", ()):
+        events.append({
+            "ph": "C", "pid": _METRICS_PID, "tid": 0,
+            "name": track_name(c["name"], c["labels"]),
+            "ts": ts, "args": {"total": c["value"]},
+        })
+    for g in doc.get("gauges", ()):
+        events.append({
+            "ph": "C", "pid": _METRICS_PID, "tid": 0,
+            "name": track_name(g["name"], g["labels"]),
+            "ts": ts, "args": {"value": g["value"]},
+        })
+    for h in doc.get("histograms", ()):
+        buckets = {}
+        for bound, count in zip(h["bounds"], h["counts"]):
+            buckets[f"le_{bound:g}"] = count
+        buckets["le_inf"] = h["counts"][-1]
+        events.append({
+            "ph": "C", "pid": _METRICS_PID, "tid": 0,
+            "name": track_name(h["name"], h["labels"]),
+            "ts": ts, "args": buckets,
+        })
+    return events
 
 
 def write_chrome_trace(record: RunRecord, path: str) -> None:
@@ -176,6 +229,9 @@ def write_jsonl(record: RunRecord, path: str) -> None:
             }) + "\n")
         for r in record.resources:
             fh.write(json.dumps({"kind": "resource", **r}) + "\n")
+        if record.metrics:
+            fh.write(json.dumps({"kind": "metrics", "doc": record.metrics})
+                     + "\n")
 
 
 def load_jsonl(path: str) -> RunRecord:
@@ -185,6 +241,7 @@ def load_jsonl(path: str) -> RunRecord:
     messages: list[MessageRecord] = []
     counters: list[CounterSample] = []
     resources: list[dict] = []
+    metrics: dict = {}
     with open(path) as fh:
         for line in fh:
             line = line.strip()
@@ -202,10 +259,13 @@ def load_jsonl(path: str) -> RunRecord:
                 counters.append(CounterSample(**doc))
             elif kind == "resource":
                 resources.append(doc)
+            elif kind == "metrics":
+                metrics = doc["doc"]
             else:  # pragma: no cover - forward compatibility
                 continue
     return RunRecord(meta=meta, spans=spans, messages=messages,
-                     counters=counters, resources=resources)
+                     counters=counters, resources=resources,
+                     metrics=metrics)
 
 
 def validate_chrome_trace(doc: dict) -> Optional[str]:

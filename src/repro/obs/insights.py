@@ -1,0 +1,418 @@
+"""Automated performance-insight checks (guidelines, stragglers, regressions).
+
+The HAN paper's evaluation leans on structural relations that a correct
+collective stack must satisfy regardless of the platform — the kind of
+sanity conditions the MPI tuning folklore states as guidelines:
+
+- ``allreduce <= reduce + bcast`` (allreduce can always be implemented
+  as the composition, so the dedicated algorithm must not lose to it by
+  more than a tolerance);
+- ``bcast <= scatter + allgather`` (ditto, the van-de-Geijn identity);
+- collective time is monotone non-decreasing in message size;
+- HAN must not lose to its flat rivals where the paper says it wins
+  (bcast at these geometries; allreduce only at scale, so that relation
+  is reported informationally, never enforced).
+
+On top of the structural checks sit two data-driven ones:
+
+- **straggler skew** — the per-rank ``cpu.busy_seconds`` counters from
+  the metrics registry give a robust ``max/median`` skew factor; a
+  perturbed rank (e.g. :class:`~repro.faults.injectors.RankSlowdown`)
+  shows up as a factor-level outlier while a clean symmetric collective
+  sits near 1.0.  Per-rank *durations* cannot detect this: a slow rank
+  in a synchronized collective inflates everyone's finish time together.
+- **cross-run regression** — for every group in a
+  :class:`~repro.obs.store.RunStore`, the latest run is compared against
+  a MAD tolerance band of all prior runs of the same content-addressed
+  point (``median + max(k*MAD, rel_floor*median)``), the same robust
+  statistics :func:`~repro.tuning.measure.measure_collective` uses for
+  its trial aggregation.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = [
+    "Insight",
+    "check_regressions",
+    "format_insights",
+    "guideline_insights",
+    "margin_insights",
+    "quick_workload",
+    "run_insights",
+    "straggler_insight",
+]
+
+#: tolerance for the composition guidelines (allreduce vs reduce+bcast
+#: sits at ratio ~1.00 on the reference geometry; 5% absorbs simulator
+#: scheduling jitter across machine shapes without masking real breaks)
+GUIDELINE_TOL = 0.05
+
+#: a larger message may not be *faster* than a smaller one by more than this
+MONOTONE_TOL = 0.02
+
+#: HAN bcast must be within this factor of the best flat rival
+MARGIN = 1.10
+
+#: per-rank cpu busy-seconds max/median above this flags a straggler
+STRAGGLER_THRESHOLD = 2.0
+
+#: MAD multiplier / relative floor for regression bands
+REGRESS_K = 5.0
+REGRESS_REL_FLOOR = 0.02
+
+
+@dataclass(frozen=True)
+class Insight:
+    """One checked performance relation.
+
+    ``severity`` is ``"pass"`` / ``"fail"`` for enforced checks and
+    ``"info"`` for relations that are reported but never gate (e.g. the
+    HAN-vs-rival allreduce margin, which the paper only claims at
+    scale).  ``passed`` is ``True`` for info insights so callers can
+    gate on ``all(i.passed ...)``.
+    """
+
+    name: str
+    kind: str  # "guideline" | "straggler" | "margin" | "regression"
+    passed: bool
+    severity: str  # "pass" | "fail" | "info"
+    detail: str
+    data: dict = field(default_factory=dict)
+
+    def to_doc(self) -> dict:
+        return {
+            "name": self.name, "kind": self.kind, "passed": self.passed,
+            "severity": self.severity, "detail": self.detail,
+            "data": dict(self.data),
+        }
+
+
+def _insight(name, kind, ok, detail, enforce=True, **data) -> Insight:
+    severity = ("pass" if ok else "fail") if enforce else "info"
+    return Insight(name=name, kind=kind, passed=ok or not enforce,
+                   severity=severity, detail=detail, data=data)
+
+
+# -- structural guidelines ----------------------------------------------------------
+
+
+def guideline_insights(
+    times: dict, tol: float = GUIDELINE_TOL,
+    mono_tol: float = MONOTONE_TOL,
+) -> list[Insight]:
+    """Check the composition and monotonicity guidelines.
+
+    ``times`` maps ``(coll, nbytes)`` to measured seconds; only the
+    relations whose operands are all present are checked.
+    """
+    out: list[Insight] = []
+    sizes = sorted({nb for _, nb in times})
+    colls = sorted({c for c, _ in times})
+
+    compositions = (
+        ("allreduce", ("reduce", "bcast")),
+        ("bcast", ("scatter", "allgather")),
+    )
+    for lhs, rhs in compositions:
+        for nb in sizes:
+            if (lhs, nb) not in times or any((r, nb) not in times for r in rhs):
+                continue
+            t = times[(lhs, nb)]
+            bound = sum(times[(r, nb)] for r in rhs)
+            ratio = t / bound if bound > 0 else float("inf")
+            ok = ratio <= 1.0 + tol
+            out.append(_insight(
+                f"{lhs}<= {'+'.join(rhs)} @{_fmt_bytes(nb)}",
+                "guideline", ok,
+                f"{lhs}={t:.3e}s vs {'+'.join(rhs)}={bound:.3e}s "
+                f"(ratio {ratio:.3f}, tol {1 + tol:.2f})",
+                ratio=ratio, lhs=t, rhs=bound,
+            ))
+
+    for coll in colls:
+        pts = [(nb, times[(coll, nb)]) for nb in sizes if (coll, nb) in times]
+        if len(pts) < 2:
+            continue
+        dips = [
+            (a, b) for (na, a), (nb_, b) in zip(pts, pts[1:])
+            if b < a * (1.0 - mono_tol)
+        ]
+        ok = not dips
+        out.append(_insight(
+            f"{coll} monotone in nbytes", "guideline", ok,
+            "non-decreasing across "
+            f"{', '.join(_fmt_bytes(nb) for nb, _ in pts)}"
+            + ("" if ok else f" ({len(dips)} dip(s))"),
+            points=[[nb, t] for nb, t in pts],
+        ))
+    return out
+
+
+def margin_insights(
+    han_times: dict, rival_times: dict, margin: float = MARGIN,
+) -> list[Insight]:
+    """HAN vs the best flat rival, per collective and size.
+
+    Enforced for ``bcast`` (the paper's headline win at every scale);
+    informational for everything else — HAN allreduce only overtakes the
+    flat libraries at node counts far beyond the quick workload.  The
+    default rival set is just ``openmpi`` (flat ``tuned``): it shares
+    HAN's software stack, so the comparison is a true same-platform
+    guideline; hardware-assisted libraries (craympi, intelmpi) model a
+    *different* P2P stack and would turn the check into a hardware
+    comparison.
+    """
+    out: list[Insight] = []
+    points = sorted({k for k in han_times if k in rival_times})
+    for coll, nb in points:
+        t = han_times[(coll, nb)]
+        best_name, best = min(
+            rival_times[(coll, nb)].items(), key=lambda kv: kv[1]
+        )
+        ratio = t / best if best > 0 else float("inf")
+        ok = ratio <= margin
+        out.append(_insight(
+            f"han {coll} vs rivals @{_fmt_bytes(nb)}", "margin", ok,
+            f"han={t:.3e}s best rival {best_name}={best:.3e}s "
+            f"(ratio {ratio:.3f}, margin {margin:.2f})",
+            enforce=(coll == "bcast"),
+            ratio=ratio, best_rival=best_name,
+        ))
+    return out
+
+
+# -- straggler detection ------------------------------------------------------------
+
+
+def _gauge(metrics_doc: dict, name: str) -> Optional[float]:
+    for g in metrics_doc.get("gauges", ()):
+        if g["name"] == name and not g["labels"]:
+            return g["value"]
+    return None
+
+
+def straggler_insight(
+    metrics_doc: dict, threshold: float = STRAGGLER_THRESHOLD,
+    label: str = "",
+) -> Insight:
+    """Flag rank-level skew from a run's metrics registry document.
+
+    The primary signal is ``straggler.cpu_skew`` (max/median of per-rank
+    ``cpu.busy_seconds``), derived by the recorder at snapshot time; the
+    secondary ``straggler.finish_skew`` (rank finish times) is carried in
+    ``data`` for context but not gated on — synchronized collectives
+    equalize finish times even under heavy per-rank perturbation.
+    """
+    cpu = _gauge(metrics_doc, "straggler.cpu_skew")
+    finish = _gauge(metrics_doc, "straggler.finish_skew")
+    suffix = f" @{label}" if label else ""
+    if cpu is None:
+        return Insight(
+            name=f"straggler skew{suffix}", kind="straggler", passed=True,
+            severity="info", detail="no per-rank cpu metrics recorded",
+            data={},
+        )
+    ok = cpu <= threshold
+    return _insight(
+        f"straggler skew{suffix}", "straggler", ok,
+        f"cpu busy-seconds max/median {cpu:.2f} "
+        f"(threshold {threshold:.2f}"
+        + (f", finish skew {finish:.2f}" if finish is not None else "")
+        + ")",
+        cpu_skew=cpu, finish_skew=finish, threshold=threshold,
+    )
+
+
+# -- cross-run regression -----------------------------------------------------------
+
+
+def mad_band(values: Sequence[float], k: float = REGRESS_K,
+             rel_floor: float = REGRESS_REL_FLOOR) -> tuple[float, float]:
+    """Robust (center, tolerance) band for a history of run times."""
+    med = statistics.median(values)
+    mad = (statistics.median(abs(v - med) for v in values)
+           if len(values) > 1 else 0.0)
+    return med, max(k * mad, rel_floor * abs(med))
+
+
+def check_regressions(
+    store, k: float = REGRESS_K, rel_floor: float = REGRESS_REL_FLOOR,
+    min_runs: int = 2,
+) -> list[Insight]:
+    """Compare each group's latest run against the band of its history.
+
+    Groups with fewer than ``min_runs`` runs are skipped (one run has no
+    history to regress against).  A clean store where every point was
+    simply measured twice — the CI self-vs-self check — yields all-pass:
+    the deterministic simulator reproduces the time exactly, well inside
+    the relative floor.
+    """
+    out: list[Insight] = []
+    for key, runs in store.groups():
+        if len(runs) < min_runs:
+            continue
+        times = [r["time"] for r in runs]
+        prior, latest = times[:-1], times[-1]
+        center, tol = mad_band(prior, k=k, rel_floor=rel_floor)
+        ok = latest <= center + tol
+        r = runs[-1]
+        label = (f"{r.get('coll', '?')} {_fmt_bytes(r.get('nbytes', 0))} "
+                 f"[{r.get('library', '?')}] on {r.get('machine', '?')}")
+        out.append(_insight(
+            label, "regression", ok,
+            f"latest {latest:.3e}s vs band {center:.3e}s +/- {tol:.3e}s "
+            f"({len(prior)} prior run(s))",
+            key=key, latest=latest, center=center, tol=tol,
+            runs=len(runs),
+        ))
+    return out
+
+
+# -- the quick workload -------------------------------------------------------------
+
+QUICK_COLLS = ("bcast", "reduce", "allreduce", "scatter", "gather",
+               "allgather")
+QUICK_SIZES = (64 * 1024, 1024 * 1024, 4 * 1024 * 1024)
+QUICK_RIVALS = ("openmpi",)
+
+
+def quick_workload(
+    machine=None,
+    colls: Sequence[str] = QUICK_COLLS,
+    sizes: Sequence[float] = QUICK_SIZES,
+    config=None,
+    rivals: Sequence[str] = QUICK_RIVALS,
+    store=None,
+    fault_plan=None,
+) -> dict:
+    """Measure the insight workload; returns times + per-point metrics.
+
+    Each HAN point runs once with a metrics-mode recorder attached (the
+    cheap path: aggregates only, no span retention), so the result
+    carries both the headline time and the straggler gauges.  Rival
+    libraries are timed with the IMB-style sweep; rivals that do not
+    implement a collective are skipped.
+
+    ``store`` (a :class:`~repro.obs.store.RunStore`) receives one
+    summary line per HAN point — this is how repeated ``insights`` runs
+    build the history that ``regress`` checks.  ``fault_plan`` wraps the
+    machine in a perturbed twin (realization 0) before measuring; the
+    store lines are then keyed separately from clean runs.
+    """
+    from repro.core.config import HanConfig
+    from repro.faults.machine import FaultyMachineSpec
+    from repro.obs.record import record_collective
+    from repro.obs.store import summarize_record
+
+    if machine is None:
+        from repro.hardware.machines import shaheen2
+
+        machine = shaheen2(num_nodes=4, ppn=8)
+    if config is None:
+        config = HanConfig(fs=512 * 1024)
+
+    target = machine
+    plan = None
+    if fault_plan is not None and fault_plan.injectors:
+        plan = fault_plan.resolve_seed(config.seed)
+        target = FaultyMachineSpec.wrap(machine, plan.for_trial(0))
+
+    han_times: dict = {}
+    metrics: dict = {}
+    for coll in colls:
+        for nb in sizes:
+            rec = record_collective(target, coll, nb, config=config,
+                                    mode="metrics")
+            han_times[(coll, nb)] = rec.meta["time"]
+            metrics[(coll, nb)] = rec.metrics
+            if store is not None:
+                doc = summarize_record(
+                    rec, machine=machine, config=config,
+                    source="obs.insights",
+                )
+                if plan is not None:
+                    from repro.obs.store import run_key
+
+                    doc["key"] = run_key(
+                        machine, coll, nb, config,
+                        extra={"plan": plan},
+                    )
+                    doc["faulted"] = True
+                store.append(doc)
+
+    rival_times: dict = {}
+    if rivals:
+        from repro.bench.imb import imb_run
+        from repro.comparators import library_by_name
+
+        for name in rivals:
+            lib = library_by_name(name)
+            for coll in colls:
+                if getattr(lib, coll, None) is None:
+                    continue
+                try:
+                    res = imb_run(target, lib, coll, list(sizes))
+                except (NotImplementedError, ValueError):
+                    continue  # library lacks this collective
+                for nb, t in zip(res.sizes, res.times):
+                    rival_times.setdefault((coll, nb), {})[name] = t
+    return {
+        "machine": f"{machine.name} {machine.num_nodes}x{machine.ppn}",
+        "config": config.describe(),
+        "faulted": plan is not None,
+        "han_times": han_times,
+        "rival_times": rival_times,
+        "metrics": metrics,
+    }
+
+
+def run_insights(workload: dict) -> list[Insight]:
+    """All insight checks over a :func:`quick_workload` result."""
+    out = guideline_insights(workload["han_times"])
+    out += margin_insights(workload["han_times"], workload["rival_times"])
+    # straggler check over the largest *bcast* point: bcast has no
+    # reduction compute, so its per-rank cpu busy-seconds are near-equal
+    # on a clean run (skew ~1.0) and a RankSlowdown shows up as exactly
+    # its factor.  Rooted/reduction collectives carry structural leader
+    # skew (leaders do the arithmetic) that would swamp the signal.
+    metrics = workload["metrics"]
+    if metrics:
+        pick = max(metrics, key=lambda k: (k[0] == "bcast", k[1]))
+        out.append(straggler_insight(
+            metrics[pick], label=f"{pick[0]} {_fmt_bytes(pick[1])}"
+        ))
+    return out
+
+
+# -- rendering ----------------------------------------------------------------------
+
+
+def _fmt_bytes(nb: float) -> str:
+    nb = float(nb)
+    for unit, div in (("G", 1 << 30), ("M", 1 << 20), ("K", 1 << 10)):
+        if nb >= div:
+            v = nb / div
+            return f"{v:g}{unit}"
+    return f"{nb:g}B"
+
+
+def format_insights(insights: Sequence[Insight]) -> str:
+    """Human-readable check table (one line per insight)."""
+    if not insights:
+        return "no insights (empty workload or store)"
+    width = max(len(i.name) for i in insights)
+    mark = {"pass": "PASS", "fail": "FAIL", "info": "info"}
+    lines = [
+        f"{mark[i.severity]:4s}  {i.name:{width}s}  {i.detail}"
+        for i in insights
+    ]
+    fails = [i for i in insights if not i.passed]
+    lines.append(
+        f"{len(insights)} check(s): "
+        f"{len(insights) - len(fails)} ok, {len(fails)} failing"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,293 @@
+"""Structured metrics: counters, gauges and fixed-bucket histograms.
+
+The tracing plane (:mod:`repro.obs.core`) answers "what happened in
+*this* run, instant by instant"; the metrics plane answers "how much, in
+aggregate" — the summary a production system stores per run, diffs
+across runs and alerts on.  A :class:`MetricsRegistry` lives on every
+:class:`~repro.obs.core.ObsRecorder` and is fed from the *same* hook
+points the tracer uses, so the disabled path still pays exactly one
+``engine.obs is not None`` attribute test per hook.
+
+Metric model (deliberately Prometheus-shaped, but in-process and
+serializable):
+
+- **Counter** — monotonically increasing total (bytes sent, jobs run);
+- **Gauge** — last-written value (mean utilization, straggler skew);
+- **Histogram** — fixed upper-bound buckets plus ``count``/``sum``;
+  every bucket keeps one *exemplar*: the span id of the most recent
+  observation that landed in it, which links an aggregate back to a
+  concrete interval in the trace (`Perfetto` span / critical path).
+
+Naming scheme (see DESIGN.md §4g): ``<subsystem>.<quantity>_<unit>``,
+e.g. ``mpi.bytes_sent``, ``cpu.queue_wait_seconds``.  Labels are a
+sorted tuple of ``(key, value)`` pairs; allowed label cardinality is
+*bounded by the platform* (rank, resource, collective, category — never
+message ids, timestamps or sizes), so a registry stays O(ranks +
+resources) however long the run.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = [
+    "BYTE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TIME_BUCKETS",
+    "merge_registries",
+]
+
+#: default buckets for simulated durations (seconds): 1us .. ~100s, log2-ish
+TIME_BUCKETS = tuple(10.0 ** e for e in range(-6, 3))
+#: default buckets for message/flow sizes (bytes): 64B .. 1GB, x8 steps
+BYTE_BUCKETS = tuple(float(64 << (3 * k)) for k in range(9))
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _labels(labels: dict) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """Monotonic total.  ``inc`` with a negative amount is an error."""
+
+    name: str
+    labels: LabelItems = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value (plus the running max, free to keep)."""
+
+    name: str
+    labels: LabelItems = ()
+    value: float = 0.0
+    max_value: float = float("-inf")
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if self.value > self.max_value:
+            self.max_value = self.value
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with span-id exemplars.
+
+    ``bounds`` are inclusive upper bounds in increasing order; an
+    implicit ``+Inf`` bucket catches the overflow.  ``counts`` has
+    ``len(bounds) + 1`` entries.  ``exemplars[i]`` is the span id of the
+    most recent observation that landed in bucket ``i`` (``-1`` = none),
+    which is what lets an alerting layer jump from "p99 queue wait
+    regressed" straight to one concrete span in the Perfetto trace.
+    """
+
+    name: str
+    labels: LabelItems = ()
+    bounds: tuple[float, ...] = TIME_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    exemplars: list[int] = field(default_factory=list)
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram bounds must increase: {self.bounds}")
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+            self.exemplars = [-1] * (len(self.bounds) + 1)
+        if len(self.counts) != len(self.bounds) + 1:
+            raise ValueError(
+                f"histogram {self.name}: {len(self.counts)} counts for "
+                f"{len(self.bounds)} bounds"
+            )
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def observe(self, value: float, exemplar: int = -1) -> None:
+        i = bisect_left(self.bounds, value)
+        self.counts[i] += 1
+        if exemplar >= 0:
+            self.exemplars[i] = exemplar
+        self.sum += value
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing the ``q``-quantile.
+
+        Coarse by construction (bucket resolution); ``inf`` when the
+        quantile falls in the overflow bucket, ``0.0`` when empty.
+        """
+        total = self.count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        acc = 0
+        for i, c in enumerate(self.counts):
+            acc += c
+            if acc >= rank and c:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (bounds must match)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+            if other.exemplars[i] >= 0:
+                self.exemplars[i] = other.exemplars[i]
+        self.sum += other.sum
+
+
+class MetricsRegistry:
+    """All metrics of one run, addressable by (name, labels).
+
+    ``counter``/``gauge``/``histogram`` get-or-create, so hook points
+    stay one-liners::
+
+        reg.counter("mpi.bytes_sent", rank=3).inc(nbytes)
+        reg.histogram("cpu.queue_wait_seconds").observe(w, exemplar=sid)
+    """
+
+    def __init__(self):
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    # -- get-or-create accessors ------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _labels(labels))
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = Counter(name, key[1])
+        return c
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _labels(labels))
+        g = self._gauges.get(key)
+        if g is None:
+            g = self._gauges[key] = Gauge(name, key[1])
+        return g
+
+    def histogram(
+        self, name: str, bounds: Optional[Iterable[float]] = None, **labels
+    ) -> Histogram:
+        key = (name, _labels(labels))
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram(
+                name, key[1],
+                tuple(bounds) if bounds is not None else TIME_BUCKETS,
+            )
+        return h
+
+    # -- iteration ---------------------------------------------------------------
+
+    @property
+    def counters(self) -> list[Counter]:
+        return [self._counters[k] for k in sorted(self._counters)]
+
+    @property
+    def gauges(self) -> list[Gauge]:
+        return [self._gauges[k] for k in sorted(self._gauges)]
+
+    @property
+    def histograms(self) -> list[Histogram]:
+        return [self._histograms[k] for k in sorted(self._histograms)]
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_doc(self) -> dict:
+        """JSON-safe document (inverse: :meth:`from_doc`).
+
+        Label pairs are emitted as lists (not tuples) so the document is
+        exactly what a json round-trip reproduces — run records compare
+        equal whether they were just built or reloaded from disk.
+        """
+        return {
+            "counters": [
+                {"name": c.name, "labels": [list(kv) for kv in c.labels],
+                 "value": c.value}
+                for c in self.counters
+            ],
+            "gauges": [
+                {
+                    "name": g.name, "labels": [list(kv) for kv in g.labels],
+                    "value": g.value,
+                    "max": g.max_value if g.max_value > float("-inf") else None,
+                }
+                for g in self.gauges
+            ],
+            "histograms": [
+                {
+                    "name": h.name, "labels": [list(kv) for kv in h.labels],
+                    "bounds": list(h.bounds), "counts": list(h.counts),
+                    "exemplars": list(h.exemplars), "sum": h.sum,
+                }
+                for h in self.histograms
+            ],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "MetricsRegistry":
+        reg = cls()
+        for c in doc.get("counters", ()):
+            labels = _items_to_labels(c["labels"])
+            reg._counters[(c["name"], labels)] = Counter(
+                c["name"], labels, c["value"]
+            )
+        for g in doc.get("gauges", ()):
+            labels = _items_to_labels(g["labels"])
+            gauge = Gauge(g["name"], labels, g["value"])
+            if g.get("max") is not None:
+                gauge.max_value = g["max"]
+            reg._gauges[(g["name"], labels)] = gauge
+        for h in doc.get("histograms", ()):
+            labels = _items_to_labels(h["labels"])
+            reg._histograms[(h["name"], labels)] = Histogram(
+                h["name"], labels, tuple(h["bounds"]),
+                list(h["counts"]), list(h["exemplars"]), h["sum"],
+            )
+        return reg
+
+
+def _items_to_labels(items) -> LabelItems:
+    return tuple((str(k), str(v)) for k, v in items)
+
+
+def merge_registries(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:
+    """Fold many runs' registries into one (counters add, gauges keep
+    the last value and running max, histograms merge bucket-wise)."""
+    out = MetricsRegistry()
+    for reg in registries:
+        for c in reg.counters:
+            out.counter(c.name, **dict(c.labels)).inc(c.value)
+        for g in reg.gauges:
+            tgt = out.gauge(g.name, **dict(g.labels))
+            tgt.set(g.value)
+            if g.max_value > tgt.max_value:
+                tgt.max_value = g.max_value
+        for h in reg.histograms:
+            out.histogram(h.name, h.bounds, **dict(h.labels)).merge(h)
+    return out

@@ -29,12 +29,16 @@ def record_collective(
     profile: Optional[P2PProfile] = None,
     meta: Optional[dict] = None,
     limit: int = 2_000_000,
+    mode: str = "full",
 ) -> RunRecord:
     """Run one HAN collective with a recorder attached; return the record.
 
     The recorded interval covers the whole simulation (including the
     warm-up barrier); the collective itself is bracketed by its ``coll``
     span, so analyses that want just the operation select on that.
+
+    ``mode="metrics"`` keeps only the aggregate metrics registry (no
+    spans/messages) — the cheap path the insight engine uses.
     """
     runtime = MPIRuntime(machine, profile=profile)
     han = HanModule(config=config)
@@ -52,7 +56,7 @@ def record_collective(
             yield from op(comm, nbytes)
         durations[comm.rank] = comm.now - start
 
-    rec = ObsRecorder(runtime.engine, limit=limit)
+    rec = ObsRecorder(runtime.engine, limit=limit, mode=mode)
     with rec:
         runtime.run(prog)
         rec.snapshot_resources(runtime.fabric.solver)
@@ -62,6 +66,9 @@ def record_collective(
         "machine": f"{machine.num_nodes}x{machine.ppn}",
         "root": root,
         "time": max(durations.values()) if durations else 0.0,
+        # per-rank finish durations, in rank order: the straggler-skew
+        # analysis (repro.obs.insights) works off these
+        "per_rank": [durations[r] for r in sorted(durations)],
     }
     if config is not None:
         info["config"] = repr(config)

@@ -1,0 +1,285 @@
+"""Cross-run observatory: a content-addressed store of run records.
+
+Every experiment in the repo used to emit a one-off JSON under
+``results/`` — impossible to compare across runs.  :class:`RunStore` is
+the metrics plane's persistence layer: an append-only JSON-lines store
+under ``results/store/`` where every measured collective appends one
+*run summary* (headline time, per-rank profile, metrics registry
+document, provenance), grouped by a content-addressed key so "the same
+point, measured again" lands in the same group.
+
+Key contract — deliberately the :class:`~repro.tuning.cache.MeasurementCache`
+contract (same :func:`~repro.tuning.cache.canonical` /
+:func:`~repro.tuning.cache.digest` machinery, same ``HanConfig.key()``
+tuning identity):
+
+- key = SHA-256 of (machine spec, collective, nbytes, config identity,
+  library, store schema version) — everything that defines *what* was
+  measured, nothing about *when* or *how well* it went;
+- values (the JSONL lines) carry the measured outcome plus provenance
+  (``source`` experiment, wall-clock timestamp, schema version);
+- appends are a single ``O_APPEND`` write of one line, so concurrent
+  experiments can share a store directory without locks.
+
+The insight engine (:mod:`repro.obs.insights`) consumes these groups
+for guideline checks and MAD-band regression detection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.tuning.cache import digest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import HanConfig
+    from repro.hardware.spec import MachineSpec
+    from repro.obs.core import RunRecord
+    from repro.tuning.measure import CollectiveMeasurement
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "RunStore",
+    "config_digest",
+    "run_key",
+    "summarize_measurement",
+    "summarize_point",
+    "summarize_record",
+]
+
+#: bump when the summary-line layout changes incompatibly
+STORE_SCHEMA_VERSION = 1
+
+
+def config_digest(config: Optional["HanConfig"]) -> str:
+    """Stable digest of a configuration's tuning identity (seed excluded)."""
+    key = list(config.key()) if config is not None else None
+    return digest("hanconfig", config=key)
+
+
+def run_key(
+    machine: "MachineSpec",
+    coll: str,
+    nbytes: float,
+    config: Optional["HanConfig"] = None,
+    library: str = "han",
+    extra=None,
+) -> str:
+    """Content-addressed group key: *what* was measured, never when.
+
+    ``extra`` folds additional platform identity into the key (e.g. the
+    resolved fault plan) so perturbed runs never share a group — and
+    hence a regression band — with clean ones.
+    """
+    return digest(
+        "runstore",
+        schema=STORE_SCHEMA_VERSION,
+        machine=machine,
+        coll=coll,
+        nbytes=float(nbytes),
+        config=list(config.key()) if config is not None else None,
+        library=library,
+        extra=extra,
+    )
+
+
+def summarize_measurement(
+    machine: "MachineSpec",
+    meas: "CollectiveMeasurement",
+    source: str = "measure_collective",
+    library: str = "han",
+    metrics: Optional[dict] = None,
+    plan=None,
+) -> dict:
+    """One store line for a :class:`CollectiveMeasurement`.
+
+    ``plan`` is the resolved fault plan the measurement ran under (or
+    ``None``); it is part of the group key, keeping noisy and clean runs
+    in separate comparison groups.
+    """
+    return {
+        "schema_version": STORE_SCHEMA_VERSION,
+        "key": run_key(machine, meas.coll, meas.nbytes, meas.config,
+                       library=library,
+                       extra={"plan": plan} if plan is not None else None),
+        "faulted": plan is not None,
+        "machine": f"{machine.name} {machine.num_nodes}x{machine.ppn}",
+        "coll": meas.coll,
+        "nbytes": float(meas.nbytes),
+        "library": library,
+        "config": meas.config.describe(),
+        "config_digest": config_digest(meas.config),
+        "time": meas.time,
+        "per_rank": list(meas.per_rank),
+        "trials": len(meas.trial_times) or 1,
+        "spread": meas.spread,
+        "sim_cost": meas.sim_cost,
+        "metrics": dict(metrics) if metrics else {},
+        "source": source,
+        "wall_time": time.time(),
+    }
+
+
+def summarize_point(
+    machine: "MachineSpec",
+    coll: str,
+    nbytes: float,
+    time_s: float,
+    config: Optional["HanConfig"] = None,
+    library: str = "han",
+    source: str = "bench",
+    per_rank=(),
+    sim_cost: float = 0.0,
+) -> dict:
+    """One store line for a bare (collective, size, time) data point.
+
+    The escape hatch for benchmarks that only produce a headline number
+    (e.g. the IMB-style library sweeps, where rival libraries have no
+    :class:`HanConfig` at all).
+    """
+    return {
+        "schema_version": STORE_SCHEMA_VERSION,
+        "key": run_key(machine, coll, nbytes, config, library=library),
+        "faulted": False,
+        "machine": f"{machine.name} {machine.num_nodes}x{machine.ppn}",
+        "coll": coll,
+        "nbytes": float(nbytes),
+        "library": library,
+        "config": config.describe() if config is not None else "",
+        "config_digest": config_digest(config),
+        "time": float(time_s),
+        "per_rank": list(per_rank),
+        "trials": 1,
+        "spread": 0.0,
+        "sim_cost": float(sim_cost),
+        "metrics": {},
+        "source": source,
+        "wall_time": time.time(),
+    }
+
+
+def summarize_record(
+    record: "RunRecord",
+    machine: Optional["MachineSpec"] = None,
+    config: Optional["HanConfig"] = None,
+    source: str = "record_collective",
+    library: str = "han",
+) -> dict:
+    """One store line for an observed run (:class:`RunRecord`).
+
+    When ``machine`` is given the summary gets the content-addressed
+    group key; without it the line is stored under a digest of the
+    record's own meta (still stable, but only as comparable as the meta).
+    """
+    meta = record.meta
+    coll = meta.get("coll", "?")
+    nbytes = float(meta.get("nbytes", 0.0))
+    if machine is not None:
+        key = run_key(machine, coll, nbytes, config, library=library)
+        machine_label = f"{machine.name} {machine.num_nodes}x{machine.ppn}"
+    else:
+        key = digest(
+            "runstore-meta",
+            schema=STORE_SCHEMA_VERSION,
+            coll=coll, nbytes=nbytes,
+            machine=str(meta.get("machine", "?")),
+            config=str(meta.get("config", "")),
+            library=library,
+        )
+        machine_label = str(meta.get("machine", "?"))
+    return {
+        "schema_version": STORE_SCHEMA_VERSION,
+        "key": key,
+        "machine": machine_label,
+        "coll": coll,
+        "nbytes": nbytes,
+        "library": library,
+        "config": config.describe() if config is not None
+        else str(meta.get("config", "")),
+        "config_digest": config_digest(config),
+        "time": float(meta.get("time", record.sim_time)),
+        "per_rank": list(meta.get("per_rank", ())),
+        "trials": 1,
+        "spread": 0.0,
+        "sim_cost": record.sim_time,
+        "metrics": dict(record.metrics),
+        "source": source,
+        "wall_time": time.time(),
+    }
+
+
+class RunStore:
+    """Append-only JSON-lines store of run summaries, grouped by key.
+
+    Layout: one ``<root>/<key[:2]>/<key>.jsonl`` file per group, one
+    line per run, appended atomically (single ``O_APPEND`` write), so
+    concurrent experiment processes can share a store.
+    """
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.appends = 0
+
+    def _file_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.jsonl"
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, doc: dict) -> str:
+        """Append one run summary; returns its group key."""
+        key = doc.get("key")
+        if not key:
+            raise ValueError("run summary must carry a 'key' (see run_key)")
+        doc.setdefault("schema_version", STORE_SCHEMA_VERSION)
+        f = self._file_for(key)
+        f.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(doc, sort_keys=True) + "\n"
+        fd = os.open(f, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+        self.appends += 1
+        return key
+
+    # -- reading ---------------------------------------------------------------
+
+    def keys(self) -> list[str]:
+        return sorted(f.stem for f in self.root.glob("*/*.jsonl"))
+
+    def runs(self, key: str) -> list[dict]:
+        """Every stored run for a group, in append order."""
+        f = self._file_for(key)
+        if not f.exists():
+            return []
+        out = []
+        with open(f) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # torn line from a dead writer: skip
+        return out
+
+    def latest(self, key: str) -> Optional[dict]:
+        runs = self.runs(key)
+        return runs[-1] if runs else None
+
+    def groups(self) -> Iterator[tuple[str, list[dict]]]:
+        for key in self.keys():
+            yield key, self.runs(key)
+
+    def __len__(self) -> int:
+        """Total stored runs (not groups)."""
+        return sum(len(runs) for _, runs in self.groups())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RunStore {self.root} groups={len(self.keys())}>"

@@ -650,11 +650,15 @@ class FluidSolver:
         t0 = f.meta["obs_t0"]
         label = f.meta["obs_label"] or f"flow{f.fid}"
         nbytes = f.meta["obs_nbytes"]
+        sid = -1
         for rid in f.res_unique:
-            obs.complete(
+            sid = obs.complete(
                 f"res:{self._names[rid] or rid}", label,
                 t0, self.engine.now, "flow", nbytes=nbytes, fid=f.fid,
             )
+        # metrics plane: one observation per flow (not per resource), so
+        # size/latency distributions count transfers, not route hops
+        obs.flow_done(nbytes, self.engine.now - t0, sid=sid)
 
     def _progressive_fill(
         self, flows: list[Flow], rid_index: np.ndarray

@@ -97,6 +97,11 @@ class Autotuner:
     #: (Perfetto-loadable).  Tuning results are unaffected — tracing
     #: never perturbs simulated time.  Empty string disables.
     trace_out: str = ""
+    #: cross-run observatory (:class:`~repro.obs.store.RunStore`): every
+    #: exhaustive candidate measurement and every traced winner appends a
+    #: run summary, so tuning sweeps feed the same regression-checked
+    #: history as the experiment drivers (``repro.obs.cli regress``)
+    store: Optional[object] = None
 
     def tune(
         self,
@@ -128,6 +133,7 @@ class Autotuner:
             measure_collective(
                 self.machine, coll, m, cfg, profile=self.profile,
                 trace_out=path,
+                store=self.store, store_source="autotuner.winner",
             )
 
     # -- exhaustive -----------------------------------------------------------------
@@ -185,6 +191,14 @@ class Autotuner:
                 meas = next(measurements)
                 report.tuning_cost += meas.sim_cost * self.bench_iters
                 report.searches += 1
+                if self.store is not None:
+                    from repro.obs.store import summarize_measurement
+                    from repro.tuning.measure import resolve_plan
+
+                    self.store.append(summarize_measurement(
+                        self.machine, meas, source="autotuner.exhaustive",
+                        plan=resolve_plan(self.fault_plan, cfg),
+                    ))
                 cands.append((cfg, meas.time))
                 score = meas.time
                 if self.selection == "confident":

@@ -76,15 +76,27 @@ class LookupTable:
     # -- persistence ----------------------------------------------------------------
 
     def save(self, path) -> None:
+        # lazy import: experiments.common imports repro.tuning at module
+        # load, so the shared header constant is fetched at call time
+        from repro.experiments.common import RESULT_SCHEMA_VERSION
+        from repro.obs.store import config_digest
+
         rows = [
             {"t": t, "n": n, "p": p, "m": m, "config": _cfg_to_dict(cfg)}
             for (t, n, p, m), cfg in sorted(self.entries.items())
         ]
-        Path(path).write_text(json.dumps({"version": 1, "rows": rows}, indent=1))
+        Path(path).write_text(json.dumps({
+            "version": 1,
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "config_digest": config_digest(None),
+            "rows": rows,
+        }, indent=1))
 
     @classmethod
     def load(cls, path) -> "LookupTable":
         doc = json.loads(Path(path).read_text())
+        # unknown extra keys (the provenance header) are deliberately
+        # tolerated; only the table layout version gates
         if doc.get("version") != 1:
             raise ValueError(f"unsupported lookup table version: {doc.get('version')}")
         table = cls()

@@ -121,6 +121,8 @@ def measure_collective(
     aggregate: str = "median",
     cache: Optional[MeasurementCache] = None,
     trace_out: str = "",
+    store=None,
+    store_source: str = "measure_collective",
 ) -> CollectiveMeasurement:
     """Time one HAN collective configuration on a fresh simulated machine.
 
@@ -146,6 +148,13 @@ def measure_collective(
     ``trace_out`` writes a Chrome trace of the *first* trial's run (the
     recorder does not perturb timing; cache hits skip the simulation and
     therefore produce no trace).
+
+    ``store`` (a :class:`~repro.obs.store.RunStore`) appends a run
+    summary — headline time, per-rank profile, provenance tagged
+    ``store_source`` — to the cross-run observatory, making this
+    measurement comparable against every past run of the same point
+    (``python -m repro.obs.cli regress``).  Cache hits are appended too:
+    a replayed measurement is still a run of the experiment.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -161,7 +170,14 @@ def measure_collective(
         )
         doc = cache.get(key)
         if doc is not None:
-            return measurement_from_doc(doc)
+            meas = measurement_from_doc(doc)
+            if store is not None:
+                from repro.obs.store import summarize_measurement
+
+                store.append(summarize_measurement(
+                    machine, meas, source=store_source, plan=plan,
+                ))
+            return meas
 
     times: list[float] = []
     per_rank_by_trial: list[tuple[float, ...]] = []
@@ -207,6 +223,12 @@ def measure_collective(
     )
     if cache is not None:
         cache.put(key, measurement_to_doc(meas))
+    if store is not None:
+        from repro.obs.store import summarize_measurement
+
+        store.append(summarize_measurement(
+            machine, meas, source=store_source, plan=plan,
+        ))
     return meas
 
 

@@ -116,3 +116,36 @@ def test_message_records_cover_inter_node_traffic(bcast_record):
     for m in msgs:
         assert m.t_send <= m.t_send_done <= m.t_arrive
         assert m.t_arrive <= m.t_recv_done
+
+
+def test_chrome_trace_renders_metric_counter_tracks(bcast_record):
+    doc = chrome_trace(bcast_record)
+    assert validate_chrome_trace(doc) is None
+    metric_events = [
+        e for e in doc["traceEvents"]
+        if e.get("name", "").startswith("metric:")
+    ]
+    assert metric_events, "metrics registry should render as counter tracks"
+    assert all(e["ph"] == "C" for e in metric_events)
+    pids = {e["pid"] for e in metric_events}
+    assert len(pids) == 1  # all under the synthetic "metrics" process
+    names = {e["name"] for e in metric_events}
+    assert any(n.startswith("metric:mpi.bytes_sent{") for n in names)
+    # histogram tracks carry one series per bucket plus the overflow
+    (hist_ev,) = [
+        e for e in metric_events if e["name"] == "metric:mpi.message_bytes"
+    ]
+    assert "le_inf" in hist_ev["args"]
+    assert any(k.startswith("le_") and k != "le_inf" for k in hist_ev["args"])
+
+
+def test_jsonl_round_trips_metrics(bcast_record, tmp_path):
+    path = tmp_path / "run.jsonl"
+    write_jsonl(bcast_record, str(path))
+    back = load_jsonl(str(path))
+    assert back.metrics == bcast_record.metrics
+    assert back.metrics_registry().counter(
+        "mpi.bytes_sent", rank=0
+    ).value == bcast_record.metrics_registry().counter(
+        "mpi.bytes_sent", rank=0
+    ).value

@@ -1,0 +1,164 @@
+"""Insight engine: guidelines, MAD regression bands, straggler detection.
+
+The integration test at the bottom is the acceptance check for the
+metrics plane: a seeded :class:`RankSlowdown` must trip exactly the
+straggler-skew insight while a clean run of the same workload passes
+everything.
+"""
+
+import pytest
+
+from repro.core.config import HanConfig
+from repro.faults.injectors import RankSlowdown
+from repro.faults.plan import FaultPlan
+from repro.hardware.machines import shaheen2
+from repro.obs import insights as ins
+from repro.obs.store import RunStore, summarize_point
+
+KiB, MiB = 1024, 1024 * 1024
+
+
+# -- guideline checks on synthetic times --------------------------------------------
+
+
+def test_guidelines_pass_on_consistent_times():
+    times = {
+        ("bcast", 64 * KiB): 1e-4, ("bcast", 1 * MiB): 1e-3,
+        ("reduce", 64 * KiB): 2e-4, ("reduce", 1 * MiB): 2e-3,
+        ("allreduce", 64 * KiB): 2.5e-4, ("allreduce", 1 * MiB): 2.5e-3,
+        ("scatter", 64 * KiB): 1e-4, ("scatter", 1 * MiB): 1e-3,
+        ("allgather", 64 * KiB): 3e-4, ("allgather", 1 * MiB): 3e-3,
+    }
+    checks = ins.guideline_insights(times)
+    assert checks and all(i.passed for i in checks)
+
+
+def test_guideline_flags_allreduce_worse_than_composition():
+    times = {
+        ("bcast", 1 * MiB): 1e-3,
+        ("reduce", 1 * MiB): 1e-3,
+        ("allreduce", 1 * MiB): 5e-3,  # worse than reduce+bcast
+    }
+    checks = ins.guideline_insights(times)
+    bad = [i for i in checks if not i.passed]
+    assert len(bad) == 1
+    assert bad[0].kind == "guideline"
+    assert "allreduce" in bad[0].name
+
+
+def test_guideline_flags_non_monotone_sizes():
+    times = {("bcast", 64 * KiB): 2e-3, ("bcast", 1 * MiB): 1e-3}
+    checks = ins.guideline_insights(times)
+    bad = [i for i in checks if not i.passed]
+    assert [i.name for i in bad] == ["bcast monotone in nbytes"]
+
+
+def test_margin_enforced_for_bcast_only():
+    han = {("bcast", 1 * MiB): 2e-3, ("allreduce", 1 * MiB): 2e-3}
+    rivals = {
+        ("bcast", 1 * MiB): {"openmpi": 1e-3},
+        ("allreduce", 1 * MiB): {"openmpi": 1e-3},
+    }
+    checks = ins.margin_insights(han, rivals)
+    by_name = {i.name: i for i in checks}
+    bcast = by_name["han bcast vs rivals @1M"]
+    allred = by_name["han allreduce vs rivals @1M"]
+    assert not bcast.passed and bcast.severity == "fail"
+    assert allred.passed and allred.severity == "info"
+
+
+# -- regression bands ---------------------------------------------------------------
+
+
+def _seed_group(store, time_s, n=1, **kw):
+    m = shaheen2(num_nodes=2, ppn=2)
+    for t in ([time_s] * n if isinstance(time_s, float) else time_s):
+        store.append(summarize_point(m, "bcast", 64 * KiB, t, **kw))
+
+
+def test_regress_self_vs_self_is_clean(tmp_path):
+    store = RunStore(tmp_path)
+    _seed_group(store, 1e-3, n=2)
+    checks = ins.check_regressions(store)
+    assert len(checks) == 1
+    assert checks[0].passed
+
+
+def test_regress_flags_slowdown_beyond_band(tmp_path):
+    store = RunStore(tmp_path)
+    _seed_group(store, [1e-3, 1.001e-3, 0.999e-3, 2e-3])
+    checks = ins.check_regressions(store)
+    assert len(checks) == 1
+    assert not checks[0].passed
+    assert checks[0].kind == "regression"
+
+
+def test_regress_tolerates_band_width(tmp_path):
+    store = RunStore(tmp_path)
+    # last run within max(k*MAD, rel_floor*median) of the median
+    _seed_group(store, [1e-3, 1e-3, 1.01e-3])
+    checks = ins.check_regressions(store)
+    assert checks[0].passed
+
+
+def test_regress_skips_single_run_groups(tmp_path):
+    store = RunStore(tmp_path)
+    _seed_group(store, 1e-3, n=1)
+    assert ins.check_regressions(store) == []
+
+
+def test_mad_band_floor():
+    center, tol = ins.mad_band([1.0, 1.0, 1.0])
+    assert center == 1.0
+    assert tol == pytest.approx(ins.REGRESS_REL_FLOOR)
+
+
+# -- straggler integration (the acceptance check) -----------------------------------
+
+
+def _tiny_workload(fault_plan=None):
+    # rival margins only make sense on the clean platform: a fault plan
+    # perturbs HAN and the rival sweep differently (they run different
+    # cpu-job mixes), so the faulted workload checks HAN-only relations
+    rivals = ("openmpi",) if fault_plan is None else ()
+    return ins.quick_workload(
+        machine=shaheen2(num_nodes=2, ppn=4),
+        colls=("bcast", "reduce", "allreduce"),
+        sizes=(64 * KiB, 1 * MiB),
+        config=HanConfig(fs=512 * KiB),
+        rivals=rivals,
+        fault_plan=fault_plan,
+    )
+
+
+def test_clean_run_passes_all_insights():
+    checks = ins.run_insights(_tiny_workload())
+    assert checks
+    assert all(i.passed for i in checks), ins.format_insights(checks)
+    strag = [i for i in checks if i.kind == "straggler"]
+    assert len(strag) == 1 and strag[0].severity == "pass"
+    assert strag[0].data["cpu_skew"] < 1.5
+
+
+def test_rank_slowdown_trips_exactly_the_straggler_insight():
+    plan = FaultPlan(injectors=(RankSlowdown(rank=3, factor=4.0),))
+    checks = ins.run_insights(_tiny_workload(fault_plan=plan))
+    failed = [i for i in checks if not i.passed]
+    assert len(failed) == 1, ins.format_insights(checks)
+    assert failed[0].kind == "straggler"
+    # the cpu-skew gauge recovers the injected factor
+    assert failed[0].data["cpu_skew"] == pytest.approx(4.0, rel=0.1)
+
+
+def test_workload_appends_to_store(tmp_path):
+    store = RunStore(tmp_path)
+    w = ins.quick_workload(
+        machine=shaheen2(num_nodes=2, ppn=2),
+        colls=("bcast",), sizes=(64 * KiB,), rivals=(), store=store,
+    )
+    assert len(store) == 1
+    (key,) = store.keys()
+    doc = store.latest(key)
+    assert doc["source"] == "obs.insights"
+    assert doc["time"] == w["han_times"][("bcast", 64 * KiB)]
+    assert doc["metrics"]  # the metrics registry rode along

@@ -1,0 +1,136 @@
+"""Metrics registry: bucketing, exemplars, merge, serialization."""
+
+import pytest
+
+from repro.obs.metrics import (
+    BYTE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TIME_BUCKETS,
+    merge_registries,
+)
+
+
+def test_counter_monotonic():
+    c = Counter("x")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+
+
+def test_gauge_tracks_max():
+    g = Gauge("u")
+    g.set(0.4)
+    g.set(0.9)
+    g.set(0.2)
+    assert g.value == 0.2
+    assert g.max_value == 0.9
+
+
+def test_histogram_bucketing_inclusive_upper_bounds():
+    h = Histogram("d", bounds=(1.0, 10.0, 100.0))
+    # inclusive upper bounds: a value exactly on a bound lands in it
+    for v, bucket in ((0.5, 0), (1.0, 0), (1.5, 1), (10.0, 1),
+                      (99.0, 2), (100.0, 2), (101.0, 3)):
+        before = h.counts[bucket]
+        h.observe(v)
+        assert h.counts[bucket] == before + 1, (v, bucket)
+    assert h.count == 7
+    assert h.sum == pytest.approx(0.5 + 1 + 1.5 + 10 + 99 + 100 + 101)
+
+
+def test_histogram_exemplars_keep_latest_span():
+    h = Histogram("d", bounds=(1.0,))
+    h.observe(0.5, exemplar=7)
+    h.observe(0.6, exemplar=9)
+    h.observe(2.0)  # no exemplar for overflow
+    assert h.exemplars == [9, -1]
+
+
+def test_histogram_quantile_bucket_resolution():
+    h = Histogram("d", bounds=(1.0, 10.0, 100.0))
+    for _ in range(98):
+        h.observe(0.5)
+    h.observe(50.0)
+    h.observe(5000.0)
+    assert h.quantile(0.5) == 1.0
+    assert h.quantile(0.98) == 1.0
+    assert h.quantile(0.99) == 100.0
+    assert h.quantile(1.0) == float("inf")
+
+
+def test_histogram_quantile_empty():
+    assert Histogram("d").quantile(0.5) == 0.0
+
+
+def test_histogram_merge():
+    a = Histogram("d", bounds=(1.0, 10.0))
+    b = Histogram("d", bounds=(1.0, 10.0))
+    a.observe(0.5, exemplar=1)
+    b.observe(0.7, exemplar=2)
+    b.observe(20.0, exemplar=3)
+    a.merge(b)
+    assert a.counts == [2, 0, 1]
+    assert a.exemplars == [2, -1, 3]  # merged-in exemplars win
+    assert a.sum == pytest.approx(21.2)
+
+
+def test_histogram_merge_rejects_mismatched_bounds():
+    a = Histogram("d", bounds=(1.0,))
+    b = Histogram("d", bounds=(2.0,))
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError):
+        Histogram("d", bounds=(2.0, 1.0))
+
+
+def test_registry_get_or_create_by_name_and_labels():
+    reg = MetricsRegistry()
+    assert reg.counter("n", rank=1) is reg.counter("n", rank=1)
+    assert reg.counter("n", rank=1) is not reg.counter("n", rank=2)
+    assert reg.gauge("g") is reg.gauge("g")
+    assert reg.histogram("h") is reg.histogram("h")
+    assert len(reg) == 4
+
+
+def test_registry_label_order_is_canonical():
+    reg = MetricsRegistry()
+    assert reg.counter("n", a=1, b=2) is reg.counter("n", b=2, a=1)
+
+
+def test_registry_doc_round_trip():
+    reg = MetricsRegistry()
+    reg.counter("mpi.bytes_sent", rank=0).inc(1024)
+    reg.gauge("resource.mean_utilization", res="nic0").set(0.75)
+    h = reg.histogram("net.flow_bytes", BYTE_BUCKETS)
+    h.observe(128.0, exemplar=4)
+    doc = reg.to_doc()
+    back = MetricsRegistry.from_doc(doc)
+    assert back.to_doc() == doc
+    assert back.counter("mpi.bytes_sent", rank=0).value == 1024
+    assert back.histogram("net.flow_bytes").bounds == BYTE_BUCKETS
+    assert back.histogram("net.flow_bytes").exemplars[1] == 4
+
+
+def test_merge_registries_folds_counters_and_histograms():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("jobs", rank=0).inc(2)
+    b.counter("jobs", rank=0).inc(3)
+    b.counter("jobs", rank=1).inc(1)
+    a.histogram("wait", TIME_BUCKETS).observe(1e-3)
+    b.histogram("wait", TIME_BUCKETS).observe(1e-3)
+    a.gauge("skew").set(1.5)
+    b.gauge("skew").set(1.2)
+    out = merge_registries([a, b])
+    assert out.counter("jobs", rank=0).value == 5
+    assert out.counter("jobs", rank=1).value == 1
+    assert out.histogram("wait").count == 2
+    assert out.gauge("skew").value == 1.2  # last write
+    assert out.gauge("skew").max_value == 1.5  # running max survives

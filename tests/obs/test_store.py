@@ -1,0 +1,110 @@
+"""Run store: key contract, append/read round-trip, torn-line tolerance."""
+
+import json
+
+from repro.core.config import HanConfig
+from repro.hardware.machines import shaheen2
+from repro.obs.store import (
+    RunStore,
+    config_digest,
+    run_key,
+    summarize_measurement,
+    summarize_point,
+)
+from repro.tuning.measure import measure_collective
+
+KiB = 1024
+
+
+def _machine():
+    return shaheen2(num_nodes=2, ppn=2)
+
+
+def test_run_key_ignores_seed_and_time():
+    m = _machine()
+    a = run_key(m, "bcast", 64 * KiB, HanConfig(fs=64 * KiB, seed=0))
+    b = run_key(m, "bcast", 64 * KiB, HanConfig(fs=64 * KiB, seed=99))
+    assert a == b  # seed is not part of the tuning identity
+    assert a != run_key(m, "bcast", 128 * KiB, HanConfig(fs=64 * KiB))
+    assert a != run_key(m, "reduce", 64 * KiB, HanConfig(fs=64 * KiB))
+    assert a != run_key(m, "bcast", 64 * KiB, HanConfig(fs=128 * KiB))
+    assert a != run_key(m, "bcast", 64 * KiB, HanConfig(fs=64 * KiB),
+                        library="openmpi")
+    assert a != run_key(m, "bcast", 64 * KiB, HanConfig(fs=64 * KiB),
+                        extra={"plan": "noisy"})
+
+
+def test_config_digest_stable_across_seeds():
+    assert config_digest(HanConfig(fs=1, seed=0)) == \
+        config_digest(HanConfig(fs=1, seed=7))
+    assert config_digest(HanConfig(fs=1)) != config_digest(HanConfig(fs=2))
+    assert config_digest(None) != config_digest(HanConfig(fs=1))
+
+
+def test_store_append_read_round_trip(tmp_path):
+    store = RunStore(tmp_path / "store")
+    m = _machine()
+    cfg = HanConfig(fs=64 * KiB)
+    meas = measure_collective(m, "bcast", 64 * KiB, cfg)
+    key = store.append(summarize_measurement(m, meas))
+    store.append(summarize_measurement(m, meas))
+    assert store.keys() == [key]
+    runs = store.runs(key)
+    assert len(runs) == 2 and len(store) == 2
+    for doc in runs:
+        assert doc["coll"] == "bcast"
+        assert doc["time"] == meas.time
+        assert doc["per_rank"] == list(meas.per_rank)
+        assert doc["config_digest"] == config_digest(cfg)
+        assert doc["source"] == "measure_collective"
+        assert not doc["faulted"]
+    assert store.latest(key) == runs[-1]
+
+
+def test_store_rejects_keyless_docs(tmp_path):
+    import pytest
+
+    store = RunStore(tmp_path)
+    with pytest.raises(ValueError):
+        store.append({"coll": "bcast"})
+
+
+def test_store_skips_torn_lines(tmp_path):
+    store = RunStore(tmp_path)
+    m = _machine()
+    key = store.append(summarize_point(m, "bcast", 1024, 1e-4))
+    f = store._file_for(key)
+    with open(f, "a") as fh:
+        fh.write('{"truncated": ')  # dead writer mid-line
+    assert len(store.runs(key)) == 1
+
+
+def test_measure_collective_appends_on_cache_hit(tmp_path):
+    from repro.tuning.cache import MeasurementCache
+
+    store = RunStore(tmp_path / "store")
+    cache = MeasurementCache()
+    m = _machine()
+    cfg = HanConfig(fs=64 * KiB)
+    a = measure_collective(m, "bcast", 64 * KiB, cfg, cache=cache,
+                           store=store)
+    b = measure_collective(m, "bcast", 64 * KiB, cfg, cache=cache,
+                           store=store)
+    assert a == b
+    assert cache.stats()["hits"] == 1
+    # both the fresh measurement and the replay entered the history
+    (key,) = store.keys()
+    assert len(store.runs(key)) == 2
+
+
+def test_store_lines_are_valid_json(tmp_path):
+    store = RunStore(tmp_path)
+    m = _machine()
+    key = store.append(summarize_point(m, "allreduce", 2048, 2e-4,
+                                       library="openmpi"))
+    f = store._file_for(key)
+    lines = f.read_text().splitlines()
+    assert len(lines) == 1
+    doc = json.loads(lines[0])
+    assert doc["library"] == "openmpi"
+    assert doc["schema_version"] == 1
