@@ -100,13 +100,39 @@ def tuned_decision(
     cache_key: Optional[str] = None,
     space: Optional[SearchSpace] = None,
     workers: int = 0,
+    decision_store=None,
 ):
     """Autotune HAN (task method) for this machine, with result caching.
 
     Returns a decision function for :class:`HanModule` /
     :class:`OpenMPIHan`.  The lookup table is cached under ``results/``
     so repeated experiment runs skip the tuning step.
+
+    ``decision_store`` (a directory or
+    :class:`~repro.serve.store.DecisionStore`) switches the experiment
+    onto the serving layer: decisions come from the store's shard for
+    this machine's hardware band, which is warmed first if this job
+    geometry has no decisions yet.  Unlike the per-geometry JSON tables,
+    one warmed store answers every machine shape of the same band.
     """
+    if decision_store is not None and decision_store != "none":
+        from repro.serve.service import DecisionService
+        from repro.serve.store import DecisionStore, band_digest
+        from repro.serve.warm import warm_machine
+
+        store = (decision_store if isinstance(decision_store, DecisionStore)
+                 else DecisionStore(decision_store))
+        band = band_digest(machine)
+        missing = [
+            coll for coll in colls
+            if not any(r["n"] == machine.num_nodes and r["p"] == machine.ppn
+                       for r in store.records(band, coll))
+        ]
+        if missing:
+            warm_machine(machine, store, colls=missing, method="task+h",
+                         space=space, workers=workers)
+        return DecisionService(store).as_decision_fn(machine)
+
     RESULTS_DIR.mkdir(exist_ok=True)
     key = cache_key or (
         f"tuning_{machine.name}_{machine.num_nodes}x{machine.ppn}_"
@@ -211,6 +237,12 @@ def main_wrapper(run_fn, default_scale: str = "small"):
             help="run-store directory (default results/store; "
                  "'none' disables)",
         )
+    if "decision_store" in accepted:
+        parser.add_argument(
+            "--decision-store", default=None,
+            help="serve tuned decisions from this sharded decision-store "
+                 "directory (see repro.serve; warmed on first use)",
+        )
     args = parser.parse_args()
     kwargs = {}
     if "workers" in accepted:
@@ -221,6 +253,8 @@ def main_wrapper(run_fn, default_scale: str = "small"):
         kwargs["trace_out"] = args.trace_out
     if "store_dir" in accepted:
         kwargs["store_dir"] = args.store_dir
+    if "decision_store" in accepted:
+        kwargs["decision_store"] = args.decision_store
     t0 = time.time()
     run_fn(scale=args.scale, save=not args.no_save, **kwargs)
     print(f"\n[done in {time.time() - t0:.1f}s wall]")

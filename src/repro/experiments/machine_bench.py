@@ -27,15 +27,20 @@ def bench_against_libraries(
     paper_note: str,
     trace_out: str = "",
     store_dir=None,
+    decision_store=None,
 ) -> dict:
     """``trace_out`` (a path) records the HAN sweep as a Chrome trace;
     ``store_dir`` points the cross-run observatory every sweep point is
-    appended to (default ``results/store``, ``"none"`` disables)."""
+    appended to (default ``results/store``, ``"none"`` disables);
+    ``decision_store`` serves HAN's tuned decisions from a sharded
+    :mod:`repro.serve` store instead of per-geometry JSON tables."""
     machine = geometry(machine_name, scale)
     small, large = bcast_sweep_sizes(scale)
     sizes = small + large
 
-    decide = tuned_decision(machine, colls=(coll,))
+    decide = tuned_decision(
+        machine, colls=(coll,), decision_store=decision_store
+    )
     libs = [OpenMPIHan(decision_fn=decide)] + [
         library_by_name(r) for r in rivals
     ]

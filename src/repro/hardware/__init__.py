@@ -7,6 +7,7 @@ Stampede2) plus small clusters for tests and examples.
 
 from repro.hardware.spec import MachineSpec, NicSpec, NodeSpec
 from repro.hardware.machines import (
+    MACHINE_PRESETS,
     gpu_cluster,
     shaheen2,
     stampede2,
@@ -15,6 +16,7 @@ from repro.hardware.machines import (
 )
 
 __all__ = [
+    "MACHINE_PRESETS",
     "MachineSpec",
     "NicSpec",
     "NodeSpec",

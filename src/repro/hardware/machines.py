@@ -18,7 +18,14 @@ from __future__ import annotations
 
 from repro.hardware.spec import MachineSpec, NicSpec, NodeSpec
 
-__all__ = ["shaheen2", "stampede2", "small_cluster", "tiny_cluster"]
+__all__ = [
+    "MACHINE_PRESETS",
+    "gpu_cluster",
+    "shaheen2",
+    "small_cluster",
+    "stampede2",
+    "tiny_cluster",
+]
 
 
 def shaheen2(num_nodes: int = 128, ppn: int = 32) -> MachineSpec:
@@ -141,3 +148,14 @@ def tiny_cluster(num_nodes: int = 2, ppn: int = 2) -> MachineSpec:
         nic=nic,
         topology="crossbar",
     )
+
+
+#: name -> factory; the fleet vocabulary shared by the tuning and
+#: serving CLIs (``repro.tuning.cli``, ``repro.serve.cli warm --fleet``)
+MACHINE_PRESETS = {
+    "shaheen2": shaheen2,
+    "stampede2": stampede2,
+    "small_cluster": small_cluster,
+    "gpu_cluster": gpu_cluster,
+    "tiny_cluster": tiny_cluster,
+}

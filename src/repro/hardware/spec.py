@@ -125,3 +125,14 @@ class MachineSpec:
             num_nodes=self.num_nodes if num_nodes is None else num_nodes,
             ppn=self.ppn if ppn is None else ppn,
         )
+
+    def band(self) -> "MachineSpec":
+        """The hardware *band* identity: this machine with the job
+        geometry normalized away (``num_nodes=ppn=1``).
+
+        Two job shapes on the same hardware share a band, which is what
+        lets one tuning sweep serve every job size on a fleet -- the
+        decision store (:mod:`repro.serve`) digests this, not the full
+        spec, into its shard keys.
+        """
+        return replace(self, num_nodes=1, ppn=1)

@@ -1,0 +1,311 @@
+"""Command-line front end for the decision-serving layer.
+
+Tune once per hardware band, answer every runtime query from the store::
+
+    # pre-populate shards for a fleet of machine presets
+    python -m repro.serve.cli warm --fleet shaheen2:4x4,stampede2:2x8 \
+        --colls bcast,allreduce --workers 4 --store .decisions
+
+    # answer a batched query file (JSON list or JSONL; '-' = stdin)
+    python -m repro.serve.cli serve --store .decisions --queries q.json
+
+    # fold one store into another, then compact the shards
+    python -m repro.serve.cli merge --into .decisions .decisions-other --compact
+
+    # the serving-throughput study (emits BENCH_serve_qps.json)
+    python -m repro.serve.cli bench --quick --floor 100000
+
+Every served answer carries a provenance stamp (``exact`` / ``nearest``
+/ ``interpolated`` / ``default``) and a guideline verdict; ``--strict``
+refuses guideline-violating answers (exit code 3) instead of serving
+them flagged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.obs.cli import parse_nbytes
+from repro.serve.service import DecisionService, Query
+from repro.serve.store import DecisionStore
+from repro.serve.warm import WARM_SPACES, parse_fleet, warm_store
+
+__all__ = ["main"]
+
+
+def _parse_query(doc: dict) -> Query:
+    """One query from its JSON form (machine preset or raw band digest)."""
+    band = doc.get("band")
+    machine = None
+    if not band and doc.get("machine"):
+        machine = parse_fleet(str(doc["machine"]))[0]
+    nbytes = doc["nbytes"]
+    if isinstance(nbytes, str):
+        nbytes = parse_nbytes(nbytes)
+    return Query(
+        coll=doc["coll"],
+        nbytes=float(nbytes),
+        commsize=int(doc.get("commsize", 0)),
+        machine=machine,
+        band=band,
+    )
+
+
+def _load_queries(path: str) -> list[Query]:
+    text = sys.stdin.read() if path == "-" else Path(path).read_text()
+    text = text.strip()
+    if not text:
+        return []
+    if text.startswith("["):
+        docs = json.loads(text)
+    else:  # JSONL
+        docs = [json.loads(line) for line in text.splitlines() if line.strip()]
+    return [_parse_query(doc) for doc in docs]
+
+
+# -- warm --------------------------------------------------------------------------
+
+
+def cmd_warm(args) -> int:
+    from repro.tuning.cache import MeasurementCache
+
+    fleet = parse_fleet(args.fleet)
+    store = DecisionStore(args.store)
+    colls = tuple(c.strip() for c in args.colls.split(",") if c.strip())
+    cache = MeasurementCache(args.cache) if args.cache else None
+    summaries = warm_store(
+        fleet, store, colls=colls, method=args.method,
+        space=WARM_SPACES[args.space], workers=args.workers, cache=cache,
+    )
+    for s in summaries:
+        print(
+            f"warmed {s['machine']:<24} band={s['band'][:12]} "
+            f"records={s['records']} searches={s['searches']} "
+            f"wall={s['wall_s']:.2f}s"
+        )
+    print(f"store {args.store}: {store.stats()['records']} decisions in "
+          f"{store.stats()['shards']} shard(s)")
+    return 0
+
+
+# -- serve -------------------------------------------------------------------------
+
+
+def cmd_serve(args) -> int:
+    store = DecisionStore(args.store)
+    service = DecisionService(store, strict=args.strict)
+    queries = _load_queries(args.queries)
+    if not queries:
+        print("no queries", file=sys.stderr)
+        return 2
+    t0 = time.perf_counter()
+    decisions = service.decide_batch(queries)
+    wall = time.perf_counter() - t0
+    doc = {
+        "queries": len(queries),
+        "wall_s": wall,
+        "qps": len(queries) / wall if wall > 0 else float("inf"),
+        "stats": service.stats(),
+        "decisions": [d.to_doc() for d in decisions],
+    }
+    out = json.dumps(doc, indent=1)
+    if args.out:
+        Path(args.out).write_text(out)
+    if args.json and not args.out:
+        print(out)
+    else:
+        stats = doc["stats"]
+        print(f"served {len(queries)} queries in {wall:.4f}s "
+              f"({doc['qps']:.0f} qps)")
+        print(f"  provenance: {stats['decisions']}")
+        print(f"  violations flagged: {stats['violations']}  "
+              f"refused: {stats['refused']}")
+        if args.out:
+            print(f"  decisions written to {args.out}")
+    if args.strict and any(d.refused for d in decisions):
+        return 3
+    return 0
+
+
+# -- merge -------------------------------------------------------------------------
+
+
+def cmd_merge(args) -> int:
+    into = DecisionStore(args.into)
+    total = 0
+    for src in args.sources:
+        absorbed = into.merge_from(DecisionStore(src))
+        print(f"merged {src}: {absorbed} record(s) absorbed")
+        total += absorbed
+    if args.compact:
+        stats = into.compact()
+        print(f"compacted {stats['shards']} shard(s): "
+              f"{stats['records']} records, "
+              f"{stats['removed_segments']} segment(s) removed")
+    print(f"store {args.into}: {into.stats()['records']} decisions")
+    return 0
+
+
+# -- bench -------------------------------------------------------------------------
+
+
+def _bench_queries(store: DecisionStore, n: int) -> dict[str, list[Query]]:
+    """Exact / nearest / interpolated / default workloads over a store."""
+    points = []
+    for band in store.bands():
+        for coll in store.colls(band):
+            points.extend((band, r) for r in store.records(band, coll))
+    if not points:
+        raise SystemExit("bench needs a non-empty store")
+    exact, nearest, interp = [], [], []
+    for i in range(n):
+        band, rec = points[i % len(points)]
+        exact.append(Query(rec["coll"], rec["nbytes"],
+                           commsize=rec["commsize"], band=band))
+        # outside the sampled range on alternating ends -> nearest
+        factor = 2.0 ** 40 if i % 2 else 2.0 ** -40
+        nearest.append(Query(rec["coll"], max(rec["nbytes"] * factor, 1.0),
+                             commsize=rec["commsize"], band=band))
+        # strictly between two samples (x1.5 of a sampled power of two)
+        interp.append(Query(rec["coll"], rec["nbytes"] * 1.5,
+                            commsize=rec["commsize"], band=band))
+    default = [
+        Query("bcast", 2.0 ** (10 + i % 12), commsize=8, band="0" * 64)
+        for i in range(n)
+    ]
+    mixed = [q for group in (exact, nearest, interp, default)
+             for q in group][:n]
+    return {"exact": exact, "nearest": nearest, "interpolated": interp,
+            "default": default, "mixed": mixed}
+
+
+def cmd_bench(args) -> int:
+    if args.quick:
+        args.queries = min(args.queries, 2000)
+    store = DecisionStore(args.store) if args.store else DecisionStore()
+    if not len(store):
+        fleet = parse_fleet(args.fleet)
+        print(f"warming in-memory store from {args.fleet} "
+              f"[{args.space} space] ...")
+        for s in warm_store(fleet, store, colls=("bcast", "allreduce"),
+                            space=WARM_SPACES[args.space],
+                            workers=args.workers):
+            print(f"  {s['machine']}: {s['records']} records "
+                  f"in {s['wall_s']:.2f}s")
+    workloads = _bench_queries(store, args.queries)
+    service = DecisionService(store)
+    qps: dict[str, float] = {}
+    for name in ("exact", "mixed"):
+        batch = workloads[name]
+        service.decide_batch(batch)  # warm indexes + verdict cache
+        best = 0.0
+        for _ in range(max(1, args.repeat)):
+            t0 = time.perf_counter()
+            service.decide_batch(batch)
+            dt = time.perf_counter() - t0
+            best = max(best, len(batch) / dt if dt > 0 else float("inf"))
+        qps[name] = best
+        print(f"  {name:>6}: {best:12.0f} queries/s "
+              f"({len(batch)} queries, best of {args.repeat})")
+    # provenance correctness snapshot over one fresh mixed pass
+    check = DecisionService(store)
+    provs: dict[str, int] = {}
+    for name in ("exact", "nearest", "interpolated", "default"):
+        for d in check.decide_batch(workloads[name][:200]):
+            provs[f"{name}->{d.provenance}"] = (
+                provs.get(f"{name}->{d.provenance}", 0) + 1)
+    floor_ok = args.floor is None or qps["exact"] >= args.floor
+    out = {
+        "store": store.stats(),
+        "fleet": args.fleet if not args.store else str(args.store),
+        "batch_queries": args.queries,
+        "repeat": args.repeat,
+        "qps": qps,
+        "floor_qps": args.floor,
+        "floor_ok": floor_ok,
+        "workload_provenance": provs,
+        "service_stats": check.stats(),
+    }
+    Path(args.out).write_text(json.dumps(out, indent=1))
+    print(f"exact-hit {qps['exact']:.0f} qps, mixed {qps['mixed']:.0f} qps; "
+          f"written to {args.out}")
+    if not floor_ok:
+        print(f"FAIL: exact-hit qps {qps['exact']:.0f} below floor "
+              f"{args.floor:.0f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# -- entry point -------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.cli", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_warm = sub.add_parser("warm", help="pre-populate shards from a fleet")
+    p_warm.add_argument("--fleet", required=True,
+                        help="comma list of <preset>[:<nodes>x<ppn>]")
+    p_warm.add_argument("--store", required=True,
+                        help="decision-store directory")
+    p_warm.add_argument("--colls", default="bcast,allreduce")
+    p_warm.add_argument("--method", default="task+h",
+                        choices=("exhaustive", "exhaustive+h", "task",
+                                 "task+h"))
+    p_warm.add_argument("--space", default="small",
+                        choices=sorted(WARM_SPACES))
+    p_warm.add_argument("--workers", type=int, default=0)
+    p_warm.add_argument("--cache", default=None,
+                        help="persistent measurement-cache directory")
+    p_warm.set_defaults(fn=cmd_warm)
+
+    p_serve = sub.add_parser("serve", help="answer a batched query file")
+    p_serve.add_argument("--store", required=True)
+    p_serve.add_argument("--queries", required=True,
+                         help="JSON list / JSONL of queries ('-' = stdin)")
+    p_serve.add_argument("--strict", action="store_true",
+                         help="refuse guideline-violating answers (exit 3)")
+    p_serve.add_argument("--json", action="store_true",
+                         help="print the full decision document")
+    p_serve.add_argument("--out", default=None,
+                         help="write the decision document to this file")
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_merge = sub.add_parser("merge", help="fold stores together")
+    p_merge.add_argument("--into", required=True)
+    p_merge.add_argument("sources", nargs="+")
+    p_merge.add_argument("--compact", action="store_true",
+                         help="compact shards after merging")
+    p_merge.set_defaults(fn=cmd_merge)
+
+    p_bench = sub.add_parser(
+        "bench", help="serving-throughput study (BENCH_serve_qps.json)"
+    )
+    p_bench.add_argument("--store", default=None,
+                         help="existing store (default: warm in memory)")
+    p_bench.add_argument("--fleet", default="tiny_cluster:2x2")
+    p_bench.add_argument("--space", default="quick",
+                         choices=sorted(WARM_SPACES))
+    p_bench.add_argument("--queries", type=int, default=10000)
+    p_bench.add_argument("--repeat", type=int, default=3)
+    p_bench.add_argument("--workers", type=int, default=0)
+    p_bench.add_argument("--quick", action="store_true",
+                         help="cap the batch at 2000 queries")
+    p_bench.add_argument("--floor", type=float, default=None,
+                         help="fail if exact-hit qps drops below this")
+    p_bench.add_argument("--out", default="BENCH_serve_qps.json")
+    p_bench.set_defaults(fn=cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,217 @@
+"""Serve-time guideline validation of tuned decisions.
+
+A decision store answers queries that a human never reviews, so a stale,
+corrupted or interpolated entry must not be served *silently* wrong.
+Before :class:`~repro.serve.service.DecisionService` returns an answer
+it runs the Hunold-style performance-guideline checks the insight engine
+already applies to measured runs (:mod:`repro.obs.insights`), rephrased
+for a stored decision and its shard neighborhood:
+
+- **config integrity** -- the record's ``config_digest`` must match its
+  ``config`` payload (a tampered or bit-rotted entry fails closed);
+- **finite time** -- a served ``expected_time`` must be positive and
+  finite;
+- **nbytes monotonicity** -- the answer's expected time must not dip
+  below a smaller-message neighbor (nor sit above a larger-message
+  neighbor) of the same (coll, n, p) beyond the insight engine's
+  monotonicity tolerance;
+- **composition guidelines** -- where the shard also stores the operands
+  at the same point, ``allreduce <= reduce + bcast`` and
+  ``bcast <= scatter + allgather``.
+
+Violations carry PICO-style severity: not just pass/fail but *how many
+seconds* the violation costs (the excess over the guideline bound) and a
+``warn``/``error`` grade from the relative excess, so an operator can
+rank thousands of flagged answers by damage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.obs.insights import GUIDELINE_TOL, MONOTONE_TOL
+
+__all__ = [
+    "GuidelineCheck",
+    "Verdict",
+    "validate_decision",
+]
+
+#: relative excess below this grades a violation "warn", above "error"
+ERROR_REL_EXCESS = 0.10
+
+COMPOSITIONS = {
+    "allreduce": ("reduce", "bcast"),
+    "bcast": ("scatter", "allgather"),
+}
+
+
+@dataclass(frozen=True)
+class GuidelineCheck:
+    """One validated relation on a served decision."""
+
+    name: str
+    passed: bool
+    severity: str  # "ok" | "warn" | "error"
+    detail: str
+    cost_seconds: float = 0.0
+
+    def to_doc(self) -> dict:
+        return {
+            "name": self.name, "passed": self.passed,
+            "severity": self.severity, "detail": self.detail,
+            "cost_seconds": self.cost_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Aggregate validation outcome stamped onto every served answer."""
+
+    ok: bool
+    severity: str  # worst check severity: "ok" | "warn" | "error"
+    checks: tuple[GuidelineCheck, ...]
+    cost_seconds: float  # summed seconds cost of every violation
+
+    def to_doc(self) -> dict:
+        return {
+            "ok": self.ok, "severity": self.severity,
+            "cost_seconds": self.cost_seconds,
+            "checks": [c.to_doc() for c in self.checks],
+        }
+
+
+_SEVERITY_RANK = {"ok": 0, "warn": 1, "error": 2}
+
+
+def _violation(name: str, detail: str, cost: float,
+               rel_excess: float) -> GuidelineCheck:
+    grade = "error" if rel_excess >= ERROR_REL_EXCESS else "warn"
+    return GuidelineCheck(name=name, passed=False, severity=grade,
+                          detail=detail, cost_seconds=max(cost, 0.0))
+
+
+def _passed(name: str, detail: str) -> GuidelineCheck:
+    return GuidelineCheck(name=name, passed=True, severity="ok",
+                          detail=detail)
+
+
+def verdict_from(checks: Sequence[GuidelineCheck]) -> Verdict:
+    worst = max(checks, key=lambda c: _SEVERITY_RANK[c.severity],
+                default=None)
+    return Verdict(
+        ok=all(c.passed for c in checks),
+        severity=worst.severity if worst is not None else "ok",
+        checks=tuple(checks),
+        cost_seconds=sum(c.cost_seconds for c in checks if not c.passed),
+    )
+
+
+def validate_decision(
+    answer: dict,
+    neighbors: Sequence[dict] = (),
+    composition_times: Optional[dict] = None,
+    tol: float = GUIDELINE_TOL,
+    mono_tol: float = MONOTONE_TOL,
+) -> Verdict:
+    """Validate one decision record against its shard neighborhood.
+
+    ``answer`` is a decision record (see
+    :func:`~repro.serve.store.decision_record`); ``neighbors`` are the
+    records of the same (band, coll, n, p) -- the monotonicity axis;
+    ``composition_times`` maps operand collective names to their stored
+    expected times at the answer's point, when the shard has them.
+    """
+    checks: list[GuidelineCheck] = []
+
+    # -- config integrity ---------------------------------------------------------
+    cfg = answer.get("config")
+    stamped = answer.get("config_digest")
+    if cfg is not None and stamped:
+        from repro.core.config import HanConfig
+        from repro.obs.store import config_digest
+
+        try:
+            actual = config_digest(HanConfig(**cfg))
+        except (TypeError, ValueError) as exc:
+            actual = None
+            checks.append(GuidelineCheck(
+                "config decodes", False, "error",
+                f"stored config does not decode: {exc}", 0.0,
+            ))
+        if actual is not None:
+            if actual == stamped:
+                checks.append(_passed(
+                    "config integrity", "config_digest matches payload"))
+            else:
+                checks.append(GuidelineCheck(
+                    "config integrity", False, "error",
+                    f"config_digest {stamped[:12]} does not match payload "
+                    f"digest {actual[:12]} (tampered or torn record)", 0.0,
+                ))
+
+    t = answer.get("expected_time")
+    if t is None:
+        # nothing further to validate without a time estimate
+        return verdict_from(checks)
+
+    # -- finite, positive time ----------------------------------------------------
+    if not (isinstance(t, (int, float)) and math.isfinite(t) and t > 0):
+        checks.append(GuidelineCheck(
+            "finite expected_time", False, "error",
+            f"expected_time {t!r} is not a positive finite number", 0.0,
+        ))
+        return verdict_from(checks)
+    checks.append(_passed("finite expected_time", f"{t:.3e}s"))
+
+    # -- nbytes monotonicity ------------------------------------------------------
+    m = float(answer.get("nbytes", 0.0))
+    dips = 0
+    for nb in neighbors:
+        tn = nb.get("expected_time")
+        mn = float(nb.get("nbytes", 0.0))
+        if tn is None or mn == m or not math.isfinite(tn):
+            continue
+        if mn < m and t < tn * (1.0 - mono_tol):
+            dips += 1
+            checks.append(_violation(
+                f"monotone nbytes (vs {mn:g}B)",
+                f"served {m:g}B at {t:.3e}s dips below the stored "
+                f"{mn:g}B point at {tn:.3e}s",
+                cost=tn - t, rel_excess=(tn - t) / t,
+            ))
+        elif mn > m and tn < t * (1.0 - mono_tol):
+            dips += 1
+            checks.append(_violation(
+                f"monotone nbytes (vs {mn:g}B)",
+                f"served {m:g}B at {t:.3e}s exceeds the stored larger "
+                f"{mn:g}B point at {tn:.3e}s (stale or mis-keyed entry)",
+                cost=t - tn, rel_excess=(t - tn) / max(tn, 1e-30),
+            ))
+    if neighbors and not dips:
+        checks.append(_passed(
+            "monotone nbytes",
+            f"consistent with {len(neighbors)} shard neighbor(s)"))
+
+    # -- composition guidelines ---------------------------------------------------
+    coll = answer.get("coll")
+    operands = COMPOSITIONS.get(coll, ())
+    if composition_times and operands and all(
+        composition_times.get(op) is not None for op in operands
+    ):
+        bound = sum(composition_times[op] for op in operands)
+        name = f"{coll} <= {'+'.join(operands)}"
+        if bound > 0 and t > bound * (1.0 + tol):
+            checks.append(_violation(
+                name,
+                f"{coll}={t:.3e}s vs {'+'.join(operands)}={bound:.3e}s "
+                f"(ratio {t / bound:.3f}, tol {1 + tol:.2f})",
+                cost=t - bound, rel_excess=t / bound - 1.0,
+            ))
+        else:
+            checks.append(_passed(
+                name, f"ratio {t / bound:.3f}" if bound > 0 else "bound 0"))
+
+    return verdict_from(checks)

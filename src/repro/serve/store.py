@@ -1,0 +1,420 @@
+"""Sharded, mergeable, content-addressed store of tuned decisions.
+
+One *decision* is the winner of an autotuning search for one point
+``(machine band, collective, nodes, ppn, nbytes)``: the chosen
+:class:`~repro.core.config.HanConfig` plus its expected time and
+provenance.  The store keeps millions of them queryable at memory speed:
+
+- **band digest** -- the hardware identity of a machine with the job
+  geometry erased (:meth:`~repro.hardware.spec.MachineSpec.band`),
+  digested through the :func:`repro.tuning.cache.digest` contract.  Two
+  jobs of different sizes on the same hardware share a band, so one
+  tuning sweep serves every job shape on that fleet.
+- **point key** -- content digest of (band, coll, n, p, nbytes): the
+  dedup identity of a decision.  Same point tuned twice resolves to one
+  record (newest ``wall_time`` wins; ties break on the smaller
+  ``config_digest``, so resolution is deterministic in any merge order).
+- **shard** -- one directory per (band, coll):
+  ``<root>/<band[:16]>/<coll>/``.  Writers append whole JSONL lines with
+  ``O_APPEND`` to ``open.jsonl`` (the :class:`~repro.obs.store.RunStore`
+  idiom: no locks, torn lines from dead writers are skipped on read);
+  :meth:`compact` folds every segment of a shard into one immutable,
+  deduped, content-named ``seg-<digest>.jsonl``.
+- **merge** -- :meth:`merge_from` folds another store in record by
+  record through the same resolution rule, so post-merge query results
+  equal the pre-merge union.
+
+``root=None`` keeps every shard in memory -- the serving bench and unit
+tests use this mode.
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.tuning.cache import digest
+from repro.tuning.lookup import config_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import HanConfig
+    from repro.hardware.spec import MachineSpec
+    from repro.tuning.autotuner import TuningReport
+
+__all__ = [
+    "SERVE_SCHEMA_VERSION",
+    "DecisionStore",
+    "band_digest",
+    "decision_record",
+    "point_key",
+]
+
+#: bump when the decision-record layout changes incompatibly
+SERVE_SCHEMA_VERSION = 1
+
+#: keys every reader must tolerate/strip when comparing record content
+RECORD_HEADER_KEYS = frozenset({"schema_version", "wall_time", "source"})
+
+_BAND_DIR_CHARS = 16
+
+
+def band_digest(machine: "MachineSpec") -> str:
+    """Stable digest of the machine's hardware band (geometry erased)."""
+    return digest(
+        "machine-band",
+        schema=SERVE_SCHEMA_VERSION,
+        machine=machine.band(),
+    )
+
+
+def point_key(band: str, coll: str, n: int, p: int, nbytes: float) -> str:
+    """Content-addressed dedup identity of one decision point."""
+    return digest(
+        "serve-point",
+        schema=SERVE_SCHEMA_VERSION,
+        band=band,
+        coll=coll,
+        n=int(n),
+        p=int(p),
+        nbytes=float(nbytes),
+    )
+
+
+def decision_record(
+    machine: "MachineSpec",
+    coll: str,
+    nbytes: float,
+    config: "HanConfig",
+    expected_time: Optional[float] = None,
+    source: str = "manual",
+    n: Optional[int] = None,
+    p: Optional[int] = None,
+    wall_time: Optional[float] = None,
+) -> dict:
+    """One store line for a tuned decision.
+
+    ``n``/``p`` default to the machine's geometry (a decision is tuned
+    *for* a job shape even though the band digest erases it).
+    """
+    from repro.obs.store import config_digest
+
+    band = band_digest(machine)
+    n = machine.num_nodes if n is None else int(n)
+    p = machine.ppn if p is None else int(p)
+    return {
+        "schema_version": SERVE_SCHEMA_VERSION,
+        "key": point_key(band, coll, n, p, nbytes),
+        "band": band,
+        "machine": f"{machine.name} {n}x{p}",
+        "coll": coll,
+        "n": n,
+        "p": p,
+        "commsize": n * p,
+        "nbytes": float(nbytes),
+        "config": config_to_dict(config),
+        "config_digest": config_digest(config),
+        "expected_time": None if expected_time is None else float(expected_time),
+        "source": source,
+        "wall_time": time.time() if wall_time is None else float(wall_time),
+    }
+
+
+def _wins(a: dict, b: dict) -> bool:
+    """True when record ``a`` beats ``b`` for the same point key."""
+    wa, wb = a.get("wall_time", 0.0), b.get("wall_time", 0.0)
+    if wa != wb:
+        return wa > wb
+    return a.get("config_digest", "") < b.get("config_digest", "")
+
+
+class DecisionStore:
+    """Sharded (band, coll) decision store with O(1) point resolution.
+
+    ``version`` increments on every mutation (append, merge, compact,
+    refresh) so index layers (:class:`~repro.serve.service.DecisionService`)
+    know when a cached shard view is stale.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+        #: (band, coll) -> {point key -> resolved record}
+        self._shards: dict[tuple[str, str], dict[str, dict]] = {}
+        self.appends = 0
+        self.version = 0
+
+    # -- layout ------------------------------------------------------------------
+
+    def _band_dir(self, band: str) -> Path:
+        return self.root / band[:_BAND_DIR_CHARS]
+
+    def _shard_dir(self, band: str, coll: str) -> Path:
+        return self._band_dir(band) / coll
+
+    def _write_band_marker(self, band: str, machine_label: str) -> None:
+        marker = self._band_dir(band) / "BAND.json"
+        if marker.exists():
+            return
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=marker.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump({
+                    "schema_version": SERVE_SCHEMA_VERSION,
+                    "band": band,
+                    "machine": machine_label,
+                }, fh)
+            os.replace(tmp, marker)  # racing warmers agree on content
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- shard loading ------------------------------------------------------------
+
+    @staticmethod
+    def _absorb(shard: dict, rec: dict) -> bool:
+        """Fold one record into a resolved shard view; True if it won."""
+        key = rec.get("key")
+        if not key:
+            return False
+        cur = shard.get(key)
+        if cur is None or _wins(rec, cur):
+            shard[key] = rec
+            return True
+        return False
+
+    def _iter_lines(self, shard_dir: Path) -> Iterator[dict]:
+        for f in sorted(shard_dir.glob("*.jsonl")):
+            try:
+                text = f.read_text()
+            except OSError:
+                continue
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn line from a dead writer: skip
+
+    def _shard(self, band: str, coll: str) -> dict[str, dict]:
+        view = self._shards.get((band, coll))
+        if view is not None:
+            return view
+        view = {}
+        if self.root is not None:
+            shard_dir = self._shard_dir(band, coll)
+            if shard_dir.is_dir():
+                for rec in self._iter_lines(shard_dir):
+                    # a band-prefix collision lands foreign records in
+                    # this directory; the full digest in each line keeps
+                    # them out of the view
+                    if rec.get("band") == band:
+                        self._absorb(view, rec)
+        self._shards[(band, coll)] = view
+        return view
+
+    def refresh(self) -> None:
+        """Drop cached shard views (pick up other processes' appends)."""
+        self._shards.clear()
+        self.version += 1
+
+    # -- writing -----------------------------------------------------------------
+
+    def append(self, rec: dict) -> str:
+        """Append one decision record; returns its point key."""
+        for field in ("key", "band", "coll", "n", "p", "nbytes", "config"):
+            if field not in rec:
+                raise ValueError(f"decision record must carry {field!r}")
+        rec.setdefault("schema_version", SERVE_SCHEMA_VERSION)
+        band, coll = rec["band"], rec["coll"]
+        if self.root is not None:
+            self._write_band_marker(band, rec.get("machine", "?"))
+            shard_dir = self._shard_dir(band, coll)
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            line = json.dumps(rec, sort_keys=True) + "\n"
+            fd = os.open(shard_dir / "open.jsonl",
+                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, line.encode("utf-8"))
+            finally:
+                os.close(fd)
+        self._absorb(self._shard(band, coll), rec)
+        self.appends += 1
+        self.version += 1
+        return rec["key"]
+
+    def put_decision(
+        self,
+        machine: "MachineSpec",
+        coll: str,
+        nbytes: float,
+        config: "HanConfig",
+        expected_time: Optional[float] = None,
+        source: str = "manual",
+        n: Optional[int] = None,
+        p: Optional[int] = None,
+        wall_time: Optional[float] = None,
+    ) -> str:
+        return self.append(decision_record(
+            machine, coll, nbytes, config,
+            expected_time=expected_time, source=source, n=n, p=p,
+            wall_time=wall_time,
+        ))
+
+    def put_report(
+        self,
+        machine: "MachineSpec",
+        report: "TuningReport",
+        source: Optional[str] = None,
+    ) -> int:
+        """Store every lookup-table winner of a tuning report."""
+        src = source or f"autotuner.{report.method}"
+        count = 0
+        for coll, n, p, m, cfg, best_time in report.winners():
+            self.put_decision(
+                machine, coll, m, cfg,
+                expected_time=best_time, source=src, n=n, p=p,
+            )
+            count += 1
+        return count
+
+    # -- reading -----------------------------------------------------------------
+
+    def get(self, band: str, coll: str, n: int, p: int,
+            nbytes: float) -> Optional[dict]:
+        """Exact point hit (resolved record), or None."""
+        return self._shard(band, coll).get(
+            point_key(band, coll, n, p, nbytes)
+        )
+
+    def records(self, band: str, coll: str) -> list[dict]:
+        """Resolved records of one shard, in canonical point order."""
+        return sorted(
+            self._shard(band, coll).values(),
+            key=lambda r: (r["n"], r["p"], r["nbytes"], r["key"]),
+        )
+
+    def bands(self) -> list[str]:
+        """Every band digest with at least one shard."""
+        out = {band for (band, _coll), view in self._shards.items() if view}
+        if self.root is not None:
+            for marker in self.root.glob("*/BAND.json"):
+                try:
+                    out.add(json.loads(marker.read_text())["band"])
+                except (OSError, json.JSONDecodeError, KeyError):
+                    continue
+        return sorted(out)
+
+    def colls(self, band: str) -> list[str]:
+        out = {coll for (b, coll), view in self._shards.items()
+               if b == band and view}
+        if self.root is not None:
+            band_dir = self._band_dir(band)
+            if band_dir.is_dir():
+                out.update(d.name for d in band_dir.iterdir() if d.is_dir())
+        return sorted(out)
+
+    def __len__(self) -> int:
+        """Total resolved decisions across every shard."""
+        return sum(
+            len(self._shard(band, coll))
+            for band in self.bands() for coll in self.colls(band)
+        )
+
+    def stats(self) -> dict:
+        bands = self.bands()
+        return {
+            "persistent": self.root is not None,
+            "bands": len(bands),
+            "shards": sum(len(self.colls(b)) for b in bands),
+            "records": len(self),
+            "appends": self.appends,
+        }
+
+    # -- merge / compaction --------------------------------------------------------
+
+    def merge_from(self, other: "DecisionStore") -> int:
+        """Fold every record of ``other`` in; returns records absorbed.
+
+        Records that lose to an already-stored record for the same point
+        (older ``wall_time``, or equal-time larger ``config_digest``) are
+        skipped, so merging is idempotent and order-independent: any
+        merge order of the same stores resolves to the same view.
+        """
+        absorbed = 0
+        for band in other.bands():
+            for coll in other.colls(band):
+                mine = self._shard(band, coll)
+                for rec in other.records(band, coll):
+                    cur = mine.get(rec["key"])
+                    if cur is None or _wins(rec, cur):
+                        self.append(dict(rec))
+                        absorbed += 1
+        return absorbed
+
+    def compact(self, band: Optional[str] = None,
+                coll: Optional[str] = None) -> dict:
+        """Fold each shard's segments into one immutable, deduped segment.
+
+        The surviving segment is content-named (``seg-<digest>.jsonl``
+        over its canonical, sorted lines) and written atomically, so a
+        reader never sees a half-compacted shard and re-compacting an
+        already-compact shard is a no-op that reproduces the same file.
+        """
+        if self.root is None:
+            return {"shards": 0, "records": 0, "removed_segments": 0}
+        shards = 0
+        records = 0
+        removed = 0
+        for b in ([band] if band else self.bands()):
+            for c in ([coll] if coll else self.colls(b)):
+                shard_dir = self._shard_dir(b, c)
+                if not shard_dir.is_dir():
+                    continue
+                self._shards.pop((b, c), None)
+                resolved = self.records(b, c)
+                if not resolved:
+                    continue
+                lines = "".join(
+                    json.dumps(r, sort_keys=True) + "\n" for r in resolved
+                )
+                seg_digest = hashlib.sha256(lines.encode("utf-8")).hexdigest()
+                seg = shard_dir / f"seg-{seg_digest[:12]}.jsonl"
+                old = [f for f in shard_dir.glob("*.jsonl") if f != seg]
+                if not seg.exists():
+                    fd, tmp = tempfile.mkstemp(dir=shard_dir, suffix=".tmp")
+                    try:
+                        with os.fdopen(fd, "w") as fh:
+                            fh.write(lines)
+                        os.replace(tmp, seg)
+                    except BaseException:
+                        if os.path.exists(tmp):
+                            os.unlink(tmp)
+                        raise
+                for f in old:
+                    try:
+                        f.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+                self._shards[(b, c)] = {r["key"]: r for r in resolved}
+                shards += 1
+                records += len(resolved)
+        self.version += 1
+        return {
+            "shards": shards, "records": records,
+            "removed_segments": removed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self.root) if self.root is not None else "memory"
+        return f"<DecisionStore {where} records={len(self)}>"

@@ -1,0 +1,121 @@
+"""Pre-populate decision shards from Autotuner sweeps over a fleet.
+
+``warm`` is the expensive half of the serving economics: run the offline
+search once per (machine preset, geometry), store every winner, and let
+every subsequent runtime query hit the shard.  Measurements reuse the
+:mod:`repro.tuning.parallel` fan-out (``workers=``) and the persistent
+:class:`~repro.tuning.cache.MeasurementCache` (``cache=``), so warming a
+fleet twice costs one sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro.hardware.machines import MACHINE_PRESETS
+from repro.hardware.spec import MachineSpec
+from repro.serve.store import DecisionStore, band_digest
+from repro.tuning.autotuner import Autotuner
+from repro.tuning.cache import MeasurementCache
+from repro.tuning.space import SearchSpace
+
+__all__ = ["WARM_SPACES", "parse_fleet", "warm_machine", "warm_store"]
+
+KiB, MiB = 1024, 1024 * 1024
+
+#: named search spaces for warming; "quick" keeps CI smokes fast,
+#: "small" is the standard test sweep, "full" the real store build
+WARM_SPACES = {
+    "quick": SearchSpace(
+        seg_sizes=(None, 256 * KiB),
+        messages=[2.0 ** k for k in range(14, 23, 2)],  # 16KB .. 4MB
+        adapt_algorithms=("chain",),
+        inner_segs=(None,),
+        smods=("sm",),
+    ),
+    "small": SearchSpace.small(),
+    "full": SearchSpace(),
+}
+
+
+def parse_fleet(text: str) -> list[MachineSpec]:
+    """``"shaheen2:4x4,tiny_cluster"`` -> machine specs.
+
+    Each entry is ``<preset>[:<nodes>x<ppn>]``; without a geometry the
+    preset's default job shape is used.
+    """
+    fleet: list[MachineSpec] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, geom = part.partition(":")
+        try:
+            preset = MACHINE_PRESETS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown machine preset {name!r}; "
+                f"known: {', '.join(sorted(MACHINE_PRESETS))}"
+            ) from None
+        machine = preset()
+        if geom:
+            try:
+                nodes, ppn = (int(v) for v in geom.split("x"))
+            except ValueError:
+                raise ValueError(
+                    f"bad geometry {geom!r} in {part!r}; expected NxP"
+                ) from None
+            machine = machine.scaled(num_nodes=nodes, ppn=ppn)
+        fleet.append(machine)
+    if not fleet:
+        raise ValueError("empty fleet specification")
+    return fleet
+
+
+def warm_machine(
+    machine: MachineSpec,
+    store: DecisionStore,
+    colls: Sequence[str] = ("bcast", "allreduce"),
+    method: str = "task+h",
+    space: Optional[SearchSpace] = None,
+    workers: int = 0,
+    cache: Optional[MeasurementCache] = None,
+) -> dict:
+    """Tune one machine and store every winner; returns a summary."""
+    t0 = time.perf_counter()
+    tuner = Autotuner(
+        machine,
+        space=space if space is not None else WARM_SPACES["small"],
+        workers=workers,
+        cache=cache,
+    )
+    report = tuner.tune(colls=tuple(colls), method=method)
+    stored = store.put_report(machine, report)
+    return {
+        "machine": f"{machine.name} {machine.num_nodes}x{machine.ppn}",
+        "band": band_digest(machine),
+        "colls": list(colls),
+        "method": method,
+        "records": stored,
+        "searches": report.searches,
+        "tuning_cost_simulated_s": report.tuning_cost,
+        "wall_s": time.perf_counter() - t0,
+    }
+
+
+def warm_store(
+    fleet: Sequence[MachineSpec],
+    store: DecisionStore,
+    colls: Sequence[str] = ("bcast", "allreduce"),
+    method: str = "task+h",
+    space: Optional[SearchSpace] = None,
+    workers: int = 0,
+    cache: Optional[MeasurementCache] = None,
+) -> list[dict]:
+    """Warm shards for every machine of a fleet; one summary per machine."""
+    return [
+        warm_machine(machine, store, colls=colls, method=method,
+                     space=space, workers=workers, cache=cache)
+        for machine in fleet
+    ]

@@ -62,6 +62,25 @@ class TuningReport:
         cands = self.candidates[(coll, m)]
         return min(cands, key=lambda cv: cv[1])
 
+    def winners(self) -> list[tuple]:
+        """``(coll, n, p, m, config, time)`` per lookup-table entry.
+
+        ``time`` is the chosen configuration's own measured/estimated
+        seconds (not the candidate minimum -- under
+        ``selection="confident"`` the chosen config need not be the raw
+        argmin), or ``None`` when no candidate record exists.  This is
+        the export adapter the decision store
+        (:meth:`repro.serve.store.DecisionStore.put_report`) consumes.
+        """
+        out = []
+        for (coll, n, p, m), cfg in sorted(self.table.entries.items()):
+            time = next(
+                (t for c, t in self.candidates.get((coll, m), ()) if c == cfg),
+                None,
+            )
+            out.append((coll, n, p, m, cfg, time))
+        return out
+
 
 @dataclass
 class Autotuner:

@@ -32,12 +32,7 @@ import time
 from pathlib import Path
 from typing import Optional
 
-from repro.hardware import (
-    shaheen2,
-    small_cluster,
-    stampede2,
-    tiny_cluster,
-)
+from repro.hardware import MACHINE_PRESETS, small_cluster, tiny_cluster
 from repro.tuning.autotuner import METHODS, Autotuner
 from repro.tuning.cache import MeasurementCache
 from repro.tuning.parallel import effective_workers
@@ -47,12 +42,9 @@ __all__ = ["main"]
 
 KiB, MiB = 1024, 1024 * 1024
 
-MACHINES = {
-    "shaheen2": shaheen2,
-    "stampede2": stampede2,
-    "small": small_cluster,
-    "tiny": tiny_cluster,
-}
+# the shared preset registry plus this CLI's historical short names
+MACHINES = dict(MACHINE_PRESETS)
+MACHINES.update(small=small_cluster, tiny=tiny_cluster)
 
 
 def _machine(args):

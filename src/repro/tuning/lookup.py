@@ -6,6 +6,11 @@ file"; at runtime, inputs that fall between samples are resolved to the
 nearest sampled point (log-scale nearest for the message size -- the
 simple, robust variant of the quadtree/decision-tree encodings the paper
 cites [35, 36]).
+
+``decide`` is a hot path (one call per collective invocation), so the
+table keeps a per-collective key index maintained on ``put`` -- the
+candidate set for a decision is O(samples of that collective), never a
+scan of every entry of every collective.
 """
 
 from __future__ import annotations
@@ -17,11 +22,13 @@ from pathlib import Path
 from typing import Optional
 
 from repro.core.config import HanConfig
+from repro.core.han import HanModule
 
-__all__ = ["LookupTable"]
+__all__ = ["LookupTable", "config_to_dict"]
 
 
-def _cfg_to_dict(cfg: HanConfig) -> dict:
+def config_to_dict(cfg: HanConfig) -> dict:
+    """The tuned fields of a config, JSON-ready (seed excluded)."""
     return {
         "fs": cfg.fs,
         "imod": cfg.imod,
@@ -33,26 +40,48 @@ def _cfg_to_dict(cfg: HanConfig) -> dict:
     }
 
 
+_cfg_to_dict = config_to_dict  # backwards-compatible alias
+
+
+def _table_digest(rows: list[dict]) -> str:
+    """Content digest of the serialized rows (integrity stamp)."""
+    from repro.tuning.cache import digest
+
+    return digest("lookup-table", rows=rows)
+
+
 @dataclass
 class LookupTable:
     """(t, n, p, m) -> HanConfig with nearest-sample decisions."""
 
     entries: dict = field(default_factory=dict)  # (t, n, p, m) -> HanConfig
+    #: t -> [keys]; maintained on put, rebuilt if entries were mutated
+    #: behind the table's back (len mismatch is the staleness signal)
+    _by_coll: dict = field(default_factory=dict, repr=False, compare=False)
 
     def put(self, t: str, n: int, p: int, m: float, cfg: HanConfig) -> None:
-        self.entries[(t, int(n), int(p), float(m))] = cfg
+        key = (t, int(n), int(p), float(m))
+        if key not in self.entries:
+            self._by_coll.setdefault(t, []).append(key)
+        self.entries[key] = cfg
 
     def get(self, t: str, n: int, p: int, m: float) -> Optional[HanConfig]:
         return self.entries.get((t, int(n), int(p), float(m)))
+
+    def _candidates(self, t: str) -> list:
+        if sum(len(keys) for keys in self._by_coll.values()) != len(self.entries):
+            # entries dict was written to directly: rebuild the index
+            self._by_coll = {}
+            for key in self.entries:
+                self._by_coll.setdefault(key[0], []).append(key)
+        return self._by_coll.get(t, [])
 
     # -- runtime decision ---------------------------------------------------------
 
     def decide(self, n: int, p: int, m: float, t: str) -> HanConfig:
         """Nearest-sample decision; signature matches HanModule hooks."""
-        candidates = [k for k in self.entries if k[0] == t]
+        candidates = self._candidates(t)
         if not candidates:
-            from repro.core.han import HanModule
-
             return HanModule.default_config(m)
 
         def key_distance(k):
@@ -82,13 +111,14 @@ class LookupTable:
         from repro.obs.store import config_digest
 
         rows = [
-            {"t": t, "n": n, "p": p, "m": m, "config": _cfg_to_dict(cfg)}
+            {"t": t, "n": n, "p": p, "m": m, "config": config_to_dict(cfg)}
             for (t, n, p, m), cfg in sorted(self.entries.items())
         ]
         Path(path).write_text(json.dumps({
             "version": 1,
             "schema_version": RESULT_SCHEMA_VERSION,
             "config_digest": config_digest(None),
+            "table_digest": _table_digest(rows),
             "rows": rows,
         }, indent=1))
 
@@ -99,6 +129,15 @@ class LookupTable:
         # tolerated; only the table layout version gates
         if doc.get("version") != 1:
             raise ValueError(f"unsupported lookup table version: {doc.get('version')}")
+        # the content stamp is verified when present (a table that was
+        # hand-edited or torn mid-write must not serve silently wrong
+        # decisions) but its absence is tolerated: pre-stamp files load
+        stamped = doc.get("table_digest")
+        if stamped is not None and stamped != _table_digest(doc["rows"]):
+            raise ValueError(
+                f"lookup table {path} rows do not match their "
+                "table_digest stamp (torn write or hand edit)"
+            )
         table = cls()
         for row in doc["rows"]:
             table.put(
