@@ -1,15 +1,16 @@
 #!/usr/bin/env python
-"""Benchmark the fluid-solver kernel on the Fig-8 autotuning path.
+"""Benchmark the simulation kernel on the Fig-8 autotuning path.
 
-Times the same tuning workload under two solver configurations:
+Times the same tuning workload under two end-to-end configurations:
 
-- **before** — the ``reference`` solver mode with the progressive-fill
-  memo disabled: a global re-solve of every flow at every rate event
-  with an O(n) completion-horizon scan, i.e. the pre-incremental
-  implementation this PR replaced (retained as the correctness oracle);
+- **before** — the ``reference`` fluid solver with the progressive-fill
+  memo disabled, driven by the ``scalar`` one-event-at-a-time engine
+  kernel: the pre-optimization implementation (both pieces are retained
+  as correctness oracles);
 - **after** — the default configuration: the ``incremental`` solver
   (component-local re-solves, lazy completion heap) with the
-  process-wide solve memo enabled.
+  process-wide solve memo enabled, driven by the ``batched`` engine
+  kernel (same-instant retirement in one numpy pass).
 
 Repetitions are interleaved (before/after/before/after …) and the
 minimum per configuration is reported, which suppresses machine noise
@@ -27,11 +28,16 @@ Usage::
     python scripts/bench_sim_kernel.py                  # full bench
     python scripts/bench_sim_kernel.py --quick          # CI-sized
     python scripts/bench_sim_kernel.py --quick \
-        --check-baseline BENCH_sim_kernel.json          # perf smoke
+        --check-baseline BENCH_sim_kernel.json \
+        --gate-scaling 5.0                              # perf smoke
     python scripts/bench_sim_kernel.py -o BENCH_sim_kernel.json
 
 ``--check-baseline`` compares the *after* events/sec against the named
 committed baseline and exits non-zero on a >20% regression.
+``--gate-scaling S`` additionally runs the paper-scale 4096-process
+scaling experiment in the after configuration and fails if its wall
+clock exceeds ``S`` seconds or its simulated times diverge from the
+committed baseline — the routine-`--scale paper` guarantee.
 """
 
 from __future__ import annotations
@@ -51,15 +57,16 @@ KiB, MiB = 1024, 1024 * 1024
 TOLERANCE = 0.20
 
 CONFIGS = {
-    # (REPRO_FLUID_SOLVER, REPRO_FLUID_FILL_MEMO)
-    "before": ("reference", "0"),
-    "after": ("incremental", "1"),
+    # (REPRO_FLUID_SOLVER, REPRO_FLUID_FILL_MEMO, REPRO_ENGINE_KERNEL)
+    "before": ("reference", "0", "scalar"),
+    "after": ("incremental", "1", "batched"),
 }
 
 
-def _solver_env(mode: str, memo: str) -> None:
+def _solver_env(mode: str, memo: str, kernel: str) -> None:
     os.environ["REPRO_FLUID_SOLVER"] = mode
     os.environ["REPRO_FLUID_FILL_MEMO"] = memo
+    os.environ["REPRO_ENGINE_KERNEL"] = kernel
 
 
 def tuning_workload(quick: bool):
@@ -120,8 +127,8 @@ def scaling_runs(quick: bool) -> dict:
     from repro.experiments import scaling4096
 
     out: dict = {}
-    for config, (mode, memo) in CONFIGS.items():
-        _solver_env(mode, memo)
+    for config, env in CONFIGS.items():
+        _solver_env(*env)
         t0 = time.perf_counter()
         out[config] = scaling4096.run(
             scale="quick" if quick else "paper", save=False
@@ -133,6 +140,82 @@ def scaling_runs(quick: bool) -> dict:
     return out
 
 
+def scaling_gate(budget: float, baseline: dict | None, repeat: int) -> dict:
+    """Paper-scale after-config run: wall budget + baseline bit-compare.
+
+    Takes the minimum wall over ``repeat`` runs (same noise-suppression
+    discipline as the tuning phases); every run's simulated times must
+    agree with each other and — when a baseline document carries a
+    ``scaling4096`` section — with the committed times, so the gate
+    checks cross-process bit-identity, not just speed.
+    """
+    from repro.experiments import scaling4096
+
+    _solver_env(*CONFIGS["after"])
+    walls: list[float] = []
+    times = events = None
+    ok = True
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        res = scaling4096.run(scale="paper", save=False)
+        walls.append(time.perf_counter() - t0)
+        if times is None:
+            times, events = res["times"], res["events"]
+        elif res["times"] != times:
+            print("FAIL: repeated paper-scale runs disagree with each other")
+            ok = False
+    expect = (baseline or {}).get("scaling4096", {}).get("times")
+    if expect is not None:
+        if expect != times:
+            print("FAIL: paper-scale simulated times diverge from the "
+                  "committed baseline")
+            ok = False
+        else:
+            print("scaling gate: times bit-identical to the committed baseline")
+    wall = min(walls)
+    print(f"scaling gate: paper wall {wall:.2f}s "
+          f"(budget {budget:.1f}s, {len(walls)} run(s))")
+    if wall > budget:
+        print(f"FAIL: paper-scale wall exceeds the {budget:.1f}s budget")
+        ok = False
+    return {
+        "budget_s": budget,
+        "wallclock_s": wall,
+        "walls_s": walls,
+        "times": times,
+        "events": events,
+        "ok": ok,
+    }
+
+
+def critpath_profile() -> dict:
+    """Dogfood the repo's own observability on the bench workload.
+
+    Records one medium-geometry allreduce through :mod:`repro.obs` and
+    attributes its simulated critical path (cpu / net / wait) via
+    :mod:`repro.obs.critpath` — the breakdown that says *where* the
+    events the kernel retires actually come from.
+    """
+    from repro.hardware import shaheen2
+    from repro.obs.critpath import critical_path
+    from repro.obs.record import record_collective
+
+    _solver_env(*CONFIGS["after"])
+    machine = shaheen2(num_nodes=8, ppn=8)
+    record = record_collective(machine, "allreduce", float(MiB))
+    att = critical_path(record).attribution
+    return {
+        "workload": "allreduce 1MiB on shaheen2 8x8 (recorded run)",
+        "spans": len(record.spans),
+        "messages": len(record.messages),
+        "cpu_s": att["cpu"],
+        "net_s": att["net"],
+        "wait_s": att["wait"],
+        "end_s": att["end"],
+        "coverage": att["coverage"],
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
@@ -142,9 +225,33 @@ def main(argv=None) -> int:
     ap.add_argument("--check-baseline", metavar="JSON",
                     help="compare events/sec against a committed baseline; "
                          f"exit 1 on a >{TOLERANCE:.0%} regression")
+    ap.add_argument("--gate-scaling", type=float, metavar="SECONDS",
+                    help="run the paper-scale scaling4096 experiment in the "
+                         "after configuration; exit 3 if its wall clock "
+                         "exceeds this budget or its simulated times "
+                         "diverge from --check-baseline's")
+    ap.add_argument("--gate-repeat", type=int, default=2,
+                    help="runs for the scaling gate (minimum wall counts)")
+    ap.add_argument("--gate-only", action="store_true",
+                    help="skip the tuning/scaling phases: load the existing "
+                         "--output document, re-run just the paper-scale "
+                         "gate against its committed times, and rewrite its "
+                         "scaling_gate section (exit 3 on failure)")
     ap.add_argument("-o", "--output", metavar="JSON",
                     help="write the result document here")
     args = ap.parse_args(argv)
+
+    if args.gate_only:
+        if not (args.output and Path(args.output).exists()):
+            ap.error("--gate-only needs an existing --output document")
+        doc = json.loads(Path(args.output).read_text())
+        gate = scaling_gate(
+            args.gate_scaling if args.gate_scaling is not None else 5.0,
+            doc, args.gate_repeat,
+        )
+        doc["scaling_gate"] = gate
+        Path(args.output).write_text(json.dumps(doc, indent=2) + "\n")
+        return 0 if gate["ok"] else 3
 
     phases: dict[str, list[dict]] = {c: [] for c in CONFIGS}
     for rep in range(args.repeat):
@@ -183,6 +290,10 @@ def main(argv=None) -> int:
                        else "(medium geometry 16x12)"),
         "quick": args.quick,
         "repeat": args.repeat,
+        "configs": {
+            c: dict(zip(("fluid_solver", "fill_memo", "engine_kernel"), env))
+            for c, env in CONFIGS.items()
+        },
         "before": {k: best["before"][k] for k in
                    ("wallclock_s", "events", "events_per_sec")},
         "after": {k: best["after"][k] for k in
@@ -197,6 +308,25 @@ def main(argv=None) -> int:
         },
         "results_bit_identical": identical_tuning and scaling["identical"],
     }
+
+    gate = None
+    if args.gate_scaling is not None:
+        baseline = (
+            json.loads(Path(args.check_baseline).read_text())
+            if args.check_baseline else None
+        )
+        gate = scaling_gate(args.gate_scaling, baseline, args.gate_repeat)
+        doc["scaling_gate"] = gate
+
+    if not args.quick:
+        print("critical-path profile (obs dogfood)...", flush=True)
+        doc["critpath"] = critpath_profile()
+        end = doc["critpath"]["end_s"] or 1.0
+        print("  " + "  ".join(
+            f"{k}: {doc['critpath'][f'{k}_s']:.3e}s"
+            f" ({doc['critpath'][f'{k}_s'] / end:.0%})"
+            for k in ("cpu", "net", "wait")
+        ))
 
     print(
         f"\nbefore: {doc['before']['wallclock_s']:.2f}s  "
@@ -241,9 +371,11 @@ def main(argv=None) -> int:
             return 1
         print("OK")
     if not doc["results_bit_identical"]:
-        print("FAIL: solver modes disagree — investigate before trusting "
-              "any benchmark above")
+        print("FAIL: kernel configurations disagree — investigate before "
+              "trusting any benchmark above")
         return 2
+    if gate is not None and not gate["ok"]:
+        return 3
     return 0
 
 

@@ -35,9 +35,13 @@ def _group_layout(runtime, group: tuple) -> tuple[int, dict]:
     if cache is None:
         cache = {}
         setattr(runtime, _LAYOUT_ATTR, cache)
-    hit = cache.get(group)
-    if hit is not None:
-        return hit
+    # keyed by identity, not value: hashing a 4096-tuple on every lookup
+    # is an O(P) cost per call.  Group tuples are interned per cid on the
+    # runtime, so identity hits are the norm; the stored (group, layout)
+    # pair keeps the keyed tuple alive, which keeps id() unambiguous.
+    hit = cache.get(id(group))
+    if hit is not None and hit[0] is group:
+        return hit[1]
     fabric = runtime.fabric
     members_by_node: dict[int, list[int]] = {}
     for w in group:
@@ -47,7 +51,7 @@ def _group_layout(runtime, group: tuple) -> tuple[int, dict]:
         for local, w in enumerate(sorted(members_by_node[node])):
             positions[w] = (node_pos, local)
     layout = (len(members_by_node), positions)
-    cache[group] = layout
+    cache[id(group)] = (group, layout)
     return layout
 
 

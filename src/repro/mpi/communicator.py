@@ -28,9 +28,14 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Communicator", "Message"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Message:
-    """What a completed receive yields."""
+    """What a completed receive yields.
+
+    One per received message makes this a hot allocation; ``slots``
+    (without ``frozen``, whose ``object.__setattr__`` init path is slow)
+    keeps construction cheap.  Treat instances as immutable anyway.
+    """
 
     source: int  # communicator rank of the sender
     tag: int
@@ -62,15 +67,14 @@ class Communicator:
         self.cid = cid
         self.group = group  # world ranks, indexed by communicator rank
         self.rank = rank
+        #: group size; a plain attribute (groups are immutable) — the
+        #: property call was measurable inside collective loops
+        self.size = len(group)
         self._split_epoch = 0
         self._barrier_epoch = 0
         self._nodes: Optional[list[int]] = None  # node_of cache, lazy
 
     # -- introspection -----------------------------------------------------------
-
-    @property
-    def size(self) -> int:
-        return len(self.group)
 
     @property
     def world_rank(self) -> int:

@@ -21,12 +21,21 @@ class Request:
         msg = yield from comm.wait(req)
     """
 
-    __slots__ = ("event", "kind", "meta")
+    __slots__ = ("event", "kind", "_meta")
 
     def __init__(self, event: SimEvent, kind: str, meta: Optional[dict] = None):
         self.event = event
         self.kind = kind
-        self.meta = meta or {}
+        self._meta = meta
+
+    @property
+    def meta(self) -> dict:
+        # lazily materialized: two requests per message at paper scale
+        # and nearly none of them ever touch metadata
+        m = self._meta
+        if m is None:
+            m = self._meta = {}
+        return m
 
     @property
     def complete(self) -> bool:

@@ -17,6 +17,7 @@ It exposes transfer *plans* (latency + resource route + rate cap) and a
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Tuple
 
 import numpy as np
@@ -98,6 +99,9 @@ class Fabric:
         # handful of segment sizes, so both caches stay small.
         self._path_cache: dict[tuple[int, int], tuple[float, np.ndarray]] = {}
         self._plan_cache: dict[tuple[int, int, float], TransferPlan] = {}
+        # (src_rank, dst_rank) -> control latency; two lookups per
+        # message (envelope + CTS) make even the plan-cache hit path hot
+        self._ctrl_cache: dict[tuple[int, int], float] = {}
         # (node, copies) -> pre-validated membus route for membus_flow()
         self._membus_routes: dict[tuple[int, int], np.ndarray] = {}
         # node_of() is the hottest call in a paper-scale run (millions of
@@ -166,7 +170,8 @@ class Fabric:
 
     def plan(self, src_rank: int, dst_rank: int, nbytes: float) -> TransferPlan:
         """Latency, fluid route and rate cap for one message."""
-        sn, dn = self.node_of(src_rank), self.node_of(dst_rank)
+        nd = self._node_of
+        sn, dn = nd[src_rank], nd[dst_rank]
         plan = self._plan_cache.get((sn, dn, nbytes))
         if plan is not None:
             return plan
@@ -216,7 +221,11 @@ class Fabric:
 
     def control_latency(self, src_rank: int, dst_rank: int) -> float:
         """One-way latency of a zero-payload control message (RTS/CTS)."""
-        return self.plan(src_rank, dst_rank, 0).latency
+        key = (src_rank, dst_rank)
+        hit = self._ctrl_cache.get(key)
+        if hit is None:
+            hit = self._ctrl_cache[key] = self.plan(src_rank, dst_rank, 0).latency
+        return hit
 
     # -- transfer execution ----------------------------------------------------------
 
@@ -237,14 +246,12 @@ class Fabric:
         label = (
             f"x:{src_rank}->{dst_rank}" if self.engine.obs is not None else ""
         )
-
-        def launch() -> None:
-            self.solver.start_flow(
-                nbytes, plan.resources, on_done, rate_cap=plan.rate_cap,
-                label=label,
-            )
-
-        self.engine.schedule(latency, launch)
+        # positional partial (nbytes, resources, on_complete, rate_cap,
+        # weight, label) over a closure: skips one Python frame per flow
+        self.engine.schedule(latency, partial(
+            self.solver.start_flow,
+            nbytes, plan.resources, on_done, plan.rate_cap, 1.0, label,
+        ))
 
     def gpu_flow(
         self,

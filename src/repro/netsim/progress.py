@@ -17,6 +17,10 @@ what makes HAN's measured `sbib` cost exceed ``max(ib, sb)``.
 
 from __future__ import annotations
 
+from typing import Callable, Sequence
+
+import numpy as np
+
 from repro.sim.engine import Engine, SimEvent
 
 __all__ = ["ProgressServer"]
@@ -44,46 +48,146 @@ class ProgressServer:
         self.busy_time = 0.0
         self.jobs = 0
 
+    def _grant(self, duration: float, label: str, span_args) -> float:
+        """FIFO-grant ``duration`` seconds of CPU; returns the end instant.
+
+        The scheduling decision shared by every request flavor: the job
+        starts when the server drains (or now, if idle) and holds the
+        CPU exclusively until ``start + duration``.
+        """
+        if duration < 0:
+            raise ValueError(f"negative duration {duration}")
+        engine = self.engine
+        if engine.overhead_hook is not None:
+            duration = max(0.0, engine.overhead_hook("cpu", self.rank, duration))
+        now = engine.now
+        start = self._busy_until
+        if start < now:
+            start = now
+        end = start + duration
+        self._busy_until = end
+        self.busy_time += duration
+        self.jobs += 1
+        obs = engine.obs
+        if obs is not None and duration > 0:
+            # Both endpoints are known at request time (FIFO, non-
+            # preemptive), so the spans are emitted complete up front.
+            track = f"cpu:{self.name or self.rank}"
+            sid = -1
+            if start > now:
+                # queued time is waiting, not work: separate category so
+                # the exporter and the critical-path walk never mistake
+                # it for busy CPU (it overlaps the prior job's busy span)
+                sid = obs.complete(track, "queued", now, start,
+                                   "wait", rank=self.rank)
+            obs.complete(track, label, start, end, "cpu",
+                         rank=self.rank, **span_args)
+            # metrics plane: zero-wait jobs count too — the queue-wait
+            # distribution is meaningless without its uncontended mass
+            obs.cpu_job(self.rank, duration, start - now, sid=sid)
+        return end
+
     def request(self, duration: float, label: str = "cpu", **span_args) -> SimEvent:
         """Queue ``duration`` seconds of CPU; the event fires when done.
 
         ``label`` and ``span_args`` only feed the observability layer
         (span name / extra attributes); they never affect timing.
         """
-        if duration < 0:
-            raise ValueError(f"negative duration {duration}")
-        if self.engine.overhead_hook is not None:
-            duration = max(
-                0.0, self.engine.overhead_hook("cpu", self.rank, duration)
-            )
         ev = SimEvent(self.engine, self._ev_name)
-        start = max(self.engine.now, self._busy_until)
-        end = start + duration
-        self._busy_until = end
-        self.busy_time += duration
-        self.jobs += 1
-        obs = self.engine.obs
-        if obs is not None and duration > 0:
-            # Both endpoints are known at request time (FIFO, non-
-            # preemptive), so the spans are emitted complete up front.
-            track = f"cpu:{self.name or self.rank}"
-            sid = -1
-            if start > self.engine.now:
-                # queued time is waiting, not work: separate category so
-                # the exporter and the critical-path walk never mistake
-                # it for busy CPU (it overlaps the prior job's busy span)
-                sid = obs.complete(track, "queued", self.engine.now, start,
-                                   "wait", rank=self.rank)
-            obs.complete(track, label, start, end, "cpu",
-                         rank=self.rank, **span_args)
-            # metrics plane: zero-wait jobs count too — the queue-wait
-            # distribution is meaningless without its uncontended mass
-            obs.cpu_job(self.rank, duration, start - self.engine.now,
-                        sid=sid)
+        end = self._grant(duration, label, span_args)
         # succeed() with no argument delivers None to every waiter;
         # scheduling the bound method skips a per-request lambda
         self.engine.schedule_at(end, ev.succeed)
         return ev
+
+    def request_call(
+        self, duration: float, fn: Callable[[], None],
+        label: str = "cpu", **span_args,
+    ) -> None:
+        """Like :meth:`request`, but fire ``fn()`` directly when done.
+
+        The grant math, heap placement and sequence allocation are
+        identical to ``request()`` — a caller switching from
+        ``request(d).callbacks.append(f)`` to ``request_call(d, f)``
+        gets a bit-identical schedule — it just skips the
+        SimEvent/succeed machinery, which is pure overhead for the
+        fire-and-forget continuations the message pipeline queues per
+        send/recv (two per message at paper scale).
+        """
+        end = self._grant(duration, label, span_args)
+        self.engine.schedule_at(end, fn)
+
+    def request_burst(
+        self, durations: Sequence[float], label: str = "cpu",
+    ) -> list[SimEvent]:
+        """Queue a back-to-back burst of jobs; one event per job.
+
+        The FIFO grant math for the whole burst resolves in one
+        vectorized pass — a running ``add.accumulate`` *seeded with the
+        start instant* — instead of N separate ``request()`` bookkeeping
+        rounds.  Seeding matters for bit-identity: sequential calls
+        compute ``((start+d0)+d1)+...`` with a rounding step per job,
+        and only an accumulate over ``[start, d0, d1, ...]`` reproduces
+        those exact doubles (``start + cumsum(d)`` rounds the partial
+        sums *before* adding the start and drifts by an ulp almost
+        immediately).  Per-job accounting (``busy_time``, obs spans) is
+        likewise replayed job by job.
+        """
+        engine = self.engine
+        n = len(durations)
+        if n == 0:
+            return []
+        d = np.asarray(durations, dtype=np.float64)
+        if d.min() < 0:
+            raise ValueError("negative duration in burst")
+        hook = engine.overhead_hook
+        if hook is not None:
+            # per-job hook consultation, exactly as N request() calls
+            rank = self.rank
+            d = np.fromiter(
+                (max(0.0, hook("cpu", rank, x)) for x in d.tolist()),
+                dtype=np.float64, count=n,
+            )
+        now = engine.now
+        start0 = self._busy_until
+        if start0 < now:
+            start0 = now
+        ends = np.add.accumulate(np.concatenate(((start0,), d)))[1:]
+        self._busy_until = float(ends[-1])
+        self.jobs += n
+        obs = engine.obs
+        end_list = ends.tolist()
+        dur_list = d.tolist()
+        # sequential float adds, matching N scalar request() calls bit
+        # for bit (np.sum's pairwise reduction would not)
+        busy = self.busy_time
+        for x in dur_list:
+            busy += x
+        self.busy_time = busy
+        if obs is not None:
+            track = f"cpu:{self.name or self.rank}"
+            prev_end = start0
+            for i, end in enumerate(end_list):
+                dur = dur_list[i]
+                if dur <= 0:
+                    prev_end = end
+                    continue
+                s = prev_end
+                sid = -1
+                if s > now:
+                    sid = obs.complete(track, "queued", now, s,
+                                       "wait", rank=self.rank)
+                obs.complete(track, label, s, end, "cpu", rank=self.rank)
+                obs.cpu_job(self.rank, dur, s - now, sid=sid)
+                prev_end = end
+        events = []
+        schedule_at = engine.schedule_at
+        ev_name = self._ev_name
+        for end in end_list:
+            ev = SimEvent(engine, ev_name)
+            schedule_at(end, ev.succeed)
+            events.append(ev)
+        return events
 
     @property
     def backlog(self) -> float:

@@ -1,10 +1,10 @@
 """Deterministic discrete-event engine with generator-based processes.
 
-The engine keeps a single binary heap of timestamped callbacks.  Simulated
-processes are Python generators that ``yield`` *commands*; the engine
-interprets each command, and resumes the generator (``gen.send(value)``)
-when the command completes.  Sub-routines compose with plain
-``yield from``, so collective algorithms read like straight-line MPI code.
+Simulated processes are Python generators that ``yield`` *commands*; the
+engine interprets each command, and resumes the generator
+(``gen.send(value)``) when the command completes.  Sub-routines compose
+with plain ``yield from``, so collective algorithms read like
+straight-line MPI code.
 
 Commands understood by the engine:
 
@@ -28,13 +28,51 @@ Determinism: events at equal timestamps are processed in (priority,
 sequence-number) order, so repeated runs are bit-identical.  ``priority``
 lets the fluid solver batch same-instant flow arrivals into a single
 rate recomputation (see :mod:`repro.sim.fluid`).
+
+Event queue
+-----------
+
+The queue is a slot table of parallel lists (``time``, a packed
+``priority``/``seq`` key, ``cancelled``, callback), drained by one of
+two kernels (``REPRO_ENGINE_KERNEL`` or the ``kernel=`` constructor
+argument):
+
+``batched`` (default)
+    Two-tier queue.  Freshly scheduled entries land in a small C-level
+    ``heapq`` (*side* tier); once the side tier outgrows a threshold it
+    is merged into a time-sorted numpy index (*bulk* tier) with one
+    stable ``argsort``.  The run loop retires *all* entries due at the
+    same instant in one pass: a ``searchsorted`` slices the due span out
+    of the bulk tier, one ``lexsort`` orders it by (priority, seq), and
+    a two-way merge walk interleaves side-tier entries (including ones
+    scheduled *during* the batch) in the same total order.  ``now``
+    advances once per batch instead of once per event.
+
+``scalar``
+    The classic one-event-at-a-time heap loop, kept as the differential
+    baseline: both kernels share the slot table and must produce
+    bit-identical results (same ``events`` count, same final time, same
+    execution order) — the test suite runs the fluid differential
+    schedules under both.
+
+Cancellation is lazy (``cancel`` flips the slot's ``cancelled`` flag),
+but unlike a pure lazy-deletion heap the table *compacts*: when
+cancelled entries reach half the pending queue the bulk tier is rebuilt
+through one boolean mask and the side tier is re-heapified without the
+dead entries, so schedule-then-cancel workloads (fault injectors, flow
+epoch bumps) cannot grow the queue without bound.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
+import os
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Generator, Iterable, Optional
+
+import numpy as np
 
 __all__ = [
     "AllOf",
@@ -55,19 +93,39 @@ __all__ = [
 PRIORITY_NORMAL = 0
 PRIORITY_LATE = 1
 
+#: environment override for the default event-loop kernel (benchmark A/B
+#: switch; the differential suite runs both and compares bit-for-bit)
+_KERNEL_ENV = "REPRO_ENGINE_KERNEL"
+_KERNELS = ("batched", "scalar")
+
+#: side-tier size that triggers a merge into the sorted bulk tier.  Runs
+#: whose pending set never reaches this stay pure-heapq and pay no numpy
+#: cost at all; paper-scale runs (8k+ pending entries) amortize the merge
+#: over thousands of retirements.
+_FLUSH_THRESHOLD = 2048
+
+#: compaction trigger: at least this many cancelled entries *and* at
+#: least half the pending queue cancelled (amortized O(1) per cancel)
+_COMPACT_MIN = 64
+
 
 class DeadlockError(RuntimeError):
     """Raised when the event heap drains while processes are still blocked."""
 
 
-@dataclass(frozen=True)
+# Command dataclasses use ``slots`` but not ``frozen``: frozen's
+# ``object.__setattr__`` init path is ~3x slower and these are built on
+# the hot path (one Sleep per shared-memory hop).  Treat as immutable.
+
+
+@dataclass(slots=True)
 class Sleep:
     """Command: suspend the issuing process for ``dt`` simulated seconds."""
 
     dt: float
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Spawn:
     """Command: start ``gen`` as a child process; resume with its handle."""
 
@@ -75,7 +133,7 @@ class Spawn:
     name: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Join:
     """Command: wait for a spawned :class:`SimProcess` to finish."""
 
@@ -107,11 +165,25 @@ class SimEvent:
         self.triggered = True
         self.value = value
         waiters, self._waiters = self._waiters, []
-        if self.callbacks:
-            for cb in list(self.callbacks):
-                cb(self)
-        for proc in waiters:
-            self.engine._resume(proc, value)
+        cbs = self.callbacks
+        if cbs:
+            # detach before firing: composite-wait closures capture the
+            # event list that contains this event, so a populated
+            # callbacks list is a reference *cycle* — left in place, every
+            # completed wait becomes collector-only garbage (~1M cyclic
+            # objects per paper-scale run).  Detaching also preserves the
+            # old iterate-over-a-copy semantics: mutations during firing
+            # hit the fresh list and cannot affect this iteration.
+            self.callbacks = []
+            if len(cbs) == 1:
+                cbs[0](self)
+            else:
+                for cb in cbs:
+                    cb(self)
+        if waiters:
+            resume = self.engine._resume
+            for proc in waiters:
+                resume(proc, value)
 
     def _add_waiter(self, proc: "SimProcess") -> None:
         if self.triggered:
@@ -134,7 +206,7 @@ class AnyOf:
     __slots__ = ("events",)
 
     def __init__(self, events: Iterable[SimEvent]):
-        self.events = list(events)
+        self.events = events if type(events) is list else list(events)
 
 
 class AllOf:
@@ -146,7 +218,7 @@ class AllOf:
     __slots__ = ("events",)
 
     def __init__(self, events: Iterable[SimEvent]):
-        self.events = list(events)
+        self.events = events if type(events) is list else list(events)
 
 
 class SimProcess:
@@ -168,13 +240,19 @@ class SimProcess:
         return f"<SimProcess {self.name!r} {state}>"
 
 
-# Heap items are plain lists [time, priority, seq, fn, cancelled]: list
-# comparison is C-level and the unique seq breaks every tie before the
-# (incomparable) callable is reached.  A dataclass with order=True costs
-# a Python-level __lt__ per heap sift, which shows up on paper-scale
-# runs (millions of events).
-_TIME, _PRIORITY, _SEQ, _FN, _CANCELLED = range(5)
-_HeapItem = list
+#: cancellation token: (slot index, packed key).  The key makes the
+#: token single-use — once the entry fires, is cancelled, or its slot is
+#: recycled, the stored key no longer matches and cancel() is a no-op.
+Token = tuple  # (slot, key)
+
+#: priority and sequence number share one packed int: ``key = priority
+#: << _PRIO_SHIFT | seq``, so a single integer compare (or one
+#: ``np.argsort``) yields (priority, seq) order directly.  The shift is
+#: 48 (not 56) so any realistic key stays below 2**53 and survives the
+#: float64 round trip through ``np.asarray(side)`` exactly: priorities
+#: are tiny (0/1) and 2**48 sequence numbers is ~3 000 years of
+#: paper-scale simulation.
+_PRIO_SHIFT = 48
 
 
 class Engine:
@@ -196,13 +274,42 @@ class Engine:
     #: see (e.g. the ones :func:`measure_collective` creates internally)
     events_total: int = 0
 
-    def __init__(self) -> None:
+    def __init__(self, kernel: Optional[str] = None) -> None:
+        if kernel is None:
+            kernel = os.environ.get(_KERNEL_ENV, "batched")
+        if kernel not in _KERNELS:
+            raise ValueError(
+                f"unknown engine kernel {kernel!r}; want one of {_KERNELS}"
+            )
+        self.kernel = kernel
+        self._batched = kernel == "batched"
         self.now: float = 0.0
-        self._heap: list[_HeapItem] = []
         self._seq: int = 0
         #: events executed by this engine instance
         self.events: int = 0
-        self._nblocked: int = 0
+        #: distinct retirement batches (instants with >= 1 executed event)
+        self.batches: int = 0
+        # -- slot table: parallel plain lists ----------------------------
+        # Plain lists, not numpy columns: per-entry scalar stores/loads
+        # dominate here and are ~3x cheaper on lists, while every bulk
+        # numpy operation the batched kernel needs works off the side
+        # tuples / bulk-tier arrays instead.  Lists also grow in place
+        # (extend), so the run loops may alias them safely.
+        cap = 1024
+        self._q_time: list[float] = [0.0] * cap
+        self._q_key: list[int] = [-1] * cap  # priority << _PRIO_SHIFT | seq
+        self._q_cancelled: list[bool] = [False] * cap
+        self._q_fn: list[Optional[Callable[[], None]]] = [None] * cap
+        self._free: list[int] = list(range(cap - 1, -1, -1))
+        # -- side tier: C heap of (time, key, slot) ----------------------
+        self._side: list[tuple] = []
+        # -- bulk tier: (slot, time, key) arrays sorted by time, consumed
+        #    from _shead; built straight from the side tuples at flush --
+        self._sorted = np.empty(0, np.intp)
+        self._sorted_t = np.empty(0, np.float64)
+        self._sorted_k = np.empty(0, np.int64)
+        self._shead = 0
+        self._ncancelled = 0
         self._live_procs: int = 0
         # live processes, for deadlock diagnostics: when the heap drains,
         # every unfinished process is by definition blocked, so a
@@ -228,20 +335,43 @@ class Engine:
 
     # -- scheduling --------------------------------------------------------
 
+    def _grow(self) -> None:
+        cap = len(self._q_fn)
+        new_cap = cap * 2
+        self._q_time.extend([0.0] * cap)
+        self._q_key.extend([-1] * cap)
+        self._q_cancelled.extend([False] * cap)
+        self._q_fn.extend([None] * cap)
+        self._free.extend(range(new_cap - 1, cap - 1, -1))
+
+    # NOTE: schedule() and schedule_at() duplicate the push body on
+    # purpose — one of them runs for every single event, and the extra
+    # call layer of a shared _push() helper is measurable at paper scale.
+
     def schedule(
         self, delay: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL
-    ) -> _HeapItem:
+    ) -> Token:
         """Run ``fn()`` after ``delay`` seconds; returns a cancellable token."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        item = [self.now + delay, priority, self._seq, fn, False]
-        self._seq += 1
-        heapq.heappush(self._heap, item)
-        return item
+        time = self.now + delay
+        free = self._free
+        if not free:
+            self._grow()
+            free = self._free
+        slot = free.pop()
+        seq = self._seq
+        self._seq = seq + 1
+        key = (priority << _PRIO_SHIFT) | seq
+        self._q_time[slot] = time
+        self._q_key[slot] = key
+        self._q_fn[slot] = fn
+        heapq.heappush(self._side, (time, key, slot))
+        return (slot, key)
 
     def schedule_at(
         self, when: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL
-    ) -> _HeapItem:
+    ) -> Token:
         """Run ``fn()`` at absolute simulated time ``when``.
 
         ``when`` lands on the heap *exactly* (not via a ``now + (when -
@@ -252,19 +382,118 @@ class Engine:
         """
         if when < self.now:
             raise ValueError(f"schedule_at({when}) is in the past (now={self.now})")
-        item = [when, priority, self._seq, fn, False]
-        self._seq += 1
-        heapq.heappush(self._heap, item)
-        return item
+        free = self._free
+        if not free:
+            self._grow()
+            free = self._free
+        slot = free.pop()
+        seq = self._seq
+        self._seq = seq + 1
+        key = (priority << _PRIO_SHIFT) | seq
+        self._q_time[slot] = when
+        self._q_key[slot] = key
+        self._q_fn[slot] = fn
+        heapq.heappush(self._side, (when, key, slot))
+        return (slot, key)
 
-    @staticmethod
-    def cancel(item: _HeapItem) -> None:
-        """Cancel a previously scheduled callback (lazy deletion)."""
-        item[_CANCELLED] = True
+    def cancel(self, token: Token) -> None:
+        """Cancel a previously scheduled callback.
+
+        Safe to call on tokens whose entry already fired (or was already
+        cancelled): the per-slot seq check turns those into no-ops.
+        Deletion is lazy — the entry is flagged and skipped at
+        retirement — but the queue compacts once cancelled entries reach
+        half the pending set, so cancel-heavy workloads stay bounded.
+        """
+        slot, key = token
+        if self._q_key[slot] != key or self._q_cancelled[slot]:
+            return
+        self._q_cancelled[slot] = True
+        self._q_fn[slot] = None  # release the closure now, not at pop
+        self._ncancelled += 1
+        pending = (self._sorted_t.size - self._shead) + len(self._side)
+        if self._ncancelled >= _COMPACT_MIN and self._ncancelled * 2 >= pending:
+            self._compact()
+
+    def _free_slot(self, slot: int) -> None:
+        self._q_key[slot] = -1
+        self._q_cancelled[slot] = False
+        self._q_fn[slot] = None
+        self._free.append(slot)
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from both tiers (one mask + one heapify)."""
+        q_can = self._q_cancelled
+        shead = self._shead
+        rem = self._sorted[shead:]
+        if rem.size:
+            rem_list = rem.tolist()
+            dead_mask = np.fromiter(
+                (q_can[s] for s in rem_list), np.bool_, rem.size
+            )
+            if dead_mask.any():
+                keep = ~dead_mask
+                self._sorted_t = self._sorted_t[shead:][keep]
+                self._sorted_k = self._sorted_k[shead:][keep]
+                self._sorted = rem[keep]
+                self._shead = 0
+                q_key = self._q_key
+                q_fn = self._q_fn
+                free = self._free
+                for s, d in zip(rem_list, dead_mask.tolist()):
+                    if d:
+                        q_can[s] = False
+                        q_key[s] = -1
+                        q_fn[s] = None
+                        free.append(s)
+        side = self._side
+        if side:
+            keep = [e for e in side if not q_can[e[2]]]
+            if len(keep) != len(side):
+                for e in side:
+                    if q_can[e[2]]:
+                        self._free_slot(e[2])
+                # in-place rebuild: the run loop holds an alias to `side`
+                side[:] = keep
+                heapq.heapify(side)
+        self._ncancelled = 0
+
+    def _flush_side(self) -> None:
+        """Merge the side heap into the sorted bulk tier (one argsort).
+
+        Each entry is flushed at most once over its lifetime, so the
+        per-element cost amortizes over all scheduling traffic.
+        """
+        side = self._side
+        # one C-level conversion of the whole heap; keys (< 2**53, see
+        # _PRIO_SHIFT) and slots are exact through the float64 round trip
+        arr = np.asarray(side, np.float64)
+        t = arr[:, 0]
+        k = arr[:, 1].astype(np.int64)
+        slots = arr[:, 2].astype(np.intp)
+        shead = self._shead
+        if self._sorted.size - shead:
+            slots = np.concatenate((self._sorted[shead:], slots))
+            t = np.concatenate((self._sorted_t[shead:], t))
+            k = np.concatenate((self._sorted_k[shead:], k))
+        # stable sort: equal-time relative order is irrelevant for
+        # semantics (batches re-order by (priority, seq)), but stability
+        # keeps the common nearly-sorted case cheap for timsort
+        order = np.argsort(t, kind="stable")
+        self._sorted = slots[order]
+        self._sorted_t = t[order]
+        self._sorted_k = k[order]
+        self._shead = 0
+        side.clear()
 
     def event(self, name: str = "") -> SimEvent:
         """Create a fresh one-shot :class:`SimEvent` bound to this engine."""
         return SimEvent(self, name)
+
+    @property
+    def queue_depth(self) -> int:
+        """Pending queue entries, including not-yet-reclaimed cancelled ones."""
+        return (self._sorted_t.size - self._shead) + len(self._side)
 
     # -- processes ----------------------------------------------------------
 
@@ -273,7 +502,9 @@ class Engine:
         proc = SimProcess(self, gen, name)
         self._live_procs += 1
         self._procs[id(proc)] = proc
-        self.schedule(0.0, lambda: self._resume(proc, None))
+        # partial over lambda on hot dispatch paths: the C-level call
+        # skips the closure's Python frame
+        self.schedule(0.0, partial(self._resume, proc, None))
         return proc
 
     def spawn_eager(self, gen: Generator, name: str = "") -> SimProcess:
@@ -315,23 +546,25 @@ class Engine:
 
     def _dispatch(self, proc: SimProcess, cmd: Any) -> None:
         """Interpret one yielded command for ``proc``."""
+        # isinstance chain ordered by yield frequency at scale: plain
+        # event waits, then waitall (every sendrecv), then the rest
         if isinstance(cmd, SimEvent):
             cmd._add_waiter(proc)
+        elif isinstance(cmd, AllOf):
+            self._wait_all(proc, cmd.events)
         elif isinstance(cmd, Sleep):
-            self.schedule(cmd.dt, lambda: self._resume(proc, None))
+            self.schedule(cmd.dt, partial(self._resume, proc, None))
         elif isinstance(cmd, Spawn):
             child = self.spawn_eager(cmd.gen, name=cmd.name or f"{proc.name}/child")
-            self.schedule(0.0, lambda: self._resume(proc, child))
+            self.schedule(0.0, partial(self._resume, proc, child))
         elif isinstance(cmd, Join):
             target = cmd.proc
             if target.finished:
-                self.schedule(0.0, lambda: self._resume(proc, target.result))
+                self.schedule(0.0, partial(self._resume, proc, target.result))
             else:
                 target.done_event._add_waiter(proc)
         elif isinstance(cmd, AnyOf):
             self._wait_any(proc, cmd.events)
-        elif isinstance(cmd, AllOf):
-            self._wait_all(proc, cmd.events)
         else:
             raise TypeError(
                 f"process {proc.name!r} yielded unsupported command {cmd!r}"
@@ -340,33 +573,47 @@ class Engine:
     def _wait_any(self, proc: SimProcess, events: list[SimEvent]) -> None:
         for idx, ev in enumerate(events):
             if ev.triggered:
-                self.schedule(0.0, lambda i=idx, v=ev.value: self._resume(proc, (i, v)))
+                self.schedule(0.0, partial(self._resume, proc, (idx, ev.value)))
                 return
         state = {"done": False}
+        cbs: list = []
 
         def make_cb(idx: int):
             def cb(ev: SimEvent) -> None:
                 if state["done"]:
                     return
                 state["done"] = True
+                # sweep every registered sibling callback off the losing
+                # events: without this, long-lived events accumulate dead
+                # closures (and their captured processes) without bound
+                for e, c in zip(events, cbs):
+                    try:
+                        e.callbacks.remove(c)
+                    except ValueError:
+                        pass
                 self._resume(proc, (idx, ev.value))
 
             return cb
 
         for idx, ev in enumerate(events):
-            ev.callbacks.append(make_cb(idx))
+            cb = make_cb(idx)
+            cbs.append(cb)
+            ev.callbacks.append(cb)
 
     def _wait_all(self, proc: SimProcess, events: list[SimEvent]) -> None:
-        pending = sum(1 for ev in events if not ev.triggered)
+        pending = 0
+        for ev in events:
+            if not ev.triggered:
+                pending += 1
         if pending == 0:
             values = [ev.value for ev in events]
-            self.schedule(0.0, lambda: self._resume(proc, values))
+            self.schedule(0.0, partial(self._resume, proc, values))
             return
-        state = {"pending": pending}
+        state = [pending]
 
         def cb(_ev: SimEvent) -> None:
-            state["pending"] -= 1
-            if state["pending"] == 0:
+            state[0] -= 1
+            if state[0] == 0:
                 self._resume(proc, [e.value for e in events])
 
         for ev in events:
@@ -376,34 +623,51 @@ class Engine:
     # -- main loop -----------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> float:
-        """Drain the event heap; returns the final simulated time.
+        """Drain the event queue; returns the final simulated time.
 
-        Raises :class:`DeadlockError` if processes remain blocked with no
+        With ``until=T`` the loop stops once the next entry lies beyond
+        ``T`` *or* the queue drains early — either way ``now`` advances
+        to exactly ``T``, so both stop paths agree.  Raises
+        :class:`DeadlockError` if processes remain blocked with no
         pending events (a genuinely hung simulation), and re-raises any
         exception a simulated process died with.
+
+        The Python garbage collector is paused for the duration of the
+        loop (and restored on exit): the event machinery allocates
+        heavily but creates no garbage cycles on the hot path, and
+        collector passes were ~half the wall time of paper-scale runs.
         """
-        heap = self._heap
-        pop = heapq.heappop
+        if until is not None and until < self.now:
+            return self.now
         events_before = self.events
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while heap:
-                item = heap[0]
-                if until is not None and item[_TIME] > until:
-                    self.now = until
-                    return self.now
-                pop(heap)
-                if item[_CANCELLED]:
-                    continue
-                if item[_TIME] < self.now - 1e-18:
-                    raise AssertionError("time went backwards")
-                self.now = item[_TIME]
-                self.events += 1
-                item[_FN]()
+            if self._batched:
+                stopped = self._run_batched(until)
+            else:
+                stopped = self._run_scalar(until)
         finally:
             # the process-wide counter is updated in one batch: a
             # per-event class-attribute store is measurable at scale
-            Engine.events_total += self.events - events_before
-        if self._live_procs > 0 and until is None:
+            executed = self.events - events_before
+            Engine.events_total += executed
+            if gc_was_enabled:
+                if executed > 150_000:
+                    # big runs defer a mountain of collector work; paying
+                    # it here (~0.15 s) beats the multi-second stall the
+                    # re-enabled collector would otherwise take at an
+                    # arbitrary later allocation
+                    gc.collect()
+                gc.enable()
+        if stopped:
+            return self.now
+        # drained
+        if until is not None:
+            if until > self.now:
+                self.now = until
+        elif self._live_procs > 0:
             blocked = sorted(
                 p.name for p in self._procs.values() if not p.finished
             )
@@ -412,3 +676,132 @@ class Engine:
                 f"blocked: {blocked[:20]}"
             )
         return self.now
+
+    def _run_batched(self, until: Optional[float]) -> bool:
+        """Batched retirement loop; True if stopped at ``until``."""
+        # the slot-table lists only ever grow in place, so aliasing them
+        # across fn() calls is safe (unlike the old numpy columns)
+        side = self._side
+        q_can = self._q_cancelled
+        q_key = self._q_key
+        q_fn = self._q_fn
+        free = self._free
+        pop = heapq.heappop
+        while True:
+            if len(side) >= _FLUSH_THRESHOLD:
+                self._flush_side()
+            shead = self._shead
+            st = self._sorted_t
+            have_arr = shead < st.size
+            if side:
+                t = side[0][0]
+                if have_arr:
+                    ta = st[shead]
+                    if ta <= t:
+                        t = float(ta)
+            elif have_arr:
+                t = float(st[shead])
+            else:
+                return False
+            if until is not None and t > until:
+                self.now = until
+                return True
+            if t < self.now - 1e-18:
+                raise AssertionError("time went backwards")
+            # slice the due span out of the bulk tier and order it by
+            # (priority, seq) — one argsort on the packed key; the merge
+            # walk below interleaves side-tier entries — including ones
+            # scheduled mid-batch — in the same total order
+            arr_key: list = []
+            arr_slot: list = []
+            na = 0
+            if have_arr and st[shead] == t:
+                hi = int(np.searchsorted(st, t, side="right"))
+                self._shead = hi
+                if hi - shead > 1:
+                    bk = self._sorted_k[shead:hi]
+                    order = np.argsort(bk)  # keys are unique
+                    arr_key = bk[order].tolist()
+                    arr_slot = self._sorted[shead:hi][order].tolist()
+                else:
+                    arr_key = [int(self._sorted_k[shead])]
+                    arr_slot = [int(self._sorted[shead])]
+                na = len(arr_slot)
+            advanced = False
+            i = 0
+            while True:
+                if side and side[0][0] == t:
+                    if i < na and arr_key[i] < side[0][1]:
+                        slot = arr_slot[i]
+                        i += 1
+                    else:
+                        slot = pop(side)[2]
+                elif i < na:
+                    slot = arr_slot[i]
+                    i += 1
+                else:
+                    break
+                if q_can[slot]:
+                    self._free_slot(slot)
+                    if self._ncancelled:
+                        self._ncancelled -= 1
+                    continue
+                if not advanced:
+                    # a batch of nothing but cancelled entries must not
+                    # advance the clock (matches the scalar kernel)
+                    self.now = t
+                    self.batches += 1
+                    advanced = True
+                fn = q_fn[slot]
+                q_fn[slot] = None
+                q_key[slot] = -1
+                free.append(slot)
+                self.events += 1
+                fn()
+
+    def _run_scalar(self, until: Optional[float]) -> bool:
+        """One-event-at-a-time loop; True if stopped at ``until``.
+
+        The scalar kernel never flushes to the bulk tier, but folds back
+        anything a previous batched run left there so kernels can be
+        mixed on one engine.
+        """
+        side = self._side
+        if self._shead < self._sorted_t.size:
+            shead = self._shead
+            for t, k, s in zip(
+                self._sorted_t[shead:].tolist(),
+                self._sorted_k[shead:].tolist(),
+                self._sorted[shead:].tolist(),
+            ):
+                heapq.heappush(side, (t, k, s))
+            self._sorted = np.empty(0, np.intp)
+            self._sorted_t = np.empty(0, np.float64)
+            self._sorted_k = np.empty(0, np.int64)
+            self._shead = 0
+        pop = heapq.heappop
+        batch_t = None  # last instant that opened a batch, this run() only
+        while side:
+            t = side[0][0]
+            if until is not None and t > until:
+                self.now = until
+                return True
+            slot = pop(side)[2]
+            if self._q_cancelled[slot]:
+                self._free_slot(slot)
+                if self._ncancelled:
+                    self._ncancelled -= 1
+                continue
+            if t < self.now - 1e-18:
+                raise AssertionError("time went backwards")
+            if t != batch_t:
+                self.batches += 1
+                batch_t = t
+            self.now = t
+            fn = self._q_fn[slot]
+            self._q_fn[slot] = None
+            self._q_key[slot] = -1
+            self._free.append(slot)
+            self.events += 1
+            fn()
+        return False

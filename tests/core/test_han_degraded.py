@@ -52,11 +52,14 @@ def test_allreduce_completes_and_is_correct_despite_dead_link():
 
 
 def test_without_probe_the_hierarchical_schedule_wedges():
-    # the event heap drains with every rank still blocked on flows that
-    # stalled at the dead link: no rank ever returns
+    # the event queue drains with every rank still blocked on flows that
+    # stalled at the dead link: no rank ever returns.  A merely *slow*
+    # schedule would still hold pending events at the horizon; a wedged
+    # one has none (run(until=T) itself advances now to exactly T).
     results, runtime = run_allreduce(dead_link_machine(), HanModule(), until=1.0)
     assert all(r is None for r in results)
-    assert runtime.engine.now < 1e-3
+    assert runtime.engine.queue_depth == 0
+    assert runtime.engine.now == 1.0
 
 
 def test_bcast_falls_back_too():

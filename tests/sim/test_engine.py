@@ -226,7 +226,7 @@ def test_cancelled_callback_does_not_fire():
     eng = Engine()
     fired = []
     token = eng.schedule(1.0, lambda: fired.append(1))
-    Engine.cancel(token)
+    eng.cancel(token)
     eng.schedule(2.0, lambda: fired.append(2))
     eng.run()
     assert fired == [2]
