@@ -243,6 +243,22 @@ def main_wrapper(run_fn, default_scale: str = "small"):
             help="serve tuned decisions from this sharded decision-store "
                  "directory (see repro.serve; warmed on first use)",
         )
+    if "traffic_plan" in accepted:
+        parser.add_argument(
+            "--traffic-plan", default=None,
+            help="background tenant traffic while measuring: a preset "
+                 "name or a TrafficPlan JSON file (see repro.tenancy)",
+        )
+        parser.add_argument(
+            "--traffic-seed", type=int, default=None,
+            help="override the traffic plan's seed",
+        )
+    if "allocation" in accepted:
+        parser.add_argument(
+            "--allocation", choices=("fixed", "bandit"), default="fixed",
+            help="trial-budget strategy for tuning measurements "
+                 "(bandit = successive halving; see repro.tuning)",
+        )
     args = parser.parse_args()
     kwargs = {}
     if "workers" in accepted:
@@ -255,6 +271,15 @@ def main_wrapper(run_fn, default_scale: str = "small"):
         kwargs["store_dir"] = args.store_dir
     if "decision_store" in accepted:
         kwargs["decision_store"] = args.decision_store
+    if "traffic_plan" in accepted:
+        from repro.tenancy import load_traffic
+
+        kwargs["traffic_plan"] = (
+            load_traffic(args.traffic_plan, args.traffic_seed)
+            if args.traffic_plan else None
+        )
+    if "allocation" in accepted:
+        kwargs["allocation"] = args.allocation
     t0 = time.time()
     run_fn(scale=args.scale, save=not args.no_save, **kwargs)
     print(f"\n[done in {time.time() - t0:.1f}s wall]")

@@ -10,15 +10,22 @@ platform using :mod:`repro.faults`:
 1. a noise-free exhaustive search establishes the ground-truth winner
    per (collective, message size);
 2. under increasing :class:`~repro.faults.OsNoise` amplitude, a *naive*
-   tuner (one sample per configuration) and a *robust* tuner
-   (median of k samples, confidence-aware selection) re-tune;
+   tuner (one sample per configuration), a *robust* tuner (median of k
+   samples, confidence-aware selection) and a *bandit* tuner (successive
+   halving with the same k ceiling, ``allocation="bandit"``) re-tune;
 3. each pick is scored by its noise-free time; "regret" is the gap to
    the ground-truth best, a "flip" is picking a non-optimal config.
 
 Expected shape: at amplitude 0 every method agrees (bit-identical to the
 pristine platform); as amplitude grows the naive tuner starts flipping
 while median-of-k keeps (most of) the decisions and pays at most a
-fraction of the naive regret.
+fraction of the naive regret — and the bandit keeps the robust tuner's
+decision quality while spending a fraction of its trial budget (the
+``BENCH_bandit_trials.json`` gate, here folded into the same artifact).
+
+``--traffic-plan``/``--traffic-seed`` re-run the noisy tuners under
+background tenant load (:mod:`repro.tenancy`); the ground truth stays
+quiet, so regret then also prices in interference-driven flips.
 """
 
 from __future__ import annotations
@@ -58,8 +65,8 @@ def _pick_time(report, truth_times, coll, nodes, ppn, m):
     return cfg, truth_times[cfg]
 
 
-def run(scale: str = "small", save: bool = True) -> dict:
-    """Tuned-decision flips vs noise amplitude, naive vs median-of-k."""
+def run(scale: str = "small", save: bool = True, traffic_plan=None) -> dict:
+    """Tuned-decision flips vs noise amplitude: naive, median-of-k, bandit."""
     nodes, ppn = GEOM[scale]
     machine = geometry("shaheen2", "small").scaled(num_nodes=nodes, ppn=ppn)
     space = _space()
@@ -72,29 +79,42 @@ def run(scale: str = "small", save: bool = True) -> dict:
         "seed": SEED,
         "trials": TRIALS,
         "amplitudes": list(AMPLITUDES),
+        "traffic_plan": traffic_plan.describe() if traffic_plan else None,
         "colls": {c: {} for c in colls},
         "summary": {},
     }
-    flips = {"naive": 0, "robust": 0}
-    regret = {"naive": 0.0, "robust": 0.0}
+    tags = ("naive", "robust", "bandit")
+    flips = {tag: 0 for tag in tags}
+    regret = {tag: 0.0 for tag in tags}
+    trials_spent = {"robust": 0, "bandit": 0}
     rows = []
     for amp in AMPLITUDES:
         plan = FaultPlan(seed=SEED).add(
             OsNoise(amplitude=amp, prob=STRAGGLER_PROB)
         )
         naive = Autotuner(
-            machine, space=space, fault_plan=plan, trials=1
+            machine, space=space, fault_plan=plan, trials=1,
+            traffic_plan=traffic_plan,
         ).tune(colls=colls, method="exhaustive")
         robust = Autotuner(
             machine, space=space, fault_plan=plan, trials=TRIALS,
-            selection="confident",
+            selection="confident", traffic_plan=traffic_plan,
         ).tune(colls=colls, method="exhaustive")
+        bandit = Autotuner(
+            machine, space=space, fault_plan=plan, trials=TRIALS,
+            selection="confident", allocation="bandit",
+            traffic_plan=traffic_plan,
+        ).tune(colls=colls, method="exhaustive")
+        trials_spent["robust"] += robust.trials_spent
+        trials_spent["bandit"] += bandit.trials_spent
         for coll in colls:
             for m in space.messages:
                 truth_times = dict(truth.candidates[(coll, m)])
                 best_cfg, best_t = truth.best(coll, m)
                 cell = {}
-                for tag, rep in (("naive", naive), ("robust", robust)):
+                for tag, rep in (
+                    ("naive", naive), ("robust", robust), ("bandit", bandit)
+                ):
                     cfg, t = _pick_time(rep, truth_times, coll, nodes, ppn, m)
                     flip = cfg != best_cfg
                     reg = (t - best_t) / best_t
@@ -116,23 +136,40 @@ def run(scale: str = "small", save: bool = True) -> dict:
                         f"{cell['naive']['regret_pct']:.1f}%",
                         "flip" if cell["robust"]["flip"] else "keep",
                         f"{cell['robust']['regret_pct']:.1f}%",
+                        "flip" if cell["bandit"]["flip"] else "keep",
+                        f"{cell['bandit']['regret_pct']:.1f}%",
                     )
                 )
+    savings = 1.0 - trials_spent["bandit"] / trials_spent["robust"]
     out["summary"] = {
         "naive_flips": flips["naive"],
         "robust_flips": flips["robust"],
         "naive_regret_pct": 100.0 * regret["naive"],
         "robust_regret_pct": 100.0 * regret["robust"],
+        "bandit_flips": flips["bandit"],
+        "bandit_regret_pct": 100.0 * regret["bandit"],
+        "fixed_trials_spent": trials_spent["robust"],
+        "bandit_trials_spent": trials_spent["bandit"],
+        "bandit_trial_savings_pct": 100.0 * savings,
     }
     print_table(
-        "Tuned decision vs noise amplitude (1-shot naive vs median-of-k)",
-        ["coll", "message", "amp", "naive", "regret", "median-of-k", "regret"],
+        "Tuned decision vs noise amplitude "
+        "(1-shot naive vs median-of-k vs bandit)",
+        ["coll", "message", "amp", "naive", "regret",
+         "median-of-k", "regret", "bandit", "regret"],
         rows,
     )
     print(
-        f"\nflips: naive={flips['naive']} robust={flips['robust']}; "
+        f"\nflips: naive={flips['naive']} robust={flips['robust']} "
+        f"bandit={flips['bandit']}; "
         f"cumulative regret: naive={100 * regret['naive']:.1f}% "
-        f"robust={100 * regret['robust']:.1f}%"
+        f"robust={100 * regret['robust']:.1f}% "
+        f"bandit={100 * regret['bandit']:.1f}%"
+    )
+    print(
+        f"trial budget: fixed={trials_spent['robust']} "
+        f"bandit={trials_spent['bandit']} "
+        f"({100 * savings:.1f}% saved)"
     )
     if save:
         save_result("sensitivity_variability", out)

@@ -12,6 +12,11 @@ entropy tree is::
 
 so each (seed, trial) pair is an independent, reproducible noise
 realization and injector RNG streams never interfere with each other.
+
+The tree itself lives in :mod:`repro.util.entropy` — the one shared
+implementation that :class:`repro.tenancy.TrafficPlan` derives through
+as well; the regression suite pins this plan's realizations
+bit-identically across the extraction.
 """
 
 from __future__ import annotations
@@ -19,17 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
-import numpy as np
-
 from repro.faults.injectors import Injector
+from repro.util.entropy import entropy_children, generators_from
 
 __all__ = ["FaultPlan", "spawn_generators"]
 
 
 def spawn_generators(seed: Optional[int], n: int) -> list:
     """``n`` independent ``numpy.random.Generator`` children of ``seed``."""
-    root = np.random.SeedSequence(0 if seed is None else seed)
-    return [np.random.Generator(np.random.PCG64(s)) for s in root.spawn(n)]
+    return generators_from(entropy_children(seed, n))
 
 
 @dataclass(frozen=True)
@@ -74,10 +77,9 @@ class FaultPlan:
         """
         if not self.injectors:
             return
-        root = np.random.SeedSequence(
-            0 if self.seed is None else self.seed, spawn_key=(self.trial,)
+        children = entropy_children(
+            self.seed, len(self.injectors), trial=self.trial
         )
-        children = root.spawn(len(self.injectors))
         hooks = [
             h
             for inj, child in zip(self.injectors, children)

@@ -275,6 +275,45 @@ class MPIRuntime:
 
     # -- launching ------------------------------------------------------------
 
+    def spawn_job(
+        self,
+        program: Callable[..., Generator],
+        *args,
+        group: Optional[tuple[int, ...]] = None,
+        name: str = "job",
+    ) -> list:
+        """Start ``program(comm, *args)`` on every rank of a *fresh* comm.
+
+        The simulated analogue of launching one more job onto an
+        already-busy machine (multi-tenancy, :mod:`repro.tenancy`): the
+        job gets its own communicator id — hence its own matcher/channel
+        tag space, fully isolated from every other job's messages — but
+        shares all hardware: the fluid NIC/link/memory-bus resources and
+        the per-rank progress servers of the world ranks it lands on.
+
+        ``group`` restricts the job to a subset of world ranks (default:
+        all of them).  Unlike :meth:`run`, nothing is driven here —
+        callers compose any number of jobs, then drain the engine once.
+        Returns the per-rank :class:`~repro.sim.engine.SimProcess`
+        handles.
+        """
+        grp = self.world_group if group is None else tuple(group)
+        if not grp:
+            raise ValueError("spawn_job needs at least one rank")
+        for w in grp:
+            if not (0 <= w < self.machine.num_ranks):
+                raise ValueError(f"world rank {w} out of range")
+        if len(set(grp)) != len(grp):
+            raise ValueError(f"duplicate world ranks in group {grp}")
+        cid = self._register_comm(grp)
+        return [
+            self.engine.spawn(
+                program(Communicator(self, cid, grp, r), *args),
+                name=f"{name}/rank{w}",
+            )
+            for r, w in enumerate(grp)
+        ]
+
     def run(
         self,
         program: Callable[..., Generator],

@@ -45,6 +45,7 @@ from repro.obs.insights import (
     check_regressions,
     format_insights,
     guideline_insights,
+    interference_insight,
     quick_workload,
     run_insights,
     straggler_insight,
@@ -63,6 +64,7 @@ from repro.obs.store import (
     run_key,
     summarize_measurement,
     summarize_record,
+    traffic_digest,
 )
 
 __all__ = [
@@ -86,6 +88,7 @@ __all__ = [
     "diff_runs",
     "format_insights",
     "guideline_insights",
+    "interference_insight",
     "load_jsonl",
     "merge_registries",
     "phase_overlap",
@@ -97,6 +100,7 @@ __all__ = [
     "run_key",
     "summarize_measurement",
     "summarize_record",
+    "traffic_digest",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",

@@ -40,6 +40,7 @@ __all__ = [
     "check_regressions",
     "format_insights",
     "guideline_insights",
+    "interference_insight",
     "margin_insights",
     "quick_workload",
     "run_insights",
@@ -59,6 +60,13 @@ MARGIN = 1.10
 
 #: per-rank cpu busy-seconds max/median above this flags a straggler
 STRAGGLER_THRESHOLD = 2.0
+
+#: loaded/solo slowdown above this flags pathological interference: some
+#: contention is the point of a multi-tenant measurement, but a tuned
+#: decision whose foreground runs this much slower under the declared
+#: background traffic deserves a second look (wrong tenant sizing, a
+#: saturated link, or a schedule that deadlocks into serialization)
+INTERFERENCE_THRESHOLD = 5.0
 
 #: MAD multiplier / relative floor for regression bands
 REGRESS_K = 5.0
@@ -224,6 +232,38 @@ def straggler_insight(
         + (f", finish skew {finish:.2f}" if finish is not None else "")
         + ")",
         cpu_skew=cpu, finish_skew=finish, threshold=threshold,
+    )
+
+
+def interference_insight(
+    report: dict, threshold: float = INTERFERENCE_THRESHOLD,
+) -> Insight:
+    """Judge one :func:`repro.tenancy.measure_interference` report.
+
+    Two checks fold into one insight: the slowdown must be physical
+    (``>= 1`` up to float fuzz — background tenants can only *add*
+    contention, so a speedup means the measurement is broken) and below
+    ``threshold`` (pathological interference worth investigating).
+    """
+    slow = float(report["slowdown"])
+    label = report.get("coll", "?")
+    physical = slow >= 1.0 - 1e-9
+    ok = physical and slow <= threshold
+    if not physical:
+        detail = (
+            f"{label} speeds up under load (x{slow:.3f}) — "
+            "the interference measurement is broken"
+        )
+    else:
+        detail = (
+            f"{label} slows x{slow:.3f} under {report.get('traffic', 'load')} "
+            f"(threshold x{threshold:.1f})"
+        )
+    return _insight(
+        f"interference {label}", "interference", ok, detail,
+        slowdown=slow, threshold=threshold,
+        solo_time=report.get("solo_time"),
+        loaded_time=report.get("loaded_time"),
     )
 
 

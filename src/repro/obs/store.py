@@ -49,6 +49,7 @@ __all__ = [
     "summarize_measurement",
     "summarize_point",
     "summarize_record",
+    "traffic_digest",
 ]
 
 #: bump when the summary-line layout changes incompatibly
@@ -59,6 +60,16 @@ def config_digest(config: Optional["HanConfig"]) -> str:
     """Stable digest of a configuration's tuning identity (seed excluded)."""
     key = list(config.key()) if config is not None else None
     return digest("hanconfig", config=key)
+
+
+def traffic_digest(traffic) -> str:
+    """Stable digest of a resolved :class:`~repro.tenancy.TrafficPlan`.
+
+    Identifies one background-traffic realization (tenants + seed +
+    trial) so loaded measurements can be grouped, compared and served
+    without shipping the whole plan around.
+    """
+    return digest("trafficplan", traffic=traffic)
 
 
 def run_key(
@@ -94,19 +105,29 @@ def summarize_measurement(
     library: str = "han",
     metrics: Optional[dict] = None,
     plan=None,
+    traffic=None,
 ) -> dict:
     """One store line for a :class:`CollectiveMeasurement`.
 
-    ``plan`` is the resolved fault plan the measurement ran under (or
-    ``None``); it is part of the group key, keeping noisy and clean runs
-    in separate comparison groups.
+    ``plan`` is the resolved fault plan and ``traffic`` the resolved
+    background :class:`~repro.tenancy.TrafficPlan` the measurement ran
+    under (or ``None``); both are part of the group key, keeping noisy,
+    loaded and clean runs in separate comparison groups.  ``traffic_digest``
+    lets consumers (serve store, dashboards) group loaded runs by the
+    exact traffic plan without re-canonicalizing it.
     """
+    extra = {}
+    if plan is not None:
+        extra["plan"] = plan
+    if traffic is not None:
+        extra["traffic"] = traffic
     return {
         "schema_version": STORE_SCHEMA_VERSION,
         "key": run_key(machine, meas.coll, meas.nbytes, meas.config,
-                       library=library,
-                       extra={"plan": plan} if plan is not None else None),
+                       library=library, extra=extra or None),
         "faulted": plan is not None,
+        "loaded": traffic is not None,
+        "traffic_digest": traffic_digest(traffic) if traffic is not None else None,
         "machine": f"{machine.name} {machine.num_nodes}x{machine.ppn}",
         "coll": meas.coll,
         "nbytes": float(meas.nbytes),

@@ -95,13 +95,19 @@ def decision_record(
     n: Optional[int] = None,
     p: Optional[int] = None,
     wall_time: Optional[float] = None,
+    traffic=None,
 ) -> dict:
     """One store line for a tuned decision.
 
     ``n``/``p`` default to the machine's geometry (a decision is tuned
     *for* a job shape even though the band digest erases it).
+
+    ``traffic`` is the resolved background :class:`~repro.tenancy.TrafficPlan`
+    the tuning measurements ran under, if any: decisions tuned under
+    load carry its digest so a consumer can tell a quiet-machine winner
+    from an interference-aware one.
     """
-    from repro.obs.store import config_digest
+    from repro.obs.store import config_digest, traffic_digest
 
     band = band_digest(machine)
     n = machine.num_nodes if n is None else int(n)
@@ -119,6 +125,7 @@ def decision_record(
         "config": config_to_dict(config),
         "config_digest": config_digest(config),
         "expected_time": None if expected_time is None else float(expected_time),
+        "traffic_digest": None if traffic is None else traffic_digest(traffic),
         "source": source,
         "wall_time": time.time() if wall_time is None else float(wall_time),
     }
@@ -263,11 +270,12 @@ class DecisionStore:
         n: Optional[int] = None,
         p: Optional[int] = None,
         wall_time: Optional[float] = None,
+        traffic=None,
     ) -> str:
         return self.append(decision_record(
             machine, coll, nbytes, config,
             expected_time=expected_time, source=source, n=n, p=p,
-            wall_time=wall_time,
+            wall_time=wall_time, traffic=traffic,
         ))
 
     def put_report(
@@ -275,14 +283,20 @@ class DecisionStore:
         machine: "MachineSpec",
         report: "TuningReport",
         source: Optional[str] = None,
+        traffic=None,
     ) -> int:
-        """Store every lookup-table winner of a tuning report."""
+        """Store every lookup-table winner of a tuning report.
+
+        ``traffic`` stamps each decision with the background-traffic
+        plan the tuning ran under (see :func:`decision_record`).
+        """
         src = source or f"autotuner.{report.method}"
         count = 0
         for coll, n, p, m, cfg, best_time in report.winners():
             self.put_decision(
                 machine, coll, m, cfg,
                 expected_time=best_time, source=src, n=n, p=p,
+                traffic=traffic,
             )
             count += 1
         return count

@@ -224,7 +224,10 @@ class AllOf:
 class SimProcess:
     """Handle for a running generator-based simulated process."""
 
-    __slots__ = ("engine", "gen", "name", "finished", "result", "done_event", "error")
+    __slots__ = (
+        "engine", "gen", "name", "finished", "result", "done_event",
+        "error", "children",
+    )
 
     def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
         self.engine = engine
@@ -234,6 +237,11 @@ class SimProcess:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self.done_event = SimEvent(engine, name=f"done:{name}")
+        #: processes this one spawned while running (in spawn order);
+        #: lets :meth:`Engine.kill` retire a whole process tree so no
+        #: orphaned helper (e.g. a non-blocking collective's scheduler
+        #: process) is left blocked forever
+        self.children: list["SimProcess"] = []
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "finished" if self.finished else "running"
@@ -316,6 +324,10 @@ class Engine:
         # spawn/finish registry replaces per-block bookkeeping (which
         # cost two dict ops on every suspend/resume)
         self._procs: dict[int, SimProcess] = {}
+        # the process whose generator is currently executing (None
+        # between steps); spawns made while it runs are recorded as its
+        # children so kill() can retire whole process trees
+        self._running: Optional[SimProcess] = None
         self.trace_hook: Optional[Callable[[float, str, str], None]] = None
         #: Optional perturbation hook ``(kind, who, duration) -> duration``
         #: consulted by components that charge simulated time (the per-rank
@@ -500,6 +512,8 @@ class Engine:
     def spawn(self, gen: Generator, name: str = "") -> SimProcess:
         """Start ``gen`` as a simulated process at the current time."""
         proc = SimProcess(self, gen, name)
+        if self._running is not None:
+            self._running.children.append(proc)
         self._live_procs += 1
         self._procs[id(proc)] = proc
         # partial over lambda on hot dispatch paths: the C-level call
@@ -516,14 +530,45 @@ class Engine:
         progress server ahead of whatever the caller does next.
         """
         proc = SimProcess(self, gen, name)
+        if self._running is not None:
+            self._running.children.append(proc)
         self._live_procs += 1
         self._procs[id(proc)] = proc
         self._resume(proc, None)
         return proc
 
+    def kill(self, proc: SimProcess) -> None:
+        """Forcibly finish a process at the current instant.
+
+        The generator is closed (its ``finally`` blocks run), the process
+        is marked finished with result ``None``, and every resumption
+        still pending for it — sleeps, event successions, message
+        completions — becomes a no-op.  In-flight side effects the
+        process started (fluid flows, progress-server work) run to
+        completion on their own; only the *process* stops issuing new
+        work.  This is how the tenant scheduler (:mod:`repro.tenancy`)
+        retires background jobs the moment the foreground measurement
+        completes: the kill happens at one deterministic point in event
+        order, so runs remain bit-identical.
+
+        The kill cascades: every live process ``proc`` spawned while
+        running (non-blocking collective schedulers, nested helpers) is
+        killed too, in spawn order, so no orphaned child is left blocked
+        on a message its parent will never send.
+
+        Killing an already-finished process is a no-op.
+        """
+        if proc.finished:
+            return
+        proc.gen.close()
+        self._finish(proc, None, None)
+        for child in proc.children:
+            self.kill(child)
+
     def _resume(self, proc: SimProcess, value: Any) -> None:
         if proc.finished:
             return
+        prev, self._running = self._running, proc
         try:
             cmd = proc.gen.send(value)
         except StopIteration as stop:
@@ -532,6 +577,8 @@ class Engine:
         except BaseException as exc:  # propagate at run()
             self._finish(proc, None, exc)
             raise
+        finally:
+            self._running = prev
         self._dispatch(proc, cmd)
 
     def _finish(self, proc: SimProcess, result: Any, error) -> None:

@@ -1,0 +1,49 @@
+"""Multi-tenant traffic: concurrent jobs sharing one simulated machine.
+
+Production fabrics never run one job, yet every measurement the tuning
+stack produces assumed a quiet machine.  This package closes that gap:
+
+- :class:`TenantWorkload` / :class:`TrafficPlan` — a declarative,
+  seedable description of background tenant jobs (periodic / bursty /
+  message-size-sweep collective patterns), mirroring
+  :class:`repro.faults.FaultPlan`'s entropy-tree contract
+  (:mod:`repro.util.entropy`): one seed, one ``trial`` realization
+  index, independent per-tenant RNG streams.
+- :class:`TenantScheduler` — runs N simulated jobs concurrently on one
+  :class:`~repro.hardware.MachineSpec`.  Each job gets its own
+  communicator (private tag space via
+  :meth:`repro.mpi.MPIRuntime.spawn_job`) but contends for the shared
+  NIC / link / memory-bus fluid resources and per-rank progress
+  servers — the existing max-min fair-share solver does all the work.
+- ``measure_collective(traffic_plan=...)`` (:mod:`repro.tuning.measure`)
+  times a foreground collective while the plan's tenants replay, and
+  stamps the plan into the measurement digest so loaded and quiet
+  measurements never alias in the cache, the run store, or the decision
+  store.
+
+Determinism contract (same as :mod:`repro.faults`): no plan or an empty
+plan is bit-identical to a run without this subsystem; a fixed
+``(seed, trial)`` replays the exact same background traffic; different
+trials are independent realizations.
+"""
+
+from repro.tenancy.plan import (
+    PATTERNS,
+    TRAFFIC_PRESETS,
+    TenantWorkload,
+    TrafficPlan,
+    load_traffic,
+    traffic_preset,
+)
+from repro.tenancy.scheduler import TenantScheduler, measure_interference
+
+__all__ = [
+    "PATTERNS",
+    "TRAFFIC_PRESETS",
+    "TenantScheduler",
+    "TenantWorkload",
+    "TrafficPlan",
+    "load_traffic",
+    "measure_interference",
+    "traffic_preset",
+]

@@ -1,0 +1,206 @@
+"""The TenantScheduler: N simulated jobs contending on one machine.
+
+Each tenant workload is launched as its own *job* — a fresh
+communicator over its rank group (:meth:`repro.mpi.MPIRuntime.spawn_job`),
+so tenant messages can never match foreground receives — and replays its
+traffic pattern in a loop: seeded gap, then one (or a burst of)
+collectives.  Contention needs no new machinery: all jobs share the
+fabric's fluid NIC / link / memory-bus resources (max-min fair share)
+and the per-rank serial progress servers, so background traffic slows
+the foreground exactly the way a co-tenant does.
+
+Stopping discipline: background tenants run until
+:meth:`TenantScheduler.stop` force-finishes them
+(:meth:`~repro.sim.engine.Engine.kill`) — a *single* deterministic point
+in event order, taken when the last foreground rank completes.  A
+cooperative per-iteration stop flag would be read by different tenant
+ranks at different simulated times, letting some ranks enter a
+collective that others skip — a deadlock; the kill cannot, because it
+retires every rank of a tenant at the same instant.
+
+Determinism: given one ``(machine, profile, TrafficPlan(seed, trial),
+foreground program)`` tuple, two runs are bit-identical — tenant RNG
+streams come from the plan's entropy tree, and the engine orders
+same-instant events by (priority, sequence).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from repro.sim.engine import SimProcess, Sleep
+from repro.tenancy.plan import ROOTED_COLLS, TenantWorkload, TrafficPlan
+
+__all__ = ["TenantScheduler", "measure_interference"]
+
+
+def _tenant_program(
+    comm,
+    tenant: TenantWorkload,
+    seed_seq,
+    stats: dict,
+) -> Generator:
+    """One rank's replay loop for one tenant workload.
+
+    Every rank of the tenant builds its RNG from the *same* entropy
+    child, draws exactly one uniform per iteration, and therefore
+    computes the same gap sequence — so ranks agree on the schedule
+    without any coordination messages.
+    """
+    from repro.core.han import HanModule
+
+    rng = np.random.Generator(np.random.PCG64(seed_seq))
+    han = HanModule(config=tenant.config) if tenant.config else HanModule()
+    op = getattr(han, tenant.coll)
+    rooted = tenant.coll in ROOTED_COLLS
+    sizes = tenant.size_cycle()
+    ops_done = 0
+    iteration = 0
+    while tenant.max_ops == 0 or ops_done < tenant.max_ops:
+        # one draw per iteration, used or not: keeps the stream aligned
+        # across pattern variants with the same seed
+        u = float(rng.random())
+        gap = tenant.gap * max(0.0, 1.0 + tenant.jitter * (2.0 * u - 1.0))
+        if gap > 0.0:
+            yield Sleep(gap)
+        for b in range(tenant.burst):
+            nbytes = sizes[(iteration * tenant.burst + b) % len(sizes)]
+            if rooted:
+                yield from op(comm, nbytes, root=tenant.root)
+            else:
+                yield from op(comm, nbytes)
+            ops_done += 1
+            if comm.rank == 0:
+                stats["ops"] += 1
+                stats["bytes"] += float(nbytes)
+            if tenant.max_ops and ops_done >= tenant.max_ops:
+                break
+        iteration += 1
+
+
+class TenantScheduler:
+    """Launch a :class:`TrafficPlan`'s tenants on a live runtime.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) gets
+    per-tenant ``tenant_ops_total`` / ``tenant_bytes_total`` counters
+    folded in at :meth:`stop` time; measurement timing is unaffected
+    (counters are plain Python adds outside the simulated clock).
+    """
+
+    def __init__(
+        self,
+        runtime,
+        plan: TrafficPlan,
+        metrics=None,
+    ):
+        self.runtime = runtime
+        self.plan = plan
+        self.metrics = metrics
+        #: tenant name -> {"ops": int, "bytes": float}
+        self.stats: dict[str, dict] = {
+            t.name: {"ops": 0, "bytes": 0.0} for t in plan.tenants
+        }
+        self._procs: list[SimProcess] = []
+        self._launched = False
+        self._stopped = False
+
+    def launch(self) -> list[SimProcess]:
+        """Spawn every tenant's ranks (idempotent; nothing runs yet)."""
+        if self._launched:
+            return self._procs
+        self._launched = True
+        children = self.plan.tenant_children()
+        for tenant, child in zip(self.plan.tenants, children):
+            self._procs.extend(
+                self.runtime.spawn_job(
+                    _tenant_program,
+                    tenant,
+                    child,
+                    self.stats[tenant.name],
+                    group=tenant.ranks,
+                    name=f"tenant:{tenant.name}",
+                )
+            )
+        return self._procs
+
+    def stop(self) -> None:
+        """Force-finish every unfinished tenant process (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        kill = self.runtime.engine.kill
+        for proc in self._procs:
+            kill(proc)
+        if self.metrics is not None:
+            for name, s in self.stats.items():
+                self.metrics.counter(
+                    "tenant_ops_total", tenant=name
+                ).inc(s["ops"])
+                self.metrics.counter(
+                    "tenant_bytes_total", tenant=name
+                ).inc(s["bytes"])
+
+    def run(
+        self,
+        program: Callable[..., Generator],
+        *args,
+        group: Optional[tuple[int, ...]] = None,
+        name: str = "foreground",
+    ) -> list:
+        """Run ``program`` as the foreground job under background load.
+
+        Tenants are launched first (they start at t=0 alongside the
+        foreground), the foreground job runs on its own communicator,
+        and the moment its last rank completes the tenants are stopped —
+        so the engine drains and foreground timings cover exactly the
+        loaded interval.  Returns the foreground per-rank results.
+        """
+        self.launch()
+        procs = self.runtime.spawn_job(program, *args, group=group, name=name)
+        remaining = [len(procs)]
+
+        def on_done(_ev) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self.stop()
+
+        for p in procs:
+            p.done_event.callbacks.append(on_done)
+        self.runtime.engine.run()
+        return [p.result for p in procs]
+
+
+def measure_interference(
+    machine,
+    coll: str,
+    nbytes: float,
+    config,
+    plan: TrafficPlan,
+    profile=None,
+    root: int = 0,
+) -> dict:
+    """Solo vs loaded foreground time for one collective (the smoke unit).
+
+    Runs the same foreground collective twice — once on a quiet machine,
+    once under ``plan``'s tenants — and reports the slowdown.  Both runs
+    are deterministic, so the dict is reproducible bit-for-bit.
+    """
+    from repro.tuning.measure import measure_collective
+
+    solo = measure_collective(
+        machine, coll, nbytes, config, root=root, profile=profile
+    )
+    loaded = measure_collective(
+        machine, coll, nbytes, config, root=root, profile=profile,
+        traffic_plan=plan,
+    )
+    return {
+        "coll": coll,
+        "nbytes": float(nbytes),
+        "traffic": plan.describe(),
+        "solo_time": solo.time,
+        "loaded_time": loaded.time,
+        "slowdown": loaded.time / solo.time if solo.time else float("inf"),
+    }

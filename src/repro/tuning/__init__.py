@@ -27,6 +27,7 @@ from repro.tuning.measure import (
     measurement_from_doc,
     measurement_key,
     measurement_to_doc,
+    resolve_traffic,
 )
 from repro.tuning.taskbench import (
     AllreduceTaskCosts,
@@ -36,6 +37,7 @@ from repro.tuning.taskbench import (
     costs_from_doc,
     costs_to_doc,
 )
+from repro.tuning.bandit import BanditAllocator, BanditResult
 from repro.tuning.parallel import MeasurePoint, TaskPoint, parallel_map, run_cached
 from repro.tuning.costmodel import (
     estimate_allreduce,
@@ -51,6 +53,8 @@ from repro.tuning.autotuner import Autotuner, TuningReport
 __all__ = [
     "AllreduceTaskCosts",
     "Autotuner",
+    "BanditAllocator",
+    "BanditResult",
     "BcastTaskCosts",
     "CollectiveMeasurement",
     "DecisionRules",
@@ -76,6 +80,7 @@ __all__ = [
     "measurement_from_doc",
     "measurement_key",
     "measurement_to_doc",
+    "resolve_traffic",
     "parallel_map",
     "prune_configs",
     "run_cached",

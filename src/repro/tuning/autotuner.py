@@ -27,6 +27,8 @@ from repro.core.config import HanConfig
 from repro.faults.plan import FaultPlan
 from repro.hardware.spec import MachineSpec
 from repro.netsim.profiles import P2PProfile
+from repro.tenancy.plan import TrafficPlan
+from repro.tuning.bandit import BanditAllocator
 from repro.tuning.cache import MeasurementCache
 from repro.tuning.costmodel import (
     estimate_allreduce,
@@ -44,6 +46,7 @@ from repro.tuning.taskbench import TaskBench
 __all__ = ["Autotuner", "TuningReport"]
 
 METHODS = ("exhaustive", "exhaustive+h", "task", "task+h")
+ALLOCATIONS = ("fixed", "bandit")
 
 
 @dataclass
@@ -55,6 +58,10 @@ class TuningReport:
     table: LookupTable
     tuning_cost: float = 0.0  # simulated benchmark seconds (Fig 8)
     searches: int = 0  # number of benchmark runs
+    #: noise/traffic realizations actually consumed by exhaustive
+    #: measurements — the budget the bandit allocator economizes
+    #: (``fixed`` spends exactly ``len(points) * trials``)
+    trials_spent: int = 0
     #: (coll, m) -> list of (config, measured-or-estimated time)
     candidates: dict = field(default_factory=dict)
 
@@ -97,11 +104,26 @@ class Autotuner:
     #: noise realizations (a running trial counter keeps realizations
     #: distinct across configs, deterministically)
     fault_plan: Optional[FaultPlan] = None
+    #: replay this background-traffic plan (:mod:`repro.tenancy`) during
+    #: every exhaustive measurement — tuning under load.  Follows the
+    #: fault-plan contract: per-measurement trial windows select traffic
+    #: realizations, and the plan enters the measurement digests
+    traffic_plan: Optional[TrafficPlan] = None
     trials: int = 1
     #: ``"best"`` = argmin of the aggregated time (classic); ``"confident"``
     #: = argmin of aggregated time + spread, penalizing configurations
     #: whose advantage is not robust across noise realizations
     selection: str = "best"
+    #: ``"fixed"`` spends ``trials`` realizations on every candidate;
+    #: ``"bandit"`` races them with successive halving
+    #: (:class:`~repro.tuning.bandit.BanditAllocator`), spending the
+    #: budget on contenders and eliminating losers early.  Noise-free,
+    #: both pick the same winner bit-for-bit
+    allocation: str = "fixed"
+    #: successive-halving rate: each rung keeps ~1/eta of the field
+    bandit_eta: int = 2
+    #: samples per arm in the bandit's first (cheapest) rung
+    bandit_min_rung: int = 1
     #: fan independent measurements across this many worker processes;
     #: <= 1 keeps everything in-process.  Results are reassembled in
     #: submission order, so reports are bit-identical to a serial run.
@@ -164,19 +186,21 @@ class Autotuner:
             raise ValueError(
                 f"selection must be 'best' or 'confident', got {self.selection!r}"
             )
-        n, p = self.machine.num_nodes, self.machine.ppn
+        if self.allocation not in ALLOCATIONS:
+            raise ValueError(
+                f"allocation must be one of {ALLOCATIONS}, got {self.allocation!r}"
+            )
+        n = self.machine.num_nodes
         all_configs = self.space.configs()
         # Enumerate every (message, config) point up front, in the same
         # nested order a serial loop would visit, with a running
-        # realization counter: every measurement draws `trials`
-        # previously-unused noise realizations, so no two configurations
+        # realization counter: every candidate owns a private window of
+        # `trials` noise/traffic realizations, so no two configurations
         # are (un)lucky in the same way — and a re-run of tune() replays
-        # the exact same sequence.  The points are then resolved through
-        # the cache and the worker pool; `run_cached` preserves this
-        # order, so reports fold identically however the points ran.
+        # the exact same sequence.  Both allocators draw from these same
+        # windows; the bandit just stops early inside them.
         trial_offset = 0
-        per_message: list[tuple[float, list[HanConfig]]] = []
-        points: list[MeasurePoint] = []
+        per_message: list[tuple[float, list[HanConfig], list[int]]] = []
         for m in self.space.messages:
             configs = (
                 prune_configs(all_configs, nbytes=m, num_nodes=n)
@@ -187,37 +211,57 @@ class Autotuner:
                 # heuristics can empty the space for tiny messages (every
                 # fs >= m); fall back to the message-independent prune
                 configs = prune_configs(all_configs) or all_configs
-            per_message.append((m, configs))
-            for cfg in configs:
-                points.append(
-                    MeasurePoint(
-                        machine=self.machine,
-                        coll=coll,
-                        nbytes=m,
-                        config=cfg,
-                        profile=self.profile,
-                        fault_plan=self.fault_plan,
-                        trials=self.trials,
-                        trial_offset=trial_offset,
-                    )
-                )
-                trial_offset += self.trials
+            bases = list(range(trial_offset, trial_offset + len(configs) * self.trials,
+                               self.trials))
+            trial_offset += len(configs) * self.trials
+            per_message.append((m, configs, bases))
+        if self.allocation == "bandit":
+            self._allocate_bandit(coll, report, per_message)
+        else:
+            self._allocate_fixed(coll, report, per_message)
+
+    def _point(self, coll, m, cfg, trials, trial_offset) -> MeasurePoint:
+        return MeasurePoint(
+            machine=self.machine,
+            coll=coll,
+            nbytes=m,
+            config=cfg,
+            profile=self.profile,
+            fault_plan=self.fault_plan,
+            traffic_plan=self.traffic_plan,
+            trials=trials,
+            trial_offset=trial_offset,
+        )
+
+    def _fold(self, report: TuningReport, meas, cfg: HanConfig) -> None:
+        report.tuning_cost += meas.sim_cost * self.bench_iters
+        report.searches += 1
+        report.trials_spent += len(meas.trial_times) or 1
+        if self.store is not None:
+            from repro.obs.store import summarize_measurement
+            from repro.tuning.measure import resolve_plan, resolve_traffic
+
+            self.store.append(summarize_measurement(
+                self.machine, meas, source="autotuner.exhaustive",
+                plan=resolve_plan(self.fault_plan, cfg),
+                traffic=resolve_traffic(self.traffic_plan, cfg),
+            ))
+
+    def _allocate_fixed(self, coll, report, per_message) -> None:
+        """Classic path: every candidate gets the full ``trials`` budget."""
+        n, p = self.machine.num_nodes, self.machine.ppn
+        points = [
+            self._point(coll, m, cfg, self.trials, base)
+            for m, configs, bases in per_message
+            for cfg, base in zip(configs, bases)
+        ]
         measurements = iter(run_cached(points, workers=self.workers, cache=self.cache))
-        for m, configs in per_message:
+        for m, configs, _bases in per_message:
             cands = []
             scores = []
             for cfg in configs:
                 meas = next(measurements)
-                report.tuning_cost += meas.sim_cost * self.bench_iters
-                report.searches += 1
-                if self.store is not None:
-                    from repro.obs.store import summarize_measurement
-                    from repro.tuning.measure import resolve_plan
-
-                    self.store.append(summarize_measurement(
-                        self.machine, meas, source="autotuner.exhaustive",
-                        plan=resolve_plan(self.fault_plan, cfg),
-                    ))
+                self._fold(report, meas, cfg)
                 cands.append((cfg, meas.time))
                 score = meas.time
                 if self.selection == "confident":
@@ -226,6 +270,39 @@ class Autotuner:
             report.candidates[(coll, m)] = cands
             _, _, best_cfg = min(scores, key=lambda sv: (sv[0], sv[1]))
             report.table.put(coll, n, p, m, best_cfg)
+
+    def _allocate_bandit(self, coll, report, per_message) -> None:
+        """Successive halving per message size (candidates = arms).
+
+        Each rung's sample requests become one ``run_cached`` batch, so
+        the bandit keeps the fixed path's parallel fan-out and cache
+        reuse; requests index into the same per-candidate trial windows,
+        so the realizations a sample sees match the fixed path's.
+        """
+        n, p = self.machine.num_nodes, self.machine.ppn
+        allocator = BanditAllocator(
+            trials=self.trials,
+            eta=self.bandit_eta,
+            min_rung=self.bandit_min_rung,
+            selection=self.selection,
+        )
+        for m, configs, bases in per_message:
+
+            def sample(requests):
+                pts = [
+                    self._point(coll, m, configs[i], count, bases[i] + start)
+                    for i, start, count in requests
+                ]
+                measured = run_cached(pts, workers=self.workers, cache=self.cache)
+                for (i, _start, _count), meas in zip(requests, measured):
+                    self._fold(report, meas, configs[i])
+                return [meas.trial_times for meas in measured]
+
+            result = allocator.run(len(configs), sample)
+            report.candidates[(coll, m)] = [
+                (cfg, result.center(i)) for i, cfg in enumerate(configs)
+            ]
+            report.table.put(coll, n, p, m, configs[result.winner])
 
     # -- task-based (the paper's method) ---------------------------------------------
 

@@ -1,0 +1,179 @@
+"""Successive-halving trial allocation for the exhaustive search.
+
+The fixed-trials exhaustive path spends ``trials`` noise realizations on
+*every* candidate configuration — most of which are obvious losers after
+a sample or two.  :class:`BanditAllocator` treats the candidates of one
+message size as bandit arms and runs synchronous successive halving
+(Karnin et al. 2013; Jamieson & Talwalkar 2016): every rung tops the
+surviving arms up to a growing per-arm sample target, scores them with
+the same robust statistic the fixed path uses (median, plus MAD under
+``selection="confident"``), and eliminates the losers before the next —
+more expensive — rung.
+
+Elimination is two-stage, and deliberately conservative:
+
+- **band dominance** (only once arms hold >= 2 samples, so the MAD is
+  meaningful): an arm whose *optimistic* value ``center - spread`` is
+  still worse than the incumbent's *pessimistic* ``center + spread``
+  cannot win and is dropped regardless of the cap.  On a noise-free
+  machine every spread is zero, so this fires at the second rung and
+  collapses the race to the exact ties of the leader — the early-stop
+  that makes quiet tuning nearly free.
+- **the cap**: at most ``ceil(len(active) / eta)`` arms survive a rung,
+  ranked by ``(score, center, index)``.  Ties break toward the lower
+  candidate index — the enumeration order — which is exactly how the
+  fixed path's ``min()`` breaks ties, so a noise-free bandit run picks
+  the same winner bit-for-bit.
+
+The allocator never measures anything itself: it emits batched sample
+*requests* ``(arm index, start, count)`` against each arm's private
+trial window and lets the caller resolve them (in parallel, through the
+measurement cache — see ``Autotuner._tune_exhaustive``).  ``start`` is
+the arm-local trial offset, so arm ``i``'s samples land in the same
+fault/traffic realizations the fixed path would have used for its first
+``count`` trials.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+__all__ = ["BanditAllocator", "BanditResult"]
+
+#: one batch of sample requests: (arm index, arm-local start, count)
+SampleRequest = tuple[int, int, int]
+
+
+def _center(times: Sequence[float]) -> float:
+    return statistics.median(times)
+
+
+def _spread(times: Sequence[float]) -> float:
+    if len(times) < 2:
+        return 0.0
+    c = statistics.median(times)
+    return statistics.median(abs(x - c) for x in times)
+
+
+@dataclass
+class BanditResult:
+    """What one successive-halving run decided, and what it cost."""
+
+    winner: int  # candidate index (enumeration order)
+    #: per-candidate samples actually drawn (losers hold partial windows)
+    samples: tuple[tuple[float, ...], ...]
+    trials_spent: int
+    #: per-rung log: {"target", "active", "eliminated"} (candidate indices)
+    rungs: list[dict] = field(default_factory=list)
+
+    def center(self, index: int) -> float:
+        """The robust (median) time estimate for one candidate."""
+        return _center(self.samples[index])
+
+
+@dataclass(frozen=True)
+class BanditAllocator:
+    """Synchronous successive halving over one candidate list.
+
+    ``trials`` is the per-arm sample *budget* — the same knob the fixed
+    path spends unconditionally; no arm ever exceeds it.  ``eta`` is the
+    halving rate (the survivor cap divides the field by ``eta`` each
+    rung) and ``min_rung`` the sample count of the first rung.
+    """
+
+    trials: int
+    eta: int = 2
+    min_rung: int = 1
+    selection: str = "best"
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+        if self.eta < 2:
+            raise ValueError(f"eta must be >= 2, got {self.eta}")
+        if not 1 <= self.min_rung <= self.trials:
+            raise ValueError(
+                f"min_rung must be in [1, trials={self.trials}], got {self.min_rung}"
+            )
+        if self.selection not in ("best", "confident"):
+            raise ValueError(
+                f"selection must be 'best' or 'confident', got {self.selection!r}"
+            )
+
+    def _score(self, times: Sequence[float]) -> float:
+        score = _center(times)
+        if self.selection == "confident":
+            score += _spread(times)
+        return score
+
+    def run(
+        self,
+        n_candidates: int,
+        sample: Callable[[list[SampleRequest]], list[Sequence[float]]],
+    ) -> BanditResult:
+        """Race ``n_candidates`` arms; return the surviving winner.
+
+        ``sample(requests)`` must return one sequence of fresh times per
+        request, aligned by position, of exactly the requested length.
+        """
+        if n_candidates < 1:
+            raise ValueError("need at least one candidate")
+        times: list[list[float]] = [[] for _ in range(n_candidates)]
+        active = list(range(n_candidates))
+        rungs: list[dict] = []
+        spent = 0
+        target = 0
+        while True:
+            target = min(
+                self.trials,
+                self.min_rung if target == 0 else target * self.eta,
+            )
+            requests = [
+                (i, len(times[i]), target - len(times[i]))
+                for i in active
+                if len(times[i]) < target
+            ]
+            for (i, start, count), fresh in zip(requests, sample(requests)):
+                fresh = list(fresh)
+                if len(fresh) != count:
+                    raise ValueError(
+                        f"sample returned {len(fresh)} times for arm {i}, "
+                        f"requested {count}"
+                    )
+                times[i].extend(fresh)
+                spent += count
+
+            ranked = sorted(
+                active,
+                key=lambda i: (self._score(times[i]), _center(times[i]), i),
+            )
+            survivors = ranked
+            if target >= 2:
+                # every active arm holds >= 2 samples: the MAD bands mean
+                # something, so drop arms that cannot overlap the leader
+                best = ranked[0]
+                hi = _center(times[best]) + _spread(times[best])
+                survivors = [
+                    i for i in ranked
+                    if _center(times[i]) - _spread(times[i]) <= hi
+                ]
+            cap = max(1, math.ceil(len(active) / self.eta))
+            survivors = survivors[:cap]
+            rungs.append({
+                "target": target,
+                "active": list(active),
+                "eliminated": [i for i in active if i not in survivors],
+            })
+            active = survivors
+            if len(active) == 1 or target >= self.trials:
+                break
+
+        return BanditResult(
+            winner=active[0],
+            samples=tuple(tuple(t) for t in times),
+            trials_spent=spent,
+            rungs=rungs,
+        )

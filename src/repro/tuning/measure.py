@@ -23,6 +23,8 @@ from repro.faults.plan import FaultPlan
 from repro.hardware.spec import MachineSpec
 from repro.mpi.runtime import MPIRuntime
 from repro.netsim.profiles import P2PProfile
+from repro.tenancy.plan import TrafficPlan
+from repro.tenancy.scheduler import TenantScheduler
 from repro.tuning.cache import MeasurementCache, digest
 
 __all__ = [
@@ -32,6 +34,7 @@ __all__ = [
     "measurement_key",
     "measurement_to_doc",
     "resolve_plan",
+    "resolve_traffic",
 ]
 
 AGGREGATES = ("median", "min", "mean")
@@ -66,12 +69,20 @@ def _run_once(
     iterations: int,
     profile: Optional[P2PProfile],
     trace_out: str = "",
+    traffic: Optional[TrafficPlan] = None,
 ) -> tuple[tuple[float, ...], float]:
     """One fresh simulated benchmark; (per-rank durations, sim cost).
 
     ``trace_out`` attaches an observability recorder and writes a
     Perfetto-loadable Chrome trace of the run; the recorder never touches
     timing, so traced and untraced runs are bit-identical.
+
+    ``traffic`` (a realized :class:`TrafficPlan` with tenants) replays
+    background jobs while the benchmark runs: the foreground program
+    becomes one job among many on the machine, and its measured
+    durations include the contention.  ``sim_cost`` still reads the
+    engine clock at drain time, so loaded measurements bill their true
+    (longer) simulated span.
     """
     runtime = MPIRuntime(machine, profile=profile)
     han = HanModule(config=config)
@@ -88,11 +99,17 @@ def _run_once(
             ) else op(comm, nbytes)
         durations[comm.rank] = (comm.now - start) / iterations
 
+    def drive():
+        if traffic is not None:
+            TenantScheduler(runtime, traffic).run(prog, name="measure")
+        else:
+            runtime.run(prog)
+
     if trace_out:
         from repro.obs import ObsRecorder, write_chrome_trace
 
         with ObsRecorder(runtime.engine) as rec:
-            runtime.run(prog)
+            drive()
             rec.snapshot_resources(runtime.fabric.solver)
         write_chrome_trace(
             rec.run_record(meta={
@@ -102,7 +119,7 @@ def _run_once(
             trace_out,
         )
     else:
-        runtime.run(prog)
+        drive()
     per_rank = tuple(durations[r] for r in sorted(durations))
     return per_rank, runtime.engine.now
 
@@ -116,6 +133,7 @@ def measure_collective(
     iterations: int = 1,
     profile: Optional[P2PProfile] = None,
     fault_plan: Optional[FaultPlan] = None,
+    traffic_plan: Optional[TrafficPlan] = None,
     trials: int = 1,
     trial_offset: int = 0,
     aggregate: str = "median",
@@ -139,6 +157,14 @@ def measure_collective(
     sums over all trials, because repeated measurement is exactly what
     inflates the tuning bill.
 
+    ``traffic_plan`` (:class:`repro.tenancy.TrafficPlan`) replays
+    background tenant jobs during each trial — the interference-aware
+    path.  It follows the fault-plan contract exactly: an unset seed
+    resolves from ``config.seed``, trial ``trial_offset + t`` selects
+    the traffic realization, an empty plan is bit-identical to no plan,
+    and an active plan enters the measurement digest so loaded and
+    quiet measurements never alias in the cache or the run store.
+
     ``cache`` (a :class:`~repro.tuning.cache.MeasurementCache`) short-
     circuits the simulation when this exact point — same machine,
     collective, size, config, fault realization, iteration counts and
@@ -161,12 +187,13 @@ def measure_collective(
     if aggregate not in AGGREGATES:
         raise ValueError(f"aggregate must be one of {AGGREGATES}, got {aggregate!r}")
     plan = resolve_plan(fault_plan, config)
+    traffic = resolve_traffic(traffic_plan, config)
 
     key = None
     if cache is not None:
         key = measurement_key(
             machine, coll, nbytes, config, root, iterations, profile,
-            plan, trials, trial_offset, aggregate,
+            plan, trials, trial_offset, aggregate, traffic=traffic,
         )
         doc = cache.get(key)
         if doc is not None:
@@ -176,6 +203,7 @@ def measure_collective(
 
                 store.append(summarize_measurement(
                     machine, meas, source=store_source, plan=plan,
+                    traffic=traffic,
                 ))
             return meas
 
@@ -186,9 +214,13 @@ def measure_collective(
         m = machine
         if plan is not None:
             m = FaultyMachineSpec.wrap(machine, plan.for_trial(trial_offset + trial))
+        tr = None
+        if traffic is not None:
+            tr = traffic.for_trial(trial_offset + trial)
         per_rank, cost = _run_once(
             m, coll, nbytes, config, root, iterations, profile,
             trace_out=trace_out if trial == 0 else "",
+            traffic=tr,
         )
         per_rank_by_trial.append(per_rank)
         times.append(max(per_rank))
@@ -227,7 +259,7 @@ def measure_collective(
         from repro.obs.store import summarize_measurement
 
         store.append(summarize_measurement(
-            machine, meas, source=store_source, plan=plan,
+            machine, meas, source=store_source, plan=plan, traffic=traffic,
         ))
     return meas
 
@@ -244,6 +276,20 @@ def resolve_plan(
     return None
 
 
+def resolve_traffic(
+    traffic_plan: Optional[TrafficPlan], config: HanConfig
+) -> Optional[TrafficPlan]:
+    """The effective (seed-resolved) traffic plan a measurement replays.
+
+    Mirrors :func:`resolve_plan`: a ``None`` or tenant-less plan is no
+    plan at all (bit-identical to a quiet machine, absent from the
+    digest), and an unset seed resolves from ``config.seed``.
+    """
+    if traffic_plan is not None and traffic_plan.tenants:
+        return traffic_plan.resolve_seed(config.seed)
+    return None
+
+
 def measurement_key(
     machine: MachineSpec,
     coll: str,
@@ -256,17 +302,24 @@ def measurement_key(
     trials: int,
     trial_offset: int,
     aggregate: str,
+    traffic: Optional[TrafficPlan] = None,
 ) -> str:
     """Content digest identifying one measurement point.
 
-    ``plan`` must already be resolved (see :func:`resolve_plan`).  The
-    trial window enters the key only under an active plan — without
-    noise every trial is identical, so sweeps that differ merely in
-    trial bookkeeping share cache entries.
+    ``plan`` and ``traffic`` must already be resolved (see
+    :func:`resolve_plan` / :func:`resolve_traffic`).  The trial window
+    enters the key only under an active plan — without noise or
+    background traffic every trial is identical, so sweeps that differ
+    merely in trial bookkeeping share cache entries.  An active traffic
+    plan enters the digest whole (tenants, seed, trial window), so a
+    loaded measurement can never alias a quiet one.
     """
     realization = None
     if plan is not None:
         realization = {"plan": plan, "trial_offset": int(trial_offset)}
+    background = None
+    if traffic is not None:
+        background = {"traffic": traffic, "trial_offset": int(trial_offset)}
     return digest(
         "measure",
         machine=machine,
@@ -277,6 +330,7 @@ def measurement_key(
         iterations=int(iterations),
         profile=profile,
         realization=realization,
+        background=background,
         trials=int(trials),
         aggregate=aggregate,
     )

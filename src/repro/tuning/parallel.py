@@ -30,6 +30,7 @@ from repro.core.config import HanConfig
 from repro.faults.plan import FaultPlan
 from repro.hardware.spec import MachineSpec
 from repro.netsim.profiles import P2PProfile
+from repro.tenancy.plan import TrafficPlan
 from repro.tuning.cache import MeasurementCache, digest
 from repro.tuning.measure import (
     CollectiveMeasurement,
@@ -38,6 +39,7 @@ from repro.tuning.measure import (
     measurement_key,
     measurement_to_doc,
     resolve_plan,
+    resolve_traffic,
 )
 from repro.tuning.taskbench import TaskBench, costs_from_doc, costs_to_doc
 
@@ -62,6 +64,7 @@ class MeasurePoint:
     iterations: int = 1
     profile: Optional[P2PProfile] = None
     fault_plan: Optional[FaultPlan] = None
+    traffic_plan: Optional[TrafficPlan] = None
     trials: int = 1
     trial_offset: int = 0
     aggregate: str = "median"
@@ -76,6 +79,7 @@ class MeasurePoint:
             iterations=self.iterations,
             profile=self.profile,
             fault_plan=self.fault_plan,
+            traffic_plan=self.traffic_plan,
             trials=self.trials,
             trial_offset=self.trial_offset,
             aggregate=self.aggregate,
@@ -94,6 +98,7 @@ class MeasurePoint:
             self.trials,
             self.trial_offset,
             self.aggregate,
+            traffic=resolve_traffic(self.traffic_plan, self.config),
         )
 
     @staticmethod

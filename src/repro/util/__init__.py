@@ -1,0 +1,5 @@
+"""Small cross-subsystem utilities (no simulation dependencies)."""
+
+from repro.util.entropy import entropy_children, entropy_root, generators_from
+
+__all__ = ["entropy_children", "entropy_root", "generators_from"]

@@ -1,0 +1,58 @@
+"""The repo-wide entropy-tree contract, in one place.
+
+Every seeded *plan* (:class:`repro.faults.FaultPlan`,
+:class:`repro.tenancy.TrafficPlan`) derives its randomness the same
+way: one top-level integer seed, one realization index (``trial``), and
+``numpy.random.SeedSequence.spawn`` for the children::
+
+    SeedSequence(seed, spawn_key=(trial,))
+        ├── child 0  -> item 0   (injector / tenant workload)
+        ├── child 1  -> item 1
+        └── ...
+
+so each ``(seed, trial)`` pair is an independent, reproducible
+realization and per-item RNG streams never interfere.  ``seed=None``
+falls back to 0, keeping a bare plan deterministic.
+
+This module is the *only* implementation of that tree; plans must not
+re-derive it ad hoc.  The regression suite pins the realizations of the
+pre-extraction :class:`FaultPlan` bit-identically against this helper,
+so refactors here are observable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["entropy_children", "entropy_root", "generators_from"]
+
+
+def entropy_root(
+    seed: Optional[int], trial: Optional[int] = None
+) -> np.random.SeedSequence:
+    """The root ``SeedSequence`` of one plan realization.
+
+    ``trial=None`` is the trial-less root (``SeedSequence(seed)`` with no
+    spawn key) used by helpers that spawn outside any realization — it is
+    *not* the same tree node as ``trial=0``, and the distinction is part
+    of the pinned contract.
+    """
+    if trial is None:
+        return np.random.SeedSequence(0 if seed is None else seed)
+    return np.random.SeedSequence(
+        0 if seed is None else seed, spawn_key=(int(trial),)
+    )
+
+
+def entropy_children(
+    seed: Optional[int], n: int, trial: Optional[int] = None
+) -> list[np.random.SeedSequence]:
+    """``n`` independent child sequences of realization ``(seed, trial)``."""
+    return entropy_root(seed, trial).spawn(n)
+
+
+def generators_from(children) -> list[np.random.Generator]:
+    """PCG64 generators, one per child sequence (the repo's stream type)."""
+    return [np.random.Generator(np.random.PCG64(s)) for s in children]

@@ -74,6 +74,43 @@ def test_fig03_runs_end_to_end(tmp_path, monkeypatch):
         assert pct < 25.0, label
 
 
+def test_main_wrapper_wires_traffic_and_allocation(monkeypatch, capsys):
+    from repro.tenancy import TrafficPlan
+
+    seen = {}
+
+    def run_fn(scale="small", save=True, traffic_plan=None,
+               allocation="fixed"):
+        """stub experiment"""
+        seen.update(scale=scale, save=save, traffic_plan=traffic_plan,
+                    allocation=allocation)
+
+    monkeypatch.setattr(
+        "sys.argv",
+        ["prog", "--no-save", "--traffic-plan", "allreduce_sweep",
+         "--traffic-seed", "11", "--allocation", "bandit"],
+    )
+    common.main_wrapper(run_fn)
+    assert isinstance(seen["traffic_plan"], TrafficPlan)
+    assert seen["traffic_plan"].seed == 11
+    assert seen["allocation"] == "bandit"
+    assert seen["save"] is False
+
+
+def test_main_wrapper_traffic_defaults_to_none(monkeypatch, capsys):
+    seen = {}
+
+    def run_fn(scale="small", save=True, traffic_plan=None,
+               allocation="fixed"):
+        """stub experiment"""
+        seen.update(traffic_plan=traffic_plan, allocation=allocation)
+
+    monkeypatch.setattr("sys.argv", ["prog", "--no-save"])
+    common.main_wrapper(run_fn)
+    assert seen["traffic_plan"] is None
+    assert seen["allocation"] == "fixed"
+
+
 def test_tuned_decision_caches(tmp_path, monkeypatch):
     monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
     from repro.tuning import SearchSpace

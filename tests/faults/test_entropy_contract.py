@@ -1,0 +1,86 @@
+"""The shared entropy-tree contract (`repro.util.entropy`).
+
+FaultPlan's seeding discipline was extracted into ``repro.util.entropy``
+so TrafficPlan (``repro.tenancy``) derives child seeds through the same
+documented tree.  These tests pin the contract two ways: structurally
+(the helper must agree with raw ``numpy.random.SeedSequence``) and
+behaviorally (existing FaultPlan realizations must stay bit-identical
+across the extraction — the floats below were produced by the
+pre-extraction implementation).
+"""
+
+import numpy as np
+
+from repro.core.config import HanConfig
+from repro.faults import FaultPlan, MessageJitter, OsNoise, spawn_generators
+from repro.hardware import tiny_cluster
+from repro.tuning import measure_collective
+from repro.util.entropy import entropy_children, entropy_root, generators_from
+
+KiB = 1024
+
+
+def test_root_matches_raw_seedsequence():
+    a = entropy_root(42, trial=3)
+    b = np.random.SeedSequence(42, spawn_key=(3,))
+    assert a.entropy == b.entropy and a.spawn_key == b.spawn_key
+    assert np.random.PCG64(a).state == np.random.PCG64(b).state
+
+
+def test_trialless_root_is_not_trial_zero():
+    # SeedSequence(seed) and SeedSequence(seed, spawn_key=(0,)) are
+    # different tree nodes; spawn_generators() relies on the former
+    bare = entropy_root(5)
+    t0 = entropy_root(5, trial=0)
+    assert bare.spawn_key == ()
+    assert np.random.PCG64(bare).state != np.random.PCG64(t0).state
+
+
+def test_children_match_raw_spawn():
+    ours = entropy_children(9, 4, trial=1)
+    raw = np.random.SeedSequence(9, spawn_key=(1,)).spawn(4)
+    for a, b in zip(ours, raw):
+        assert np.random.PCG64(a).state == np.random.PCG64(b).state
+
+
+def test_none_seed_falls_back_to_zero():
+    a = entropy_root(None, trial=2)
+    b = entropy_root(0, trial=2)
+    assert np.random.PCG64(a).state == np.random.PCG64(b).state
+
+
+def test_generators_are_independent_streams():
+    g1, g2 = generators_from(entropy_children(123, 2, trial=0))
+    assert g1.random(8).tolist() != g2.random(8).tolist()
+
+
+def test_spawn_generators_unchanged():
+    # the FaultPlan helper must still derive from the *trial-less* root
+    gens = spawn_generators(77, 3)
+    raw = [
+        np.random.Generator(np.random.PCG64(s))
+        for s in np.random.SeedSequence(77).spawn(3)
+    ]
+    for a, b in zip(gens, raw):
+        assert a.random(4).tolist() == b.random(4).tolist()
+
+
+def test_faultplan_realizations_pinned_bit_identical():
+    # Produced by the pre-extraction FaultPlan.install (PR 1 lineage);
+    # any change to the tree shape — root construction, spawn order,
+    # per-injector child assignment — shows up here.
+    machine = tiny_cluster(num_nodes=2, ppn=2)
+    cfg = HanConfig(
+        fs=64 * KiB, imod="adapt", smod="sm", ibalg="chain", iralg="chain"
+    )
+    plan = FaultPlan(seed=7).add(
+        OsNoise(amplitude=0.5), MessageJitter(amplitude=0.3)
+    )
+    meas = measure_collective(
+        machine, "allreduce", 64 * KiB, cfg, fault_plan=plan, trials=3
+    )
+    assert meas.trial_times == (
+        1.2926328798590419,
+        1.5997820799938063,
+        0.4855535545156315,
+    )

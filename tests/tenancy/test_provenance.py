@@ -1,0 +1,104 @@
+"""Downstream provenance: serve-store decisions and the interference insight."""
+
+from repro.core.config import HanConfig
+from repro.hardware import tiny_cluster
+from repro.obs.insights import INTERFERENCE_THRESHOLD, interference_insight
+from repro.serve.store import DecisionStore, decision_record
+from repro.tenancy import traffic_preset
+from repro.tenancy.scheduler import measure_interference
+from repro.tuning import Autotuner, SearchSpace
+from repro.tuning.measure import resolve_traffic
+
+KiB = 1024
+
+
+def _machine():
+    return tiny_cluster(num_nodes=2, ppn=2)
+
+
+def _config():
+    return HanConfig(fs=64 * KiB, imod="adapt", smod="sm",
+                     ibalg="chain", iralg="chain")
+
+
+def _traffic():
+    return resolve_traffic(
+        traffic_preset("allreduce_sweep").with_seed(11), _config()
+    )
+
+
+# -- serve store --------------------------------------------------------------------
+
+
+def test_decision_record_carries_traffic_digest():
+    quiet = decision_record(_machine(), "bcast", 256 * KiB, _config())
+    loaded = decision_record(
+        _machine(), "bcast", 256 * KiB, _config(), traffic=_traffic()
+    )
+    assert quiet["traffic_digest"] is None
+    assert loaded["traffic_digest"]
+    # same point key — traffic is provenance, not identity: the serving
+    # index answers "what should this job shape use", latest-wins
+    assert quiet["key"] == loaded["key"]
+    other = decision_record(
+        _machine(), "bcast", 256 * KiB, _config(),
+        traffic=_traffic().with_seed(99),
+    )
+    assert other["traffic_digest"] != loaded["traffic_digest"]
+
+
+def test_put_report_stamps_traffic(tmp_path):
+    space = SearchSpace(
+        seg_sizes=(None, 64 * KiB),
+        messages=(64 * KiB,),
+        adapt_algorithms=("chain",),
+        inner_segs=(None,),
+    )
+    plan = traffic_preset("allreduce_sweep").with_seed(11)
+    report = Autotuner(
+        machine=_machine(), space=space, trials=2,
+        traffic_plan=plan, allocation="bandit",
+    ).tune(colls=("bcast",), method="exhaustive")
+    store = DecisionStore(tmp_path / "decisions")
+    n = store.put_report(
+        _machine(), report, traffic=resolve_traffic(plan, _config())
+    )
+    assert n == len(report.table.entries)
+    band = store.bands()[0]
+    for rec in store.records(band, "bcast"):
+        assert rec["traffic_digest"]
+
+
+# -- the interference insight -------------------------------------------------------
+
+
+def test_interference_insight_passes_normal_contention():
+    out = measure_interference(
+        _machine(), "bcast", 256 * KiB, _config(), _traffic()
+    )
+    ins = interference_insight(out)
+    assert ins.passed
+    assert ins.kind == "interference"
+    assert ins.data["slowdown"] == out["slowdown"]
+    assert "bcast" in ins.name
+
+
+def test_interference_insight_flags_pathological_slowdown():
+    report = {
+        "coll": "bcast",
+        "slowdown": INTERFERENCE_THRESHOLD + 1.0,
+        "solo_time": 1.0,
+        "loaded_time": INTERFERENCE_THRESHOLD + 1.0,
+        "traffic": "TrafficPlan(...)",
+    }
+    ins = interference_insight(report)
+    assert not ins.passed
+    assert "slows" in ins.detail
+
+
+def test_interference_insight_flags_unphysical_speedup():
+    report = {"coll": "bcast", "slowdown": 0.8,
+              "solo_time": 1.0, "loaded_time": 0.8}
+    ins = interference_insight(report)
+    assert not ins.passed
+    assert "broken" in ins.detail

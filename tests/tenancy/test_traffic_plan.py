@@ -1,0 +1,158 @@
+"""TrafficPlan / TenantWorkload: validation, entropy, JSON round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HanConfig
+from repro.tenancy import (
+    PATTERNS,
+    TRAFFIC_PRESETS,
+    TenantWorkload,
+    TrafficPlan,
+    traffic_preset,
+)
+from repro.util.entropy import entropy_children
+
+KiB = 1024
+
+
+# -- TenantWorkload validation --------------------------------------------------
+
+
+def test_defaults_are_a_valid_periodic_tenant():
+    t = TenantWorkload(name="bg")
+    assert t.pattern == "periodic"
+    assert t.size_cycle() == (t.nbytes,)
+
+
+def test_sweep_requires_sizes():
+    with pytest.raises(ValueError, match="at least two sizes"):
+        TenantWorkload(name="bg", pattern="sweep")
+    with pytest.raises(ValueError, match="at least two sizes"):
+        TenantWorkload(name="bg", pattern="sweep", sizes=(64 * KiB,))
+    t = TenantWorkload(name="bg", pattern="sweep", sizes=(64 * KiB, 1 * KiB))
+    assert t.size_cycle() == (64 * KiB, 1 * KiB)
+
+
+def test_sizes_rejected_outside_sweep():
+    with pytest.raises(ValueError, match="sweep"):
+        TenantWorkload(name="bg", pattern="periodic", sizes=(1.0, 2.0))
+
+
+def test_bursty_requires_burst():
+    with pytest.raises(ValueError, match="burst >= 2"):
+        TenantWorkload(name="bg", pattern="bursty")
+    with pytest.raises(ValueError, match="bursty"):
+        TenantWorkload(name="bg", pattern="periodic", burst=3)
+    assert TenantWorkload(name="bg", pattern="bursty", burst=2).burst == 2
+
+
+def test_negative_and_nonpositive_fields_rejected():
+    with pytest.raises(ValueError, match="gap and jitter"):
+        TenantWorkload(name="bg", gap=-1.0)
+    with pytest.raises(ValueError, match="gap and jitter"):
+        TenantWorkload(name="bg", jitter=-0.1)
+    with pytest.raises(ValueError, match="nbytes"):
+        TenantWorkload(name="bg", nbytes=0)
+    with pytest.raises(ValueError, match="positive"):
+        TenantWorkload(name="bg", pattern="sweep", sizes=(1.0, 0.0))
+    with pytest.raises(ValueError, match="max_ops"):
+        TenantWorkload(name="bg", max_ops=-1)
+
+
+def test_unknown_pattern_rejected():
+    with pytest.raises(ValueError, match="pattern"):
+        TenantWorkload(name="bg", pattern="chaotic")
+
+
+# -- TrafficPlan semantics ------------------------------------------------------
+
+
+def test_add_is_functional_and_rejects_duplicates():
+    base = TrafficPlan()
+    p = base.add(TenantWorkload(name="a"), TenantWorkload(name="b"))
+    assert base.tenants == ()
+    assert [t.name for t in p.tenants] == ["a", "b"]
+    with pytest.raises(ValueError, match="duplicate"):
+        p.add(TenantWorkload(name="a"))
+
+
+def test_seed_trial_realization_helpers():
+    p = TrafficPlan(seed=None, trial=0).add(TenantWorkload(name="a"))
+    assert p.resolve_seed(7).seed == 7
+    assert p.with_seed(3).resolve_seed(7).seed == 3
+    assert p.resolve_seed(None).seed is None
+    assert p.for_trial(2).trial == 2
+    # realization helpers never touch the tenant list
+    assert p.for_trial(2).tenants == p.tenants
+
+
+def test_tenant_children_follow_shared_entropy_tree():
+    p = TrafficPlan(seed=42, trial=3).add(
+        TenantWorkload(name="a"), TenantWorkload(name="b")
+    )
+    ours = p.tenant_children()
+    raw = entropy_children(42, 2, trial=3)
+    for c, r in zip(ours, raw):
+        assert np.random.PCG64(c).state == np.random.PCG64(r).state
+
+
+def test_different_trials_are_different_realizations():
+    p = TrafficPlan(seed=42).add(TenantWorkload(name="a"))
+    g0 = np.random.Generator(np.random.PCG64(p.for_trial(0).tenant_children()[0]))
+    g1 = np.random.Generator(np.random.PCG64(p.for_trial(1).tenant_children()[0]))
+    assert g0.random(4).tolist() != g1.random(4).tolist()
+
+
+def test_describe_mentions_tenants():
+    assert "none" in TrafficPlan().describe()
+    p = TrafficPlan(seed=1).add(TenantWorkload(name="bg", coll="bcast"))
+    assert "bg:bcast/periodic" in p.describe()
+
+
+# -- JSON round-trip ------------------------------------------------------------
+
+
+def test_to_doc_from_doc_round_trip():
+    p = TrafficPlan(seed=5, trial=2).add(
+        TenantWorkload(
+            name="sweep",
+            coll="allreduce",
+            pattern="sweep",
+            sizes=(64 * KiB, 256 * KiB),
+            gap=1e-5,
+            jitter=0.5,
+            ranks=(0, 1),
+            config=HanConfig(fs=64 * KiB, imod="adapt", smod="sm",
+                             ibalg="chain", iralg="chain"),
+        ),
+        TenantWorkload(name="burst", pattern="bursty", burst=3, max_ops=9),
+    )
+    back = TrafficPlan.from_doc(p.to_doc())
+    assert back == p
+    # docs are plain JSON types end to end
+    import json
+
+    assert TrafficPlan.from_doc(json.loads(json.dumps(p.to_doc()))) == p
+
+
+def test_from_doc_tolerates_minimal_doc():
+    p = TrafficPlan.from_doc({"tenants": [{"name": "bg"}]})
+    assert p.seed is None and p.trial == 0
+    assert p.tenants[0].coll == "allreduce"
+
+
+# -- presets --------------------------------------------------------------------
+
+
+def test_presets_build_and_validate():
+    for name in TRAFFIC_PRESETS:
+        p = traffic_preset(name)
+        assert p.tenants, name
+        for t in p.tenants:
+            assert t.pattern in PATTERNS
+
+
+def test_unknown_preset_raises():
+    with pytest.raises(ValueError, match="nope"):
+        traffic_preset("nope")

@@ -1,0 +1,198 @@
+"""BanditAllocator: successive halving, degenerate cases, Autotuner parity."""
+
+import pytest
+
+from repro.core.config import HanConfig
+from repro.faults import FaultPlan, MessageJitter, OsNoise
+from repro.hardware import tiny_cluster
+from repro.tuning import Autotuner, BanditAllocator, SearchSpace
+from repro.tuning.autotuner import ALLOCATIONS
+
+KiB = 1024
+
+
+def _scripted(values):
+    """A sample() stub replaying fixed per-arm time series."""
+    calls = []
+
+    def sample(requests):
+        calls.append(list(requests))
+        out = []
+        for i, start, count in requests:
+            out.append(values[i][start:start + count])
+        return out
+
+    sample.calls = calls
+    return sample
+
+
+# -- allocator unit behaviour -------------------------------------------------------
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="trials"):
+        BanditAllocator(trials=0)
+    with pytest.raises(ValueError, match="eta"):
+        BanditAllocator(trials=3, eta=1)
+    with pytest.raises(ValueError, match="min_rung"):
+        BanditAllocator(trials=3, min_rung=4)
+    with pytest.raises(ValueError, match="selection"):
+        BanditAllocator(trials=3, selection="hopeful")
+    with pytest.raises(ValueError, match="candidate"):
+        BanditAllocator(trials=3).run(0, _scripted([]))
+
+
+def test_single_candidate_spends_only_the_first_rung():
+    sample = _scripted([[5.0] * 8])
+    result = BanditAllocator(trials=8, min_rung=1).run(1, sample)
+    assert result.winner == 0
+    assert result.trials_spent == 1  # one sample, then the race is over
+    assert result.samples == ((5.0,),)
+
+
+def test_all_tied_candidates_break_toward_enumeration_order():
+    values = [[2.0] * 6 for _ in range(4)]
+    result = BanditAllocator(trials=6).run(4, _scripted(values))
+    assert result.winner == 0  # the fixed path's min() picks index 0 too
+    assert result.trials_spent < 4 * 6  # and the race still saved budget
+
+
+def test_zero_noise_eliminates_to_exact_ties_at_rung_two():
+    # constant arms: after 2 samples every spread is 0, so the band rule
+    # drops everything that is not an exact tie of the leader
+    values = [[3.0] * 5, [1.0] * 5, [4.0] * 5, [1.5] * 5]
+    result = BanditAllocator(trials=5).run(4, _scripted(values))
+    assert result.winner == 1
+    # rung 0: 4 samples; rung 1: top-2 survivors add one each
+    assert result.trials_spent == 6
+    assert [len(s) for s in result.samples] == [1, 2, 1, 2]
+    # at rung 1 arm 3 (1.5 > 1.0, zero spread) is band-dominated and the
+    # race ends with arm 1 alone — nobody ever burns the full budget
+    assert result.rungs[-1]["eliminated"] == [3]
+
+
+def test_noisy_arms_survive_while_bands_overlap():
+    # arms 0/1 overlap each other's bands and race to the full budget;
+    # arm 2 is hopeless and goes at the first cap
+    values = [
+        [1.0, 1.2, 0.9, 1.1, 1.0, 1.05],
+        [1.1, 0.95, 1.3, 1.4, 1.5, 1.6],
+        [9.0, 9.5, 9.2, 9.1, 9.3, 9.4],
+    ]
+    # min_rung=2 so MAD bands exist from the first rung on
+    result = BanditAllocator(trials=6, eta=2, min_rung=2).run(
+        3, _scripted(values)
+    )
+    assert result.winner == 0
+    assert len(result.samples[2]) == 2  # the loser never got the full budget
+    assert result.rungs[0]["eliminated"] == [2]
+    assert result.trials_spent < 3 * 6
+
+
+def test_sample_length_mismatch_is_an_error():
+    def bad(requests):
+        return [[1.0] for _ in requests]  # always one sample
+
+    with pytest.raises(ValueError, match="requested"):
+        BanditAllocator(trials=4, min_rung=2).run(2, bad)
+
+
+def test_min_rung_equal_trials_degenerates_to_fixed():
+    values = [[2.0, 2.1, 1.9], [1.0, 1.1, 0.9]]
+    result = BanditAllocator(trials=3, min_rung=3).run(2, _scripted(values))
+    assert result.winner == 1
+    assert result.trials_spent == 6  # everyone got the full budget
+
+
+def test_confident_selection_penalizes_spread():
+    # arm 0: better median, wild spread; arm 1: slightly worse median,
+    # tight — "confident" must prefer arm 1, like the fixed path.
+    # min_rung=2 so the spread is observable before the first cut.
+    values = [
+        [0.1, 2.9],
+        [1.6, 1.65],
+    ]
+    best = BanditAllocator(trials=2, min_rung=2, selection="best").run(
+        2, _scripted(values)
+    )
+    conf = BanditAllocator(trials=2, min_rung=2, selection="confident").run(
+        2, _scripted(values)
+    )
+    assert best.winner == 0
+    assert conf.winner == 1
+
+
+# -- Autotuner integration ----------------------------------------------------------
+
+
+def _machine():
+    return tiny_cluster(num_nodes=2, ppn=2)
+
+
+def _space():
+    return SearchSpace(
+        seg_sizes=(None, 64 * KiB),
+        messages=(64 * KiB, 256 * KiB),
+        adapt_algorithms=("chain",),
+        inner_segs=(None,),
+    )
+
+
+def test_allocation_validated():
+    assert set(ALLOCATIONS) == {"fixed", "bandit"}
+    tuner = Autotuner(machine=_machine(), space=_space(), allocation="greedy")
+    with pytest.raises(ValueError, match="allocation"):
+        tuner.tune(colls=("bcast",), method="exhaustive")
+
+
+def test_noise_free_bandit_matches_fixed_winner_bit_identically():
+    fixed = Autotuner(
+        machine=_machine(), space=_space(), trials=3, allocation="fixed"
+    ).tune(colls=("bcast",), method="exhaustive")
+    bandit = Autotuner(
+        machine=_machine(), space=_space(), trials=3, allocation="bandit"
+    ).tune(colls=("bcast",), method="exhaustive")
+    assert bandit.table.entries == fixed.table.entries
+    assert bandit.trials_spent < fixed.trials_spent
+    assert fixed.trials_spent == fixed.searches * 3
+
+
+def test_bandit_under_noise_spends_less_and_stays_deterministic():
+    plan = FaultPlan(seed=7).add(
+        OsNoise(amplitude=0.5), MessageJitter(amplitude=0.3)
+    )
+
+    def tune(allocation):
+        return Autotuner(
+            machine=_machine(), space=_space(), trials=5,
+            fault_plan=plan, selection="confident", allocation=allocation,
+        ).tune(colls=("bcast",), method="exhaustive")
+
+    fixed = tune("fixed")
+    bandit = tune("bandit")
+    again = tune("bandit")
+    assert bandit.table.entries == again.table.entries  # deterministic
+    assert bandit.trials_spent == again.trials_spent
+    assert bandit.trials_spent <= 0.7 * fixed.trials_spent  # the CI gate
+    assert set(bandit.candidates) == set(fixed.candidates)
+
+
+def test_bandit_tuning_under_load():
+    from repro.tenancy import traffic_preset
+
+    plan = traffic_preset("allreduce_sweep").with_seed(11)
+    report = Autotuner(
+        machine=_machine(), space=_space(), trials=3,
+        traffic_plan=plan, allocation="bandit",
+    ).tune(colls=("bcast",), method="exhaustive")
+    again = Autotuner(
+        machine=_machine(), space=_space(), trials=3,
+        traffic_plan=plan, allocation="bandit",
+    ).tune(colls=("bcast",), method="exhaustive")
+    assert report.table.entries == again.table.entries
+    assert report.tuning_cost == again.tuning_cost
+    quiet = Autotuner(
+        machine=_machine(), space=_space(), trials=3, allocation="bandit",
+    ).tune(colls=("bcast",), method="exhaustive")
+    # loaded tuning bills the contended (longer) simulated spans
+    assert report.tuning_cost > quiet.tuning_cost

@@ -2,6 +2,9 @@
 
 import json
 
+import pytest
+
+from repro.tenancy import traffic_preset
 from repro.tuning.cli import main
 
 
@@ -59,6 +62,53 @@ def test_inspect(tmp_path, capsys):
 
 def test_inspect_missing_cache(tmp_path, capsys):
     assert main(["inspect", "--cache", str(tmp_path / "nope")]) == 1
+
+
+def test_run_under_traffic_with_bandit_allocation(capsys):
+    argv = ["run", "--machine", "tiny", "--colls", "bcast",
+            "--method", "exhaustive", "--trials", "3",
+            "--allocation", "bandit",
+            "--traffic-plan", "allreduce_sweep", "--traffic-seed", "11"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "exhaustive/bandit" in out
+    assert "traffic=allreduce_sweep" in out
+    assert "trials_spent=" in out
+
+
+def test_run_accepts_traffic_plan_json_file(tmp_path, capsys):
+    doc = traffic_preset("bcast_periodic").with_seed(5).to_doc()
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(doc))
+    assert main(["run", "--machine", "tiny", "--colls", "bcast",
+                 "--method", "exhaustive", "--traffic-plan", str(path)]) == 0
+    assert f"traffic={path}" in capsys.readouterr().out
+
+
+def test_unknown_traffic_plan_is_a_clean_error(capsys):
+    with pytest.raises(SystemExit, match="neither a preset"):
+        main(["run", "--machine", "tiny", "--colls", "bcast",
+              "--traffic-plan", "no_such_preset"])
+
+
+def test_bandit_subcommand_writes_gated_artifact(tmp_path, capsys):
+    out = tmp_path / "bandit.json"
+    assert main(["bandit", "--machine", "tiny", "--nodes", "2", "--ppn", "2",
+                 "--colls", "bcast", "--trials", "4", "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["passed"] is True
+    assert doc["gates"]["savings_ok"] and doc["gates"]["agreement_ok"]
+    assert doc["trials_spent"]["bandit"] < doc["trials_spent"]["fixed"]
+    assert doc["savings_pct"] >= doc["gates"]["min_savings_pct"]
+    assert doc["truth_agreement"]["bandit"] >= doc["truth_agreement"]["fixed"]
+    assert doc["scenario"]["seed"] == 2026
+
+
+def test_bandit_gate_failure_is_exit_one(tmp_path, capsys):
+    # an impossible savings bar: even a perfect bandit can't save 99.9%
+    assert main(["bandit", "--machine", "tiny", "--nodes", "2", "--ppn", "2",
+                 "--colls", "bcast", "--trials", "2", "--min-savings", "0.999",
+                 "--out", str(tmp_path / "b.json")]) == 1
 
 
 def test_bench_writes_artifact(tmp_path, capsys):
