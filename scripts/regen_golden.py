@@ -30,10 +30,9 @@ KiB, MiB = 1024, 1024 * 1024
 #: every collective measure_collective can time (barrier takes no bytes)
 COLLS = (
     "bcast", "reduce", "allreduce", "gather", "scatter", "allgather",
-    "alltoall",
+    "reduce_scatter", "alltoall", "barrier",
 )
 SIZES = (64 * KiB, 1 * MiB)
-GEOMETRY = (4, 4)  # nodes x ppn
 
 
 def golden_config():
@@ -42,8 +41,40 @@ def golden_config():
     return HanConfig(fs=512 * KiB)
 
 
+def _suites():
+    """The golden suites: (machine, geometry, config) per fabric preset.
+
+    ``shaheen2`` is the original flat-node CPU suite; ``gpu_pod`` runs
+    the same collectives on split-NVLink accelerator nodes with
+    ``smod="gpu"``, so its traces pin the fabric/node/network 3-level
+    schedules (FabricComposite intra stages).
+    """
+    from repro.core.config import HanConfig
+    from repro.hardware import gpu_pod, shaheen2
+
+    return {
+        "shaheen2": (shaheen2, (4, 4), golden_config()),
+        "gpu_pod": (gpu_pod, (2, 8), HanConfig(fs=512 * KiB, smod="gpu")),
+    }
+
+
+def _suite_traces(machine, config) -> dict:
+    from repro.tuning.measure import measure_collective
+
+    traces = {}
+    for coll in COLLS:
+        sizes = (0,) if coll == "barrier" else SIZES
+        for nbytes in sizes:
+            m = measure_collective(machine, coll, nbytes, config)
+            traces[f"{coll}/{nbytes}"] = {
+                "time": m.time,
+                "sim_cost": m.sim_cost,
+            }
+    return traces
+
+
 def compute_golden() -> dict:
-    """The full golden document, keyed ``"<coll>/<nbytes>"``.
+    """The full golden document: per-suite traces keyed ``"<coll>/<nbytes>"``.
 
     Floats are stored verbatim (json round-trips Python floats through
     repr), so the comparison in the regression test is exact equality.
@@ -53,25 +84,15 @@ def compute_golden() -> dict:
     the written file and ignored by the golden test, so regenerating
     with an unchanged timing model is a no-op diff.
     """
-    from repro.hardware import shaheen2
-    from repro.tuning.measure import measure_collective
-
-    nodes, ppn = GEOMETRY
-    machine = shaheen2(num_nodes=nodes, ppn=ppn)
-    config = golden_config()
-    traces = {}
-    for coll in COLLS:
-        for nbytes in SIZES:
-            m = measure_collective(machine, coll, nbytes, config)
-            traces[f"{coll}/{nbytes}"] = {
-                "time": m.time,
-                "sim_cost": m.sim_cost,
-            }
-    return {
-        "machine": f"{machine.name} {nodes}x{ppn}",
-        "config": repr(config),
-        "traces": traces,
-    }
+    suites = {}
+    for name, (preset, (nodes, ppn), config) in _suites().items():
+        machine = preset(num_nodes=nodes, ppn=ppn)
+        suites[name] = {
+            "machine": f"{machine.name} {nodes}x{ppn}",
+            "config": repr(config),
+            "traces": _suite_traces(machine, config),
+        }
+    return {"suites": suites}
 
 
 def main() -> int:
@@ -83,7 +104,11 @@ def main() -> int:
     doc["config_digest"] = config_digest(golden_config())
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(doc, indent=2) + "\n")
-    print(f"wrote {GOLDEN_PATH} ({len(doc['traces'])} traces)")
+    total = sum(len(s["traces"]) for s in doc["suites"].values())
+    print(
+        f"wrote {GOLDEN_PATH} ({total} traces across "
+        f"{len(doc['suites'])} suites)"
+    )
     return 0
 
 

@@ -1,0 +1,285 @@
+"""The fabric tier: intra-node collectives over split NVLink islands.
+
+On machines with ``NodeSpec.fabric_domains > 1`` a node is not one flat
+shared-memory domain but several accelerator islands bridged by PCIe and
+host memory (HiCCL's fabric/node split; the HCCL demo's scale-up vs
+scale-out ports).  :class:`FabricComposite` makes that structure visible
+to HAN: it presents the standard intra-node module interface on the
+node comm (``hier.low``) but internally composes
+
+- the **gpu** module on ``hier.fab`` (my NVLink island), and
+- a **host** module (SM) on ``hier.fleaders`` (the island leaders),
+
+so a node-level collective becomes island-collective -> host bridge ->
+island-collective, giving HAN a true fabric/node/network 3-level
+schedule when combined with its inter-node stage.
+
+Rooted collectives are *leader-normalized*: every island reduces or
+gathers to its leader (fab rank 0), leaders bridge over host shared
+memory, and when the caller's root is not its island's leader the result
+rides one more island-level fan-out plus a device->host hop.  Host-bound
+thin operations (scatter) take the host path directly -- their bytes
+must cross PCIe anyway, so NVLink staging would only add latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.modules.base import CollModule
+from repro.mpi.op import SUM
+
+__all__ = ["FabricComposite"]
+
+
+class FabricComposite(CollModule):
+    name = "fabric"
+    avx = True  # island reductions run on-device
+    nonblocking = False
+
+    def __init__(self, hier, island_mod, host_mod):
+        if hier.fab is None:
+            raise ValueError("hierarchy has no fabric tier (flat node)")
+        self.hier = hier
+        self.island = island_mod  # drives hier.fab (one NVLink island)
+        self.host = host_mod  # drives hier.fleaders (island leaders)
+        low = hier.low
+        fabric = low.runtime.fabric
+        d = fabric.fabric_domains
+        if low.size % d != 0:
+            raise ValueError(
+                f"node comm of {low.size} ranks does not split into "
+                f"{d} equal fabric islands"
+            )
+        self._q = low.size // d
+        self._d = d
+        # Island membership must be contiguous in low-rank order: the
+        # host-bridge concatenations below rely on domain-major == rank-
+        # major.  Block placement guarantees this; fail loudly otherwise.
+        dom = [fabric.fabric_domain_of(w) for w in low.group]
+        for r, dm in enumerate(dom):
+            if dm != r // self._q:
+                raise ValueError(
+                    "fabric islands are not contiguous in node-rank order"
+                )
+
+    # -- layout helpers ---------------------------------------------------------
+
+    def _dom(self, low_rank: int) -> int:
+        """Island of a node-comm rank (domains are rank-contiguous)."""
+        return low_rank // self._q
+
+    def _frank(self, low_rank: int) -> int:
+        """Rank within its island of a node-comm rank."""
+        return low_rank % self._q
+
+    @property
+    def _is_leader(self) -> bool:
+        return self.hier.fleaders is not None
+
+    def _check(self, comm) -> None:
+        if comm is not self.hier.low:
+            raise ValueError(
+                "FabricComposite drives the hierarchy's node comm only"
+            )
+
+    def _hop(self, comm, nbytes: float, path: str):
+        """One explicit host<->device staging flow charged by this rank."""
+        if nbytes <= 0:
+            return
+        fabric = comm.runtime.fabric
+        ev = comm.runtime.engine.event(f"ftier-{path}")
+        fabric.gpu_flow(
+            fabric.node_of(comm.world_rank),
+            nbytes,
+            lambda: ev.succeed(None),
+            path=path,
+            domain=fabric.fabric_domain_of(comm.world_rank),
+        )
+        yield ev
+
+    # -- collectives ---------------------------------------------------------------
+
+    def bcast(self, comm, nbytes, root=0, payload=None, algorithm=None,
+              segsize=None):
+        """Root island fan-out -> host bridge across leaders -> other
+        islands fan out from their leaders."""
+        self._check(comm)
+        if comm.size == 1:
+            return payload
+        hier = self.hier
+        rd = self._dom(root)
+        mine = self._dom(comm.rank)
+        res = None
+        if mine == rd:
+            res = yield from self.island.bcast(
+                hier.fab, nbytes, root=self._frank(root),
+                payload=payload if comm.rank == root else None,
+            )
+            if self._frank(comm.rank) == 0 and comm.rank != root:
+                # leader needs a host copy to feed the bridge
+                yield from self._hop(comm, nbytes, "d2h")
+        host_copy = None
+        if self._is_leader:
+            host_copy = yield from self.host.bcast(
+                hier.fleaders, nbytes, root=rd,
+                payload=res if mine == rd else None,
+            )
+        if mine != rd:
+            res = yield from self.island.bcast(
+                hier.fab, nbytes, root=0,
+                payload=host_copy if self._frank(comm.rank) == 0 else None,
+            )
+        return payload if comm.rank == root else res
+
+    def reduce(self, comm, nbytes, root=0, payload=None, op=SUM,
+               algorithm=None, segsize=None):
+        """Every island reduces to its leader, leaders reduce over host
+        memory to the root island's leader, plus a delivery fan-out when
+        the root is not that leader."""
+        self._check(comm)
+        if comm.size == 1:
+            return payload
+        hier = self.hier
+        rd = self._dom(root)
+        partial = yield from self.island.reduce(
+            hier.fab, nbytes, root=0, payload=payload, op=op
+        )
+        total = None
+        if self._is_leader:
+            total = yield from self.host.reduce(
+                hier.fleaders, nbytes, root=rd, payload=partial, op=op
+            )
+        if self._frank(root) == 0:
+            return total if comm.rank == root else None
+        # deliver to the true root over its island fabric + a d2h so the
+        # result is host-resident (ready for an inter-node `ir`)
+        if self._dom(comm.rank) != rd:
+            return None
+        res = yield from self.island.bcast(
+            hier.fab, nbytes, root=0,
+            payload=total if self._frank(comm.rank) == 0 else None,
+        )
+        if comm.rank != root:
+            return None
+        yield from self._hop(comm, nbytes, "d2h")
+        return res
+
+    def allreduce(self, comm, nbytes, payload=None, op=SUM, algorithm=None,
+                  segsize=None):
+        """Island reduce -> host allreduce across leaders -> island bcast."""
+        self._check(comm)
+        if comm.size == 1:
+            return payload
+        hier = self.hier
+        partial = yield from self.island.reduce(
+            hier.fab, nbytes, root=0, payload=payload, op=op
+        )
+        total = None
+        if self._is_leader:
+            total = yield from self.host.allreduce(
+                hier.fleaders, nbytes, payload=partial, op=op
+            )
+        res = yield from self.island.bcast(
+            hier.fab, nbytes, root=0,
+            payload=total if self._is_leader else None,
+        )
+        return res
+
+    def gather(self, comm, nbytes, root=0, payload=None):
+        """Island gather to leaders (NVLink + one d2h each), host gather
+        across leaders; island order == rank order, so the concatenation
+        is already in node-rank order."""
+        self._check(comm)
+        if comm.size == 1:
+            return payload
+        hier = self.hier
+        rd = self._dom(root)
+        island_blk = yield from self.island.gather(
+            hier.fab, nbytes, root=0, payload=payload
+        )
+        full = None
+        if self._is_leader:
+            full = yield from self.host.gather(
+                hier.fleaders, nbytes * self._q, root=rd, payload=island_blk
+            )
+        if self._frank(root) == 0:
+            return full if comm.rank == root else None
+        if self._dom(comm.rank) != rd:
+            return None
+        res = yield from self.island.bcast(
+            hier.fab, nbytes * comm.size, root=0,
+            payload=full if self._frank(comm.rank) == 0 else None,
+        )
+        if comm.rank != root:
+            return None
+        yield from self._hop(comm, nbytes * comm.size, "d2h")
+        return res
+
+    def scatter(self, comm, nbytes, root=0, payload=None):
+        """Host path: scatter bytes start host-resident at the root and
+        are thin per receiver, so they ride shared memory directly."""
+        self._check(comm)
+        if comm.size == 1:
+            return payload
+        result = yield from self.host.scatter(
+            comm, nbytes, root=root, payload=payload
+        )
+        return result
+
+    def allgather(self, comm, nbytes, payload=None):
+        """Fabric-aware gather to rank 0, then the composed bcast."""
+        self._check(comm)
+        if comm.size == 1:
+            return payload
+        gathered = yield from self.gather(comm, nbytes, root=0, payload=payload)
+        result = yield from self.bcast(
+            comm, nbytes * comm.size, root=0,
+            payload=gathered if comm.rank == 0 else None,
+        )
+        return result
+
+    def reduce_scatter(self, comm, nbytes, payload=None, op=SUM):
+        """Fabric-aware reduce to rank 0, then the host scatter."""
+        self._check(comm)
+        if comm.size == 1:
+            return payload
+        reduced = yield from self.reduce(
+            comm, nbytes, root=0, payload=payload, op=op
+        )
+        result = yield from self.scatter(
+            comm, nbytes, root=0,
+            payload=reduced if comm.rank == 0 else None,
+        )
+        return result
+
+    def alltoall(self, comm, nbytes, payload=None):
+        """Gather-transpose-scatter through rank 0: island gathers ride
+        NVLink, the transpose is free, the scatter takes the host path."""
+        self._check(comm)
+        if comm.size == 1:
+            return payload
+        p = comm.size
+        gathered = yield from self.gather(
+            comm, nbytes * p, root=0, payload=payload
+        )
+        send = None
+        if gathered is not None:
+            per = gathered.size // (p * p)
+            # [src][dst][per] -> [dst][src][per]
+            send = gathered.reshape(p, p, per).transpose(1, 0, 2).reshape(-1)
+        result = yield from self.scatter(
+            comm, nbytes * p * p, root=0, payload=send
+        )
+        return result
+
+    def barrier(self, comm):
+        """Island barrier -> leader barrier -> island release."""
+        self._check(comm)
+        if comm.size == 1:
+            return
+        hier = self.hier
+        yield from self.island.barrier(hier.fab)
+        if self._is_leader:
+            yield from self.host.barrier(hier.fleaders)
+        yield from self.island.barrier(hier.fab)

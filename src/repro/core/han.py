@@ -30,9 +30,11 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.colls.allgather import allgather_ring
+from repro.colls.alltoall import alltoall_pairwise
 from repro.colls.bcast import bcast_linear
 from repro.colls.gather import gather_binomial
 from repro.colls.reduce import reduce_linear
+from repro.colls.reduce_scatter import reduce_scatter_ring
 from repro.colls.scatter import scatter_binomial
 from repro.core.config import HanConfig
 from repro.core.subcomms import build_hierarchy
@@ -139,6 +141,37 @@ class HanModule(CollModule):
         if mod is None:
             mod = self._mods[name] = make_module(name)
         return mod
+
+    def _intra_module(self, hier, cfg) -> CollModule:
+        """The module driving intra-node stages.
+
+        Plain ``smod`` on flat nodes; on split-NVLink nodes a fabric-
+        aware ``smod`` (gpu) is wrapped in the fabric/host composite so
+        the intra stage itself becomes a 2-level island/bridge schedule
+        -- HAN's third hardware level.
+        """
+        smod = self.module(cfg.smod)
+        if hier.fab is None or not getattr(smod, "fabric_tier", False):
+            return smod
+        comp = getattr(hier, "_fabric_composite", None)
+        if comp is None:
+            from repro.core.fabric_tier import FabricComposite
+
+            comp = FabricComposite(hier, smod, self.module("sm"))
+            hier._fabric_composite = comp
+        return comp
+
+    @staticmethod
+    def _position_map(comm, hier) -> dict:
+        """(node position, local rank) -> parent rank, cached per hierarchy."""
+        pos = getattr(hier, "_pos_to_parent", None)
+        if pos is None:
+            pos = {
+                (hier.up_rank_of(i), hier.local_rank_of(i)): i
+                for i in range(comm.size)
+            }
+            hier._pos_to_parent = pos
+        return pos
 
     def resolve_config(
         self, hier, nbytes: float, coll: str, config: Optional[HanConfig]
@@ -278,7 +311,7 @@ class HanModule(CollModule):
         cfg = self.resolve_config(hier, nbytes, "bcast", config)
         if segsize is not None:
             cfg = cfg.with_(fs=segsize)
-        imod, smod = self.module(cfg.imod), self.module(cfg.smod)
+        imod, smod = self.module(cfg.imod), self._intra_module(hier, cfg)
         root_local = hier.local_rank_of(root)
         root_up = hier.up_rank_of(root)
         on_ib_layer = hier.local_rank == root_local
@@ -384,7 +417,7 @@ class HanModule(CollModule):
         cfg = self.resolve_config(hier, nbytes, "allreduce", config)
         if segsize is not None:
             cfg = cfg.with_(fs=segsize)
-        imod, smod = self.module(cfg.imod), self.module(cfg.smod)
+        imod, smod = self.module(cfg.imod), self._intra_module(hier, cfg)
         low, up = hier.low, hier.up
         u, seg_bytes, views = han_segments(nbytes, cfg.fs, payload)
         pieces: list = [None] * u
@@ -523,7 +556,7 @@ class HanModule(CollModule):
         cfg = self.resolve_config(hier, nbytes, "reduce", config)
         if segsize is not None:
             cfg = cfg.with_(fs=segsize)
-        imod, smod = self.module(cfg.imod), self.module(cfg.smod)
+        imod, smod = self.module(cfg.imod), self._intra_module(hier, cfg)
         low, up = hier.low, hier.up
         root_local = hier.local_rank_of(root)
         root_up = hier.up_rank_of(root)
@@ -595,7 +628,7 @@ class HanModule(CollModule):
             return payload
         hier = yield from build_hierarchy(comm)
         cfg = self.resolve_config(hier, nbytes, "gather", config)
-        smod = self.module(cfg.smod)
+        smod = self._intra_module(hier, cfg)
         low, up = hier.low, hier.up
         root_local = hier.local_rank_of(root)
         root_up = hier.up_rank_of(root)
@@ -622,7 +655,7 @@ class HanModule(CollModule):
             return payload
         hier = yield from build_hierarchy(comm)
         cfg = self.resolve_config(hier, nbytes, "allgather", config)
-        smod = self.module(cfg.smod)
+        smod = self._intra_module(hier, cfg)
         low, up = hier.low, hier.up
 
         node_block = payload
@@ -680,75 +713,132 @@ class HanModule(CollModule):
         return result
 
     @_coll_span
-    def alltoall(self, comm, nbytes, payload=None, config=None):
-        """Hierarchical all-to-all (the structure of [Traff & Rougier]):
+    def reduce_scatter(self, comm, nbytes, payload=None, op=SUM, config=None):
+        """Hierarchical reduce-scatter: intra reduce-scatter of node
+        slices, then an inter-node reduce-scatter per layer.
 
-        1. intra-node gather of the blocks destined to each remote node,
-        2. inter-node all-to-all of node-sized super-blocks (leaders),
-        3. intra-node redistribution.
-
-        ``nbytes`` is one rank-to-rank block; every rank contributes
-        ``size`` blocks and receives ``size`` blocks in source order.
+        ``nbytes`` is the TOTAL vector size; rank *i* ends with block
+        *i* of the fully reduced vector (``nbytes / size`` bytes).  The
+        send buffer is pre-permuted so the intra stage hands local rank
+        *j* exactly the blocks owned by layer *j*, node-major; the
+        per-layer inter stage then finishes the reduction and the
+        scatter simultaneously -- no dedicated final intra scatter is
+        needed because the layered up-comms already place block *m* of
+        slice *j* on the rank at position ``(m, j)``.
         """
-        import numpy as np
-        from repro.colls.alltoall import alltoall_pairwise
+        if comm.size == 1:
+            return payload
+        if not op.commutative:
+            raise ValueError(
+                "hierarchical reduce_scatter requires a commutative op"
+            )
+        hier = yield from build_hierarchy(comm)
+        cfg = self.resolve_config(hier, nbytes, "reduce_scatter", config)
+        smod = self._intra_module(hier, cfg)
+        low, up = hier.low, hier.up
+        P, p, n_nodes = comm.size, low.size, up.size
 
+        if payload is not None and payload.size % P != 0:
+            # nested block splits only line up on divisible payloads
+            out = yield from reduce_scatter_ring(
+                comm, nbytes, payload=payload, op=op
+            )
+            return out
+        if p == 1:
+            out = yield from reduce_scatter_ring(
+                up, nbytes, payload=payload, op=op
+            )
+            return out
+        if n_nodes == 1:
+            out = yield from smod.reduce_scatter(
+                low, nbytes, payload=payload, op=op
+            )
+            return out
+
+        send = payload
+        if payload is not None:
+            # group my P blocks by owning local rank, node-major inside
+            # each group: slice j = the blocks of ranks (m, j), m ascending
+            pos = self._position_map(comm, hier)
+            per = payload.size // P
+            blocks = payload.reshape(P, per)
+            send = np.concatenate(
+                [blocks[pos[(m, j)]] for j in range(p) for m in range(n_nodes)]
+            )
+        # intra: local rank j keeps slice j, reduced over this node
+        slice_ = yield from smod.reduce_scatter(
+            low, nbytes, payload=send, op=op
+        )
+        # inter (per layer): up-rank m keeps block m of the slice --
+        # which is exactly this rank's own block of the full vector
+        out = yield from reduce_scatter_ring(
+            up, nbytes / p, payload=slice_, op=op
+        )
+        return out
+
+    @_coll_span
+    def alltoall(self, comm, nbytes, payload=None, config=None):
+        """Truly hierarchical all-to-all, every rank active in both
+        phases (no leader bottleneck):
+
+        1. **intra**: node-local all-to-all of destination-layer groups
+           (each group holds the ``n_nodes`` blocks bound for one local
+           rank position, node-major),
+        2. **inter**: per-layer all-to-all of node-sized groups,
+        3. a free local reorder into global source-rank order.
+
+        ``nbytes`` is one rank-to-rank block; every rank sends and
+        receives ``size`` blocks, moving ``size * nbytes`` bytes across
+        each of the two phases.
+        """
         if comm.size == 1:
             return payload
         hier = yield from build_hierarchy(comm)
         cfg = self.resolve_config(hier, nbytes, "alltoall", config)
-        smod = self.module(cfg.smod)
+        smod = self._intra_module(hier, cfg)
         low, up = hier.low, hier.up
         P, p, n_nodes = comm.size, low.size, up.size
 
-        if p == 1:
+        if payload is not None and payload.size % P != 0:
             out = yield from alltoall_pairwise(comm, nbytes, payload=payload)
             return out
+        if p == 1:
+            out = yield from alltoall_pairwise(up, nbytes, payload=payload)
+            return out
+        if n_nodes == 1:
+            out = yield from smod.alltoall(low, nbytes, payload=payload)
+            return out
 
-        # 1) gather everyone's full send buffer on the node leader
-        #    (p * P * nbytes of data at the leader)
-        node_buf = yield from smod.gather(
-            low, nbytes * P, root=0, payload=payload
+        send = payload
+        if payload is not None:
+            # group my P send blocks by destination local rank k,
+            # node-major inside each group
+            pos = self._position_map(comm, hier)
+            per = payload.size // P
+            blocks = payload.reshape(P, per)
+            send = np.concatenate(
+                [blocks[pos[(m, k)]] for k in range(p) for m in range(n_nodes)]
+            )
+        # 1) intra exchange: one block per local peer = n_nodes sub-blocks
+        r1 = yield from smod.alltoall(low, nbytes * n_nodes, payload=send)
+        send_up = None
+        if r1 is not None:
+            # [src_local][dst_node][per] -> [dst_node][src_local][per]
+            per = r1.size // P
+            send_up = (
+                r1.reshape(p, n_nodes, per).transpose(1, 0, 2).reshape(-1)
+            )
+        # 2) inter exchange on my layer: one block per node = p sub-blocks
+        r2 = yield from alltoall_pairwise(up, nbytes * p, payload=send_up)
+        if r2 is None:
+            return None
+        # 3) reorder [src_node][src_local] into global source-rank order
+        per = r2.size // P
+        r3 = r2.reshape(n_nodes, p, per)
+        out = np.concatenate(
+            [r3[hier.up_rank_of(i), hier.local_rank_of(i)] for i in range(P)]
         )
-        result = None
-        if hier.local_rank == 0:
-            if node_buf is not None:
-                # reorder into per-destination-node super-blocks:
-                # sender-major -> destination-node-major
-                per = node_buf.size // (p * P)
-                blocks = node_buf.reshape(p, P, per)
-                send = np.concatenate(
-                    [
-                        blocks[:, d * p : (d + 1) * p, :].reshape(-1)
-                        for d in range(n_nodes)
-                    ]
-                )
-            else:
-                send = None
-            # 2) inter-node exchange of super-blocks (p*p blocks each)
-            recv = yield from alltoall_pairwise(
-                up, nbytes * p * p, payload=send
-            )
-            # 3) redistribute on the node: every local rank gets its
-            #    P blocks (sources in rank order)
-            if recv is not None:
-                per = recv.size // (n_nodes * p * p)
-                # recv is [src_node][src_local][dst_local][per]
-                r4 = recv.reshape(n_nodes, p, p, per)
-                # dst_local major, then global source order
-                redist = np.concatenate(
-                    [r4[:, :, d, :].reshape(-1) for d in range(p)]
-                )
-            else:
-                redist = None
-            result = yield from self._intra_scatter(
-                comm, hier, nbytes * P * p, 0, redist
-            )
-        else:
-            result = yield from self._intra_scatter(
-                comm, hier, nbytes * P * p, 0, None
-            )
-        return result
+        return out
 
     @_coll_span
     def barrier(self, comm, config=None):
@@ -757,7 +847,7 @@ class HanModule(CollModule):
             return
         hier = yield from build_hierarchy(comm)
         cfg = self.resolve_config(hier, 0, "barrier", config)
-        smod = self.module(cfg.smod)
+        smod = self._intra_module(hier, cfg)
         low, up = hier.low, hier.up
         if low.size > 1:
             yield from smod.barrier(low)

@@ -143,7 +143,7 @@ class MultiLevelHanModule(HanModule):
         cfg = self.resolve_config(hier2, nbytes, "bcast", config)
         if segsize is not None:
             cfg = cfg.with_(fs=segsize)
-        imod, smod = self.module(cfg.imod), self.module(cfg.smod)
+        imod, smod = self.module(cfg.imod), self._intra_module(hier2, cfg)
         low, mid, top = hier.low, hier.mid, hier.top
         on_layer = hier.local_rank == 0
         u, seg_bytes, views = han_segments(

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.mpi.communicator import Communicator
+from repro.mpi.constants import UNDEFINED
 
 __all__ = ["Hierarchy", "build_hierarchy"]
 
@@ -57,15 +58,29 @@ def _group_layout(runtime, group: tuple) -> tuple[int, dict]:
 
 @dataclass
 class Hierarchy:
-    """One rank's view of the two-level decomposition."""
+    """One rank's view of the two-level decomposition.
+
+    On machines with split NVLink fabrics (``NodeSpec.fabric_domains >
+    1``) the intra-node level itself decomposes: ``fab`` spans my NVLink
+    island and ``fleaders`` connects the first rank of every island on my
+    node (``None`` on non-leader ranks).  Both are ``None`` on flat
+    single-fabric machines, so two-level consumers are unaffected.
+    """
 
     parent: Communicator
     low: Communicator  # intra-node communicator (all ranks of my node)
     up: Communicator  # inter-node communicator of my local-rank layer
+    fab: Communicator | None = None  # intra-fabric-domain (NVLink island)
+    fleaders: Communicator | None = None  # island leaders within my node
 
     def __post_init__(self) -> None:
         # parent rank -> (node position, local rank); built lazily once.
         self._pos_cache: dict[int, tuple[int, int]] = {}
+
+    @property
+    def has_fabric_tier(self) -> bool:
+        """True when the node splits into multiple NVLink islands."""
+        return self.fab is not None
 
     @property
     def local_rank(self) -> int:
@@ -114,7 +129,19 @@ def build_hierarchy(comm: Communicator):
     low = yield from comm.split_type_shared()
     # layer = my local rank; order layers by node via the parent rank
     up = yield from comm.split(color=low.rank, key=comm.rank)
-    hier = Hierarchy(parent=comm, low=low, up=up)
+    # fabric tier: on split-NVLink nodes, decompose the node level into
+    # per-island comms plus an island-leader comm.  Splits are
+    # instantaneous in simulated time, so flat-machine schedules are
+    # unaffected by this block never running there.
+    fab = fleaders = None
+    fabric = comm.runtime.fabric
+    if fabric.fabric_domains > 1:
+        domain = fabric.fabric_domain_of(comm.group[comm.rank])
+        fab = yield from low.split(color=domain, key=low.rank)
+        fleaders = yield from low.split(
+            color=0 if fab.rank == 0 else UNDEFINED, key=low.rank
+        )
+    hier = Hierarchy(parent=comm, low=low, up=up, fab=fab, fleaders=fleaders)
     # homogeneity check: every layer must have one member per node
     num_nodes, _ = _group_layout(comm.runtime, comm.group)
     if up.size != num_nodes or low.size * up.size != comm.size:

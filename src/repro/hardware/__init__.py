@@ -9,6 +9,7 @@ from repro.hardware.spec import MachineSpec, NicSpec, NodeSpec
 from repro.hardware.machines import (
     MACHINE_PRESETS,
     gpu_cluster,
+    gpu_pod,
     shaheen2,
     stampede2,
     small_cluster,
@@ -21,6 +22,7 @@ __all__ = [
     "NicSpec",
     "NodeSpec",
     "gpu_cluster",
+    "gpu_pod",
     "shaheen2",
     "stampede2",
     "small_cluster",

@@ -21,6 +21,7 @@ from repro.hardware.spec import MachineSpec, NicSpec, NodeSpec
 __all__ = [
     "MACHINE_PRESETS",
     "gpu_cluster",
+    "gpu_pod",
     "shaheen2",
     "small_cluster",
     "stampede2",
@@ -130,6 +131,40 @@ def gpu_cluster(num_nodes: int = 4, ppn: int = 4) -> MachineSpec:
     )
 
 
+def gpu_pod(num_nodes: int = 2, ppn: int = 8) -> MachineSpec:
+    """GPU pod with *split* NVLink fabrics (two islands per node).
+
+    Models an HGX-style baseboard pair (or a Gaudi scale-out box, cf. the
+    HCCL demo): each node carries two NVLink domains of ``gpus/2`` GPUs;
+    traffic inside an island rides that island's NVLink resource, while
+    cross-island traffic is staged over PCIe + the host memory bus.  This
+    is the preset that exercises HAN's fabric/node/network 3-level
+    hierarchy -- ``fabric_domains=2`` is what distinguishes it from
+    :func:`gpu_cluster`'s single flat fabric.
+    """
+    node = NodeSpec(
+        cores=max(ppn, 8),
+        mem_bw=120e9,
+        copy_bw=8e9,
+        reduce_bw=3e9,
+        reduce_bw_avx=12e9,
+        gpus=max(ppn, 8),
+        nvlink_bw=200e9,  # per-island NVLink aggregate
+        pcie_bw=12e9,  # per-direction host<->device
+        gpu_reduce_bw=150e9,
+        fabric_domains=2,
+    )
+    nic = NicSpec(bw=25e9, latency=1.2e-6)
+    return MachineSpec(
+        name="gpu_pod",
+        num_nodes=num_nodes,
+        ppn=ppn,
+        node=node,
+        nic=nic,
+        topology="crossbar",
+    )
+
+
 def tiny_cluster(num_nodes: int = 2, ppn: int = 2) -> MachineSpec:
     """Smallest useful machine; keeps unit tests fast."""
     node = NodeSpec(
@@ -157,5 +192,6 @@ MACHINE_PRESETS = {
     "stampede2": stampede2,
     "small_cluster": small_cluster,
     "gpu_cluster": gpu_cluster,
+    "gpu_pod": gpu_pod,
     "tiny_cluster": tiny_cluster,
 }

@@ -55,6 +55,12 @@ class NodeSpec:
     gpu_reduce_bw: float = 0.0
     #: GPU kernel/copy launch latency
     gpu_latency: float = 5e-6
+    #: NVLink fabric domains per node (0/1 = one flat fabric).  When > 1
+    #: the node's GPUs are split into that many equal islands, each with
+    #: its own ``nvlink_bw`` fluid resource; traffic between islands must
+    #: cross PCIe/host memory.  Enables HAN's fabric/node/network
+    #: 3-level composition.
+    fabric_domains: int = 0
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -70,6 +76,18 @@ class NodeSpec:
                     raise ValueError(
                         f"{name} must be positive on GPU nodes"
                     )
+        if self.fabric_domains < 0:
+            raise ValueError("fabric_domains must be >= 0")
+        if self.fabric_domains > 1:
+            if self.gpus <= 0:
+                raise ValueError(
+                    "fabric_domains > 1 requires a GPU node (gpus > 0)"
+                )
+            if self.gpus % self.fabric_domains != 0:
+                raise ValueError(
+                    f"gpus={self.gpus} must divide evenly into "
+                    f"fabric_domains={self.fabric_domains}"
+                )
 
 
 @dataclass(frozen=True)
@@ -106,6 +124,12 @@ class MachineSpec:
         if not (1 <= self.ppn <= self.node.cores):
             raise ValueError(
                 f"ppn={self.ppn} must be within [1, cores={self.node.cores}]"
+            )
+        if self.node.fabric_domains > 1 and self.ppn % self.node.fabric_domains != 0:
+            raise ValueError(
+                f"ppn={self.ppn} must divide evenly into "
+                f"fabric_domains={self.node.fabric_domains} so every "
+                f"fabric island hosts the same number of ranks"
             )
 
     @property

@@ -70,6 +70,12 @@ class CollModule:
     def allgather(self, comm, nbytes, payload=None) -> Generator:
         raise NotSupportedError(f"{self.name} has no allgather")
 
+    def reduce_scatter(self, comm, nbytes, payload=None, op=SUM) -> Generator:
+        raise NotSupportedError(f"{self.name} has no reduce_scatter")
+
+    def alltoall(self, comm, nbytes, payload=None) -> Generator:
+        raise NotSupportedError(f"{self.name} has no alltoall")
+
     def barrier(self, comm) -> Generator:
         raise NotSupportedError(f"{self.name} has no barrier")
 

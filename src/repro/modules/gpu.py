@@ -34,6 +34,9 @@ class GpuModule(ShmModule):
     name = "gpu"
     avx = True  # reductions run on-device, far above CPU AVX rates
     nonblocking = False
+    #: on split-fabric nodes HAN swaps this module for the fabric/host
+    #: composite (repro.core.fabric_tier) instead of calling it flat
+    fabric_tier = True
 
     def __init__(self, setup_overhead: float = 1.0e-6):
         self.setup_overhead = setup_overhead
@@ -43,9 +46,15 @@ class GpuModule(ShmModule):
     def _gpu(self, comm, state, nbytes, path):
         if nbytes <= 0:
             return
+        fabric = comm.runtime.fabric
         ev = comm.runtime.engine.event(f"gpu-{path}")
-        comm.runtime.fabric.gpu_flow(
-            state["node"], nbytes, lambda: ev.succeed(None), path=path
+        # NVLink flows ride the calling rank's own island; on split-fabric
+        # nodes a comm spanning islands puts each rank's traffic on its
+        # local fabric (the fabric-aware composite in repro.core routes
+        # cross-island bytes over PCIe instead of calling this flat path).
+        fabric.gpu_flow(
+            state["node"], nbytes, lambda: ev.succeed(None), path=path,
+            domain=fabric.fabric_domain_of(comm.world_rank),
         )
         yield ev
 
@@ -62,6 +71,15 @@ class GpuModule(ShmModule):
                 f"gpu module drives one GPU per rank: {comm.size} ranks > "
                 f"{node.gpus} GPUs"
             )
+        if node.fabric_domains > 1:
+            fabric = comm.runtime.fabric
+            domains = {fabric.fabric_domain_of(w) for w in comm.group}
+            per_domain = node.gpus // node.fabric_domains
+            if len(domains) == 1 and comm.size > per_domain:
+                raise ValueError(
+                    f"gpu module: {comm.size} ranks confined to one NVLink "
+                    f"island of {per_domain} GPUs"
+                )
 
     def _gpu_reduce(self, comm, nbytes):
         node = comm.runtime.machine.node
@@ -187,6 +205,185 @@ class GpuModule(ShmModule):
         result = state.get("result")
         self._finish(comm, state)
         return result
+
+    # -- fallback collectives (consistent GPU-staged pattern) -----------------------
+    #
+    # Each follows the same shape as the core three: launch latency,
+    # all-ready flag sync, NVLink flows for device bytes, PCIe staging
+    # only where the result must land in host memory for an inter-node
+    # stage.  Data contracts match repro.colls (gather/allgather/alltoall
+    # take one block, scatter/reduce_scatter the total).
+
+    def gather(self, comm, nbytes, root=0, payload=None):
+        """Root GPU pulls every peer block over NVLink, then stages the
+        concatenation to host memory (for HAN's inter-node `ig`)."""
+        import numpy as np
+
+        if comm.size == 1:
+            return payload
+        self._check_gpus(comm)
+        state = self._begin(comm)
+        contrib = state.setdefault("contrib", {})
+        all_ready = self._event(comm, state, "gather-ready")
+        done = self._event(comm, state, "gather-done")
+        yield from self._setup(comm)
+        contrib[comm.rank] = payload
+        yield from self._latency(comm)
+        state["ready"] = state.get("ready", 0) + 1
+        if state["ready"] == comm.size:
+            all_ready.succeed(None)
+        if comm.rank == root:
+            yield all_ready
+            yield from self._launch(comm)
+            yield from self._gpu(comm, state, (comm.size - 1) * nbytes, "nvlink")
+            yield from self._gpu(comm, state, comm.size * nbytes, "d2h")
+            parts = [contrib.get(r) for r in range(comm.size)]
+            done.succeed(None)
+            self._finish(comm, state)
+            if any(p is None for p in parts):
+                return None
+            return np.concatenate(parts)
+        yield done
+        self._finish(comm, state)
+        return None
+
+    def scatter(self, comm, nbytes, root=0, payload=None):
+        """Root stages the full buffer to its device, peers pull their
+        blocks over NVLink; results are device-resident."""
+        import numpy as np
+
+        if comm.size == 1:
+            return payload
+        self._check_gpus(comm)
+        state = self._begin(comm)
+        staged = self._event(comm, state, "scatter-staged")
+        drained = self._event(comm, state, "scatter-drained")
+        yield from self._setup(comm)
+        per = nbytes / comm.size
+        if comm.rank == root:
+            state["payload"] = payload
+            yield from self._launch(comm)
+            yield from self._gpu(comm, state, nbytes, "h2d")
+            staged.succeed(None)
+            yield drained
+        else:
+            if payload is not None:
+                raise ValueError("payload may only be supplied at the root")
+            yield staged
+            yield from self._launch(comm)
+            yield from self._gpu(comm, state, per, "nvlink")
+            state["readers_done"] = state.get("readers_done", 0) + 1
+            if state["readers_done"] == comm.size - 1:
+                drained.succeed(None)
+        src = state.get("payload")
+        self._finish(comm, state)
+        if src is None:
+            return None
+        bounds = np.linspace(0, src.size, comm.size + 1).astype(int)
+        return src[bounds[comm.rank] : bounds[comm.rank + 1]]
+
+    def allgather(self, comm, nbytes, payload=None):
+        """NVLink ring allgather, fully device-resident: every GPU pulls
+        the size-1 foreign blocks around the ring."""
+        import numpy as np
+
+        if comm.size == 1:
+            return payload
+        self._check_gpus(comm)
+        state = self._begin(comm)
+        contrib = state.setdefault("contrib", {})
+        all_ready = self._event(comm, state, "ag-ready")
+        yield from self._setup(comm)
+        contrib[comm.rank] = payload
+        yield from self._latency(comm)
+        state["ready"] = state.get("ready", 0) + 1
+        if state["ready"] == comm.size:
+            all_ready.succeed(None)
+        yield all_ready
+        yield from self._launch(comm)
+        yield from self._gpu(comm, state, (comm.size - 1) * nbytes, "nvlink")
+        parts = [contrib.get(r) for r in range(comm.size)]
+        self._finish(comm, state)
+        if any(p is None for p in parts):
+            return None
+        return np.concatenate(parts)
+
+    def reduce_scatter(self, comm, nbytes, payload=None, op=SUM):
+        """Ring reduce-scatter (the first phase of the ring allreduce):
+        nbytes*(P-1)/P cross the fabric per GPU, reductions at kernel
+        rate; every rank keeps its own reduced block on device."""
+        import numpy as np
+
+        if comm.size == 1:
+            return payload
+        self._check_gpus(comm)
+        state = self._begin(comm)
+        contrib = state.setdefault("contrib", {})
+        all_ready = self._event(comm, state, "rs-ready")
+        done = self._event(comm, state, "rs-done")
+        yield from self._setup(comm)
+        contrib[comm.rank] = payload
+        yield from self._latency(comm)
+        state["ready"] = state.get("ready", 0) + 1
+        if state["ready"] == comm.size:
+            all_ready.succeed(None)
+        yield all_ready
+        size = comm.size
+        ring_bytes = nbytes * (size - 1) / size
+        yield from self._launch(comm)
+        yield from self._gpu(comm, state, ring_bytes, "nvlink")
+        yield from self._gpu_reduce(comm, ring_bytes)
+        state["done"] = state.get("done", 0) + 1
+        if state["done"] == size:
+            vals = [contrib[r] for r in range(size)]
+            if all(v is not None for v in vals):
+                acc = vals[0]
+                for v in vals[1:]:
+                    acc = op(acc, v)
+            else:
+                acc = None
+            state["result"] = acc
+            done.succeed(None)
+        yield done
+        acc = state.get("result")
+        self._finish(comm, state)
+        if acc is None:
+            return None
+        bounds = np.linspace(0, acc.size, size + 1).astype(int)
+        return acc[bounds[comm.rank] : bounds[comm.rank + 1]]
+
+    def alltoall(self, comm, nbytes, payload=None):
+        """Direct NVLink exchange: every GPU pulls its size-1 foreign
+        blocks once all peers exposed their send buffers."""
+        import numpy as np
+
+        if comm.size == 1:
+            return payload
+        self._check_gpus(comm)
+        state = self._begin(comm)
+        contrib = state.setdefault("contrib", {})
+        all_ready = self._event(comm, state, "a2a-ready")
+        yield from self._setup(comm)
+        contrib[comm.rank] = payload
+        yield from self._latency(comm)
+        state["ready"] = state.get("ready", 0) + 1
+        if state["ready"] == comm.size:
+            all_ready.succeed(None)
+        yield all_ready
+        yield from self._launch(comm)
+        yield from self._gpu(comm, state, (comm.size - 1) * nbytes, "nvlink")
+        parts = []
+        for r in range(comm.size):
+            src = contrib.get(r)
+            if src is None:
+                parts.append(None)
+                continue
+            bounds = np.linspace(0, src.size, comm.size + 1).astype(int)
+            parts.append(src[bounds[comm.rank] : bounds[comm.rank + 1]])
+        self._finish(comm, state)
+        if any(p is None for p in parts):
+            return None
+        return np.concatenate(parts)
 
     def barrier(self, comm):
         if comm.size == 1:

@@ -26,6 +26,7 @@ class SMModule(ShmModule):
     name = "sm"
     avx = False
     nonblocking = False
+    _ds_write_copies = 2  # bounce buffer: staging writes cross the bus
 
     def __init__(
         self,
@@ -49,6 +50,10 @@ class SMModule(ShmModule):
         """Per-fragment flag handling, charged as one CPU lump."""
         nfrag = max(1, math.ceil(nbytes / self.fragment))
         yield from comm.compute(nfrag * self.frag_overhead)
+
+    def _stage_cost(self, comm, nbytes: float):
+        """Generic shared-segment ops pay SM's per-fragment flag dance."""
+        yield from self._frag_cost(comm, nbytes)
 
     def _pipe_head_delay(self, comm, nbytes: float) -> float:
         """Time until the first fragment is available to readers."""

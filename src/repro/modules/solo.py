@@ -28,6 +28,7 @@ class SoloModule(ShmModule):
     name = "solo"
     avx = True
     nonblocking = False
+    _ds_write_copies = 0  # one-sided: peers read straight from the source
 
     def __init__(self, setup_overhead: float = 2.5e-6):
         #: RMA window synchronization (fence/flush) per call per rank

@@ -18,10 +18,12 @@ from __future__ import annotations
 from repro.colls import (
     ALLGATHER_ALGORITHMS,
     ALLREDUCE_ALGORITHMS,
+    ALLTOALL_ALGORITHMS,
     BARRIER_ALGORITHMS,
     BCAST_ALGORITHMS,
     GATHER_ALGORITHMS,
     REDUCE_ALGORITHMS,
+    REDUCE_SCATTER_ALGORITHMS,
     SCATTER_ALGORITHMS,
 )
 from repro.modules.base import CollModule
@@ -77,6 +79,20 @@ class TunedModule(CollModule):
     @staticmethod
     def decide_gather(size: int, nbytes: float) -> str:
         return "binomial" if nbytes <= 32 * KiB else "linear"
+
+    @staticmethod
+    def decide_reduce_scatter(size: int, nbytes: float) -> str:
+        # recursive halving is latency-optimal for small commutative
+        # vectors on power-of-two comms; the ring wins on bandwidth
+        if nbytes <= 64 * KiB and size & (size - 1) == 0:
+            return "recursive_halving"
+        return "ring"
+
+    @staticmethod
+    def decide_alltoall(size: int, nbytes: float) -> str:
+        # Bruck trades log2(P) latency for extra volume: right for tiny
+        # blocks, wrong as soon as bandwidth dominates
+        return "bruck" if nbytes < 1 * KiB and size >= 8 else "pairwise"
 
     # -- collectives --------------------------------------------------------------
 
@@ -135,6 +151,24 @@ class TunedModule(CollModule):
     def allgather(self, comm, nbytes, payload=None):
         alg, _seg = self.decide_allgather(comm.size, nbytes)
         result = yield from ALLGATHER_ALGORITHMS[alg](comm, nbytes, payload=payload)
+        return result
+
+    def reduce_scatter(self, comm, nbytes, payload=None, op=SUM, algorithm=None):
+        if algorithm is None:
+            algorithm = self.decide_reduce_scatter(comm.size, nbytes)
+        self._check_alg(algorithm, REDUCE_SCATTER_ALGORITHMS, "reduce_scatter")
+        result = yield from REDUCE_SCATTER_ALGORITHMS[algorithm](
+            comm, nbytes, payload=payload, op=op, avx=self.avx
+        )
+        return result
+
+    def alltoall(self, comm, nbytes, payload=None, algorithm=None):
+        if algorithm is None:
+            algorithm = self.decide_alltoall(comm.size, nbytes)
+        self._check_alg(algorithm, ALLTOALL_ALGORITHMS, "alltoall")
+        result = yield from ALLTOALL_ALGORITHMS[algorithm](
+            comm, nbytes, payload=payload
+        )
         return result
 
     def barrier(self, comm):

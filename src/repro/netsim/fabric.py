@@ -72,11 +72,24 @@ class Fabric:
             self.solver.add_resource(link.capacity, name=f"link:{i}")
             for i, link in enumerate(self.topo.links)
         ]
-        # GPU nodes get an NVLink-fabric resource and a per-direction
-        # PCIe staging resource (paper future work: GPU submodule)
+        # GPU nodes get NVLink-fabric resources and a per-direction PCIe
+        # staging resource.  With NodeSpec.fabric_domains > 1 the node's
+        # fabric splits into that many independent islands, each its own
+        # fluid resource — the accelerator tier of HAN's
+        # fabric/node/network hierarchy.  _nvlink is indexed
+        # [node][domain]; single-fabric nodes keep the legacy resource
+        # name so existing traces stay identical.
+        self._fabric_domains = max(1, node.fabric_domains) if node.gpus > 0 else 0
         if node.gpus > 0:
+            d = self._fabric_domains
             self._nvlink = [
-                self.solver.add_resource(node.nvlink_bw, name=f"nvlink:n{i}")
+                [
+                    self.solver.add_resource(
+                        node.nvlink_bw,
+                        name=f"nvlink:n{i}" if d == 1 else f"nvlink:n{i}d{k}",
+                    )
+                    for k in range(d)
+                ]
                 for i in range(n)
             ]
             self._pcie_h2d = [
@@ -123,6 +136,20 @@ class Fabric:
     def same_node(self, a: int, b: int) -> bool:
         return self.node_of(a) == self.node_of(b)
 
+    @property
+    def fabric_domains(self) -> int:
+        """NVLink islands per node (0 on CPU-only nodes, >= 1 on GPU nodes)."""
+        return self._fabric_domains
+
+    def fabric_domain_of(self, rank: int) -> int:
+        """Which NVLink island hosts this rank (block placement within
+        the node, mirroring :meth:`node_of`'s block placement across
+        nodes).  Always 0 on single-fabric GPU nodes."""
+        if self._fabric_domains <= 1:
+            return 0
+        ppn = self.machine.ppn
+        return (rank % ppn) // (ppn // self._fabric_domains)
+
     def membus_rid(self, node: int) -> int:
         return self._membus[node]
 
@@ -144,7 +171,10 @@ class Fabric:
         - ``("link", a, b)`` — every interconnect link on the routed path
           from node ``a`` to node ``b`` (for adjacent nodes this is the
           single direct link; topologies without internal links, like the
-          crossbar, yield an empty tuple — degrade the NICs instead).
+          crossbar, yield an empty tuple — degrade the NICs instead),
+        - ``("nvlink", node)`` — every NVLink island on the node, or
+          ``("nvlink", node, domain)`` for one island (GPU nodes only),
+        - ``("pcie", node)`` — both host<->device staging directions.
         """
         if kind == "membus":
             (node,) = args
@@ -161,9 +191,22 @@ class Fabric:
         if kind == "link":
             a, b = args
             return tuple(self._links[l] for l in self.topo.route(a, b))
+        if kind == "nvlink":
+            if self._nvlink is None:
+                raise ValueError("machine has no GPUs (NodeSpec.gpus == 0)")
+            if len(args) == 2:
+                node, domain = args
+                return (self._nvlink[node][domain],)
+            (node,) = args
+            return tuple(self._nvlink[node])
+        if kind == "pcie":
+            if self._pcie_h2d is None:
+                raise ValueError("machine has no GPUs (NodeSpec.gpus == 0)")
+            (node,) = args
+            return (self._pcie_h2d[node], self._pcie_d2h[node])
         raise ValueError(
             f"unknown fault resource kind {kind!r}; expected membus, "
-            f"nic_tx, nic_rx, nic or link"
+            f"nic_tx, nic_rx, nic, link, nvlink or pcie"
         )
 
     # -- transfer planning ----------------------------------------------------------
@@ -259,15 +302,18 @@ class Fabric:
         nbytes: float,
         on_done: Callable[[], None],
         path: str = "nvlink",
+        domain: int = 0,
     ) -> int:
         """GPU-side data movement: 'nvlink', 'h2d' or 'd2h'.
 
-        Host<->device staging (h2d/d2h) also crosses the host memory bus.
+        ``domain`` selects the NVLink island (only meaningful for the
+        'nvlink' path on multi-fabric nodes).  Host<->device staging
+        (h2d/d2h) also crosses the host memory bus.
         """
         if self._nvlink is None:
             raise RuntimeError("machine has no GPUs (NodeSpec.gpus == 0)")
         if path == "nvlink":
-            resources = (self._nvlink[node],)
+            resources = (self._nvlink[node][domain],)
         elif path == "h2d":
             resources = (self._pcie_h2d[node], self._membus[node])
         elif path == "d2h":

@@ -69,6 +69,8 @@ def _space(name: str) -> SearchSpace:
         return SearchSpace.small()
     if name == "full":
         return SearchSpace()
+    if name == "gpu":  # accelerator nodes: gpu joins the smod axis
+        return SearchSpace.gpu()
     if name == "bench":  # the wall-clock study sweep (see cmd_bench)
         return SearchSpace(
             seg_sizes=(256 * KiB, 512 * KiB, 1 * MiB),
@@ -371,7 +373,10 @@ def cmd_bandit(args) -> int:
 
 
 def _add_machine_args(p: argparse.ArgumentParser, nodes=6, ppn=6) -> None:
-    p.add_argument("--machine", choices=sorted(MACHINES), default="shaheen2")
+    p.add_argument("--machine", choices=sorted(MACHINES), default="shaheen2",
+                   help="machine preset; gpu_cluster = flat-NVLink GPU "
+                        "nodes, gpu_pod = split-NVLink GPU pods (two "
+                        "fabric islands per node bridged over PCIe/host)")
     p.add_argument("--nodes", type=int, default=nodes,
                    help="node count (default: preset geometry)")
     p.add_argument("--ppn", type=int, default=ppn,
@@ -403,8 +408,15 @@ def main(argv=None) -> int:
     p_run.add_argument("--colls", default="bcast,allreduce",
                        help="comma-separated collectives")
     p_run.add_argument("--method", choices=METHODS, default="task")
-    p_run.add_argument("--space", choices=("small", "full", "bench", "sens"),
-                       default="small")
+    p_run.add_argument("--space",
+                       choices=("small", "full", "gpu", "bench", "sens"),
+                       default="small",
+                       help="configuration space: small (fast subset), "
+                            "full (paper Tables I-II), gpu (adds the gpu "
+                            "intra module for accelerator presets such as "
+                            "gpu_cluster/gpu_pod; on gpu_pod's split-NVLink "
+                            "nodes smod=gpu engages the fabric tier), "
+                            "bench/sens (experiment sweeps)")
     p_run.add_argument("--workers", type=int, default=0,
                        help="measurement worker processes (0 = serial)")
     _add_allocation_args(p_run)
@@ -441,7 +453,8 @@ def main(argv=None) -> int:
     _add_machine_args(p_ban, nodes=4, ppn=4)
     p_ban.add_argument("--colls", default="bcast,allreduce",
                        help="comma-separated collectives")
-    p_ban.add_argument("--space", choices=("small", "full", "bench", "sens"),
+    p_ban.add_argument("--space",
+                       choices=("small", "full", "gpu", "bench", "sens"),
                        default="sens")
     p_ban.add_argument("--seed", type=int, default=2026,
                        help="fault-plan seed (the sensitivity experiment's)")

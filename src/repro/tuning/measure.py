@@ -93,10 +93,12 @@ def _run_once(
         yield from comm.barrier()
         start = comm.now
         for _ in range(iterations):
-            yield from op(comm, nbytes, root=root) if coll in (
-                "bcast",
-                "reduce",
-            ) else op(comm, nbytes)
+            if coll == "barrier":
+                yield from op(comm)
+            elif coll in ("bcast", "reduce"):
+                yield from op(comm, nbytes, root=root)
+            else:
+                yield from op(comm, nbytes)
         durations[comm.rank] = (comm.now - start) / iterations
 
     def drive():

@@ -105,3 +105,24 @@ class SearchSpace:
             adapt_algorithms=("chain", "binomial"),
             inner_segs=(None,),
         )
+
+    @classmethod
+    def gpu(cls) -> "SearchSpace":
+        """The accelerator-node space: the ``gpu`` intra module joins the
+        host transports on the smod axis.
+
+        On machines whose nodes carry GPUs (``NodeSpec.gpus > 0``, e.g.
+        the ``gpu_cluster`` / ``gpu_pod`` presets) the intra-node stage
+        can ride NVLink instead of the host memory bus; on split-fabric
+        nodes (``fabric_domains > 1``, the ``gpu_pod`` preset) picking
+        ``smod="gpu"`` additionally engages HAN's fabric/node/network
+        3-level composition.  The search decides per message size
+        whether the device path beats sm/solo.
+        """
+        return cls(
+            seg_sizes=(None, 128 * KiB, 512 * KiB),
+            messages=_pow2_range(4 * KiB, 4 * MiB),
+            adapt_algorithms=("chain", "binomial"),
+            inner_segs=(None,),
+            smods=("sm", "solo", "gpu"),
+        )

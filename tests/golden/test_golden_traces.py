@@ -53,14 +53,29 @@ def _diff_lines(want: dict, got: dict) -> list[str]:
     return lines
 
 
-def test_collective_times_match_golden():
+def _golden_suites():
     if not GOLDEN.exists():
         pytest.fail(
             f"golden file missing: {GOLDEN}\n"
             "generate it with: python scripts/regen_golden.py"
         )
-    golden = json.loads(GOLDEN.read_text())
-    current = _load_regen().compute_golden()
+    return sorted(json.loads(GOLDEN.read_text())["suites"])
+
+
+@pytest.mark.parametrize("suite", ["shaheen2", "gpu_pod"])
+def test_collective_times_match_golden(suite):
+    if not GOLDEN.exists():
+        pytest.fail(
+            f"golden file missing: {GOLDEN}\n"
+            "generate it with: python scripts/regen_golden.py"
+        )
+    golden_doc = json.loads(GOLDEN.read_text())
+    assert suite in golden_doc["suites"], (
+        f"golden file has no {suite!r} suite; regenerate with "
+        "scripts/regen_golden.py"
+    )
+    golden = golden_doc["suites"][suite]
+    current = _load_regen().compute_golden()["suites"][suite]
 
     assert current["machine"] == golden["machine"], (
         "golden machine geometry changed; regenerate with "
@@ -71,9 +86,15 @@ def test_collective_times_match_golden():
     diff = _diff_lines(golden["traces"], current["traces"])
     if diff:
         pytest.fail(
-            "collective completion times diverged from tests/golden/"
-            "collectives.json:\n"
+            f"[{suite}] collective completion times diverged from "
+            "tests/golden/collectives.json:\n"
             + "\n".join(diff)
             + "\n\nIf this change is intentional, regenerate the golden "
             "file:\n    python scripts/regen_golden.py"
         )
+
+
+def test_golden_file_covers_every_suite():
+    """New suites in the regen script must be frozen (and parametrized)."""
+    current = sorted(_load_regen()._suites())
+    assert current == _golden_suites() == ["gpu_pod", "shaheen2"]

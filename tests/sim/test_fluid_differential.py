@@ -61,6 +61,76 @@ def make_schedule(seed: int):
     return caps, flows, cap_events, aborts, probes
 
 
+def make_fabric_schedule(seed: int):
+    """Fabric-tier topology: nodes carrying *two* NVLink-island resources
+    plus a PCIe bridge, wired to a shared network resource.
+
+    Mirrors the resource layout ``netsim.fabric`` builds for
+    ``fabric_domains=2`` presets (``gpu_pod``): intra-island flows touch
+    one resource, cross-island flows ride island -> bridge -> island,
+    and inter-node flows stack island, bridge, and network.  Same
+    reproducibility contract as :func:`make_schedule` — purely
+    rng-derived, identical floats on every replay.
+    """
+    rng = np.random.default_rng([0xFAB, seed])
+    nnodes = int(rng.integers(1, 4))
+    caps = []
+    islands, bridges = [], []  # resource ids per node
+    for _ in range(nnodes):
+        a, b, pcie = len(caps), len(caps) + 1, len(caps) + 2
+        caps += [
+            float(10.0 ** rng.uniform(4.0, 5.5)),  # island 0 (nvlink)
+            float(10.0 ** rng.uniform(4.0, 5.5)),  # island 1 (nvlink)
+            float(10.0 ** rng.uniform(3.0, 4.5)),  # pcie bridge
+        ]
+        islands.append((a, b))
+        bridges.append(pcie)
+    net = len(caps)
+    caps.append(float(10.0 ** rng.uniform(3.5, 5.0)))
+
+    flows = []
+    for _ in range(int(rng.integers(4, 25))):
+        start = float(rng.uniform(0.0, 5.0))
+        nbytes = float(10.0 ** rng.uniform(1.0, 5.0))
+        src = int(rng.integers(0, nnodes))
+        kind = rng.random()
+        if kind < 0.4:  # intra-island
+            route = [islands[src][int(rng.integers(0, 2))]]
+        elif kind < 0.7:  # cross-island within the node
+            route = [islands[src][0], bridges[src], islands[src][1]]
+        else:  # inter-node: island -> bridge -> net -> bridge -> island
+            dst = int(rng.integers(0, nnodes))
+            route = [
+                islands[src][int(rng.integers(0, 2))], bridges[src], net,
+                bridges[dst], islands[dst][int(rng.integers(0, 2))],
+            ]
+        rate_cap = (
+            float(10.0 ** rng.uniform(3.0, 5.0))
+            if rng.random() < 0.5
+            else float("inf")
+        )
+        weight = float(rng.uniform(0.25, 4.0)) if rng.random() < 0.5 else 1.0
+        flows.append((start, nbytes, route, rate_cap, weight))
+
+    cap_events = []
+    for _ in range(int(rng.integers(0, 5))):
+        t = float(rng.uniform(0.0, 8.0))
+        rid = int(rng.integers(0, len(caps)))
+        if rng.random() < 0.3:
+            # dead island/bridge window, restored later
+            cap_events.append((t, rid, 0.0))
+            cap_events.append((t + float(rng.uniform(0.5, 2.0)), rid, caps[rid]))
+        else:
+            cap_events.append((t, rid, caps[rid] * float(rng.uniform(0.3, 2.0))))
+
+    aborts = [
+        (float(rng.uniform(0.0, 6.0)), int(rng.integers(0, len(flows))))
+        for _ in range(int(rng.integers(0, 4)))
+    ]
+    probes = sorted(float(rng.uniform(0.0, 10.0)) for _ in range(3))
+    return caps, flows, cap_events, aborts, probes
+
+
 def run_schedule(mode: str, schedule, memo: bool, monkeypatch):
     monkeypatch.setenv("REPRO_FLUID_FILL_MEMO", "1" if memo else "0")
     caps, flows, cap_events, aborts, probes = schedule
@@ -126,6 +196,28 @@ def test_incremental_matches_reference(seed, monkeypatch):
     ref = run_schedule("reference", schedule, memo=False,
                        monkeypatch=monkeypatch)
     inc = run_schedule("incremental", schedule, memo=True,
+                       monkeypatch=monkeypatch)
+    assert inc == ref
+
+
+@pytest.mark.parametrize("seed", range(100))
+def test_fabric_incremental_matches_reference(seed, monkeypatch):
+    """Fabric-tier routes (two-island nodes) are bit-identical too."""
+    schedule = make_fabric_schedule(seed)
+    ref = run_schedule("reference", schedule, memo=False,
+                       monkeypatch=monkeypatch)
+    inc = run_schedule("incremental", schedule, memo=True,
+                       monkeypatch=monkeypatch)
+    assert inc == ref
+
+
+@pytest.mark.parametrize("seed", range(0, 100, 10))
+def test_fabric_incremental_kernel_without_memo(seed, monkeypatch):
+    """Fabric corpus against the raw kernel (memo off on both sides)."""
+    schedule = make_fabric_schedule(seed)
+    ref = run_schedule("reference", schedule, memo=False,
+                       monkeypatch=monkeypatch)
+    inc = run_schedule("incremental", schedule, memo=False,
                        monkeypatch=monkeypatch)
     assert inc == ref
 
