@@ -5,10 +5,16 @@
   ``engine.obs``;
 - :mod:`repro.obs.metrics`: the aggregate metrics plane (counters,
   gauges, fixed-bucket histograms with span-id exemplars);
-- :mod:`repro.obs.store`: the cross-run observatory — content-addressed
-  append-only store of run summaries under ``results/store/``;
+- :mod:`repro.obs.store`: the cross-run observatory — a sharded,
+  compactable append-only store of run summaries under
+  ``results/store/`` with a ``tail()`` change feed;
 - :mod:`repro.obs.insights`: automated performance-insight checks
-  (guidelines, straggler skew, MAD-band regressions);
+  (guidelines, straggler skew, MAD-band regressions) and the
+  incremental :class:`InsightEngine` behind them;
+- :mod:`repro.obs.severity`: PICO-style severity grading (cost in
+  seconds/bytes, warn/error by relative excess);
+- :mod:`repro.obs.fleet`: cross-machine rollup report over one or
+  several run stores;
 - :mod:`repro.obs.export`: Chrome ``trace_event`` (Perfetto) export,
   JSONL run records, resource timelines;
 - :mod:`repro.obs.critpath`: critical-path extraction, phase overlap,
@@ -40,8 +46,10 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.fleet import fleet_report, format_fleet
 from repro.obs.insights import (
     Insight,
+    InsightEngine,
     check_regressions,
     format_insights,
     guideline_insights,
@@ -58,11 +66,14 @@ from repro.obs.metrics import (
     merge_registries,
 )
 from repro.obs.record import record_collective
+from repro.obs.severity import Severity, grade_excess, severity
 from repro.obs.store import (
     RunStore,
     config_digest,
+    machine_band,
     run_key,
     summarize_measurement,
+    summarize_point,
     summarize_record,
     traffic_digest,
 )
@@ -75,21 +86,27 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Insight",
+    "InsightEngine",
     "MessageRecord",
     "MetricsRegistry",
     "ObsRecorder",
     "RunRecord",
     "RunStore",
+    "Severity",
     "Span",
     "check_regressions",
     "chrome_trace",
     "config_digest",
     "critical_path",
     "diff_runs",
+    "fleet_report",
+    "format_fleet",
     "format_insights",
+    "grade_excess",
     "guideline_insights",
     "interference_insight",
     "load_jsonl",
+    "machine_band",
     "merge_registries",
     "phase_overlap",
     "phase_totals",
@@ -98,7 +115,9 @@ __all__ = [
     "resource_timeline",
     "run_insights",
     "run_key",
+    "severity",
     "summarize_measurement",
+    "summarize_point",
     "summarize_record",
     "traffic_digest",
     "validate_chrome_trace",

@@ -13,7 +13,13 @@ Subcommands:
 - ``insights`` -- run the quick insight workload: guideline checks,
   HAN-vs-rival margins, straggler skew; optionally append every point
   to a run store.
-- ``regress``  -- MAD-band cross-run regression check over a run store.
+- ``regress``  -- MAD-band cross-run regression check over a run store
+  (exit 0 clean, 1 regressed, 2 insufficient history).
+- ``compact``  -- fold a run store's mutable shard tails into immutable
+  deduplicated segments.
+- ``fleet``    -- roll one or several run stores into a cross-machine
+  report: per-band regression status, severity-ranked findings,
+  straggler and interference summaries.
 """
 
 from __future__ import annotations
@@ -250,6 +256,7 @@ def cmd_insights(ns: argparse.Namespace) -> int:
 
 
 def cmd_regress(ns: argparse.Namespace) -> int:
+    from repro.obs import fleet as fl
     from repro.obs import insights as ins
     from repro.obs.store import RunStore
 
@@ -257,12 +264,47 @@ def cmd_regress(ns: argparse.Namespace) -> int:
     checks = ins.check_regressions(
         store, k=ns.k, rel_floor=ns.rel_floor, min_runs=ns.min_runs
     )
+    failed = [i for i in checks if not i.passed]
+    status = (fl.STATUS_INSUFFICIENT if not checks
+              else fl.STATUS_REGRESSIONS if failed else fl.STATUS_OK)
+    code = fl.status_exit_code(status)
     if ns.json:
-        print(json.dumps([i.to_doc() for i in checks], indent=2))
+        print(json.dumps({
+            "status": status, "exit_code": code,
+            "checked": len(checks), "regressed": len(failed),
+            "checks": [i.to_doc() for i in checks],
+        }, indent=2))
     else:
-        print(f"store {store.root}: {len(store.keys())} group(s)")
+        print(f"store {store.root}: {len(store.keys())} group(s), "
+              f"status: {status}")
         print(ins.format_insights(checks))
-    return 0 if all(i.passed for i in checks) else 1
+    return code
+
+
+def cmd_compact(ns: argparse.Namespace) -> int:
+    from repro.obs.store import RunStore
+
+    store = RunStore(ns.store_dir)
+    res = store.compact(prefix=ns.prefix or None)
+    print(f"compacted {store.root}: {res['records']} record(s) in "
+          f"{res['shards']} shard(s), {res['removed_files']} mutable "
+          f"file(s) folded into segments")
+    return 0
+
+
+def cmd_fleet(ns: argparse.Namespace) -> int:
+    from repro.obs import fleet as fl
+    from repro.obs.store import RunStore
+
+    report = fl.fleet_report(
+        [RunStore(d) for d in ns.store_dirs],
+        k=ns.k, rel_floor=ns.rel_floor, min_runs=ns.min_runs,
+    )
+    if ns.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(fl.format_fleet(report, limit=ns.limit))
+    return report["exit_code"]
 
 
 # -- argument plumbing -------------------------------------------------------------
@@ -346,7 +388,15 @@ def build_parser() -> argparse.ArgumentParser:
     insp.set_defaults(fn=cmd_insights)
 
     reg = sub.add_parser(
-        "regress", help="cross-run regression check over a run store"
+        "regress", help="cross-run regression check over a run store",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  every group with history is inside its MAD band\n"
+            "  1  at least one group regressed beyond its band\n"
+            "  2  insufficient history (no group has >= --min-runs runs;\n"
+            "     nothing was actually checked)\n"
+        ),
     )
     reg.add_argument("store_dir", help="run store directory")
     reg.add_argument("--k", type=float, default=5.0,
@@ -357,6 +407,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip groups with fewer runs than this")
     reg.add_argument("--json", action="store_true")
     reg.set_defaults(fn=cmd_regress)
+
+    cmp_ = sub.add_parser(
+        "compact",
+        help="fold a run store's mutable tails into immutable segments",
+    )
+    cmp_.add_argument("store_dir", help="run store directory")
+    cmp_.add_argument("--prefix", default="",
+                      help="compact only this shard prefix")
+    cmp_.set_defaults(fn=cmd_compact)
+
+    flt = sub.add_parser(
+        "fleet",
+        help="cross-machine rollup report over one or more run stores",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes (same convention as regress):\n"
+            "  0  ok  1  regressions  2  insufficient history\n"
+        ),
+    )
+    flt.add_argument("store_dirs", nargs="+", help="run store directories")
+    flt.add_argument("--k", type=float, default=5.0,
+                     help="MAD multiplier of the tolerance band")
+    flt.add_argument("--rel-floor", type=float, default=0.02,
+                     help="relative tolerance floor")
+    flt.add_argument("--min-runs", type=int, default=2,
+                     help="skip groups with fewer runs than this")
+    flt.add_argument("--limit", type=int, default=20,
+                     help="findings to print (text mode)")
+    flt.add_argument("--json", action="store_true")
+    flt.set_defaults(fn=cmd_fleet)
     return p
 
 

@@ -31,12 +31,17 @@ On top of the structural checks sit two data-driven ones:
 
 from __future__ import annotations
 
+import bisect
+import json
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
+
+from repro.obs.severity import OK, Severity, grade_excess, severity
 
 __all__ = [
     "Insight",
+    "InsightEngine",
     "check_regressions",
     "format_insights",
     "guideline_insights",
@@ -82,27 +87,43 @@ class Insight:
     HAN-vs-rival allreduce margin, which the paper only claims at
     scale).  ``passed`` is ``True`` for info insights so callers can
     gate on ``all(i.passed ...)``.
+
+    ``grade`` / ``cost_seconds`` / ``cost_bytes`` are the PICO-style
+    quantification (:mod:`repro.obs.severity`): how much the violated
+    relation costs per occurrence and how it ranks on the shared
+    ``warn``/``error`` damage scale.  Violations of *info* relations are
+    quantified too — they just never gate.
     """
 
     name: str
-    kind: str  # "guideline" | "straggler" | "margin" | "regression"
+    kind: str  # "guideline" | "straggler" | "margin" | "regression" | ...
     passed: bool
     severity: str  # "pass" | "fail" | "info"
     detail: str
+    grade: str = "ok"  # "ok" | "warn" | "error"
+    cost_seconds: float = 0.0
+    cost_bytes: float = 0.0
     data: dict = field(default_factory=dict)
 
     def to_doc(self) -> dict:
         return {
             "name": self.name, "kind": self.kind, "passed": self.passed,
             "severity": self.severity, "detail": self.detail,
+            "grade": self.grade, "cost_seconds": self.cost_seconds,
+            "cost_bytes": self.cost_bytes,
             "data": dict(self.data),
         }
 
 
-def _insight(name, kind, ok, detail, enforce=True, **data) -> Insight:
+def _insight(name, kind, ok, detail, enforce=True, sev: Severity = OK,
+             **data) -> Insight:
     severity = ("pass" if ok else "fail") if enforce else "info"
     return Insight(name=name, kind=kind, passed=ok or not enforce,
-                   severity=severity, detail=detail, data=data)
+                   severity=severity, detail=detail,
+                   grade="ok" if ok else sev.grade,
+                   cost_seconds=0.0 if ok else sev.cost_seconds,
+                   cost_bytes=0.0 if ok else sev.cost_bytes,
+                   data=data)
 
 
 # -- structural guidelines ----------------------------------------------------------
@@ -138,6 +159,7 @@ def guideline_insights(
                 "guideline", ok,
                 f"{lhs}={t:.3e}s vs {'+'.join(rhs)}={bound:.3e}s "
                 f"(ratio {ratio:.3f}, tol {1 + tol:.2f})",
+                sev=severity(t, bound, nbytes=nb, tol=tol),
                 ratio=ratio, lhs=t, rhs=bound,
             ))
 
@@ -146,15 +168,27 @@ def guideline_insights(
         if len(pts) < 2:
             continue
         dips = [
-            (a, b) for (na, a), (nb_, b) in zip(pts, pts[1:])
+            (na, a, nb_, b) for (na, a), (nb_, b) in zip(pts, pts[1:])
             if b < a * (1.0 - mono_tol)
         ]
         ok = not dips
+        # each dip costs the smaller point's excess over the larger
+        # point's (faster!) time; dips aggregate by summed cost and
+        # worst relative excess
+        dip_sevs = [severity(a, b, nbytes=na, tol=mono_tol)
+                    for na, a, _nb, b in dips]
+        sev = OK if ok else Severity(
+            grade=grade_excess(max(s.rel_excess for s in dip_sevs)),
+            cost_seconds=sum(s.cost_seconds for s in dip_sevs),
+            cost_bytes=sum(s.cost_bytes for s in dip_sevs),
+            rel_excess=max(s.rel_excess for s in dip_sevs),
+        )
         out.append(_insight(
             f"{coll} monotone in nbytes", "guideline", ok,
             "non-decreasing across "
             f"{', '.join(_fmt_bytes(nb) for nb, _ in pts)}"
             + ("" if ok else f" ({len(dips)} dip(s))"),
+            sev=sev,
             points=[[nb, t] for nb, t in pts],
         ))
     return out
@@ -188,6 +222,7 @@ def margin_insights(
             f"han={t:.3e}s best rival {best_name}={best:.3e}s "
             f"(ratio {ratio:.3f}, margin {margin:.2f})",
             enforce=(coll == "bcast"),
+            sev=severity(t, best, nbytes=nb, tol=margin - 1.0),
             ratio=ratio, best_rival=best_name,
         ))
     return out
@@ -225,12 +260,21 @@ def straggler_insight(
             data={},
         )
     ok = cpu <= threshold
+    # skew is a ratio, not seconds; grade from the relative excess over
+    # the threshold, with no seconds/bytes estimate (the skewed rank's
+    # cpu seconds are not attributable to one collective here)
+    sev = OK if ok else Severity(
+        grade=grade_excess(cpu / threshold - 1.0),
+        cost_seconds=0.0, cost_bytes=0.0,
+        rel_excess=cpu / threshold - 1.0,
+    )
     return _insight(
         f"straggler skew{suffix}", "straggler", ok,
         f"cpu busy-seconds max/median {cpu:.2f} "
         f"(threshold {threshold:.2f}"
         + (f", finish skew {finish:.2f}" if finish is not None else "")
         + ")",
+        sev=sev,
         cpu_skew=cpu, finish_skew=finish, threshold=threshold,
     )
 
@@ -259,11 +303,26 @@ def interference_insight(
             f"{label} slows x{slow:.3f} under {report.get('traffic', 'load')} "
             f"(threshold x{threshold:.1f})"
         )
+    solo = report.get("solo_time")
+    loaded = report.get("loaded_time")
+    if not physical:
+        sev = Severity(grade="error", cost_seconds=0.0, cost_bytes=0.0,
+                       rel_excess=float("inf"))
+    elif ok:
+        sev = OK
+    else:
+        # the damage is real seconds: loaded minus solo wall time
+        cost = (float(loaded) - float(solo)
+                if loaded is not None and solo is not None else 0.0)
+        sev = Severity(grade=grade_excess(slow / threshold - 1.0),
+                       cost_seconds=max(cost, 0.0), cost_bytes=0.0,
+                       rel_excess=slow / threshold - 1.0)
     return _insight(
         f"interference {label}", "interference", ok, detail,
+        sev=sev,
         slowdown=slow, threshold=threshold,
-        solo_time=report.get("solo_time"),
-        loaded_time=report.get("loaded_time"),
+        solo_time=solo,
+        loaded_time=loaded,
     )
 
 
@@ -290,26 +349,298 @@ def check_regressions(
     simply measured twice — the CI self-vs-self check — yields all-pass:
     the deterministic simulator reproduces the time exactly, well inside
     the relative floor.
+
+    This is the batch spelling of the incremental path: it folds the
+    whole store into an :class:`InsightEngine` and reads the engine's
+    regression checks, so batch sweeps and streaming followers are one
+    code path (and bit-identical on the same records by construction).
     """
-    out: list[Insight] = []
-    for key, runs in store.groups():
-        if len(runs) < min_runs:
-            continue
-        times = [r["time"] for r in runs]
-        prior, latest = times[:-1], times[-1]
-        center, tol = mad_band(prior, k=k, rel_floor=rel_floor)
-        ok = latest <= center + tol
-        r = runs[-1]
-        label = (f"{r.get('coll', '?')} {_fmt_bytes(r.get('nbytes', 0))} "
-                 f"[{r.get('library', '?')}] on {r.get('machine', '?')}")
-        out.append(_insight(
-            label, "regression", ok,
-            f"latest {latest:.3e}s vs band {center:.3e}s +/- {tol:.3e}s "
-            f"({len(prior)} prior run(s))",
-            key=key, latest=latest, center=center, tol=tol,
-            runs=len(runs),
-        ))
-    return out
+    engine = InsightEngine(k=k, rel_floor=rel_floor, min_runs=min_runs)
+    engine.ingest_store(store)
+    return engine.regressions()
+
+
+# -- the incremental engine ---------------------------------------------------------
+
+
+class InsightEngine:
+    """Incremental insight state over a stream of run-store records.
+
+    Feed it records one at a time (:meth:`ingest`), all at once from a
+    store (:meth:`ingest_store`), or by following a store's change feed
+    (:meth:`follow`, which drives :meth:`~repro.obs.store.RunStore.tail`).
+    The resulting insights are a pure function of the ingested record
+    *set*: per-group history is kept sorted by the store's deterministic
+    ``(wall_time, canonical line)`` order and exact-duplicate records
+    fold away, so ingest order never matters and the streaming path is
+    bit-identical to the batch sweep over the same records.
+
+    Unlike :func:`quick_workload` (which *measures* a fixed workload),
+    the engine judges whatever the store holds: MAD-band regressions per
+    group, composition/monotonicity guidelines per measurement context
+    (machine, library, fault/traffic state), straggler skew from stored
+    metrics gauges, and loaded-vs-quiet interference for points measured
+    both ways.
+    """
+
+    def __init__(
+        self,
+        k: float = REGRESS_K,
+        rel_floor: float = REGRESS_REL_FLOOR,
+        min_runs: int = 2,
+        tol: float = GUIDELINE_TOL,
+        mono_tol: float = MONOTONE_TOL,
+        straggler_threshold: float = STRAGGLER_THRESHOLD,
+        interference_threshold: float = INTERFERENCE_THRESHOLD,
+    ):
+        self.k = k
+        self.rel_floor = rel_floor
+        self.min_runs = min_runs
+        self.tol = tol
+        self.mono_tol = mono_tol
+        self.straggler_threshold = straggler_threshold
+        self.interference_threshold = interference_threshold
+        self.records = 0
+        self.duplicates = 0
+        #: key -> sorted [(order, time)] history
+        self._hist: dict[str, list[tuple[tuple[float, str], float]]] = {}
+        #: key -> {canonical line} (dedup identity)
+        self._seen: dict[str, set[str]] = {}
+        #: key -> (order, slim doc) of the newest record
+        self._latest: dict[str, tuple[tuple[float, str], dict]] = {}
+        #: (machine, library, faulted, traffic) -> {(coll, nb): (order, t)}
+        self._ctx: dict[tuple, dict[tuple[str, float],
+                                    tuple[tuple[float, str], float]]] = {}
+        #: context -> ((cpu_skew, order), gauges-doc, label) worst straggler
+        self._strag: dict[tuple, tuple] = {}
+        #: (machine, library, coll, nb, config) -> (order, t) quiet latest
+        self._quiet: dict[tuple, tuple[tuple[float, str], float]] = {}
+        #: same point key -> {traffic_digest: (order, t)} loaded latest
+        self._loaded: dict[tuple, dict[str,
+                                       tuple[tuple[float, str], float]]] = {}
+
+    # -- ingest ----------------------------------------------------------------
+
+    @staticmethod
+    def _order(doc: dict, line: str) -> tuple[float, str]:
+        try:
+            wt = float(doc.get("wall_time", 0.0))
+        except (TypeError, ValueError):
+            wt = 0.0
+        return (wt, line)
+
+    def ingest(self, doc: dict) -> bool:
+        """Fold one run summary in; False for duplicates/unusable docs."""
+        key = doc.get("key")
+        if not key or doc.get("time") is None:
+            return False
+        line = json.dumps(doc, sort_keys=True)
+        seen = self._seen.setdefault(key, set())
+        if line in seen:
+            self.duplicates += 1
+            return False
+        seen.add(line)
+        self.records += 1
+        order = self._order(doc, line)
+        t = float(doc["time"])
+        bisect.insort(self._hist.setdefault(key, []), (order, t))
+
+        slim = {f: doc.get(f) for f in (
+            "coll", "nbytes", "library", "machine", "band", "loaded",
+            "faulted", "traffic_digest", "config_digest", "source",
+        )}
+        slim["time"] = t
+        cur = self._latest.get(key)
+        if cur is None or order > cur[0]:
+            self._latest[key] = (order, slim)
+
+        machine = str(doc.get("machine", "?"))
+        library = str(doc.get("library", "?"))
+        coll = str(doc.get("coll", "?"))
+        nbytes = float(doc.get("nbytes", 0.0) or 0.0)
+        traffic = doc.get("traffic_digest") or None
+        ctx = (machine, library, bool(doc.get("faulted")), traffic)
+        bucket = self._ctx.setdefault(ctx, {})
+        pt = (coll, nbytes)
+        old = bucket.get(pt)
+        if old is None or order > old[0]:
+            bucket[pt] = (order, t)
+
+        # judge skew only on bcast: its cpu work is rank-symmetric, so
+        # skew means a straggler; reduction trees concentrate work on
+        # interior ranks by design and would false-positive here
+        metrics = doc.get("metrics") or {}
+        cpu = _gauge(metrics, "straggler.cpu_skew") \
+            if coll == "bcast" else None
+        if cpu is not None:
+            finish = _gauge(metrics, "straggler.finish_skew")
+            gauges = [{"name": "straggler.cpu_skew", "labels": [],
+                       "value": cpu}]
+            if finish is not None:
+                gauges.append({"name": "straggler.finish_skew",
+                               "labels": [], "value": finish})
+            cand = ((cpu, order), {"gauges": gauges},
+                    f"{coll} {_fmt_bytes(nbytes)} on {machine}")
+            worst = self._strag.get(ctx)
+            if worst is None or cand[0] > worst[0]:
+                self._strag[ctx] = cand
+
+        pair = (machine, library, coll, nbytes,
+                str(doc.get("config_digest", "")))
+        if doc.get("loaded") and traffic:
+            loads = self._loaded.setdefault(pair, {})
+            old = loads.get(traffic)
+            if old is None or order > old[0]:
+                loads[traffic] = (order, t)
+        elif not doc.get("loaded"):
+            old = self._quiet.get(pair)
+            if old is None or order > old[0]:
+                self._quiet[pair] = (order, t)
+        return True
+
+    def ingest_store(self, store) -> int:
+        """Batch sweep: fold every record of a RunStore; returns count."""
+        n = 0
+        for _key, runs in store.groups():
+            for doc in runs:
+                if self.ingest(doc):
+                    n += 1
+        return n
+
+    def follow(self, store, cursor: Optional[dict] = None) -> dict:
+        """Ingest records appended since ``cursor``; returns the new one.
+
+        The streaming spelling of :meth:`ingest_store`: call it after
+        (or while) writers append and the engine state advances per
+        record instead of per sweep.
+        """
+        records, cursor = store.tail(cursor)
+        for doc in records:
+            self.ingest(doc)
+        return cursor
+
+    # -- checks ----------------------------------------------------------------
+
+    def regressions(self) -> list[Insight]:
+        """MAD-band check of each group's newest run vs its history."""
+        out: list[Insight] = []
+        for key in sorted(self._hist):
+            entries = self._hist[key]
+            if len(entries) < self.min_runs:
+                continue
+            times = [t for _order, t in entries]
+            prior, latest = times[:-1], times[-1]
+            center, tol = mad_band(prior, k=self.k,
+                                   rel_floor=self.rel_floor)
+            ok = latest <= center + tol
+            slim = self._latest[key][1]
+            label = (f"{slim.get('coll', '?')} "
+                     f"{_fmt_bytes(slim.get('nbytes') or 0)} "
+                     f"[{slim.get('library', '?')}] "
+                     f"on {slim.get('machine', '?')}")
+            out.append(_insight(
+                label, "regression", ok,
+                f"latest {latest:.3e}s vs band {center:.3e}s +/- {tol:.3e}s "
+                f"({len(prior)} prior run(s))",
+                sev=severity(latest, center + tol,
+                             nbytes=float(slim.get("nbytes") or 0.0)),
+                key=key, latest=latest, center=center, tol=tol,
+                runs=len(times), machine=slim.get("machine"),
+                band=slim.get("band"),
+            ))
+        return out
+
+    def _ctx_suffix(self, ctx: tuple) -> str:
+        machine, library, faulted, traffic = ctx
+        extras = ("+faults" if faulted else "") + ("+load" if traffic else "")
+        return f" [{library}{' ' + extras if extras else ''} on {machine}]"
+
+    def guidelines(self) -> list[Insight]:
+        """Composition/monotonicity guidelines per measurement context."""
+        out: list[Insight] = []
+        for ctx in sorted(self._ctx, key=str):
+            times = {pt: t for pt, (_order, t) in self._ctx[ctx].items()}
+            suffix = self._ctx_suffix(ctx)
+            machine, library, faulted, traffic = ctx
+            for check in guideline_insights(times, tol=self.tol,
+                                            mono_tol=self.mono_tol):
+                out.append(replace(
+                    check, name=check.name + suffix,
+                    data={**check.data, "machine": machine,
+                          "library": library, "faulted": faulted,
+                          "traffic_digest": traffic},
+                ))
+        return out
+
+    def stragglers(self) -> list[Insight]:
+        """Worst recorded per-rank cpu skew per measurement context."""
+        out: list[Insight] = []
+        for ctx in sorted(self._strag, key=str):
+            (_rank, metrics_doc, label) = self._strag[ctx]
+            out.append(straggler_insight(
+                metrics_doc, threshold=self.straggler_threshold,
+                label=label,
+            ))
+        return out
+
+    def interference(self) -> list[Insight]:
+        """Loaded-vs-quiet slowdown for points measured both ways."""
+        out: list[Insight] = []
+        for pair in sorted(self._loaded, key=str):
+            quiet = self._quiet.get(pair)
+            if quiet is None or quiet[1] <= 0:
+                continue
+            machine, _library, coll, _nbytes, _cfg = pair
+            for traffic in sorted(self._loaded[pair]):
+                _order, loaded_t = self._loaded[pair][traffic]
+                out.append(interference_insight({
+                    "coll": f"{coll} on {machine}",
+                    "slowdown": loaded_t / quiet[1],
+                    "solo_time": quiet[1],
+                    "loaded_time": loaded_t,
+                    "traffic": f"traffic {traffic[:12]}",
+                }, threshold=self.interference_threshold))
+        return out
+
+    def insights(self) -> list[Insight]:
+        """Every check, in deterministic order."""
+        return (self.guidelines() + self.stragglers()
+                + self.interference() + self.regressions())
+
+    def machines(self) -> list[dict]:
+        """Per-machine rollup of the ingested fleet, label-sorted."""
+        agg: dict[str, dict] = {}
+        for key, entries in self._hist.items():
+            slim = self._latest[key][1]
+            label = str(slim.get("machine") or "?")
+            a = agg.setdefault(label, {
+                "machine": label, "groups": 0, "runs": 0,
+                "bands": set(), "libraries": set(), "colls": set(),
+            })
+            a["groups"] += 1
+            a["runs"] += len(entries)
+            for field_, val in (("bands", slim.get("band")),
+                                ("libraries", slim.get("library")),
+                                ("colls", slim.get("coll"))):
+                if val:
+                    a[field_].add(str(val))
+        return [
+            {**agg[label],
+             "bands": sorted(agg[label]["bands"]),
+             "libraries": sorted(agg[label]["libraries"]),
+             "colls": sorted(agg[label]["colls"])}
+            for label in sorted(agg)
+        ]
+
+    def stats(self) -> dict:
+        return {
+            "records": self.records,
+            "duplicates": self.duplicates,
+            "groups": len(self._hist),
+            "contexts": len(self._ctx),
+            "machines": len({slim.get("machine")
+                             for _o, slim in self._latest.values()}),
+        }
 
 
 # -- the quick workload -------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Cross-run observatory: a content-addressed store of run records.
+"""Cross-run observatory: a sharded, content-addressed store of run records.
 
 Every experiment in the repo used to emit a one-off JSON under
 ``results/`` — impossible to compare across runs.  :class:`RunStore` is
@@ -21,15 +21,43 @@ tuning identity):
 - appends are a single ``O_APPEND`` write of one line, so concurrent
   experiments can share a store directory without locks.
 
+Fleet-scale layout (the :class:`~repro.serve.store.DecisionStore` shard /
+segment design, applied to run history):
+
+- **shard** — one directory per key prefix: ``<root>/<key[:2]>/``.
+  Writers append to the shard's ``open.jsonl``; a dead writer's torn
+  last line is skipped on read.
+- **segment** — :meth:`RunStore.compact` folds every file of a shard
+  into one immutable ``seg-<digest12>.jsonl``: records are
+  re-canonicalized, deduped by canonical line, and sorted by
+  ``(key, wall_time, line)``, so the surviving segment bytes are a pure
+  function of the record *set* — any append interleaving compacts to
+  byte-identical segments.  A sidecar ``seg-<digest12>.idx.json`` maps
+  each key to its line offsets, so :meth:`latest` seeks straight to a
+  group's newest record and :meth:`keys` never parses segment lines.
+- **history order** — :meth:`runs` returns a group sorted by
+  ``(wall_time, canonical line)``: a deterministic total order that is
+  identical before and after compaction and in any merge order.
+- **legacy files** — the pre-sharding layout (one
+  ``<key[:2]>/<key>.jsonl`` per group) is read transparently and folded
+  into segments by the first :meth:`compact`.
+- **tail** — :meth:`tail` is a cursor-based change feed over the
+  shards' open files; the incremental insight engine
+  (:class:`~repro.obs.insights.InsightEngine`) follows it so insights
+  update per appended record instead of per sweep.
+
 The insight engine (:mod:`repro.obs.insights`) consumes these groups
 for guideline checks and MAD-band regression detection.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import tempfile
 import time
+import uuid
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator, Optional
 
@@ -45,6 +73,7 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "RunStore",
     "config_digest",
+    "machine_band",
     "run_key",
     "summarize_measurement",
     "summarize_point",
@@ -55,11 +84,29 @@ __all__ = [
 #: bump when the summary-line layout changes incompatibly
 STORE_SCHEMA_VERSION = 1
 
+#: key-prefix characters that name a shard directory
+_SHARD_CHARS = 2
+
 
 def config_digest(config: Optional["HanConfig"]) -> str:
     """Stable digest of a configuration's tuning identity (seed excluded)."""
     key = list(config.key()) if config is not None else None
     return digest("hanconfig", config=key)
+
+
+def machine_band(machine: "MachineSpec") -> str:
+    """Stable digest of the machine's hardware band (geometry erased).
+
+    The fleet rollup (:mod:`repro.obs.fleet`) groups cross-machine
+    findings by this digest: two jobs of different sizes on the same
+    hardware share a band, mirroring the serving layer's
+    :func:`repro.serve.store.band_digest` notion of fleet identity.
+    """
+    return digest(
+        "runstore-band",
+        schema=STORE_SCHEMA_VERSION,
+        machine=machine.band(),
+    )
 
 
 def traffic_digest(traffic) -> str:
@@ -129,6 +176,7 @@ def summarize_measurement(
         "loaded": traffic is not None,
         "traffic_digest": traffic_digest(traffic) if traffic is not None else None,
         "machine": f"{machine.name} {machine.num_nodes}x{machine.ppn}",
+        "band": machine_band(machine),
         "coll": meas.coll,
         "nbytes": float(meas.nbytes),
         "library": library,
@@ -167,6 +215,7 @@ def summarize_point(
         "key": run_key(machine, coll, nbytes, config, library=library),
         "faulted": False,
         "machine": f"{machine.name} {machine.num_nodes}x{machine.ppn}",
+        "band": machine_band(machine),
         "coll": coll,
         "nbytes": float(nbytes),
         "library": library,
@@ -202,6 +251,7 @@ def summarize_record(
     if machine is not None:
         key = run_key(machine, coll, nbytes, config, library=library)
         machine_label = f"{machine.name} {machine.num_nodes}x{machine.ppn}"
+        band = machine_band(machine)
     else:
         key = digest(
             "runstore-meta",
@@ -212,10 +262,12 @@ def summarize_record(
             library=library,
         )
         machine_label = str(meta.get("machine", "?"))
+        band = None
     return {
         "schema_version": STORE_SCHEMA_VERSION,
         "key": key,
         "machine": machine_label,
+        "band": band,
         "coll": coll,
         "nbytes": nbytes,
         "library": library,
@@ -233,21 +285,168 @@ def summarize_record(
     }
 
 
-class RunStore:
-    """Append-only JSON-lines store of run summaries, grouped by key.
+def _canonical(doc: dict) -> str:
+    """The canonical JSONL line of a record — its dedup identity."""
+    return json.dumps(doc, sort_keys=True)
 
-    Layout: one ``<root>/<key[:2]>/<key>.jsonl`` file per group, one
-    line per run, appended atomically (single ``O_APPEND`` write), so
-    concurrent experiment processes can share a store.
+
+def _order_key(doc: dict, line: str) -> tuple[float, str]:
+    """Deterministic history order: (wall_time, canonical line).
+
+    The tiebreak on the full canonical line makes the order total, so
+    sorting is reproducible in any merge/compaction order and identical
+    records collapse rather than reorder.
+    """
+    try:
+        wt = float(doc.get("wall_time", 0.0))
+    except (TypeError, ValueError):
+        wt = 0.0
+    return (wt, line)
+
+
+def _complete_lines(path: Path, start: int = 0) -> tuple[list[str], int]:
+    """Newline-terminated lines of ``path`` from byte ``start``.
+
+    Returns ``(lines, end)`` where ``end`` is the offset just past the
+    last *complete* line — a torn trailing line (dead or in-flight
+    writer) is left unconsumed so a later read can pick it up whole.
+    """
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(start)
+            blob = fh.read()
+    except OSError:
+        return [], start
+    if not blob:
+        return [], start
+    end = blob.rfind(b"\n")
+    if end < 0:
+        return [], start
+    lines = blob[: end + 1].decode("utf-8", errors="replace").splitlines()
+    return [ln for ln in lines if ln.strip()], start + end + 1
+
+
+def _parse(line: str) -> Optional[dict]:
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError:
+        return None  # torn line from a dead writer: skip
+    return doc if isinstance(doc, dict) else None
+
+
+class RunStore:
+    """Sharded append-only JSON-lines store of run summaries.
+
+    Layout: one shard directory per key prefix (``<root>/<key[:2]>/``)
+    holding an ``open.jsonl`` append tail plus zero or more immutable,
+    content-named ``seg-*.jsonl`` segments produced by :meth:`compact`
+    (each with a ``.idx.json`` sidecar mapping keys to line offsets).
+    Appends are a single ``O_APPEND`` write of one line, so concurrent
+    experiment processes share a store without locks.  The pre-sharding
+    per-group layout (``<key[:2]>/<key>.jsonl``) is read transparently.
     """
 
     def __init__(self, root: os.PathLike):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.appends = 0
+        #: segment-index cache; segments are immutable and content-named,
+        #: so a path's index never goes stale
+        self._idx_cache: dict[Path, dict] = {}
 
-    def _file_for(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.jsonl"
+    # -- layout ----------------------------------------------------------------
+
+    def _shard_dir(self, key: str) -> Path:
+        return self.root / key[:_SHARD_CHARS]
+
+    def _open_file(self, key: str) -> Path:
+        return self._shard_dir(key) / "open.jsonl"
+
+    def _shards(self) -> list[Path]:
+        return sorted(d for d in self.root.iterdir() if d.is_dir())
+
+    @staticmethod
+    def _segments(shard: Path) -> list[Path]:
+        return sorted(shard.glob("seg-*.jsonl"))
+
+    @staticmethod
+    def _mutable_files(shard: Path) -> list[Path]:
+        """Files that must be parsed line by line: the open tail,
+        mid-compaction ``pend-*`` snapshots, and legacy per-group files."""
+        out = []
+        for f in sorted(shard.glob("*.jsonl")):
+            if not f.name.startswith("seg-"):
+                out.append(f)
+        return out
+
+    # -- segment indexes -------------------------------------------------------
+
+    @staticmethod
+    def _idx_path(seg: Path) -> Path:
+        return seg.with_suffix(".idx.json")
+
+    @staticmethod
+    def _build_index(seg: Path) -> dict:
+        keys: dict[str, list[int]] = {}
+        records = 0
+        off = 0
+        try:
+            blob = seg.read_bytes()
+        except OSError:
+            blob = b""
+        for raw in blob.splitlines(keepends=True):
+            if raw.strip() and raw.endswith(b"\n"):
+                doc = _parse(raw.decode("utf-8", errors="replace"))
+                if doc is not None and doc.get("key"):
+                    keys.setdefault(doc["key"], []).append(off)
+                    records += 1
+            off += len(raw)
+        return {"schema": STORE_SCHEMA_VERSION, "records": records,
+                "keys": keys}
+
+    def _seg_index(self, seg: Path) -> dict:
+        idx = self._idx_cache.get(seg)
+        if idx is not None:
+            return idx
+        sidecar = self._idx_path(seg)
+        try:
+            idx = json.loads(sidecar.read_text())
+            if not isinstance(idx.get("keys"), dict):
+                raise ValueError("malformed index")
+        except (OSError, ValueError, json.JSONDecodeError):
+            idx = self._build_index(seg)
+            self._write_atomic(sidecar, json.dumps(idx, sort_keys=True))
+        self._idx_cache[seg] = idx
+        return idx
+
+    @staticmethod
+    def _write_atomic(path: Path, text: str) -> None:
+        try:
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        except OSError:
+            return
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _seg_records_at(self, seg: Path,
+                        offsets) -> Iterator[tuple[dict, str]]:
+        try:
+            with open(seg, "rb") as fh:
+                for off in offsets:
+                    fh.seek(off)
+                    raw = fh.readline()
+                    line = raw.decode("utf-8", errors="replace").strip()
+                    doc = _parse(line)
+                    if doc is not None:
+                        yield doc, line
+        except OSError:
+            return
 
     # -- writing ---------------------------------------------------------------
 
@@ -257,50 +456,316 @@ class RunStore:
         if not key:
             raise ValueError("run summary must carry a 'key' (see run_key)")
         doc.setdefault("schema_version", STORE_SCHEMA_VERSION)
-        f = self._file_for(key)
+        f = self._open_file(key)
         f.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(doc, sort_keys=True) + "\n"
-        fd = os.open(f, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-        try:
-            os.write(fd, line.encode("utf-8"))
-        finally:
-            os.close(fd)
+        data = (_canonical(doc) + "\n").encode("utf-8")
+        for _ in range(16):
+            fd = os.open(f, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, data)
+                ino = os.fstat(fd).st_ino
+            finally:
+                os.close(fd)
+            # A concurrent compact() may have renamed (or renamed and
+            # already unlinked) the tail between our open and write, in
+            # which case the line could die with the snapshot.  Re-land
+            # it on the live tail; if the snapshot survives long enough
+            # to be folded, the duplicate collapses by canonical-line
+            # dedup.
+            try:
+                if os.stat(f).st_ino == ino:
+                    break
+            except OSError:
+                pass
         self.appends += 1
         return key
 
+    def merge_from(self, other: "RunStore") -> int:
+        """Append every record of ``other``; returns records copied.
+
+        Records already present collapse on read (dedup by canonical
+        line) and fold away at the next :meth:`compact`, so merging is
+        idempotent and order-independent at the record-set level.
+        """
+        copied = 0
+        for _key, runs in other.groups():
+            for doc in runs:
+                self.append(dict(doc))
+                copied += 1
+        return copied
+
     # -- reading ---------------------------------------------------------------
 
+    def _shard_mutable(self, shard: Path) -> Iterator[tuple[dict, str]]:
+        for f in self._mutable_files(shard):
+            lines, _end = _complete_lines(f)
+            for line in lines:
+                doc = _parse(line)
+                if doc is not None and doc.get("key"):
+                    yield doc, _canonical(doc)
+
+    def _group_records(self, key: str) -> list[tuple[dict, str]]:
+        shard = self._shard_dir(key)
+        if not shard.is_dir():
+            return []
+        seen: dict[str, dict] = {}
+        for seg in self._segments(shard):
+            offs = self._seg_index(seg)["keys"].get(key, ())
+            for doc, line in self._seg_records_at(seg, offs):
+                seen[line] = doc
+        for doc, line in self._shard_mutable(shard):
+            if doc.get("key") == key:
+                seen[line] = doc
+        return sorted(
+            ((doc, line) for line, doc in seen.items()),
+            key=lambda pair: _order_key(pair[0], pair[1]),
+        )
+
     def keys(self) -> list[str]:
-        return sorted(f.stem for f in self.root.glob("*/*.jsonl"))
+        """Every group key — from segment indexes plus the open tails."""
+        out: set[str] = set()
+        for shard in self._shards():
+            for seg in self._segments(shard):
+                out.update(self._seg_index(seg)["keys"])
+            for doc, _line in self._shard_mutable(shard):
+                out.add(doc["key"])
+        return sorted(out)
 
     def runs(self, key: str) -> list[dict]:
-        """Every stored run for a group, in append order."""
-        f = self._file_for(key)
-        if not f.exists():
-            return []
-        out = []
-        with open(f) as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    out.append(json.loads(line))
-                except json.JSONDecodeError:
-                    continue  # torn line from a dead writer: skip
-        return out
+        """Every stored run for a group, in deterministic history order
+        (``wall_time``, then canonical line)."""
+        return [doc for doc, _line in self._group_records(key)]
 
     def latest(self, key: str) -> Optional[dict]:
-        runs = self.runs(key)
-        return runs[-1] if runs else None
+        """Newest run of a group.
+
+        Fast path: each segment contributes only its index-addressed
+        newest record for the key; only the shard's small mutable tail
+        (``open.jsonl`` and friends) is parsed in full.
+        """
+        shard = self._shard_dir(key)
+        if not shard.is_dir():
+            return None
+        best: Optional[tuple[tuple[float, str], dict]] = None
+        for seg in self._segments(shard):
+            offs = self._seg_index(seg)["keys"].get(key)
+            if not offs:
+                continue
+            # segment lines are sorted by (key, wall_time, line): the
+            # key's last offset is its newest record in this segment
+            for doc, line in self._seg_records_at(seg, offs[-1:]):
+                ok = _order_key(doc, line)
+                if best is None or ok > best[0]:
+                    best = (ok, doc)
+        for doc, line in self._shard_mutable(shard):
+            if doc.get("key") != key:
+                continue
+            ok = _order_key(doc, line)
+            if best is None or ok > best[0]:
+                best = (ok, doc)
+        return best[1] if best is not None else None
 
     def groups(self) -> Iterator[tuple[str, list[dict]]]:
-        for key in self.keys():
-            yield key, self.runs(key)
+        """Stream ``(key, runs)`` pairs, one shard in memory at a time."""
+        for shard in self._shards():
+            by_key: dict[str, dict[str, dict]] = {}
+            for seg in self._segments(shard):
+                idx = self._seg_index(seg)["keys"]
+                for key in idx:
+                    bucket = by_key.setdefault(key, {})
+                    for doc, line in self._seg_records_at(seg, idx[key]):
+                        bucket[line] = doc
+            for doc, line in self._shard_mutable(shard):
+                by_key.setdefault(doc["key"], {})[line] = doc
+            for key in sorted(by_key):
+                pairs = sorted(
+                    ((doc, line) for line, doc in by_key[key].items()),
+                    key=lambda pair: _order_key(pair[0], pair[1]),
+                )
+                yield key, [doc for doc, _line in pairs]
 
     def __len__(self) -> int:
-        """Total stored runs (not groups)."""
+        """Total stored runs (not groups); streams shard by shard."""
         return sum(len(runs) for _, runs in self.groups())
+
+    # -- compaction ------------------------------------------------------------
+
+    def compact(self, prefix: Optional[str] = None) -> dict:
+        """Fold each shard's files into one immutable, deduped segment.
+
+        Records are re-canonicalized, deduped by canonical line and
+        sorted by ``(key, wall_time, line)``, so the surviving segment
+        is a pure function of the record *set*: any append interleaving
+        of the same records compacts to byte-identical segments, and
+        re-compacting an already-compact shard is a no-op.
+
+        Concurrent writers are safe: the open tail is atomically renamed
+        to a ``pend-*`` snapshot first (writers holding a stale fd keep
+        landing lines in it; writers opening by path start a fresh
+        ``open.jsonl``), and after the segment is written any late lines
+        in the snapshot are re-appended to the new open tail before the
+        snapshot is removed.
+        """
+        shards_done = 0
+        records = 0
+        removed = 0
+        for shard in self._shards():
+            if prefix is not None and shard.name != prefix[:_SHARD_CHARS]:
+                continue
+            open_f = shard / "open.jsonl"
+            if open_f.exists():
+                pend = shard / f"pend-{uuid.uuid4().hex[:12]}.jsonl"
+                try:
+                    os.rename(open_f, pend)
+                except OSError:
+                    pass
+            folded = [f for f in sorted(shard.glob("*.jsonl"))
+                      if f.name != "open.jsonl"]
+            consumed: dict[Path, int] = {}
+            resolved: dict[str, dict] = {}
+            for f in folded:
+                lines, consumed[f] = _complete_lines(f)
+                for line in lines:
+                    doc = _parse(line)
+                    if doc is not None and doc.get("key"):
+                        resolved[_canonical(doc)] = doc
+            if not resolved:
+                continue
+            ordered = sorted(
+                resolved,
+                key=lambda ln: (resolved[ln]["key"],
+                                _order_key(resolved[ln], ln)),
+            )
+            body = "".join(ln + "\n" for ln in ordered)
+            seg_digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+            seg = shard / f"seg-{seg_digest[:12]}.jsonl"
+            if not seg.exists():
+                self._write_atomic(seg, body)
+            keys: dict[str, list[int]] = {}
+            off = 0
+            for ln in ordered:
+                keys.setdefault(resolved[ln]["key"], []).append(off)
+                off += len((ln + "\n").encode("utf-8"))
+            idx = {"schema": STORE_SCHEMA_VERSION, "records": len(ordered),
+                   "keys": keys}
+            self._write_atomic(self._idx_path(seg),
+                               json.dumps(idx, sort_keys=True))
+            self._idx_cache[seg] = idx
+            # late lines from in-flight writers: move them to the new
+            # open tail before their snapshot disappears
+            for f in folded:
+                if not f.name.startswith("pend-"):
+                    continue
+                while True:
+                    late, consumed[f] = _complete_lines(f, consumed[f])
+                    for line in late:
+                        doc = _parse(line)
+                        if doc is not None and doc.get("key") and \
+                                _canonical(doc) not in resolved:
+                            self.append(doc)
+                            self.appends -= 1  # a move, not a new record
+                    if not late:
+                        break
+            for f in folded:
+                if f == seg:
+                    continue
+                try:
+                    f.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+                old_idx = self._idx_path(f)
+                if old_idx.exists():
+                    try:
+                        old_idx.unlink()
+                    except OSError:
+                        pass
+                self._idx_cache.pop(f, None)
+            shards_done += 1
+            records += len(ordered)
+        return {"shards": shards_done, "records": records,
+                "removed_files": removed}
+
+    # -- streaming ingest ------------------------------------------------------
+
+    def tail(self, cursor: Optional[dict] = None,
+             ) -> tuple[list[dict], dict]:
+        """Change feed: records appended since ``cursor``.
+
+        Returns ``(records, cursor)``; pass the cursor back to get only
+        newer records.  The cursor is a plain JSON-serializable dict, so
+        a follower can persist it across processes.  Steady state reads
+        only the bytes appended to each shard's ``open.jsonl``; when a
+        shard's file set changed underneath the cursor (a compaction),
+        the shard is re-read and already-delivered records are filtered
+        out by the cursor's high-water mark (max delivered
+        ``(wall_time, line)``), so followers see no duplicates.  Records
+        back-dated below the mark that land *during* a compaction window
+        may be skipped — followers needing them should re-ingest from
+        scratch.
+        """
+        state = {} if cursor is None else dict(cursor.get("shards", {}))
+        batch: list[tuple[tuple[float, str], dict]] = []
+        new_state: dict[str, dict] = {}
+        for shard in self._shards():
+            name = shard.name
+            files = {f.name: f for f in sorted(shard.glob("*.jsonl"))}
+            st = state.get(name)
+            mark = None
+            offsets: dict[str, int] = {}
+            if st is not None:
+                mark = tuple(st["mark"]) if st.get("mark") else None
+                offsets = dict(st.get("files", {}))
+            tracked = set(offsets)
+            same_files = st is not None and tracked == set(files)
+            if same_files:
+                for fname, f in files.items():
+                    try:
+                        if f.stat().st_size < offsets.get(fname, 0):
+                            same_files = False  # truncated/replaced
+                            break
+                    except OSError:
+                        same_files = False
+                        break
+            got: list[tuple[tuple[float, str], dict]] = []
+            new_offsets: dict[str, int] = {}
+            if same_files:
+                for fname, f in files.items():
+                    start = offsets.get(fname, 0)
+                    lines, end = _complete_lines(f, start)
+                    new_offsets[fname] = end
+                    for line in lines:
+                        doc = _parse(line)
+                        if doc is not None and doc.get("key"):
+                            got.append((_order_key(doc, _canonical(doc)),
+                                        doc))
+            else:
+                # first sight of this shard, or its files changed
+                # underneath us (compaction): re-read and dedup by mark
+                seen: dict[str, dict] = {}
+                for fname, f in files.items():
+                    lines, end = _complete_lines(f)
+                    new_offsets[fname] = end
+                    for line in lines:
+                        doc = _parse(line)
+                        if doc is not None and doc.get("key"):
+                            seen[_canonical(doc)] = doc
+                for line, doc in seen.items():
+                    ok = _order_key(doc, line)
+                    if mark is None or ok > mark:
+                        got.append((ok, doc))
+            got.sort(key=lambda pair: pair[0])
+            if got:
+                top = got[-1][0]
+                mark = top if mark is None or top > mark else mark
+            batch.extend(got)
+            new_state[name] = {
+                "files": new_offsets,
+                "mark": list(mark) if mark is not None else None,
+            }
+        batch.sort(key=lambda pair: pair[0])
+        return ([doc for _ok, doc in batch],
+                {"schema": STORE_SCHEMA_VERSION, "shards": new_state})
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<RunStore {self.root} groups={len(self.keys())}>"

@@ -22,7 +22,9 @@ for a stored decision and its shard neighborhood:
 Violations carry PICO-style severity: not just pass/fail but *how many
 seconds* the violation costs (the excess over the guideline bound) and a
 ``warn``/``error`` grade from the relative excess, so an operator can
-rank thousands of flagged answers by damage.
+rank thousands of flagged answers by damage.  The grading scale is the
+shared :mod:`repro.obs.severity` helper, so serve-time verdicts and the
+observatory's measured-run findings rank on one scale.
 """
 
 from __future__ import annotations
@@ -32,15 +34,14 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.obs.insights import GUIDELINE_TOL, MONOTONE_TOL
+from repro.obs.severity import ERROR_REL_EXCESS, grade_excess
 
 __all__ = [
+    "ERROR_REL_EXCESS",
     "GuidelineCheck",
     "Verdict",
     "validate_decision",
 ]
-
-#: relative excess below this grades a violation "warn", above "error"
-ERROR_REL_EXCESS = 0.10
 
 COMPOSITIONS = {
     "allreduce": ("reduce", "bcast"),
@@ -88,8 +89,8 @@ _SEVERITY_RANK = {"ok": 0, "warn": 1, "error": 2}
 
 def _violation(name: str, detail: str, cost: float,
                rel_excess: float) -> GuidelineCheck:
-    grade = "error" if rel_excess >= ERROR_REL_EXCESS else "warn"
-    return GuidelineCheck(name=name, passed=False, severity=grade,
+    return GuidelineCheck(name=name, passed=False,
+                          severity=grade_excess(rel_excess),
                           detail=detail, cost_seconds=max(cost, 0.0))
 
 

@@ -1,0 +1,217 @@
+"""Fleet rollup and streaming insight engine.
+
+Pins the two load-bearing claims of the fleet observatory:
+
+- the streaming path (``InsightEngine.follow`` over ``RunStore.tail``)
+  is bit-identical to the batch sweep (``ingest_store``) on the same
+  records, including across a mid-stream compaction;
+- ``fleet_report`` rolls a multi-machine store (two
+  ``MACHINE_PRESETS``) into severity-ranked, cost-quantified findings
+  with per-band regression status.
+"""
+
+import json
+
+from repro.hardware.machines import MACHINE_PRESETS
+from repro.obs import cli
+from repro.obs.fleet import (
+    STATUS_INSUFFICIENT,
+    STATUS_OK,
+    STATUS_REGRESSIONS,
+    fleet_report,
+    format_fleet,
+    status_exit_code,
+)
+from repro.obs.insights import InsightEngine, check_regressions
+from repro.obs.store import RunStore, summarize_point
+
+
+def _preset(name, nodes=2, ppn=2):
+    return MACHINE_PRESETS[name](num_nodes=nodes, ppn=ppn)
+
+
+def _point(machine, coll, nbytes, time_s, wall, **kw):
+    doc = summarize_point(machine, coll, nbytes, time_s, **kw)
+    doc["wall_time"] = float(wall)
+    return doc
+
+
+def _seed_fleet(store, slow=False):
+    """Two presets, two groups each, two runs per group.
+
+    With ``slow`` the second run of every shaheen2 group is far outside
+    the MAD band, so the fleet regresses on exactly one machine/band.
+    """
+    docs = []
+    for name in ("shaheen2", "tiny_cluster"):
+        m = _preset(name)
+        blow = 5.0 if (slow and name == "shaheen2") else 1.0001
+        for coll, nb, t in (("bcast", 1024, 1e-3), ("allreduce", 2048, 2e-3)):
+            docs.append(_point(m, coll, nb, t, wall=len(docs)))
+            docs.append(_point(m, coll, nb, t * blow, wall=100 + len(docs)))
+    for doc in docs:
+        store.append(doc)
+    return docs
+
+
+# -- streaming == batch bit-identity ------------------------------------------------
+
+
+def _engine_doc(engine):
+    stats = engine.stats()
+    stats.pop("duplicates")  # an ingest-path counter, not derived state
+    return json.dumps(
+        {"insights": [i.to_doc() for i in engine.insights()],
+         "machines": engine.machines(),
+         "stats": stats},
+        sort_keys=True,
+    )
+
+
+def test_streaming_follow_matches_batch_sweep(tmp_path):
+    store = RunStore(tmp_path)
+    m_a, m_b = _preset("shaheen2"), _preset("tiny_cluster")
+
+    streaming = InsightEngine()
+    cursor = streaming.follow(store)  # empty store: empty cursor
+    for i in range(4):
+        store.append(_point(m_a, "bcast", 1024, 1e-3 * (1 + 0.0001 * i),
+                            wall=i))
+        cursor = streaming.follow(store, cursor)
+    store.compact()  # moves bytes into a segment under the cursor
+    cursor = streaming.follow(store, cursor)
+    for i in range(4):
+        store.append(_point(m_b, "allreduce", 2048, 2e-3, wall=10 + i))
+    cursor = streaming.follow(store, cursor)
+
+    batch = InsightEngine()
+    batch.ingest_store(store)
+    assert _engine_doc(streaming) == _engine_doc(batch)
+    # the compaction introduced no phantom records on the streaming side
+    assert streaming.records == batch.records == 8
+
+
+def test_engine_is_ingest_order_independent(tmp_path):
+    store = RunStore(tmp_path)
+    docs = _seed_fleet(store, slow=True)
+    fwd, rev = InsightEngine(), InsightEngine()
+    for doc in docs:
+        fwd.ingest(doc)
+    for doc in reversed(docs):
+        rev.ingest(doc)
+        rev.ingest(doc)  # duplicates must fold away
+    assert _engine_doc(fwd) == _engine_doc(rev)
+    assert rev.duplicates == len(docs)
+
+
+def test_check_regressions_matches_engine(tmp_path):
+    store = RunStore(tmp_path)
+    _seed_fleet(store, slow=True)
+    engine = InsightEngine()
+    engine.ingest_store(store)
+    assert [i.to_doc() for i in check_regressions(store)] == \
+        [i.to_doc() for i in engine.regressions()]
+
+
+# -- fleet report -------------------------------------------------------------------
+
+
+def test_fleet_report_two_presets_with_regression(tmp_path):
+    store = RunStore(tmp_path)
+    _seed_fleet(store, slow=True)
+    report = fleet_report([store])
+    assert report["status"] == STATUS_REGRESSIONS
+    assert report["exit_code"] == 1
+    assert report["counts"]["machines"] == 2
+
+    by_machine = {m["machine"]: m for m in report["machines"]}
+    assert by_machine["shaheen2 2x2"]["status"] == STATUS_REGRESSIONS
+    assert by_machine["tiny_cluster 2x2"]["status"] == STATUS_OK
+
+    assert len(report["bands"]) == 2  # distinct hardware, distinct bands
+    band_status = {b["machines"][0]: b["status"] for b in report["bands"]}
+    assert band_status["shaheen2 2x2"] == STATUS_REGRESSIONS
+    assert band_status["tiny_cluster 2x2"] == STATUS_OK
+
+    findings = report["findings"]
+    assert len(findings) == 2  # both shaheen2 groups blew their bands
+    for f in findings:
+        assert f["grade"] == "error"  # 5x is far past the 10% threshold
+        assert f["cost_seconds"] > 0
+        assert f["cost_bytes"] > 0
+    # ranked by damage: worst cost first within a grade
+    costs = [f["cost_seconds"] for f in findings]
+    assert costs == sorted(costs, reverse=True)
+
+    text = format_fleet(report)
+    assert "status: regressions" in text
+    assert "[error]" in text
+
+
+def test_fleet_report_clean_and_insufficient(tmp_path):
+    clean = RunStore(tmp_path / "clean")
+    _seed_fleet(clean, slow=False)
+    report = fleet_report([clean])
+    assert report["status"] == STATUS_OK
+    assert report["exit_code"] == 0
+    assert report["findings"] == []
+
+    thin = RunStore(tmp_path / "thin")
+    thin.append(_point(_preset("shaheen2"), "bcast", 1024, 1e-3, wall=0))
+    report = fleet_report([thin])
+    assert report["status"] == STATUS_INSUFFICIENT
+    assert report["exit_code"] == 2
+
+
+def test_fleet_report_is_store_partition_independent(tmp_path):
+    """One merged store and two half-stores roll up identically."""
+    merged = RunStore(tmp_path / "merged")
+    docs = _seed_fleet(merged, slow=True)
+    a, b = RunStore(tmp_path / "a"), RunStore(tmp_path / "b")
+    for i, doc in enumerate(docs):
+        (a if i % 2 else b).append(doc)
+    one = fleet_report([merged])
+    two = fleet_report([a, b])
+    for field in ("status", "machines", "bands", "findings",
+                  "regressions", "stragglers", "interference"):
+        assert one[field] == two[field]
+
+
+def test_status_exit_codes():
+    assert status_exit_code(STATUS_OK) == 0
+    assert status_exit_code(STATUS_REGRESSIONS) == 1
+    assert status_exit_code(STATUS_INSUFFICIENT) == 2
+
+
+# -- CLI ----------------------------------------------------------------------------
+
+
+def test_cli_regress_statuses(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    store = RunStore(store_dir)
+    store.append(_point(_preset("shaheen2"), "bcast", 1024, 1e-3, wall=0))
+    assert cli.main(["regress", store_dir, "--json"]) == 2
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["status"] == STATUS_INSUFFICIENT and doc["exit_code"] == 2
+
+    store.append(_point(_preset("shaheen2"), "bcast", 1024, 1e-3, wall=1))
+    assert cli.main(["regress", store_dir, "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["status"] == STATUS_OK
+
+    store.append(_point(_preset("shaheen2"), "bcast", 1024, 9e-3, wall=2))
+    assert cli.main(["regress", store_dir, "--json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["status"] == STATUS_REGRESSIONS
+    assert doc["checks"][0]["cost_seconds"] > 0
+
+
+def test_cli_compact_then_fleet_json(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    _seed_fleet(RunStore(store_dir), slow=True)
+    assert cli.main(["compact", store_dir]) == 0
+    capsys.readouterr()
+    assert cli.main(["fleet", store_dir, "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["status"] == STATUS_REGRESSIONS
+    assert len(report["machines"]) == 2
+    assert report["findings"][0]["grade"] == "error"

@@ -44,6 +44,17 @@ def test_guideline_flags_allreduce_worse_than_composition():
     assert len(bad) == 1
     assert bad[0].kind == "guideline"
     assert "allreduce" in bad[0].name
+    # 2.5x the bound: an error-grade violation costing 3ms of wall time
+    assert bad[0].grade == "error"
+    assert bad[0].cost_seconds == pytest.approx(3e-3)
+    assert bad[0].cost_bytes > 0
+
+
+def test_passing_insights_carry_no_cost():
+    times = {("bcast", 64 * KiB): 1e-4, ("bcast", 1 * MiB): 1e-3}
+    for check in ins.guideline_insights(times):
+        assert check.grade == "ok"
+        assert check.cost_seconds == 0.0 and check.cost_bytes == 0.0
 
 
 def test_guideline_flags_non_monotone_sizes():
@@ -91,6 +102,9 @@ def test_regress_flags_slowdown_beyond_band(tmp_path):
     assert len(checks) == 1
     assert not checks[0].passed
     assert checks[0].kind == "regression"
+    # a 2x slowdown is an error-grade regression costing ~1ms per run
+    assert checks[0].grade == "error"
+    assert checks[0].cost_seconds == pytest.approx(1e-3, rel=0.1)
 
 
 def test_regress_tolerates_band_width(tmp_path):

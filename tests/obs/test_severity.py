@@ -1,0 +1,60 @@
+"""PICO-style severity grading shared by insights and serve verdicts."""
+
+import math
+
+from repro.obs.severity import (
+    ERROR_REL_EXCESS,
+    OK,
+    Severity,
+    grade_excess,
+    severity,
+)
+
+
+def test_grade_threshold():
+    assert grade_excess(ERROR_REL_EXCESS - 1e-9) == "warn"
+    assert grade_excess(ERROR_REL_EXCESS) == "error"
+    assert grade_excess(10.0) == "error"
+
+
+def test_within_bound_is_ok():
+    assert severity(0.9, 1.0) is OK
+    assert severity(1.0, 1.0) is OK
+    assert severity(1.04, 1.0, tol=0.05) is OK  # tolerance absorbs it
+    assert OK.ok and OK.cost_seconds == 0.0
+
+
+def test_excess_is_quantified_against_the_bound():
+    sev = severity(1.05, 1.0)
+    assert sev.grade == "warn" and not sev.ok
+    assert math.isclose(sev.cost_seconds, 0.05)
+    assert math.isclose(sev.rel_excess, 0.05)
+
+    sev = severity(2.0, 1.0, nbytes=100.0)
+    assert sev.grade == "error"
+    assert math.isclose(sev.cost_seconds, 1.0)
+    # bytes-equivalent at achieved throughput: 100B / 2s * 1s excess
+    assert math.isclose(sev.cost_bytes, 50.0)
+
+
+def test_tolerance_gates_but_does_not_shrink_cost():
+    # same bound, different tolerances: once violated, same damage scale
+    loose = severity(1.5, 1.0, tol=0.3)
+    tight = severity(1.5, 1.0, tol=0.0)
+    assert math.isclose(loose.cost_seconds, tight.cost_seconds)
+    assert math.isclose(loose.rel_excess, tight.rel_excess)
+
+
+def test_degenerate_bounds_fail_loudly():
+    sev = severity(1.0, 0.0)
+    assert sev.grade == "error"
+    assert sev.cost_seconds == float("inf")
+    assert severity(1.0, float("nan")).grade == "error"
+    assert severity(0.0, 0.0).ok  # not over a zero bound: fine
+
+
+def test_to_doc_round_trip():
+    sev = Severity(grade="warn", cost_seconds=0.1, cost_bytes=2.0,
+                   rel_excess=0.05)
+    assert sev.to_doc() == {"grade": "warn", "cost_seconds": 0.1,
+                            "cost_bytes": 2.0, "rel_excess": 0.05}
